@@ -1,0 +1,84 @@
+#include "common.h"
+
+namespace bench {
+
+std::unique_ptr<Env> Env::make(Topology t, int tunnels_per_pair,
+                               SchedulerConfig cfg, double teavar_beta) {
+  auto env = std::make_unique<Env>();
+  env->topo = std::move(t);
+  env->catalog = TunnelCatalog::build_all_pairs(env->topo, tunnels_per_pair);
+  env->oblivious_catalog = TunnelCatalog::build_all_pairs(
+      env->topo, tunnels_per_pair, RoutingScheme::kOblivious);
+  env->scheduler =
+      std::make_unique<TrafficScheduler>(env->topo, env->catalog, cfg);
+  env->bate = std::make_unique<BateScheme>(*env->scheduler);
+  env->ffc = std::make_unique<FfcScheme>(env->topo, env->catalog, 1);
+  env->teavar =
+      std::make_unique<TeavarScheme>(env->topo, env->catalog, teavar_beta);
+  env->swan = std::make_unique<SwanScheme>(env->topo, env->catalog);
+  env->smore =
+      std::make_unique<SmoreScheme>(env->topo, env->oblivious_catalog);
+  env->b4 = std::make_unique<B4Scheme>(env->topo, env->catalog);
+  return env;
+}
+
+std::vector<const TeScheme*> Env::all_schemes() const {
+  return {bate.get(), teavar.get(), swan.get(),
+          smore.get(), b4.get(),    ffc.get()};
+}
+
+void merge_metrics(SimMetrics& into, const SimMetrics& extra) {
+  into.outcomes.insert(into.outcomes.end(), extra.outcomes.begin(),
+                       extra.outcomes.end());
+  if (into.link_failure_counts.size() < extra.link_failure_counts.size()) {
+    into.link_failure_counts.resize(extra.link_failure_counts.size(), 0);
+  }
+  for (std::size_t i = 0; i < extra.link_failure_counts.size(); ++i) {
+    into.link_failure_counts[i] += extra.link_failure_counts[i];
+  }
+  into.failure_intervals_s.insert(into.failure_intervals_s.end(),
+                                  extra.failure_intervals_s.begin(),
+                                  extra.failure_intervals_s.end());
+  into.per_second_loss_ratio.insert(into.per_second_loss_ratio.end(),
+                                    extra.per_second_loss_ratio.begin(),
+                                    extra.per_second_loss_ratio.end());
+  for (double v : extra.admission_delay_s.samples()) {
+    into.admission_delay_s.add(v);
+  }
+}
+
+SimMetrics run_policy_reps(const Env& env, const SimPolicy& policy,
+                           const WorkloadConfig& workload_base,
+                           double repair_seconds, int reps,
+                           double horizon_min, bool no_failures) {
+  // Failure-free baseline runs (Fig 7c) drive the same simulator over a
+  // zero-probability clone of the topology.
+  Topology quiet("quiet");
+  if (no_failures) {
+    for (int i = 0; i < env.topo.node_count(); ++i) quiet.add_node();
+    for (const Link& l : env.topo.links()) {
+      quiet.add_link(l.src, l.dst, l.capacity, 0.0);
+    }
+  }
+
+  SimMetrics merged;
+  for (int rep = 0; rep < reps; ++rep) {
+    WorkloadConfig wl = workload_base;
+    wl.horizon_min = horizon_min;
+    wl.seed = workload_base.seed + 1000ull * static_cast<std::uint64_t>(rep);
+    const auto demands = generate_demands(env.catalog, wl);
+
+    Rng failure_rng(9000 + static_cast<std::uint64_t>(rep));
+    const FailureTimeline timeline(
+        no_failures ? quiet : env.topo,
+        static_cast<int>(horizon_min * 60.0), repair_seconds, failure_rng);
+
+    TestbedSimConfig cfg;
+    cfg.horizon_min = horizon_min;
+    merge_metrics(merged, run_testbed_sim(*env.scheduler, policy, demands,
+                                          timeline, cfg));
+  }
+  return merged;
+}
+
+}  // namespace bench

@@ -1,0 +1,57 @@
+// Fig 7(a): testbed admission control — rejection ratio vs demanded
+// bandwidth, for the fixed strategy, BATE's strategy and the optimal MILP.
+//
+// Paper's shape: rejections grow with per-demand bandwidth; Fixed rejects
+// ~10% more than OPT while BATE stays within ~1% of OPT.
+//
+// Scale note (DESIGN.md Sec 3/6): the paper drives every s-d pair at
+// 2 arrivals/min on a 30-VM testbed; we drive the network-wide process and
+// scale per-demand bandwidth x10 so the same relative load (and thus the
+// same rejection regime) is reached with an LP-tractable demand count.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace bench;
+
+int main() {
+  auto env = Env::make(testbed6());
+
+  const double bw_means[] = {300.0, 500.0, 700.0};
+  const AdmissionStrategy strategies[] = {AdmissionStrategy::kFixed,
+                                          AdmissionStrategy::kBate,
+                                          AdmissionStrategy::kOptimal};
+  const char* names[] = {"Fixed", "BATE", "OPT"};
+
+  Table table({"bandwidth_mbps", "Fixed_reject_pct", "BATE_reject_pct",
+               "OPT_reject_pct"});
+  for (double bw : bw_means) {
+    double reject[3] = {0, 0, 0};
+    const int reps = 2;
+    for (int rep = 0; rep < reps; ++rep) {
+      WorkloadConfig wl;
+      wl.arrival_rate_per_min = 2.0;
+      wl.mean_duration_min = 5.0;
+      wl.horizon_min = 40.0;
+      wl.bw_min_mbps = bw - 150.0;
+      wl.bw_max_mbps = bw + 150.0;
+      wl.availability_targets = testbed_target_set();
+      wl.seed = 100 + static_cast<std::uint64_t>(rep);
+      const auto demands = generate_demands(env->catalog, wl);
+      BranchBoundOptions opt_budget;
+      opt_budget.time_limit_seconds = 1.0;  // bounded-effort OPT baseline
+      for (int s = 0; s < 3; ++s) {
+        const auto r = run_admission_sim(*env->scheduler, strategies[s],
+                                         demands, 10.0, opt_budget);
+        reject[s] += r.rejection_ratio() * 100.0 / reps;
+      }
+    }
+    table.add_row({fmt(bw, 0), fmt(reject[0], 1), fmt(reject[1], 1),
+                   fmt(reject[2], 1)});
+    (void)names;
+  }
+  std::printf("%s", table.to_string("Fig 7(a): rejection ratio (%)").c_str());
+  std::printf("\nExpected shape: Fixed rejects the most; BATE tracks OPT "
+              "within a few percent.\n");
+  return 0;
+}

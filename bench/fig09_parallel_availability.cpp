@@ -1,0 +1,90 @@
+// Fig 9: achieved availability of the three parallel demands (see Table 3)
+// under BATE, BATE-TS (scheduling only, no failure recovery), TEAVAR and
+// FFC — Monte-Carlo over 100 repetitions of a 100-second run with
+// per-second failure injection, exactly the paper's procedure.
+//
+// Paper's shape: all three demands meet their targets under BATE; TEAVAR
+// misses demand-2 (99.9%); FFC starves demand-1.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace bench;
+
+namespace {
+
+std::vector<Demand> parallel_demands(const TunnelCatalog& catalog) {
+  std::vector<Demand> demands(3);
+  demands[0].id = 0;
+  demands[0].pairs = {{catalog.pair_index({0, 2}), 1000.0}};
+  demands[0].availability_target = 0.995;
+  demands[1].id = 1;
+  demands[1].pairs = {{catalog.pair_index({0, 3}), 500.0}};
+  demands[1].availability_target = 0.999;
+  demands[2].id = 2;
+  demands[2].pairs = {{catalog.pair_index({0, 4}), 1500.0}};
+  demands[2].availability_target = 0.95;
+  for (auto& d : demands) {
+    d.charge = d.total_mbps();
+    d.duration_minutes = 2.0;  // ~100 s runs
+  }
+  return demands;
+}
+
+}  // namespace
+
+int main() {
+  auto env = Env::make(testbed6());
+  const auto demands = parallel_demands(env->catalog);
+
+  const SimPolicy policies[] = {
+      {"BATE", std::nullopt, env->bate.get(), RescalePolicy::kBackup},
+      {"BATE-TS", std::nullopt, env->bate.get(), RescalePolicy::kNone},
+      {"TEAVAR", std::nullopt, env->teavar.get(),
+       RescalePolicy::kProportional},
+      {"FFC", std::nullopt, env->ffc.get(), RescalePolicy::kProportional},
+  };
+
+  // 100 repetitions x ~100 s, identical failure draws across policies.
+  const int reps = 100;
+  double avail[4][3] = {};
+  long active[4][3] = {};
+  long satisfied[4][3] = {};
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(7000 + static_cast<std::uint64_t>(rep));
+    const FailureTimeline timeline(env->topo, 120, 3.0, rng);
+    for (std::size_t p = 0; p < std::size(policies); ++p) {
+      TestbedSimConfig cfg;
+      cfg.horizon_min = 2.0;
+      const SimMetrics m = run_testbed_sim(*env->scheduler, policies[p],
+                                           demands, timeline, cfg);
+      for (int i = 0; i < 3; ++i) {
+        active[p][i] += m.outcomes[static_cast<std::size_t>(i)].active_seconds;
+        satisfied[p][i] +=
+            m.outcomes[static_cast<std::size_t>(i)].satisfied_seconds;
+      }
+    }
+  }
+  Table table({"demand(target)", "BATE", "BATE-TS", "TEAVAR", "FFC"});
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::string> row{
+        "demand-" + std::to_string(i + 1) + " (" +
+        fmt(demands[static_cast<std::size_t>(i)].availability_target * 100.0,
+            1) +
+        "%)"};
+    for (std::size_t p = 0; p < std::size(policies); ++p) {
+      avail[p][i] = active[p][i] == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(satisfied[p][i]) /
+                              static_cast<double>(active[p][i]);
+      row.push_back(fmt(avail[p][i], 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s",
+              table.to_string("Fig 9: achieved availability (%)").c_str());
+  std::printf("\nExpected shape: BATE meets all three targets; BATE-TS "
+              "slightly below BATE; TEAVAR misses the 99.9%% demand; FFC "
+              "starves demand-1.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Fig 17: traffic-scheduling computation time as the pruning level y and
+// the topology grow. Timed faithfully to the paper's method: the pruned
+// scenario set (<= y concurrent failures) is ENUMERATED and projected onto
+// per-pair tunnel patterns, then the scheduling LP is solved. (BATE's
+// closed-form Poisson-binomial projection, which avoids the enumeration
+// entirely, is benchmarked separately in ablation_projection.)
+//
+// Paper's shape: time grows by orders of magnitude with y and topology
+// size (their Gurobi runs reach 359s/995s on ATT at y=3/4).
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "scenario/scenario.h"
+
+using namespace bench;
+
+namespace {
+
+/// Enumeration-based pattern projection (the paper's pruning pipeline).
+std::vector<PatternDistribution> enumerate_patterns(
+    const Topology& topo, const TunnelCatalog& catalog, int y) {
+  const int pairs = catalog.pair_count();
+  std::vector<std::vector<LinkId>> unions(static_cast<std::size_t>(pairs));
+  std::vector<std::vector<std::uint64_t>> link_masks(
+      static_cast<std::size_t>(topo.link_count()));
+  // link -> per pair, bitmask of tunnels using it (0 if untouched).
+  std::vector<std::map<int, PatternMask>> affected(
+      static_cast<std::size_t>(topo.link_count()));
+  std::vector<PatternDistribution> dists(static_cast<std::size_t>(pairs));
+  for (int k = 0; k < pairs; ++k) {
+    const auto& tunnels = catalog.tunnels(k);
+    dists[static_cast<std::size_t>(k)].tunnel_count =
+        static_cast<int>(tunnels.size());
+    dists[static_cast<std::size_t>(k)].prob.assign(1ull << tunnels.size(),
+                                                   0.0);
+    for (std::size_t t = 0; t < tunnels.size(); ++t) {
+      for (LinkId e : tunnels[t].links) {
+        affected[static_cast<std::size_t>(e)][k] |=
+            static_cast<PatternMask>(1u << t);
+      }
+    }
+  }
+
+  double total = 0.0;
+  std::map<int, PatternMask> down;  // pair -> tunnels down in this scenario
+  for_each_scenario(topo, y, [&](std::span<const LinkId> failed, double p) {
+    total += p;
+    down.clear();
+    for (LinkId e : failed) {
+      for (const auto& [pair, mask] : affected[static_cast<std::size_t>(e)]) {
+        down[pair] |= mask;
+      }
+    }
+    for (const auto& [pair, mask] : down) {
+      auto& dist = dists[static_cast<std::size_t>(pair)];
+      const auto full =
+          static_cast<PatternMask>((1u << dist.tunnel_count) - 1);
+      dist.prob[full & ~mask] += p;
+    }
+  });
+  // Pairs untouched by a scenario sit in the all-up pattern: assign the
+  // remaining enumerated mass.
+  for (auto& dist : dists) {
+    double assigned = 0.0;
+    const auto full = static_cast<PatternMask>((1u << dist.tunnel_count) - 1);
+    for (PatternMask s = 0; s < full; ++s) assigned += dist.prob[s];
+    dist.prob[full] += total - assigned - dist.prob[full];
+    dist.prob[full] = std::max(dist.prob[full], 0.0);
+  }
+  return dists;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"topology", "y", "scenarios", "enumerate_s", "lp_solve_s",
+               "total_s"});
+  for (const Topology& topo : simulation_topologies()) {
+    const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+    WorkloadConfig wl;
+    wl.arrival_rate_per_min = 2.0;
+    wl.mean_duration_min = 10.0;
+    wl.horizon_min = 60.0;
+    wl.availability_targets = simulation_target_set();
+    wl.matrices = generate_traffic_matrices(topo, 5);
+    wl.tm_scale_down = 20.0;
+    wl.seed = 1100;
+    auto demands = steady_state_snapshot(catalog, wl, 30.0);
+    if (demands.size() > 20) demands.resize(20);
+
+    // ATT at y=4 enumerates C(112,4) ~ 6.5M scenarios; cap the enumeration
+    // where the count explodes past 10M (the paper likewise truncates its
+    // bars at 995 s).
+    for (int y = 1; y <= 4; ++y) {
+      const double count = scenario_count(topo.link_count(), y);
+      if (count > 1e7) {
+        table.add_row({topo.name(), std::to_string(y), fmt(count, 0),
+                       "(skipped)", "-", "-"});
+        continue;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto dists = enumerate_patterns(topo, catalog, y);
+      const auto t1 = std::chrono::steady_clock::now();
+
+      SchedulerConfig cfg;
+      cfg.max_failures = y;
+      const TrafficScheduler scheduler(topo, catalog, cfg);
+      const auto t2 = std::chrono::steady_clock::now();
+      const auto r = scheduler.schedule(demands);
+      const auto t3 = std::chrono::steady_clock::now();
+      (void)dists;
+      (void)r;
+
+      const double enum_s = std::chrono::duration<double>(t1 - t0).count();
+      const double lp_s = std::chrono::duration<double>(t3 - t2).count();
+      table.add_row({topo.name(), std::to_string(y), fmt(count, 0),
+                     fmt(enum_s, 3), fmt(lp_s, 3), fmt(enum_s + lp_s, 3)});
+    }
+  }
+  std::printf("%s", table.to_string("Fig 17: scheduling time vs pruning "
+                                    "level")
+                        .c_str());
+  std::printf("\nExpected shape: time grows by orders of magnitude with y "
+              "and with topology size (ATT slowest).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig 21 (Appendix E): failure-recovery acceleration — wall-clock time of
+// the optimal MILP recovery vs Algorithm 2's greedy, measured with
+// google-benchmark on steady-state snapshots of increasing size.
+//
+// Paper's shape: the optimal solver is >=50x slower at normal load.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.h"
+#include "core/recovery.h"
+
+using namespace bench;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Env> env = Env::make(testbed6());
+  std::vector<std::vector<Demand>> snapshots;  // per arrival rate 1..6
+
+  Fixture() {
+    for (int rate = 1; rate <= 6; ++rate) {
+      WorkloadConfig wl;
+      wl.arrival_rate_per_min = rate;
+      wl.mean_duration_min = 8.0;
+      wl.horizon_min = 50.0;
+      wl.bw_min_mbps = 100.0;
+      wl.bw_max_mbps = 400.0;
+      wl.availability_targets = testbed_target_set();
+      wl.services = testbed_services();
+      wl.seed = 1500 + static_cast<std::uint64_t>(rate);
+      auto demands = steady_state_snapshot(env->catalog, wl, 25.0);
+      if (demands.size() > 24) demands.resize(24);
+      snapshots.push_back(std::move(demands));
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_GreedyRecovery(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& demands =
+      f.snapshots[static_cast<std::size_t>(state.range(0) - 1)];
+  const LinkId failed[] = {testbed_link(f.env->topo, "L4")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recover_greedy(f.env->topo, f.env->catalog, demands, failed));
+  }
+  state.counters["demands"] = static_cast<double>(demands.size());
+}
+
+void BM_OptimalRecovery(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& demands =
+      f.snapshots[static_cast<std::size_t>(state.range(0) - 1)];
+  const LinkId failed[] = {testbed_link(f.env->topo, "L4")};
+  BranchBoundOptions bnb;
+  bnb.node_limit = 30000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recover_optimal(f.env->topo, f.env->catalog, demands, failed, bnb));
+  }
+  state.counters["demands"] = static_cast<double>(demands.size());
+}
+
+BENCHMARK(BM_GreedyRecovery)->DenseRange(1, 6)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OptimalRecovery)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

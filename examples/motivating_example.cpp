@@ -1,0 +1,82 @@
+// The paper's motivating example (Sec 2.2, Fig 2): two users from DC1 to
+// DC4 over a 4-DC toy WAN — user1 wants 6 Gbps at 99 %, user2 wants
+// 12 Gbps at 90 %. FFC under-provisions, TEAVAR applies one availability
+// level to everyone, BATE matches users to paths whose failure
+// probabilities fit their targets.
+//
+// Build & run:  ./build/examples/motivating_example
+#include <cstdio>
+#include <memory>
+
+#include "baselines/ffc.h"
+#include "baselines/teavar.h"
+#include "core/bate_scheme.h"
+#include "core/scheduling.h"
+#include "sim/experiment.h"
+#include "topology/catalog.h"
+#include "util/table.h"
+
+using namespace bate;
+
+int main() {
+  const Topology topo = toy4();
+  const auto catalog =
+      TunnelCatalog::build(topo, std::vector<SdPair>{{0, 3}}, 2);
+
+  std::printf("Fig 2(a): DC1->DC4 over two 10 Gbps paths\n");
+  for (const auto& tunnel : catalog.tunnels(0)) {
+    std::printf("  %-22s availability %.6f%%\n",
+                tunnel.to_string(topo).c_str(),
+                tunnel.availability(topo) * 100.0);
+  }
+
+  Demand user1;
+  user1.id = 1;
+  user1.pairs = {{0, 6000.0}};
+  user1.availability_target = 0.99;
+  user1.charge = 6000.0;
+  Demand user2;
+  user2.id = 2;
+  user2.pairs = {{0, 12000.0}};
+  user2.availability_target = 0.90;
+  user2.charge = 12000.0;
+  const std::vector<Demand> demands = {user1, user2};
+
+  const TrafficScheduler scheduler(topo, catalog, SchedulerConfig{});
+  const BateScheme bate(scheduler);
+  const FfcScheme ffc(topo, catalog, 1);
+  const TeavarScheme teavar(topo, catalog, 0.90);
+  const AvailabilityEvaluator evaluator(topo, catalog);
+
+  const TeScheme* schemes[] = {&ffc, &teavar, &bate};
+  Table table({"scheme", "user", "via DC2 (Mbps)", "via DC3 (Mbps)",
+               "availability", "target", "met?"});
+  for (const TeScheme* scheme : schemes) {
+    const auto allocs = scheme->allocate(demands);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const double avail = evaluator.availability(demands[i], allocs[i]);
+      const bool met = evaluator.satisfied(demands[i], allocs[i]);
+      // Identify which tunnel goes via DC2.
+      double via_dc2 = 0.0;
+      double via_dc3 = 0.0;
+      for (std::size_t t = 0; t < catalog.tunnels(0).size(); ++t) {
+        if (catalog.tunnels(0)[t].uses(topo.find_link(0, 1))) {
+          via_dc2 = allocs[i][0][t];
+        } else {
+          via_dc3 = allocs[i][0][t];
+        }
+      }
+      table.add_row({scheme->name(), "user" + std::to_string(demands[i].id),
+                     fmt(via_dc2, 0), fmt(via_dc3, 0),
+                     fmt(avail * 100.0, 4) + "%",
+                     fmt(demands[i].availability_target * 100.0, 2) + "%",
+                     met ? "yes" : "NO"});
+    }
+  }
+  std::printf("\n%s", table.to_string("Fig 2(b,c,d): allocations").c_str());
+  std::printf(
+      "\nFFC (l=1) protects against any single failure and cannot grant the"
+      "\nfull 18G; TEAVAR grants everything but at one availability level,"
+      "\nviolating user1's 99%% target; BATE satisfies both (Fig 2d).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "baselines/b4.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "solver/model.h"  // kInfinity
+
+namespace bate {
+
+B4Scheme::B4Scheme(const Topology& topo, const TunnelCatalog& catalog,
+                   double fill_step)
+    : topo_(&topo), catalog_(&catalog), fill_step_(fill_step) {
+  if (fill_step <= 0.0 || fill_step > 1.0) {
+    throw std::invalid_argument("B4Scheme: fill_step must be in (0,1]");
+  }
+}
+
+std::vector<Allocation> B4Scheme::allocate(
+    std::span<const Demand> demands) const {
+  std::vector<Allocation> allocs;
+  allocs.reserve(demands.size());
+  for (const Demand& d : demands) {
+    allocs.push_back(zero_allocation(*catalog_, d));
+  }
+
+  std::vector<double> residual(static_cast<std::size_t>(topo_->link_count()));
+  for (LinkId e = 0; e < topo_->link_count(); ++e) {
+    residual[static_cast<std::size_t>(e)] = topo_->link(e).capacity;
+  }
+
+  // Progressive filling: every round each unfrozen demand receives one
+  // fair-share quantum (fill_step * b) routed over its tunnels in catalog
+  // (shortest-first) order; demands freeze when the quantum no longer fits.
+  std::vector<char> frozen(demands.size(), 0);
+  std::vector<double> granted(demands.size(), 0.0);  // fraction of demand
+  const int rounds = static_cast<int>(1.0 / fill_step_ + 0.5);
+
+  for (int round = 0; round < rounds; ++round) {
+    bool any_active = false;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (frozen[i] || granted[i] >= 1.0 - 1e-9) continue;
+      const Demand& d = demands[i];
+      const double quantum = std::min(fill_step_, 1.0 - granted[i]);
+
+      // Tentatively route the quantum on every pair; roll back on failure.
+      std::vector<double> scratch = residual;
+      Allocation delta = zero_allocation(*catalog_, d);
+      bool ok = true;
+      for (std::size_t p = 0; p < d.pairs.size() && ok; ++p) {
+        const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+        double need = quantum * d.pairs[p].mbps;
+        for (std::size_t t = 0; t < tunnels.size() && need > 1e-9; ++t) {
+          double cap = kInfinity;
+          for (LinkId e : tunnels[t].links) {
+            cap = std::min(cap, scratch[static_cast<std::size_t>(e)]);
+          }
+          const double f = std::min(cap, need);
+          if (f <= 1e-9) continue;
+          delta[p][t] = f;
+          need -= f;
+          for (LinkId e : tunnels[t].links) {
+            scratch[static_cast<std::size_t>(e)] -= f;
+          }
+        }
+        ok = need <= 1e-9;
+      }
+      if (!ok) {
+        frozen[i] = 1;
+        continue;
+      }
+      residual = std::move(scratch);
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        for (std::size_t t = 0; t < delta[p].size(); ++t) {
+          allocs[i][p][t] += delta[p][t];
+        }
+      }
+      granted[i] += quantum;
+      any_active = true;
+    }
+    if (!any_active) break;
+  }
+  return allocs;
+}
+
+}  // namespace bate

@@ -1,0 +1,29 @@
+// B4 — Google's software-defined WAN (Jain et al., SIGCOMM'13). B4
+// allocates bandwidth with max-min fairness via progressive filling over
+// preferred tunnels; this implementation reproduces the greedy filling
+// procedure (quantized fair-share steps, shortest tunnels preferred)
+// without B4's hierarchy of flow groups, which the paper's evaluation does
+// not exercise.
+#pragma once
+
+#include "baselines/te.h"
+
+namespace bate {
+
+class B4Scheme final : public TeScheme {
+ public:
+  B4Scheme(const Topology& topo, const TunnelCatalog& catalog,
+           double fill_step = 0.05);
+
+  std::string name() const override { return "B4"; }
+  const TunnelCatalog& tunnel_catalog() const override { return *catalog_; }
+  std::vector<Allocation> allocate(
+      std::span<const Demand> demands) const override;
+
+ private:
+  const Topology* topo_;
+  const TunnelCatalog* catalog_;
+  double fill_step_;  // fair-share quantum as a fraction of each demand
+};
+
+}  // namespace bate

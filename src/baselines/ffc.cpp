@@ -1,0 +1,177 @@
+#include "baselines/ffc.h"
+
+#include <algorithm>
+
+#include "scenario/pattern.h"
+#include "solver/model.h"
+
+namespace bate {
+
+Allocation zero_allocation(const TunnelCatalog& catalog,
+                           const Demand& demand) {
+  Allocation a(demand.pairs.size());
+  for (std::size_t p = 0; p < demand.pairs.size(); ++p) {
+    a[p].assign(catalog.tunnels(demand.pairs[p].pair).size(), 0.0);
+  }
+  return a;
+}
+
+FfcScheme::FfcScheme(const Topology& topo, const TunnelCatalog& catalog,
+                     int max_link_failures, SimplexOptions lp)
+    : topo_(&topo),
+      catalog_(&catalog),
+      max_link_failures_(max_link_failures),
+      lp_(lp) {}
+
+std::vector<Allocation> FfcScheme::allocate(
+    std::span<const Demand> demands) const {
+  Model model;
+  model.set_sense(Sense::kMaximize);
+
+  struct PairVars {
+    int first_var = -1;
+    int tunnel_count = 0;
+  };
+  std::vector<std::vector<PairVars>> gvars(demands.size());
+  std::vector<int> svar(demands.size());
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    svar[i] = model.add_variable(0.0, 1.0, d.total_mbps());
+    gvars[i].resize(d.pairs.size());
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      gvars[i][p] = {model.variable_count(), static_cast<int>(tunnels.size())};
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        // Tiny negative weight keeps the allocation minimal for the chosen
+        // grant instead of absorbing arbitrary spare capacity.
+        model.add_variable(0.0, kInfinity, -1e-4 * d.pairs[p].mbps);
+      }
+      // No-failure grant: sum_t g >= s.
+      std::vector<Term> base{{svar[i], -1.0}};
+      for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+        base.push_back({gvars[i][p].first_var + t, 1.0});
+      }
+      model.add_constraint(std::move(base), Relation::kGreaterEqual, 0.0);
+
+      // Knockout constraints: enumerate failure sets F (|F| <= l) over the
+      // links this pair's tunnels traverse.
+      const auto uni = tunnel_link_union(tunnels);
+      std::vector<std::vector<LinkId>> failure_sets;
+      for (LinkId e : uni) failure_sets.push_back({e});
+      if (max_link_failures_ >= 2) {
+        for (std::size_t a = 0; a < uni.size(); ++a) {
+          for (std::size_t b = a + 1; b < uni.size(); ++b) {
+            failure_sets.push_back({uni[a], uni[b]});
+          }
+        }
+      }
+      for (const auto& fs : failure_sets) {
+        std::vector<Term> row{{svar[i], -1.0}};
+        bool all_tunnels_dead = true;
+        for (std::size_t t = 0; t < tunnels.size(); ++t) {
+          bool survives = true;
+          for (LinkId e : fs) {
+            if (tunnels[t].uses(e)) {
+              survives = false;
+              break;
+            }
+          }
+          if (survives) {
+            row.push_back({gvars[i][p].first_var + static_cast<int>(t), 1.0});
+            all_tunnels_dead = false;
+          }
+        }
+        if (all_tunnels_dead) {
+          // This failure set kills every tunnel; FFC forces s = 0 for it
+          // only if the set is within the protection level, which would
+          // zero the demand. Matching FFC practice, single points of
+          // failure shared by all tunnels are exempted (otherwise no
+          // traffic could ever be admitted on single-homed pairs).
+          continue;
+        }
+        model.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
+      }
+    }
+  }
+
+  // Capacity.
+  std::vector<std::vector<Term>> rows(
+      static_cast<std::size_t>(topo_->link_count()));
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        for (LinkId e : tunnels[t].links) {
+          rows[static_cast<std::size_t>(e)].push_back(
+              {gvars[i][p].first_var + static_cast<int>(t), d.pairs[p].mbps});
+        }
+      }
+    }
+  }
+  for (LinkId e = 0; e < topo_->link_count(); ++e) {
+    auto& row = rows[static_cast<std::size_t>(e)];
+    if (row.empty()) continue;
+    const double cap = topo_->link(e).capacity;
+    for (Term& term : row) term.coef /= std::max(cap, 1e-9);
+    model.add_constraint(std::move(row), Relation::kLessEqual, 1.0);
+  }
+
+  // Two-stage solve: FFC shares the protected capacity fairly (the even
+  // split of Fig 2b). Stage 1 maximizes a common grant floor; stage 2
+  // maximizes total granted volume above that floor.
+  {
+    Model fair = model;
+    for (int v = 0; v < fair.variable_count(); ++v) {
+      fair.variable(v).objective = 0.0;
+    }
+    const int s_common = fair.add_variable(0.0, 1.0, 1.0);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      fair.add_constraint({{svar[i], 1.0}, {s_common, -1.0}},
+                          Relation::kGreaterEqual, 0.0);
+    }
+    const Solution floor_sol = solve_lp(fair, lp_);
+    if (floor_sol.optimal()) {
+      const double floor = std::clamp(
+          floor_sol.x[static_cast<std::size_t>(s_common)] - 1e-9, 0.0, 1.0);
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        model.variable(svar[i]).lower = floor;
+      }
+    }
+  }
+  const Solution sol = solve_lp(model, lp_);
+
+  std::vector<Allocation> allocs;
+  allocs.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    Allocation a = zero_allocation(*catalog_, demands[i]);
+    if (sol.optimal()) {
+      const double grant =
+          std::clamp(sol.x[static_cast<std::size_t>(svar[i])], 0.0, 1.0);
+      for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
+        double reserved = 0.0;
+        for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+          reserved += std::max(
+              0.0, sol.x[static_cast<std::size_t>(gvars[i][p].first_var + t)]);
+        }
+        // The LP reserves enough on each tunnel subset to survive any l
+        // failures; the data plane sends the GRANTED rate s*b spread over
+        // the reservations (Fig 2b's 1.67/1.67 + 3.33/3.33 even split).
+        const double scale =
+            reserved > 1e-12 ? std::min(1.0, grant / reserved) : 0.0;
+        for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+          a[p][static_cast<std::size_t>(t)] =
+              std::max(0.0,
+                       sol.x[static_cast<std::size_t>(gvars[i][p].first_var +
+                                                      t)]) *
+              scale * demands[i].pairs[p].mbps;
+        }
+      }
+    }
+    allocs.push_back(std::move(a));
+  }
+  return allocs;
+}
+
+}  // namespace bate

@@ -1,0 +1,33 @@
+// FFC — Traffic Engineering with Forward Fault Correction (Liu et al.,
+// SIGCOMM'14), the paper's conservative baseline (Fig 2b).
+//
+// FFC guarantees the granted bandwidth under ANY l concurrent link failures:
+// for every failure set F with |F| <= l, the tunnels untouched by F must
+// still carry the grant. The paper evaluates l = 1. The LP maximizes total
+// granted bandwidth sum_d b_d s_d with grants s_d <= 1.
+#pragma once
+
+#include "baselines/te.h"
+#include "solver/simplex.h"
+
+namespace bate {
+
+class FfcScheme final : public TeScheme {
+ public:
+  /// References are retained; topo/catalog must outlive the scheme.
+  FfcScheme(const Topology& topo, const TunnelCatalog& catalog,
+            int max_link_failures = 1, SimplexOptions lp = {});
+
+  std::string name() const override { return "FFC"; }
+  const TunnelCatalog& tunnel_catalog() const override { return *catalog_; }
+  std::vector<Allocation> allocate(
+      std::span<const Demand> demands) const override;
+
+ private:
+  const Topology* topo_;
+  const TunnelCatalog* catalog_;
+  int max_link_failures_;
+  SimplexOptions lp_;
+};
+
+}  // namespace bate

@@ -1,0 +1,96 @@
+#include "baselines/smore.h"
+
+#include <algorithm>
+
+#include "baselines/teavar.h"  // max_common_grant
+#include "solver/model.h"
+
+namespace bate {
+
+SmoreScheme::SmoreScheme(const Topology& topo, const TunnelCatalog& catalog,
+                         SimplexOptions lp)
+    : topo_(&topo), catalog_(&catalog), lp_(lp) {}
+
+std::vector<Allocation> SmoreScheme::allocate(
+    std::span<const Demand> demands) const {
+  std::vector<Allocation> allocs;
+  allocs.reserve(demands.size());
+  for (const Demand& d : demands) {
+    allocs.push_back(zero_allocation(*catalog_, d));
+  }
+  if (demands.empty()) return allocs;
+
+  // Stage 1: per-demand grants maximizing carried volume (SMORE adapts
+  // rates per flow; a single concurrent-flow factor would let one
+  // bottleneck commodity starve everyone).
+  std::vector<double> grant(demands.size(), 0.0);
+  {
+    Model tput;
+    tput.set_sense(Sense::kMaximize);
+    struct PairVars {
+      int first_var = -1;
+      int tunnel_count = 0;
+    };
+    std::vector<int> svar(demands.size());
+    std::vector<std::vector<PairVars>> gv(demands.size());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const Demand& d = demands[i];
+      svar[i] = tput.add_variable(0.0, 1.0, d.total_mbps());
+      gv[i].resize(d.pairs.size());
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+        gv[i][p] = {tput.variable_count(), static_cast<int>(tunnels.size())};
+        std::vector<Term> row{{svar[i], -1.0}};
+        for (std::size_t t = 0; t < tunnels.size(); ++t) {
+          // Tiny volume penalty keeps cost-indifferent splits concentrated.
+          row.push_back(
+              {tput.add_variable(0.0, kInfinity, -1e-4 * d.pairs[p].mbps),
+               1.0});
+        }
+        tput.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
+      }
+    }
+    std::vector<std::vector<Term>> rows(
+        static_cast<std::size_t>(topo_->link_count()));
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const Demand& d = demands[i];
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+        for (std::size_t t = 0; t < tunnels.size(); ++t) {
+          for (LinkId e : tunnels[t].links) {
+            rows[static_cast<std::size_t>(e)].push_back(
+                {gv[i][p].first_var + static_cast<int>(t), d.pairs[p].mbps});
+          }
+        }
+      }
+    }
+    for (LinkId e = 0; e < topo_->link_count(); ++e) {
+      auto& row = rows[static_cast<std::size_t>(e)];
+      if (row.empty()) continue;
+      const double cap = topo_->link(e).capacity;
+      for (Term& term : row) term.coef /= std::max(cap, 1e-9);
+      tput.add_constraint(std::move(row), Relation::kLessEqual, 1.0);
+    }
+    const Solution ts = solve_lp(tput, lp_);
+    if (!ts.optimal()) return allocs;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      grant[i] =
+          std::clamp(ts.x[static_cast<std::size_t>(svar[i])], 0.0, 1.0);
+      for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
+        for (int t = 0; t < gv[i][p].tunnel_count; ++t) {
+          allocs[i][p][static_cast<std::size_t>(t)] =
+              std::max(0.0,
+                       ts.x[static_cast<std::size_t>(gv[i][p].first_var +
+                                                     t)]) *
+              demands[i].pairs[p].mbps;
+        }
+      }
+    }
+  }
+  // SMORE's load balancing comes from the oblivious tunnel choice itself;
+  // the rate adaptation maximizes carried volume over those tunnels.
+  (void)grant;
+  return allocs;
+}
+
+}  // namespace bate

@@ -1,0 +1,30 @@
+// SMORE — Semi-Oblivious Traffic Engineering (Kumar et al., NSDI'18).
+// Oblivious-style tunnel selection (routing/oblivious.h) combined with
+// dynamic rate adaptation: maximize the common grant factor, then minimize
+// the maximum link utilization at that grant (low congestion stretch).
+#pragma once
+
+#include "baselines/te.h"
+#include "solver/simplex.h"
+
+namespace bate {
+
+class SmoreScheme final : public TeScheme {
+ public:
+  /// `catalog` is expected to be built with RoutingScheme::kOblivious (the
+  /// scheme works with any catalog, but that is SMORE's defining choice).
+  SmoreScheme(const Topology& topo, const TunnelCatalog& catalog,
+              SimplexOptions lp = {});
+
+  std::string name() const override { return "SMORE"; }
+  const TunnelCatalog& tunnel_catalog() const override { return *catalog_; }
+  std::vector<Allocation> allocate(
+      std::span<const Demand> demands) const override;
+
+ private:
+  const Topology* topo_;
+  const TunnelCatalog* catalog_;
+  SimplexOptions lp_;
+};
+
+}  // namespace bate

@@ -1,0 +1,86 @@
+#include "baselines/swan.h"
+
+#include <algorithm>
+
+#include "solver/model.h"
+
+namespace bate {
+
+SwanScheme::SwanScheme(const Topology& topo, const TunnelCatalog& catalog,
+                       SimplexOptions lp)
+    : topo_(&topo), catalog_(&catalog), lp_(lp) {}
+
+std::vector<Allocation> SwanScheme::allocate(
+    std::span<const Demand> demands) const {
+  Model model;
+  model.set_sense(Sense::kMaximize);
+
+  struct PairVars {
+    int first_var = -1;
+    int tunnel_count = 0;
+  };
+  std::vector<std::vector<PairVars>> gvars(demands.size());
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    const int s = model.add_variable(0.0, 1.0, d.total_mbps());
+    gvars[i].resize(d.pairs.size());
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      gvars[i][p] = {model.variable_count(), static_cast<int>(tunnels.size())};
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        model.add_variable(0.0, kInfinity, 0.0);
+      }
+      std::vector<Term> row{{s, -1.0}};
+      for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+        row.push_back({gvars[i][p].first_var + t, 1.0});
+      }
+      model.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
+    }
+  }
+
+  std::vector<std::vector<Term>> rows(
+      static_cast<std::size_t>(topo_->link_count()));
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        for (LinkId e : tunnels[t].links) {
+          rows[static_cast<std::size_t>(e)].push_back(
+              {gvars[i][p].first_var + static_cast<int>(t), d.pairs[p].mbps});
+        }
+      }
+    }
+  }
+  for (LinkId e = 0; e < topo_->link_count(); ++e) {
+    auto& row = rows[static_cast<std::size_t>(e)];
+    if (row.empty()) continue;
+    const double cap = topo_->link(e).capacity;
+    for (Term& term : row) term.coef /= std::max(cap, 1e-9);
+    model.add_constraint(std::move(row), Relation::kLessEqual, 1.0);
+  }
+
+  const Solution sol = solve_lp(model, lp_);
+
+  std::vector<Allocation> allocs;
+  allocs.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    Allocation a = zero_allocation(*catalog_, demands[i]);
+    if (sol.optimal()) {
+      for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
+        for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+          a[p][static_cast<std::size_t>(t)] =
+              std::max(0.0,
+                       sol.x[static_cast<std::size_t>(gvars[i][p].first_var +
+                                                      t)]) *
+              demands[i].pairs[p].mbps;
+        }
+      }
+    }
+    allocs.push_back(std::move(a));
+  }
+  return allocs;
+}
+
+}  // namespace bate

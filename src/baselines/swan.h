@@ -1,0 +1,28 @@
+// SWAN — Software-driven WAN (Hong et al., SIGCOMM'13). The paper's
+// evaluation "lets SWAN maximize the total throughput of all users"
+// (Sec 5.2), so the baseline is a throughput-maximizing LP with per-demand
+// grants s_d <= 1 over the pre-computed tunnels.
+#pragma once
+
+#include "baselines/te.h"
+#include "solver/simplex.h"
+
+namespace bate {
+
+class SwanScheme final : public TeScheme {
+ public:
+  SwanScheme(const Topology& topo, const TunnelCatalog& catalog,
+             SimplexOptions lp = {});
+
+  std::string name() const override { return "SWAN"; }
+  const TunnelCatalog& tunnel_catalog() const override { return *catalog_; }
+  std::vector<Allocation> allocate(
+      std::span<const Demand> demands) const override;
+
+ private:
+  const Topology* topo_;
+  const TunnelCatalog* catalog_;
+  SimplexOptions lp_;
+};
+
+}  // namespace bate

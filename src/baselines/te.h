@@ -1,0 +1,36 @@
+// Common interface for traffic-engineering schemes (BATE and the five
+// baselines of Sec 5: FFC, TEAVAR, SWAN, SMORE, B4).
+//
+// A scheme maps a demand set to per-demand tunnel allocations over its own
+// tunnel catalog. Schemes other than BATE may grant less than the demanded
+// bandwidth (a scale factor <= 1); the evaluation then counts the demand's
+// availability target as unmet, which is exactly how the paper's
+// satisfaction metric behaves.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "routing/tunnels.h"
+#include "topology/graph.h"
+#include "workload/demand.h"
+
+namespace bate {
+
+class TeScheme {
+ public:
+  virtual ~TeScheme() = default;
+  virtual std::string name() const = 0;
+  virtual const TunnelCatalog& tunnel_catalog() const = 0;
+  /// Allocates bandwidth for the demand set. alloc[i] matches demands[i];
+  /// shapes follow the scheme's tunnel catalog.
+  virtual std::vector<Allocation> allocate(
+      std::span<const Demand> demands) const = 0;
+};
+
+/// Zero allocation shaped for a demand under a catalog.
+Allocation zero_allocation(const TunnelCatalog& catalog, const Demand& demand);
+
+}  // namespace bate

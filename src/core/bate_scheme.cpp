@@ -1,0 +1,62 @@
+#include "core/bate_scheme.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/admission.h"
+
+namespace bate {
+
+std::vector<Allocation> BateScheme::allocate(
+    std::span<const Demand> demands) const {
+  // Demands whose target exceeds what the failure model can prove for
+  // their pair — even with every tunnel fully provisioned — would make the
+  // joint LP structurally infeasible. Serve them best-effort instead
+  // (BATE's admission would have rejected them; a foreign admission policy
+  // may still hand them to us).
+  std::vector<Demand> adjusted(demands.begin(), demands.end());
+  for (Demand& d : adjusted) {
+    for (const PairDemand& pd : d.pairs) {
+      const auto& dist = scheduler_->lp_patterns(pd.pair);
+      std::vector<double> full(
+          static_cast<std::size_t>(dist.tunnel_count), pd.mbps);
+      if (dist.availability(full, pd.mbps) + 1e-9 < d.availability_target) {
+        d.availability_target = 0.0;
+        break;
+      }
+    }
+  }
+
+  const ScheduleResult r = scheduler_->schedule(adjusted);
+  if (r.feasible) return r.alloc;
+
+  // Fallback: highest availability targets first, then larger demands;
+  // whole-demand greedy placement, best-effort for the remainder.
+  const Topology& topo = scheduler_->topology();
+  const TunnelCatalog& catalog = scheduler_->catalog();
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a].availability_target != demands[b].availability_target) {
+      return demands[a].availability_target >
+             demands[b].availability_target;
+    }
+    return demands[a].total_mbps() > demands[b].total_mbps();
+  });
+
+  std::vector<double> residual(static_cast<std::size_t>(topo.link_count()));
+  for (LinkId e = 0; e < topo.link_count(); ++e) {
+    residual[static_cast<std::size_t>(e)] = topo.link(e).capacity;
+  }
+
+  std::vector<Allocation> allocs(demands.size());
+  for (std::size_t i : order) {
+    auto whole = greedy_allocate(topo, catalog, demands[i], residual);
+    allocs[i] = whole ? std::move(*whole)
+                      : greedy_allocate_partial(topo, catalog, demands[i],
+                                                residual);
+  }
+  return allocs;
+}
+
+}  // namespace bate

@@ -1,0 +1,33 @@
+// BATE exposed through the common TE interface (baselines/te.h) so the
+// evaluation harness can compare it head-to-head with FFC/TEAVAR/SWAN/
+// SMORE/B4 on identical demand sets (Figs 13-15).
+#pragma once
+
+#include "baselines/te.h"
+#include "core/scheduling.h"
+
+namespace bate {
+
+class BateScheme final : public TeScheme {
+ public:
+  /// The scheduler is retained by reference and must outlive the scheme.
+  explicit BateScheme(const TrafficScheduler& scheduler)
+      : scheduler_(&scheduler) {}
+
+  std::string name() const override { return "BATE"; }
+  const TunnelCatalog& tunnel_catalog() const override {
+    return scheduler_->catalog();
+  }
+
+  /// Runs the scheduling LP. When the demand set is not jointly satisfiable
+  /// (e.g. it was admitted by a foreign admission policy), falls back to
+  /// greedy allocation in descending availability-target order, serving
+  /// whole demands while capacity lasts.
+  std::vector<Allocation> allocate(
+      std::span<const Demand> demands) const override;
+
+ private:
+  const TrafficScheduler* scheduler_;
+};
+
+}  // namespace bate

@@ -1,0 +1,36 @@
+// Pricing and SLA-refund accounting (Sec 3.4).
+//
+// Serving demand d is charged g_d (Demand::charge). If the BA target is
+// violated, a fraction mu_d (Demand::refund_fraction) is refunded, so the
+// retained profit is r_d = g_d when satisfied and (1 - mu_d) g_d otherwise.
+#pragma once
+
+#include <span>
+
+#include "workload/demand.h"
+
+namespace bate {
+
+inline double demand_profit(const Demand& d, bool satisfied) {
+  return satisfied ? d.charge : (1.0 - d.refund_fraction) * d.charge;
+}
+
+/// Total retained profit for a demand set given per-demand satisfaction.
+inline double total_profit(std::span<const Demand> demands,
+                           std::span<const char> satisfied) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    total += demand_profit(demands[i], satisfied[i] != 0);
+  }
+  return total;
+}
+
+/// Profit when every demand is satisfied (the no-failure baseline of
+/// Fig 7c).
+inline double full_profit(std::span<const Demand> demands) {
+  double total = 0.0;
+  for (const Demand& d : demands) total += d.charge;
+  return total;
+}
+
+}  // namespace bate

@@ -1,0 +1,311 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/pricing.h"
+#include "core/scheduling.h"
+#include "solver/model.h"
+
+namespace bate {
+
+namespace {
+
+bool link_failed(std::span<const LinkId> failed, LinkId id) {
+  return std::find(failed.begin(), failed.end(), id) != failed.end();
+}
+
+bool tunnel_survives(const Tunnel& tunnel, std::span<const LinkId> failed) {
+  for (LinkId e : tunnel.links) {
+    if (link_failed(failed, e)) return false;
+  }
+  return true;
+}
+
+Allocation empty_allocation(const TunnelCatalog& catalog, const Demand& d) {
+  Allocation a(d.pairs.size());
+  for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+    a[p].assign(catalog.tunnels(d.pairs[p].pair).size(), 0.0);
+  }
+  return a;
+}
+
+/// Tries to place the whole demand on surviving tunnels within `residual`
+/// (consumed on success). Shortest-surviving-tunnel first.
+bool place_whole(const Topology& topo, const TunnelCatalog& catalog,
+                 const Demand& d, std::span<const LinkId> failed,
+                 std::vector<double>& residual, Allocation& out) {
+  std::vector<double> scratch = residual;
+  Allocation alloc = empty_allocation(catalog, d);
+  for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+    const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+    double remaining = d.pairs[p].mbps;
+    for (std::size_t t = 0; t < tunnels.size() && remaining > 1e-9; ++t) {
+      if (!tunnel_survives(tunnels[t], failed)) continue;
+      double cap = kInfinity;
+      for (LinkId e : tunnels[t].links) {
+        cap = std::min(cap, scratch[static_cast<std::size_t>(e)]);
+      }
+      const double f = std::min(cap, remaining);
+      if (f <= 1e-9) continue;
+      alloc[p][t] = f;
+      remaining -= f;
+      for (LinkId e : tunnels[t].links) {
+        scratch[static_cast<std::size_t>(e)] -= f;
+      }
+    }
+    if (remaining > 1e-9) return false;
+  }
+  (void)topo;
+  residual = std::move(scratch);
+  out = std::move(alloc);
+  return true;
+}
+
+std::vector<double> surviving_residual(const Topology& topo,
+                                       std::span<const LinkId> failed) {
+  std::vector<double> residual(static_cast<std::size_t>(topo.link_count()));
+  for (LinkId e = 0; e < topo.link_count(); ++e) {
+    residual[static_cast<std::size_t>(e)] =
+        link_failed(failed, e) ? 0.0 : topo.link(e).capacity;
+  }
+  return residual;
+}
+
+}  // namespace
+
+RecoveryResult recover_optimal(const Topology& topo,
+                               const TunnelCatalog& catalog,
+                               std::span<const Demand> demands,
+                               std::span<const LinkId> failed_links,
+                               const BranchBoundOptions& options) {
+  Model model;
+  model.set_sense(Sense::kMaximize);
+
+  // g = f/b per (demand, pair, surviving tunnel); capped at 1 (allocating
+  // beyond the demand cannot raise profit).
+  struct PairVars {
+    std::vector<int> var;  // -1 for dead tunnels
+  };
+  std::vector<std::vector<PairVars>> gvars(demands.size());
+  std::vector<int> yvar(demands.size(), -1);
+
+  double constant = 0.0;  // sum_d (1 - mu_d) g_d
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    constant += (1.0 - d.refund_fraction) * d.charge;
+    // Objective gain for keeping full profit: mu_d * charge.
+    yvar[i] = model.add_binary(d.refund_fraction * d.charge);
+    gvars[i].resize(d.pairs.size());
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+      gvars[i][p].var.assign(tunnels.size(), -1);
+      std::vector<Term> ratio_row{{yvar[i], -1.0}};
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        if (!tunnel_survives(tunnels[t], failed_links)) continue;
+        const int v = model.add_variable(0.0, 1.0, 0.0);
+        gvars[i][p].var[t] = v;
+        ratio_row.push_back({v, 1.0});
+      }
+      // (9): R_dk >= y_d  <=>  sum_{surviving t} g - y >= 0.
+      model.add_constraint(std::move(ratio_row), Relation::kGreaterEqual, 0.0);
+    }
+  }
+
+  // (11): capacity on surviving links only.
+  std::vector<std::vector<Term>> rows(
+      static_cast<std::size_t>(topo.link_count()));
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        const int v = gvars[i][p].var[t];
+        if (v < 0) continue;
+        for (LinkId e : tunnels[t].links) {
+          rows[static_cast<std::size_t>(e)].push_back({v, d.pairs[p].mbps});
+        }
+      }
+    }
+  }
+  for (LinkId e = 0; e < topo.link_count(); ++e) {
+    auto& row = rows[static_cast<std::size_t>(e)];
+    if (row.empty()) continue;
+    const double cap = topo.link(e).capacity;
+    for (Term& term : row) term.coef /= std::max(cap, 1e-9);
+    model.add_constraint(std::move(row), Relation::kLessEqual, 1.0);
+  }
+
+  const Solution sol = solve_milp(model, options);
+
+  RecoveryResult result;
+  result.solved = sol.status == SolveStatus::kOptimal ||
+                  (sol.status == SolveStatus::kIterationLimit &&
+                   !sol.x.empty());
+  if (!result.solved) return result;
+
+  result.alloc.reserve(demands.size());
+  result.full_profit.resize(demands.size(), 0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    Allocation alloc = empty_allocation(catalog, d);
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      for (std::size_t t = 0; t < gvars[i][p].var.size(); ++t) {
+        const int v = gvars[i][p].var[t];
+        if (v < 0) continue;
+        alloc[p][t] =
+            std::max(0.0, sol.x[static_cast<std::size_t>(v)]) * d.pairs[p].mbps;
+      }
+    }
+    result.alloc.push_back(std::move(alloc));
+    result.full_profit[i] =
+        sol.x[static_cast<std::size_t>(yvar[i])] > 0.5 ? 1 : 0;
+  }
+  result.profit = total_profit(demands, result.full_profit);
+  return result;
+}
+
+RecoveryResult recover_greedy(const Topology& topo,
+                              const TunnelCatalog& catalog,
+                              std::span<const Demand> demands,
+                              std::span<const LinkId> failed_links) {
+  RecoveryResult result;
+  result.solved = true;
+  result.full_profit.assign(demands.size(), 0);
+  result.alloc.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    result.alloc[i] = empty_allocation(catalog, demands[i]);
+  }
+
+  // Line 1: descending profit density g_d / sum_k b^k_d.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = demands[a].charge / std::max(demands[a].total_mbps(), 1e-9);
+    const double db = demands[b].charge / std::max(demands[b].total_mbps(), 1e-9);
+    return da > db;
+  });
+
+  auto residual = surviving_residual(topo, failed_links);
+  std::vector<std::size_t> full_set;  // F
+  double full_set_charge = 0.0;
+
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t i = order[idx];
+    const Demand& d = demands[i];
+    Allocation placed;
+    if (place_whole(topo, catalog, d, failed_links, residual, placed)) {
+      result.alloc[i] = std::move(placed);  // lines 5-9
+      result.full_profit[i] = 1;
+      full_set.push_back(i);
+      full_set_charge += d.charge;
+      continue;
+    }
+    // Lines 11-17: a single richer demand may evict the accumulated set.
+    if (full_set_charge < d.charge) {
+      auto fresh = surviving_residual(topo, failed_links);
+      Allocation alone;
+      if (place_whole(topo, catalog, d, failed_links, fresh, alone)) {
+        for (std::size_t j : full_set) {
+          result.alloc[j] = empty_allocation(catalog, demands[j]);
+          result.full_profit[j] = 0;
+        }
+        full_set.assign(1, i);
+        full_set_charge = d.charge;
+        result.alloc[i] = std::move(alone);
+        result.full_profit[i] = 1;
+        residual = std::move(fresh);
+      }
+    }
+    break;  // lines 17-19
+  }
+
+  // Demands outside F keep best-effort service on whatever surviving
+  // capacity remains ("minimizing any possible collateral damage", Sec 3):
+  // they forfeit full profit, but their traffic is not blackholed.
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (result.full_profit[i]) continue;
+    const Demand& d = demands[i];
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+      double remaining = d.pairs[p].mbps;
+      for (std::size_t t = 0; t < tunnels.size() && remaining > 1e-9; ++t) {
+        if (!tunnel_survives(tunnels[t], failed_links)) continue;
+        double cap = kInfinity;
+        for (LinkId e : tunnels[t].links) {
+          cap = std::min(cap, residual[static_cast<std::size_t>(e)]);
+        }
+        const double f = std::min(cap, remaining);
+        if (f <= 1e-9) continue;
+        result.alloc[i][p][t] = f;
+        remaining -= f;
+        for (LinkId e : tunnels[t].links) {
+          residual[static_cast<std::size_t>(e)] -= f;
+        }
+      }
+    }
+  }
+
+  result.profit = total_profit(demands, result.full_profit);
+  return result;
+}
+
+void BackupPlanner::precompute(std::span<const Demand> demands,
+                               std::span<const Allocation> current) {
+  demands_.assign(demands.begin(), demands.end());
+  plans_.clear();
+  const auto usage = link_usage(*topo_, *catalog_, demands, current);
+  std::vector<LinkId> loaded;
+  for (LinkId e = 0; e < topo_->link_count(); ++e) {
+    if (usage[static_cast<std::size_t>(e)] <= 1e-9) continue;  // unaffected
+    loaded.push_back(e);
+    const std::vector<LinkId> failed{e};
+    plans_.emplace(failed,
+                   recover_greedy(*topo_, *catalog_, demands_, failed));
+  }
+
+  if (concurrent_pairs_ <= 0) return;
+  // Concurrent-failure extension: plan for the most probable loaded pairs.
+  std::vector<std::pair<double, std::vector<LinkId>>> pairs;
+  for (std::size_t a = 0; a < loaded.size(); ++a) {
+    for (std::size_t b = a + 1; b < loaded.size(); ++b) {
+      pairs.push_back({topo_->link(loaded[a]).failure_prob *
+                           topo_->link(loaded[b]).failure_prob,
+                       {loaded[a], loaded[b]}});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  const int count = std::min<int>(concurrent_pairs_,
+                                  static_cast<int>(pairs.size()));
+  for (int i = 0; i < count; ++i) {
+    plans_.emplace(pairs[static_cast<std::size_t>(i)].second,
+                   recover_greedy(*topo_, *catalog_, demands_,
+                                  pairs[static_cast<std::size_t>(i)].second));
+  }
+}
+
+const RecoveryResult* BackupPlanner::plan(LinkId link) const {
+  const auto it = plans_.find(std::vector<LinkId>{link});
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+const RecoveryResult* BackupPlanner::plan_for(
+    std::span<const LinkId> failed) const {
+  if (failed.empty()) return nullptr;
+  std::vector<LinkId> key(failed.begin(), failed.end());
+  std::sort(key.begin(), key.end());
+  const auto exact = plans_.find(key);
+  if (exact != plans_.end()) return &exact->second;
+  // Fall back to the single-link plan of the most failure-prone member.
+  LinkId worst = key.front();
+  for (LinkId e : key) {
+    if (topo_->link(e).failure_prob > topo_->link(worst).failure_prob) {
+      worst = e;
+    }
+  }
+  return plan(worst);
+}
+
+}  // namespace bate

@@ -1,0 +1,85 @@
+// BATE failure recovery (Sec 3.4, Appendices C & D).
+//
+// When a failure scenario z occurs, traffic is redistributed over surviving
+// tunnels to maximize retained profit sum_d r_d, where r_d = g_d when every
+// pair of d still receives full bandwidth and (1 - mu_d) g_d otherwise.
+// The exact problem is a MILP (NP-hard by reduction from all-or-nothing
+// multicommodity flow); recover_optimal solves it by branch & bound and
+// recover_greedy implements the 2-approximation of Algorithm 2. Backup
+// allocations are pre-computed per single-link failure (Fig 4) so the
+// controller can react immediately.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "routing/tunnels.h"
+#include "solver/branch_bound.h"
+#include "topology/graph.h"
+#include "workload/demand.h"
+
+namespace bate {
+
+struct RecoveryResult {
+  /// Post-recovery allocation per demand (same shape as scheduling output);
+  /// tunnels crossing failed links always carry 0.
+  std::vector<Allocation> alloc;
+  /// full_profit[i] != 0 iff demand i keeps full profit (all pairs whole).
+  std::vector<char> full_profit;
+  /// Total retained profit sum_d r_d.
+  double profit = 0.0;
+  bool solved = false;
+};
+
+/// Optimal recovery: the profit-maximization MILP (12).
+RecoveryResult recover_optimal(const Topology& topo,
+                               const TunnelCatalog& catalog,
+                               std::span<const Demand> demands,
+                               std::span<const LinkId> failed_links,
+                               const BranchBoundOptions& options = {});
+
+/// Algorithm 2: greedy 2-approximation. Demands are served whole in
+/// descending profit density g_d / sum_k b^k_d; a single large demand can
+/// evict the accumulated set when its charge exceeds theirs.
+RecoveryResult recover_greedy(const Topology& topo,
+                              const TunnelCatalog& catalog,
+                              std::span<const Demand> demands,
+                              std::span<const LinkId> failed_links);
+
+/// Pre-computed backup allocations for potential failure scenarios
+/// (Sec 3.4: "BATE proactively computes backup allocation strategies").
+/// The paper precomputes single-link plans and notes the scheme "can be
+/// easily extended to deal with concurrent failures" (fn. 6); setting
+/// `concurrent_pairs > 0` additionally plans for the riskiest pairs of
+/// loaded links.
+class BackupPlanner {
+ public:
+  BackupPlanner(const Topology& topo, const TunnelCatalog& catalog,
+                int concurrent_pairs = 0)
+      : topo_(&topo), catalog_(&catalog), concurrent_pairs_(concurrent_pairs) {}
+
+  /// Computes (with the greedy algorithm) one backup plan per loaded link,
+  /// plus plans for the `concurrent_pairs` most probable loaded link pairs.
+  void precompute(std::span<const Demand> demands,
+                  std::span<const Allocation> current);
+
+  /// The plan for a single failed link; nullptr when none was pre-computed.
+  const RecoveryResult* plan(LinkId link) const;
+  /// Best pre-computed plan for a failed link set: exact match first, then
+  /// the single-link plan of the most failure-prone member, else nullptr.
+  const RecoveryResult* plan_for(std::span<const LinkId> failed) const;
+  std::size_t plan_count() const { return plans_.size(); }
+  /// The demand set the plans were computed for (index-aligned with each
+  /// plan's allocations).
+  const std::vector<Demand>& demands() const { return demands_; }
+
+ private:
+  const Topology* topo_;
+  const TunnelCatalog* catalog_;
+  int concurrent_pairs_;
+  std::vector<Demand> demands_;
+  std::map<std::vector<LinkId>, RecoveryResult> plans_;
+};
+
+}  // namespace bate

@@ -1,0 +1,422 @@
+#include "core/scheduling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "solver/branch_bound.h"
+#include "solver/model.h"
+
+namespace bate {
+
+namespace {
+
+/// Pattern distribution for an arbitrary tunnel list under the requested
+/// model. The exact distribution enumerates 2^|union| link states; when the
+/// union is too large we substitute a quasi-exact pruned distribution
+/// (<= 6 concurrent failures) whose residual mass is negligible.
+PatternDistribution make_patterns(const Topology& topo,
+                                  std::span<const Tunnel> tunnels, bool exact,
+                                  int max_failures) {
+  if (exact) return reference_patterns_for(topo, tunnels);
+  return pruned_patterns(topo, tunnels, max_failures);
+}
+
+/// Tie-break weight: how strongly a demand should prefer reliable tunnels.
+/// Grows with the availability target (in "nines") so that, when two
+/// demands compete for a reliable path, the LP hands it to the one with the
+/// stricter target — this is what reproduces the Fig 2d assignment.
+double availability_weight(double beta) {
+  if (beta <= 0.0) return 0.0;
+  return std::min(6.0, -std::log10(std::max(1.0 - beta, 1e-7)));
+}
+
+/// Concatenated tunnel list of a multi-pair demand, pair-major. Also
+/// reports, per pair position, the [begin, end) range in the joint list.
+std::vector<Tunnel> joint_tunnels(const TunnelCatalog& catalog,
+                                  const Demand& demand,
+                                  std::vector<std::pair<int, int>>& ranges) {
+  std::vector<Tunnel> joint;
+  ranges.clear();
+  for (const PairDemand& pd : demand.pairs) {
+    const auto& tunnels = catalog.tunnels(pd.pair);
+    const int begin = static_cast<int>(joint.size());
+    joint.insert(joint.end(), tunnels.begin(), tunnels.end());
+    ranges.push_back({begin, static_cast<int>(joint.size())});
+  }
+  return joint;
+}
+
+}  // namespace
+
+TrafficScheduler::TrafficScheduler(const Topology& topo,
+                                   const TunnelCatalog& catalog,
+                                   SchedulerConfig cfg)
+    : topo_(&topo), catalog_(&catalog), cfg_(cfg) {
+  if (cfg_.max_failures < 0) {
+    throw std::invalid_argument("TrafficScheduler: max_failures < 0");
+  }
+  lp_patterns_.reserve(static_cast<std::size_t>(catalog.pair_count()));
+  reference_patterns_.reserve(static_cast<std::size_t>(catalog.pair_count()));
+  for (int k = 0; k < catalog.pair_count(); ++k) {
+    const auto& tunnels = catalog.tunnels(k);
+    lp_patterns_.push_back(
+        make_patterns(topo, tunnels, cfg_.exact, cfg_.max_failures));
+    reference_patterns_.push_back(make_patterns(topo, tunnels, true, 0));
+  }
+}
+
+const PatternDistribution& TrafficScheduler::lp_patterns(int pair) const {
+  return lp_patterns_.at(static_cast<std::size_t>(pair));
+}
+
+const PatternDistribution& TrafficScheduler::reference_patterns(
+    int pair) const {
+  return reference_patterns_.at(static_cast<std::size_t>(pair));
+}
+
+DemandPatterns TrafficScheduler::demand_patterns(const Demand& demand) const {
+  DemandPatterns dp;
+  if (demand.pairs.size() == 1) {
+    dp.dist = lp_patterns_[static_cast<std::size_t>(demand.pairs[0].pair)];
+    dp.ranges = {{0, dp.dist.tunnel_count}};
+    return dp;
+  }
+  const auto joint = joint_tunnels(*catalog_, demand, dp.ranges);
+  dp.dist = make_patterns(*topo_, joint, cfg_.exact, cfg_.max_failures);
+  return dp;
+}
+
+ScheduleResult TrafficScheduler::schedule(
+    std::span<const Demand> demands,
+    std::span<const double> capacity_override) const {
+  Model model;
+  model.set_sense(Sense::kMinimize);
+
+  // g-variable index per (demand, pair position, tunnel), flattened.
+  struct PairVars {
+    int first_var = -1;
+    int tunnel_count = 0;
+  };
+  std::vector<std::vector<PairVars>> gvars(demands.size());
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    gvars[i].resize(d.pairs.size());
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const PairDemand& pd = d.pairs[p];
+      if (pd.pair < 0 || pd.pair >= catalog_->pair_count()) {
+        throw std::out_of_range("schedule: demand references unknown pair");
+      }
+      const int tn = static_cast<int>(catalog_->tunnels(pd.pair).size());
+      gvars[i][p].tunnel_count = tn;
+      gvars[i][p].first_var = model.variable_count();
+      const auto& tunnels = catalog_->tunnels(pd.pair);
+      for (int t = 0; t < tn; ++t) {
+        // g = f / b, so the objective coefficient is b (minimize total f),
+        // with a reliability tie-break preferring available tunnels,
+        // weighted by the demand's availability target.
+        const double avail =
+            tunnels[static_cast<std::size_t>(t)].availability(*topo_);
+        model.add_variable(
+            0.0, kInfinity,
+            pd.mbps * (1.0 + cfg_.reliability_epsilon * (1.0 - avail) *
+                                 (1.0 + availability_weight(
+                                            d.availability_target))));
+      }
+      // (1): sum_t f >= b  <=>  sum_t g >= 1.
+      std::vector<Term> row;
+      for (int t = 0; t < tn; ++t) row.push_back({gvars[i][p].first_var + t, 1.0});
+      model.add_constraint(std::move(row), Relation::kGreaterEqual, 1.0);
+    }
+  }
+
+  // Availability structure per demand: B variables over patterns.
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    if (d.availability_target <= 0.0) continue;  // best-effort (Table 1 N/A)
+
+    const DemandPatterns dp = demand_patterns(d);
+    const PatternDistribution* dist = &dp.dist;
+    const auto& ranges = dp.ranges;
+
+    std::vector<Term> avail_row;
+    const auto patterns = static_cast<PatternMask>(dist->prob.size());
+    for (PatternMask s = 1; s < patterns; ++s) {
+      const double prob = dist->prob[s];
+      if (prob <= 0.0) continue;
+      // B^z_d in [0,1]: a scenario contributes at most its probability.
+      const int bvar = model.add_variable(0.0, 1.0, 0.0);
+      avail_row.push_back(
+          {bvar, prob * availability_row_scale(d.availability_target)});
+      // (3): B <= R_dk for every pair of the demand.
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        std::vector<Term> row{{bvar, 1.0}};
+        bool any = false;
+        for (int t = ranges[p].first; t < ranges[p].second; ++t) {
+          if ((s >> t) & 1u) {
+            row.push_back(
+                {gvars[i][p].first_var + (t - ranges[p].first), -1.0});
+            any = true;
+          }
+        }
+        if (!any) {
+          // No tunnel of this pair is up in the pattern: B must be 0 here;
+          // encode as B <= 0.
+        }
+        model.add_constraint(std::move(row), Relation::kLessEqual, 0.0);
+      }
+    }
+    // (4): sum_S p_S B_S >= beta. The all-down pattern (s=0) contributes 0.
+    model.add_constraint(
+        std::move(avail_row), Relation::kGreaterEqual,
+        d.availability_target * availability_row_scale(d.availability_target));
+  }
+
+  // (6): link capacity, rows normalized by capacity for conditioning.
+  {
+    std::vector<std::vector<Term>> rows(
+        static_cast<std::size_t>(topo_->link_count()));
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const Demand& d = demands[i];
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+        for (std::size_t t = 0; t < tunnels.size(); ++t) {
+          for (LinkId e : tunnels[t].links) {
+            rows[static_cast<std::size_t>(e)].push_back(
+                {gvars[i][p].first_var + static_cast<int>(t), d.pairs[p].mbps});
+          }
+        }
+      }
+    }
+    for (LinkId e = 0; e < topo_->link_count(); ++e) {
+      auto& row = rows[static_cast<std::size_t>(e)];
+      if (row.empty()) continue;
+      double cap = topo_->link(e).capacity;
+      if (!capacity_override.empty()) {
+        cap = capacity_override[static_cast<std::size_t>(e)];
+      }
+      for (Term& term : row) term.coef /= std::max(cap, 1e-9);
+      model.add_constraint(std::move(row), Relation::kLessEqual,
+                           cap <= 0.0 ? 0.0 : 1.0);
+    }
+  }
+
+  const Solution sol = solve_lp(model, cfg_.lp);
+
+  ScheduleResult result;
+  result.status = sol.status;
+  result.feasible = sol.optimal();
+  if (!result.feasible) return result;
+
+  result.alloc.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    result.alloc[i].resize(d.pairs.size());
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      auto& out = result.alloc[i][p];
+      out.resize(static_cast<std::size_t>(gvars[i][p].tunnel_count));
+      for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+        const double g =
+            sol.x[static_cast<std::size_t>(gvars[i][p].first_var + t)];
+        out[static_cast<std::size_t>(t)] = std::max(0.0, g * d.pairs[p].mbps);
+      }
+    }
+  }
+
+  if (cfg_.hard_repair) repair_hard_availability(demands, result, capacity_override);
+
+  for (const Allocation& a : result.alloc) {
+    for (const auto& per_pair : a) {
+      for (double f : per_pair) result.total_allocated_mbps += f;
+    }
+  }
+  return result;
+}
+
+double TrafficScheduler::pattern_hard_availability(
+    const DemandPatterns& dp, const Demand& demand,
+    const Allocation& alloc) {
+  double avail = 0.0;
+  const auto patterns = static_cast<PatternMask>(dp.dist.prob.size());
+  for (PatternMask s = 0; s < patterns; ++s) {
+    if (dp.dist.prob[s] <= 0.0) continue;
+    bool ok = true;
+    for (std::size_t p = 0; p < demand.pairs.size() && ok; ++p) {
+      double carried = 0.0;
+      for (int t = dp.ranges[p].first; t < dp.ranges[p].second; ++t) {
+        if ((s >> t) & 1u) {
+          carried += alloc[p][static_cast<std::size_t>(t - dp.ranges[p].first)];
+        }
+      }
+      ok = carried + 1e-6 >= demand.pairs[p].mbps;
+    }
+    if (ok) avail += dp.dist.prob[s];
+  }
+  return avail;
+}
+
+void TrafficScheduler::repair_hard_availability(
+    std::span<const Demand> demands, ScheduleResult& result,
+    std::span<const double> capacity_override) const {
+  // Residual capacity under the whole LP allocation.
+  auto usage = link_usage(*topo_, *catalog_, demands, result.alloc);
+  auto cap_of = [&](LinkId e) {
+    return capacity_override.empty()
+               ? topo_->link(e).capacity
+               : capacity_override[static_cast<std::size_t>(e)];
+  };
+
+  auto apply_usage = [&](const Demand& d, const Allocation& a, double sign) {
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        if (a[p][t] == 0.0) continue;
+        for (LinkId e : tunnels[t].links) {
+          usage[static_cast<std::size_t>(e)] += sign * a[p][t];
+        }
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    if (d.availability_target <= 0.0) continue;
+    const DemandPatterns dp = demand_patterns(d);
+    if (pattern_hard_availability(dp, d, result.alloc[i]) + 1e-9 >=
+        d.availability_target) {
+      continue;
+    }
+
+    // Residual excluding this demand's own allocation.
+    apply_usage(d, result.alloc[i], -1.0);
+
+    // Tiny per-demand hard MILP: q_S binary per pattern.
+    Model model;
+    model.set_sense(Sense::kMinimize);
+    std::vector<std::pair<int, int>> gv(d.pairs.size());  // first var, count
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      gv[p] = {model.variable_count(), static_cast<int>(tunnels.size())};
+      std::vector<Term> full;
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        const double avail = tunnels[t].availability(*topo_);
+        const int v = model.add_variable(
+            0.0, kInfinity,
+            d.pairs[p].mbps *
+                (1.0 + cfg_.reliability_epsilon * (1.0 - avail) *
+                           (1.0 +
+                            availability_weight(d.availability_target))));
+        full.push_back({v, 1.0});
+      }
+      model.add_constraint(std::move(full), Relation::kGreaterEqual, 1.0);
+    }
+    const auto patterns = static_cast<PatternMask>(dp.dist.prob.size());
+    std::vector<Term> avail_row;
+    for (PatternMask s = 1; s < patterns; ++s) {
+      if (dp.dist.prob[s] <= 0.0) continue;
+      const int q = model.add_binary(0.0);
+      avail_row.push_back(
+          {q, dp.dist.prob[s] *
+                  availability_row_scale(d.availability_target)});
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        std::vector<Term> row{{q, -1.0}};
+        for (int t = dp.ranges[p].first; t < dp.ranges[p].second; ++t) {
+          if ((s >> t) & 1u) {
+            row.push_back({gv[p].first + (t - dp.ranges[p].first), 1.0});
+          }
+        }
+        model.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
+      }
+    }
+    model.add_constraint(
+        std::move(avail_row), Relation::kGreaterEqual,
+        d.availability_target * availability_row_scale(d.availability_target));
+    // Residual capacity over the links this demand's tunnels touch.
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      for (LinkId e : tunnel_link_union(tunnels)) {
+        std::vector<Term> row;
+        for (std::size_t t = 0; t < tunnels.size(); ++t) {
+          if (tunnels[t].uses(e)) {
+            row.push_back({gv[p].first + static_cast<int>(t), d.pairs[p].mbps});
+          }
+        }
+        const double resid =
+            std::max(0.0, cap_of(e) - usage[static_cast<std::size_t>(e)]);
+        model.add_constraint(std::move(row), Relation::kLessEqual, resid);
+      }
+    }
+
+    BranchBoundOptions bnb;
+    bnb.node_limit = 4000;
+    const Solution fix = solve_milp(model, bnb);
+    if (fix.status == SolveStatus::kOptimal) {
+      Allocation repaired(d.pairs.size());
+      for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+        repaired[p].assign(static_cast<std::size_t>(gv[p].second), 0.0);
+        for (int t = 0; t < gv[p].second; ++t) {
+          repaired[p][static_cast<std::size_t>(t)] =
+              std::max(0.0, fix.x[static_cast<std::size_t>(gv[p].first + t)]) *
+              d.pairs[p].mbps;
+        }
+      }
+      result.alloc[i] = std::move(repaired);
+    }
+    apply_usage(d, result.alloc[i], 1.0);
+  }
+}
+
+double TrafficScheduler::achieved_availability(const Demand& demand,
+                                               const Allocation& alloc) const {
+  if (alloc.size() != demand.pairs.size()) {
+    throw std::invalid_argument("achieved_availability: allocation shape");
+  }
+  if (demand.pairs.size() == 1) {
+    return reference_patterns_[static_cast<std::size_t>(demand.pairs[0].pair)]
+        .availability(alloc[0], demand.pairs[0].mbps);
+  }
+  std::vector<std::pair<int, int>> ranges;
+  const auto joint = joint_tunnels(*catalog_, demand, ranges);
+  const auto dist = make_patterns(*topo_, joint, true, 0);
+  double avail = 0.0;
+  const auto patterns = static_cast<PatternMask>(dist.prob.size());
+  for (PatternMask s = 0; s < patterns; ++s) {
+    if (dist.prob[s] <= 0.0) continue;
+    bool ok = true;
+    for (std::size_t p = 0; p < demand.pairs.size() && ok; ++p) {
+      double carried = 0.0;
+      for (int t = ranges[p].first; t < ranges[p].second; ++t) {
+        if ((s >> t) & 1u) {
+          carried += alloc[p][static_cast<std::size_t>(t - ranges[p].first)];
+        }
+      }
+      ok = carried + 1e-9 >= demand.pairs[p].mbps;
+    }
+    if (ok) avail += dist.prob[s];
+  }
+  return avail;
+}
+
+std::vector<double> link_usage(const Topology& topo,
+                               const TunnelCatalog& catalog,
+                               std::span<const Demand> demands,
+                               std::span<const Allocation> allocs) {
+  std::vector<double> usage(static_cast<std::size_t>(topo.link_count()), 0.0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        const double f = allocs[i][p][t];
+        if (f <= 0.0) continue;
+        for (LinkId e : tunnels[t].links) {
+          usage[static_cast<std::size_t>(e)] += f;
+        }
+      }
+    }
+  }
+  return usage;
+}
+
+}  // namespace bate

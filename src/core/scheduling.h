@@ -1,0 +1,129 @@
+// BATE traffic scheduling (Sec 3.3).
+//
+// Periodically re-allocates tunnel bandwidth f^t_d for all admitted demands,
+// minimizing total allocated bandwidth subject to:
+//   (1) full bandwidth on every pair:      sum_t f^t_d >= b^k_d
+//   (3) per-scenario effective ratio:      B^z_d <= R^z_dk
+//   (4) availability:                      sum_z B^z_d p_z >= beta_d
+//   (5,6) nonnegativity and link capacity.
+//
+// Scenario explosion is handled exactly as the paper prescribes — scenarios
+// with more than y concurrent failures are pruned and aggregated into one
+// unqualified scenario — but the LP is built over tunnel-pattern projections
+// (scenario/pattern.h) instead of raw scenarios, an exact transformation
+// that keeps the row count independent of |E| (DESIGN.md Sec 5). B^z_d is
+// capped at 1 so a scenario can contribute at most its own probability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "routing/tunnels.h"
+#include "scenario/pattern.h"
+#include "solver/simplex.h"
+#include "topology/graph.h"
+#include "workload/demand.h"
+
+namespace bate {
+
+/// Row scaling for availability constraints sum_S p_S q_S >= beta: near
+/// beta -> 1 the slack is O(1-beta), far below solver tolerances, so the
+/// row is scaled by 1/max(1-beta, 1e-4) (capped at 1e4 to preserve
+/// conditioning).
+inline double availability_row_scale(double beta) {
+  const double slack = 1.0 - beta;
+  return 1.0 / (slack < 1e-4 ? 1e-4 : (slack > 1.0 ? 1.0 : slack));
+}
+
+struct SchedulerConfig {
+  /// The paper's y: maximum concurrent link failures considered (1..4).
+  int max_failures = 2;
+  /// Use the exact (unpruned) pattern distribution — the "optimal, no
+  /// pruning" reference of Fig 16.
+  bool exact = false;
+  /// Reliability tie-break: tunnel cost is b * (1 + eps * (1 - p_t)), so
+  /// among equal-bandwidth optima the LP prefers reliable tunnels (this is
+  /// what makes the LP relaxation land on hard-feasible vertices, e.g. the
+  /// Fig 2d allocation).
+  double reliability_epsilon = 0.01;
+  /// After the LP, demands whose HARD availability (full bandwidth with
+  /// probability >= beta) is still unmet are repaired with a tiny
+  /// per-demand MILP against residual capacity. The LP availability
+  /// constraint (4) is a relaxation of the hard guarantee; this pass closes
+  /// the gap where capacity allows (DESIGN.md Sec 5).
+  bool hard_repair = true;
+  SimplexOptions lp;
+};
+
+/// Pattern distribution of one demand plus, per pair position, the
+/// [begin, end) range of that pair's tunnels in the joint bitmask.
+struct DemandPatterns {
+  PatternDistribution dist;
+  std::vector<std::pair<int, int>> ranges;
+};
+
+struct ScheduleResult {
+  bool feasible = false;
+  /// alloc[i] is the Allocation of demands[i] (pair-major, tunnel-minor).
+  std::vector<Allocation> alloc;
+  /// Objective: total allocated Mbps across demands/tunnels.
+  double total_allocated_mbps = 0.0;
+  SolveStatus status = SolveStatus::kInfeasible;
+};
+
+class TrafficScheduler {
+ public:
+  /// References are retained; topo and catalog must outlive the scheduler.
+  TrafficScheduler(const Topology& topo, const TunnelCatalog& catalog,
+                   SchedulerConfig cfg = {});
+
+  /// Solves the scheduling LP for the given demand set against the full
+  /// link capacities (or `capacity_override` when non-empty; indexed by
+  /// LinkId).
+  ScheduleResult schedule(std::span<const Demand> demands,
+                          std::span<const double> capacity_override = {}) const;
+
+  /// Availability achieved by an allocation under the *reference* (exact or
+  /// quasi-exact) failure model: the probability mass of scenarios where
+  /// every pair of the demand receives its full bandwidth. This is the hard
+  /// satisfaction measure the evaluation uses.
+  double achieved_availability(const Demand& demand,
+                               const Allocation& alloc) const;
+
+  /// Pattern distribution used by the LP for a single pair.
+  const PatternDistribution& lp_patterns(int pair) const;
+  /// Reference (exact where tractable) pattern distribution for a pair.
+  const PatternDistribution& reference_patterns(int pair) const;
+  /// Pattern distribution of a whole demand under the LP model (per-pair
+  /// cache for single-pair demands, joint distribution for multi-pair).
+  DemandPatterns demand_patterns(const Demand& demand) const;
+
+  const Topology& topology() const { return *topo_; }
+  const TunnelCatalog& catalog() const { return *catalog_; }
+  const SchedulerConfig& config() const { return cfg_; }
+
+  /// Hard availability of an allocation under a demand's pattern
+  /// distribution: the mass of patterns where every pair is made whole.
+  static double pattern_hard_availability(const DemandPatterns& dp,
+                                          const Demand& demand,
+                                          const Allocation& alloc);
+
+ private:
+  void repair_hard_availability(std::span<const Demand> demands,
+                                ScheduleResult& result,
+                                std::span<const double> capacity_override)
+      const;
+  const Topology* topo_;
+  const TunnelCatalog* catalog_;
+  SchedulerConfig cfg_;
+  std::vector<PatternDistribution> lp_patterns_;
+  std::vector<PatternDistribution> reference_patterns_;
+};
+
+/// Total bandwidth an allocation places on each link (indexed by LinkId).
+std::vector<double> link_usage(const Topology& topo,
+                               const TunnelCatalog& catalog,
+                               std::span<const Demand> demands,
+                               std::span<const Allocation> allocs);
+
+}  // namespace bate

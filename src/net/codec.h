@@ -1,0 +1,94 @@
+// Little-endian binary encoder/decoder for the control-channel protocol.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bate {
+
+class BufferWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void f64_vec(const std::vector<double>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (double x : v) f64(x);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::string(b.begin(), b.end());
+  }
+  std::vector<double> f64_vec() {
+    const std::uint32_t n = u32();
+    std::vector<double> v(n);
+    for (auto& x : v) x = f64();
+    return v;
+  }
+  bool exhausted() const { return offset_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (offset_ + n > data_.size()) {
+      throw std::out_of_range("BufferReader: truncated message");
+    }
+    auto s = data_.subspan(offset_, n);
+    offset_ += n;
+    return s;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace bate

@@ -1,0 +1,70 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <system_error>
+#include <vector>
+
+namespace bate {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_create1");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_reader(int fd, Callback on_readable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl(ADD)");
+  }
+  readers_[fd] = std::move(on_readable);
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  readers_.erase(fd);
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  std::array<epoll_event, 32> events{};
+  const int n =
+      ::epoll_wait(epoll_fd_, events.data(), events.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw std::system_error(errno, std::generic_category(), "epoll_wait");
+  }
+  // Collect fds first: a callback may add/remove watchers.
+  std::vector<int> ready;
+  ready.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ready.push_back(events[static_cast<std::size_t>(i)].data.fd);
+  int dispatched = 0;
+  for (int fd : ready) {
+    const auto it = readers_.find(fd);
+    if (it == readers_.end()) continue;
+    const Callback cb = it->second;  // copy: callback may remove itself
+    cb();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::run(int tick_ms, const Callback& on_tick) {
+  stopped_ = false;
+  while (!stopped_) {
+    run_once(tick_ms);
+    if (on_tick) on_tick();
+  }
+}
+
+}  // namespace bate

@@ -1,0 +1,38 @@
+// Minimal epoll-based event loop driving the controller and broker I/O.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+
+namespace bate {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watches a file descriptor for readability.
+  void add_reader(int fd, Callback on_readable);
+  void remove(int fd);
+
+  /// Runs one poll iteration with the given timeout (ms; -1 blocks).
+  /// Returns the number of events dispatched.
+  int run_once(int timeout_ms);
+  /// Loops until stop() is called (polling at `tick_ms`, invoking
+  /// `on_tick`, when provided, between polls).
+  void run(int tick_ms = 50, const Callback& on_tick = {});
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  int epoll_fd_ = -1;
+  std::map<int, Callback> readers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace bate

@@ -1,0 +1,51 @@
+#include "net/framing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bate {
+
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::length_error("encode_frame: payload too large");
+  }
+  std::vector<std::uint8_t> out(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out[0] = static_cast<std::uint8_t>(len & 0xFF);
+  out[1] = static_cast<std::uint8_t>((len >> 8) & 0xFF);
+  out[2] = static_cast<std::uint8_t>((len >> 16) & 0xFF);
+  out[3] = static_cast<std::uint8_t>((len >> 24) & 0xFF);
+  std::memcpy(out.data() + 4, payload.data(), payload.size());
+  return out;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (buffer_.size() >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>(buffer_[0]) |
+                              (static_cast<std::uint32_t>(buffer_[1]) << 8) |
+                              (static_cast<std::uint32_t>(buffer_[2]) << 16) |
+                              (static_cast<std::uint32_t>(buffer_[3]) << 24);
+    if (len > kMaxFrameBytes) {
+      throw std::length_error("FrameReader: oversized frame");
+    }
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(buffer_[0]) |
+                            (static_cast<std::uint32_t>(buffer_[1]) << 8) |
+                            (static_cast<std::uint32_t>(buffer_[2]) << 16) |
+                            (static_cast<std::uint32_t>(buffer_[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    throw std::length_error("FrameReader: oversized frame");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  std::vector<std::uint8_t> payload(buffer_.begin() + 4,
+                                    buffer_.begin() + 4 + len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+  return payload;
+}
+
+}  // namespace bate

@@ -1,0 +1,34 @@
+// Length-prefixed message framing over a byte stream. Frames carry a 4-byte
+// little-endian length followed by the payload; a size cap guards against
+// corrupted peers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace bate {
+
+inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+/// Serializes a payload into a framed buffer.
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload);
+
+/// Incremental frame decoder: feed stream bytes, pop complete frames.
+class FrameReader {
+ public:
+  /// Appends bytes from the stream. Throws std::length_error when a frame
+  /// announces a length beyond kMaxFrameBytes.
+  void feed(std::span<const std::uint8_t> data);
+  /// Pops the next complete frame payload, if any.
+  std::optional<std::vector<std::uint8_t>> next();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace bate

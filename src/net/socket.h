@@ -1,0 +1,67 @@
+// RAII socket primitives for the controller/broker control channel
+// (Sec 4: long-lived TCP sessions between the controller and the brokers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace bate {
+
+/// Move-only owner of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Releases ownership (caller must close).
+  int release();
+  void close();
+  /// Shuts down both directions; unblocks a thread sleeping in recv()
+  /// (closing alone does not). Safe to call from another thread.
+  void shutdown();
+
+  void set_nonblocking(bool enable);
+  void set_nodelay(bool enable);
+
+  /// Writes the whole buffer (blocking socket). Throws std::system_error.
+  void write_all(std::span<const std::uint8_t> data);
+  /// Reads up to buffer.size() bytes; returns 0 on orderly shutdown, -1 when
+  /// a nonblocking read would block. Throws std::system_error on error.
+  long read_some(std::span<std::uint8_t> buffer);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds to loopback. Port 0 picks an ephemeral port (see port()).
+  explicit TcpListener(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return socket_.fd(); }
+  /// Accepts one connection; nullopt when nonblocking and none pending.
+  std::optional<Socket> accept();
+  void set_nonblocking(bool enable) { socket_.set_nonblocking(enable); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback connect. Throws std::system_error on failure.
+Socket connect_tcp(std::uint16_t port);
+
+}  // namespace bate

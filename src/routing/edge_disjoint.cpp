@@ -1,0 +1,21 @@
+#include "routing/edge_disjoint.h"
+
+#include "routing/ksp.h"
+
+namespace bate {
+
+std::vector<std::vector<LinkId>> edge_disjoint_paths(const Topology& topo,
+                                                     NodeId src, NodeId dst,
+                                                     int k) {
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<char> banned(static_cast<std::size_t>(topo.link_count()), 0);
+  while (static_cast<int>(paths.size()) < k) {
+    auto path = shortest_path(topo, src, dst, unit_weight, banned);
+    if (!path) break;
+    for (LinkId id : *path) banned[static_cast<std::size_t>(id)] = 1;
+    paths.push_back(std::move(*path));
+  }
+  return paths;
+}
+
+}  // namespace bate

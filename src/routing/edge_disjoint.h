@@ -1,0 +1,18 @@
+// Edge-disjoint path routing (the paper cites risk-aware OSPF routing [49]
+// as one tunnel-selection option; Fig 18 evaluates it).
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bate {
+
+/// Up to k mutually edge-disjoint paths from src to dst, found greedily by
+/// repeated shortest-path with used links removed. Fewer than k paths are
+/// returned when the graph runs out of disjoint capacity.
+std::vector<std::vector<LinkId>> edge_disjoint_paths(const Topology& topo,
+                                                     NodeId src, NodeId dst,
+                                                     int k);
+
+}  // namespace bate

@@ -1,0 +1,160 @@
+#include "routing/ksp.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace bate {
+
+double unit_weight(const Link&) { return 1.0; }
+
+std::optional<std::vector<LinkId>> shortest_path(
+    const Topology& topo, NodeId src, NodeId dst, const LinkWeight& weight,
+    const std::vector<char>& banned_links,
+    const std::vector<char>& banned_nodes) {
+  const auto n = static_cast<std::size_t>(topo.node_count());
+  if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= n ||
+      static_cast<std::size_t>(dst) >= n) {
+    throw std::out_of_range("shortest_path: node out of range");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> parent_link(n, -1);
+
+  auto link_banned = [&](LinkId id) {
+    return static_cast<std::size_t>(id) < banned_links.size() &&
+           banned_links[static_cast<std::size_t>(id)] != 0;
+  };
+  auto node_banned = [&](NodeId id) {
+    return static_cast<std::size_t>(id) < banned_nodes.size() &&
+           banned_nodes[static_cast<std::size_t>(id)] != 0;
+  };
+  if (node_banned(src) || node_banned(dst)) return std::nullopt;
+
+  using Entry = std::pair<double, NodeId>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (LinkId id : topo.out_links(u)) {
+      if (link_banned(id)) continue;
+      const Link& l = topo.link(id);
+      if (node_banned(l.dst)) continue;
+      const double w = weight(l);
+      if (w <= 0.0) throw std::invalid_argument("shortest_path: weight <= 0");
+      const double nd = d + w;
+      auto& dv = dist[static_cast<std::size_t>(l.dst)];
+      // Strict improvement, or equal-cost tie broken by smaller parent link
+      // id for determinism.
+      if (nd < dv - 1e-15 ||
+          (nd <= dv + 1e-15 &&
+           parent_link[static_cast<std::size_t>(l.dst)] > id &&
+           dv < kInf)) {
+        if (nd < dv - 1e-15) heap.push({nd, l.dst});
+        dv = std::min(dv, nd);
+        parent_link[static_cast<std::size_t>(l.dst)] = id;
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(dst)] == kInf) return std::nullopt;
+  std::vector<LinkId> path;
+  for (NodeId v = dst; v != src;) {
+    const LinkId id = parent_link[static_cast<std::size_t>(v)];
+    path.push_back(id);
+    v = topo.link(id).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+double path_weight(const Topology& topo, const std::vector<LinkId>& path,
+                   const LinkWeight& weight) {
+  double total = 0.0;
+  for (LinkId id : path) total += weight(topo.link(id));
+  return total;
+}
+
+std::vector<NodeId> path_nodes(const Topology& topo,
+                               const std::vector<LinkId>& path, NodeId src) {
+  std::vector<NodeId> nodes{src};
+  for (LinkId id : path) nodes.push_back(topo.link(id).dst);
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<std::vector<LinkId>> k_shortest_paths(const Topology& topo,
+                                                  NodeId src, NodeId dst,
+                                                  int k,
+                                                  const LinkWeight& weight) {
+  std::vector<std::vector<LinkId>> result;
+  if (k <= 0) return result;
+  auto first = shortest_path(topo, src, dst, weight);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate set ordered by (weight, links) for deterministic output.
+  struct Candidate {
+    double w;
+    std::vector<LinkId> path;
+    bool operator<(const Candidate& o) const {
+      if (w != o.w) return w < o.w;
+      return path < o.path;
+    }
+  };
+  std::set<Candidate> candidates;
+
+  const auto links_n = static_cast<std::size_t>(topo.link_count());
+  const auto nodes_n = static_cast<std::size_t>(topo.node_count());
+
+  while (static_cast<int>(result.size()) < k) {
+    const auto& prev = result.back();
+    const auto prev_nodes = path_nodes(topo, prev, src);
+    // Spur from every node of the previous path.
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      const NodeId spur_node = prev_nodes[i];
+      std::vector<LinkId> root(prev.begin(),
+                               prev.begin() + static_cast<std::ptrdiff_t>(i));
+
+      std::vector<char> banned_links(links_n, 0);
+      std::vector<char> banned_nodes(nodes_n, 0);
+      // Ban links that would replicate an already-found path with this root.
+      for (const auto& found : result) {
+        if (found.size() > i &&
+            std::equal(root.begin(), root.end(), found.begin())) {
+          banned_links[static_cast<std::size_t>(found[i])] = 1;
+        }
+      }
+      // Ban root nodes (except the spur node) to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j) {
+        banned_nodes[static_cast<std::size_t>(prev_nodes[j])] = 1;
+      }
+
+      auto spur = shortest_path(topo, spur_node, dst, weight, banned_links,
+                                banned_nodes);
+      if (!spur) continue;
+      std::vector<LinkId> total = root;
+      total.insert(total.end(), spur->begin(), spur->end());
+      Candidate cand{path_weight(topo, total, weight), std::move(total)};
+      // Skip duplicates already in results.
+      if (std::find(result.begin(), result.end(), cand.path) == result.end()) {
+        candidates.insert(std::move(cand));
+      }
+    }
+    if (candidates.empty()) break;
+    auto best = candidates.begin();
+    result.push_back(best->path);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace bate

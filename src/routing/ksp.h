@@ -1,0 +1,33 @@
+// Shortest path and Yen's k-shortest loopless paths over the WAN graph.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bate {
+
+/// Per-link weight; must be positive for Dijkstra.
+using LinkWeight = std::function<double(const Link&)>;
+
+/// Unit weights => hop-count shortest paths.
+double unit_weight(const Link& link);
+
+/// Dijkstra from src to dst. Links listed in `banned_links` and nodes in
+/// `banned_nodes` are skipped. Returns the link sequence, or nullopt when dst
+/// is unreachable.
+std::optional<std::vector<LinkId>> shortest_path(
+    const Topology& topo, NodeId src, NodeId dst, const LinkWeight& weight,
+    const std::vector<char>& banned_links = {},
+    const std::vector<char>& banned_nodes = {});
+
+/// Yen's algorithm: up to k loopless shortest paths in non-decreasing weight
+/// order. Deterministic tie-breaking (lexicographic link ids).
+std::vector<std::vector<LinkId>> k_shortest_paths(const Topology& topo,
+                                                  NodeId src, NodeId dst,
+                                                  int k,
+                                                  const LinkWeight& weight);
+
+}  // namespace bate

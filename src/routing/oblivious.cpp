@@ -1,0 +1,34 @@
+#include "routing/oblivious.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "routing/ksp.h"
+
+namespace bate {
+
+std::vector<std::vector<LinkId>> oblivious_paths(const Topology& topo,
+                                                 NodeId src, NodeId dst,
+                                                 int k) {
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<double> usage(static_cast<std::size_t>(topo.link_count()), 0.0);
+  // More attempts than k: the penalty walk can revisit an existing path.
+  const int attempts = 4 * std::max(k, 1);
+  for (int it = 0; it < attempts && static_cast<int>(paths.size()) < k; ++it) {
+    auto weight = [&](const Link& l) {
+      // Penalize reuse exponentially, and normalize by capacity so big pipes
+      // absorb more paths (low congestion stretch).
+      const double reuse = usage[static_cast<std::size_t>(l.id)];
+      return std::exp2(reuse) * (1.0 + 1000.0 / l.capacity);
+    };
+    auto path = shortest_path(topo, src, dst, weight);
+    if (!path) break;
+    for (LinkId id : *path) usage[static_cast<std::size_t>(id)] += 1.0;
+    if (std::find(paths.begin(), paths.end(), *path) == paths.end()) {
+      paths.push_back(std::move(*path));
+    }
+  }
+  return paths;
+}
+
+}  // namespace bate

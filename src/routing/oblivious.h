@@ -1,0 +1,21 @@
+// Oblivious-style tunnel selection.
+//
+// SMORE uses Raecke's oblivious routing trees to pick diverse, low-stretch
+// tunnels. Building full Raecke decompositions is out of scope; we substitute
+// an iterative penalty scheme with the same qualitative property (Fig 18):
+// each successive path is the shortest under weights that grow exponentially
+// with how often a link was already used, yielding diverse low-stretch paths
+// that avoid concentrating load. See DESIGN.md Sec 5.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bate {
+
+std::vector<std::vector<LinkId>> oblivious_paths(const Topology& topo,
+                                                 NodeId src, NodeId dst,
+                                                 int k);
+
+}  // namespace bate

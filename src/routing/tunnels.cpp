@@ -1,0 +1,94 @@
+#include "routing/tunnels.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "routing/edge_disjoint.h"
+#include "routing/ksp.h"
+#include "routing/oblivious.h"
+
+namespace bate {
+
+bool Tunnel::uses(LinkId link) const {
+  return std::find(links.begin(), links.end(), link) != links.end();
+}
+
+double Tunnel::availability(const Topology& topo) const {
+  double p = 1.0;
+  for (LinkId id : links) p *= 1.0 - topo.link(id).failure_prob;
+  return p;
+}
+
+std::string Tunnel::to_string(const Topology& topo) const {
+  std::string s = topo.node_label(src);
+  for (LinkId id : links) {
+    s += "->";
+    s += topo.node_label(topo.link(id).dst);
+  }
+  return s;
+}
+
+TunnelCatalog TunnelCatalog::build(const Topology& topo,
+                                   std::span<const SdPair> pairs,
+                                   int tunnels_per_pair,
+                                   RoutingScheme scheme) {
+  if (tunnels_per_pair <= 0) {
+    throw std::invalid_argument("TunnelCatalog: tunnels_per_pair must be > 0");
+  }
+  TunnelCatalog catalog;
+  catalog.pairs_.assign(pairs.begin(), pairs.end());
+  catalog.tunnels_.reserve(pairs.size());
+  for (const SdPair& pair : pairs) {
+    std::vector<std::vector<LinkId>> raw;
+    switch (scheme) {
+      case RoutingScheme::kKsp:
+        raw = k_shortest_paths(topo, pair.src, pair.dst, tunnels_per_pair,
+                               unit_weight);
+        break;
+      case RoutingScheme::kEdgeDisjoint:
+        raw = edge_disjoint_paths(topo, pair.src, pair.dst, tunnels_per_pair);
+        break;
+      case RoutingScheme::kOblivious:
+        raw = oblivious_paths(topo, pair.src, pair.dst, tunnels_per_pair);
+        break;
+    }
+    if (raw.empty()) {
+      throw std::runtime_error("TunnelCatalog: pair " +
+                               topo.node_label(pair.src) + "->" +
+                               topo.node_label(pair.dst) + " is disconnected");
+    }
+    std::vector<Tunnel> tunnels;
+    tunnels.reserve(raw.size());
+    for (auto& path : raw) {
+      tunnels.push_back(Tunnel{pair.src, pair.dst, std::move(path)});
+    }
+    catalog.tunnels_.push_back(std::move(tunnels));
+  }
+  return catalog;
+}
+
+TunnelCatalog TunnelCatalog::build_all_pairs(const Topology& topo,
+                                             int tunnels_per_pair,
+                                             RoutingScheme scheme) {
+  std::vector<SdPair> pairs;
+  for (NodeId s = 0; s < topo.node_count(); ++s) {
+    for (NodeId d = 0; d < topo.node_count(); ++d) {
+      if (s != d) pairs.push_back({s, d});
+    }
+  }
+  return build(topo, pairs, tunnels_per_pair, scheme);
+}
+
+int TunnelCatalog::pair_index(const SdPair& pair) const {
+  const auto it = std::find(pairs_.begin(), pairs_.end(), pair);
+  if (it == pairs_.end()) return -1;
+  return static_cast<int>(it - pairs_.begin());
+}
+
+int TunnelCatalog::total_tunnels() const {
+  int total = 0;
+  for (const auto& t : tunnels_) total += static_cast<int>(t.size());
+  return total;
+}
+
+}  // namespace bate

@@ -1,0 +1,68 @@
+// Tunnels (pre-computed paths) and the per-pair tunnel catalog T_k.
+//
+// BATE, like SWAN/FFC/TEAVAR, forwards over a small set of pre-computed
+// tunnels per source-destination pair (Sec 3.1 "BA provision model"). The
+// offline-routing module of the controller builds a TunnelCatalog with one of
+// three schemes: k-shortest paths (default, k=4 as in the paper), edge
+// disjoint paths, or oblivious-style penalty routing (Fig 18).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bate {
+
+struct Tunnel {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::vector<LinkId> links;  // in path order
+
+  bool uses(LinkId link) const;
+  /// Product of link availabilities: prod_e (1 - x_e). The paper's p_t.
+  double availability(const Topology& topo) const;
+  /// Human-readable "DC1->DC2->DC4" string.
+  std::string to_string(const Topology& topo) const;
+};
+
+enum class RoutingScheme { kKsp, kEdgeDisjoint, kOblivious };
+
+/// Immutable per-pair tunnel sets. Pair indices are positions in `pairs()`.
+class TunnelCatalog {
+ public:
+  /// Builds tunnels for the given pairs with the given scheme; at most
+  /// `tunnels_per_pair` tunnels each. Throws std::runtime_error when a pair
+  /// is disconnected.
+  static TunnelCatalog build(const Topology& topo,
+                             std::span<const SdPair> pairs,
+                             int tunnels_per_pair,
+                             RoutingScheme scheme = RoutingScheme::kKsp);
+
+  /// Convenience: builds for every ordered node pair of the topology.
+  static TunnelCatalog build_all_pairs(const Topology& topo,
+                                       int tunnels_per_pair,
+                                       RoutingScheme scheme =
+                                           RoutingScheme::kKsp);
+
+  int pair_count() const { return static_cast<int>(pairs_.size()); }
+  const std::vector<SdPair>& pairs() const { return pairs_; }
+  const SdPair& pair(int index) const {
+    return pairs_.at(static_cast<std::size_t>(index));
+  }
+  const std::vector<Tunnel>& tunnels(int pair_index) const {
+    return tunnels_.at(static_cast<std::size_t>(pair_index));
+  }
+  /// Index of an s-d pair, or -1 when absent.
+  int pair_index(const SdPair& pair) const;
+
+  /// Total number of tunnels across all pairs.
+  int total_tunnels() const;
+
+ private:
+  std::vector<SdPair> pairs_;
+  std::vector<std::vector<Tunnel>> tunnels_;
+};
+
+}  // namespace bate

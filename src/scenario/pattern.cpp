@@ -1,0 +1,153 @@
+#include "scenario/pattern.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+#include "scenario/scenario.h"
+
+namespace bate {
+
+double PatternDistribution::residual() const {
+  double total = 0.0;
+  for (double p : prob) total += p;
+  return std::max(0.0, 1.0 - total);
+}
+
+double PatternDistribution::availability(std::span<const double> alloc,
+                                         double demand) const {
+  if (static_cast<int>(alloc.size()) != tunnel_count) {
+    throw std::invalid_argument("availability: alloc size mismatch");
+  }
+  double avail = 0.0;
+  const auto patterns = static_cast<PatternMask>(prob.size());
+  for (PatternMask s = 0; s < patterns; ++s) {
+    double carried = 0.0;
+    for (int t = 0; t < tunnel_count; ++t) {
+      if ((s >> t) & 1u) carried += alloc[static_cast<std::size_t>(t)];
+    }
+    // Small tolerance so that exact-demand allocations qualify.
+    if (carried + 1e-9 >= demand) avail += prob[s];
+  }
+  return avail;
+}
+
+std::vector<LinkId> tunnel_link_union(std::span<const Tunnel> tunnels) {
+  std::set<LinkId> links;
+  for (const Tunnel& t : tunnels) links.insert(t.links.begin(), t.links.end());
+  return {links.begin(), links.end()};
+}
+
+namespace {
+
+/// Bitmask over the union describing, per tunnel, which union links it uses.
+std::vector<std::uint64_t> tunnel_union_masks(
+    std::span<const Tunnel> tunnels, const std::vector<LinkId>& uni) {
+  std::vector<std::uint64_t> masks;
+  masks.reserve(tunnels.size());
+  for (const Tunnel& t : tunnels) {
+    std::uint64_t mask = 0;
+    for (LinkId id : t.links) {
+      const auto it = std::lower_bound(uni.begin(), uni.end(), id);
+      mask |= 1ull << static_cast<unsigned>(it - uni.begin());
+    }
+    masks.push_back(mask);
+  }
+  return masks;
+}
+
+PatternMask pattern_of(const std::vector<std::uint64_t>& tunnel_masks,
+                       std::uint64_t down_mask) {
+  PatternMask s = 0;
+  for (std::size_t t = 0; t < tunnel_masks.size(); ++t) {
+    if ((tunnel_masks[t] & down_mask) == 0) s |= 1u << t;
+  }
+  return s;
+}
+
+}  // namespace
+
+PatternDistribution exact_patterns(const Topology& topo,
+                                   std::span<const Tunnel> tunnels,
+                                   int max_union_links) {
+  if (tunnels.size() > 20) {
+    throw std::invalid_argument("exact_patterns: too many tunnels");
+  }
+  const auto uni = tunnel_link_union(tunnels);
+  if (static_cast<int>(uni.size()) > max_union_links) {
+    throw std::invalid_argument("exact_patterns: link union too large");
+  }
+  const auto tunnel_masks = tunnel_union_masks(tunnels, uni);
+
+  PatternDistribution dist;
+  dist.tunnel_count = static_cast<int>(tunnels.size());
+  dist.prob.assign(1ull << tunnels.size(), 0.0);
+
+  const auto u = uni.size();
+  for (std::uint64_t down = 0; down < (1ull << u); ++down) {
+    double p = 1.0;
+    for (std::size_t i = 0; i < u; ++i) {
+      const double x = topo.link(uni[i]).failure_prob;
+      p *= ((down >> i) & 1ull) ? x : 1.0 - x;
+    }
+    dist.prob[pattern_of(tunnel_masks, down)] += p;
+  }
+  return dist;
+}
+
+PatternDistribution pruned_patterns(const Topology& topo,
+                                    std::span<const Tunnel> tunnels,
+                                    int max_failures) {
+  if (max_failures < 0) {
+    throw std::invalid_argument("pruned_patterns: max_failures must be >= 0");
+  }
+  if (tunnels.size() > 20) {
+    throw std::invalid_argument("pruned_patterns: too many tunnels");
+  }
+  const auto uni = tunnel_link_union(tunnels);
+  const auto tunnel_masks = tunnel_union_masks(tunnels, uni);
+  const auto u = uni.size();
+
+  // P(exactly k failures among links outside the union), k = 0..max_failures.
+  std::vector<char> skip(static_cast<std::size_t>(topo.link_count()), 0);
+  for (LinkId id : uni) skip[static_cast<std::size_t>(id)] = 1;
+  const auto outside = failure_count_distribution(topo, max_failures, skip);
+  // Cumulative: P(<= k failures outside).
+  std::vector<double> outside_cum(outside.size());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < outside.size(); ++k) {
+    acc += outside[k];
+    outside_cum[k] = acc;
+  }
+
+  PatternDistribution dist;
+  dist.tunnel_count = static_cast<int>(tunnels.size());
+  dist.prob.assign(1ull << tunnels.size(), 0.0);
+
+  // Enumerate failure subsets inside the union with at most max_failures
+  // links down; the rest of the failure budget may be spent outside.
+  for (std::uint64_t down = 0; down < (1ull << u); ++down) {
+    const int down_count = std::popcount(down);
+    if (down_count > max_failures) continue;
+    double p = 1.0;
+    for (std::size_t i = 0; i < u; ++i) {
+      const double x = topo.link(uni[i]).failure_prob;
+      p *= ((down >> i) & 1ull) ? x : 1.0 - x;
+    }
+    p *= outside_cum[static_cast<std::size_t>(max_failures - down_count)];
+    dist.prob[pattern_of(tunnel_masks, down)] += p;
+  }
+  return dist;
+}
+
+PatternDistribution reference_patterns_for(const Topology& topo,
+                                           std::span<const Tunnel> tunnels) {
+  try {
+    return exact_patterns(topo, tunnels);
+  } catch (const std::invalid_argument&) {
+    return pruned_patterns(topo, tunnels, std::min(6, topo.link_count()));
+  }
+}
+
+}  // namespace bate

@@ -1,0 +1,73 @@
+#include "scenario/sampler.h"
+
+#include <stdexcept>
+
+namespace bate {
+
+FailureTimeline::FailureTimeline(const Topology& topo, int seconds,
+                                 double repair_seconds, Rng& rng)
+    : seconds_(seconds), links_(topo.link_count()) {
+  if (seconds <= 0) throw std::invalid_argument("FailureTimeline: seconds");
+  if (repair_seconds < 0.0) {
+    throw std::invalid_argument("FailureTimeline: repair_seconds");
+  }
+  down_.assign(static_cast<std::size_t>(seconds_) *
+                   static_cast<std::size_t>(links_),
+               0);
+  failure_counts_.assign(static_cast<std::size_t>(links_), 0);
+
+  std::vector<double> repair_left(static_cast<std::size_t>(links_), 0.0);
+  double last_failure_time = -1.0;
+  for (int s = 0; s < seconds_; ++s) {
+    for (int l = 0; l < links_; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (repair_left[li] > 0.0) {
+        down_[static_cast<std::size_t>(s) * static_cast<std::size_t>(links_) +
+              li] = 1;
+        repair_left[li] -= 1.0;
+        continue;
+      }
+      if (rng.bernoulli(topo.link(l).failure_prob)) {
+        down_[static_cast<std::size_t>(s) * static_cast<std::size_t>(links_) +
+              li] = 1;
+        repair_left[li] = repair_seconds;
+        ++failure_counts_[li];
+        if (last_failure_time >= 0.0) {
+          intervals_.push_back(static_cast<double>(s) - last_failure_time);
+        }
+        last_failure_time = static_cast<double>(s);
+      }
+    }
+  }
+}
+
+bool FailureTimeline::link_up(int second, LinkId id) const {
+  if (second < 0 || second >= seconds_ || id < 0 || id >= links_) {
+    throw std::out_of_range("FailureTimeline::link_up");
+  }
+  return down_[static_cast<std::size_t>(second) *
+                   static_cast<std::size_t>(links_) +
+               static_cast<std::size_t>(id)] == 0;
+}
+
+std::vector<LinkId> FailureTimeline::failed_at(int second) const {
+  std::vector<LinkId> failed;
+  for (LinkId l = 0; l < links_; ++l) {
+    if (!link_up(second, l)) failed.push_back(l);
+  }
+  return failed;
+}
+
+bool FailureTimeline::all_up(int second) const {
+  return failed_at(second).empty();
+}
+
+std::vector<LinkId> sample_down_links(const Topology& topo, Rng& rng) {
+  std::vector<LinkId> failed;
+  for (const Link& l : topo.links()) {
+    if (rng.bernoulli(l.failure_prob)) failed.push_back(l.id);
+  }
+  return failed;
+}
+
+}  // namespace bate

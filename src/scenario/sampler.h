@@ -1,0 +1,49 @@
+// Monte-Carlo failure processes.
+//
+// FailureTimeline emulates the paper's testbed failure injection (Sec 5.1):
+// every second each up link fails with its failure probability; a failed
+// link is repaired after `repair_seconds` (default 3 s, varied in Fig 20).
+// It records per-link failure counts (Fig 10), failure intervals (Fig 1a)
+// and the per-second down set used by the data-plane accounting.
+//
+// sample_down_links draws an i.i.d. scenario per slot, the methodology of
+// the paper's post-processing simulations (Sec 5.2, following TEAVAR).
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace bate {
+
+class FailureTimeline {
+ public:
+  FailureTimeline(const Topology& topo, int seconds, double repair_seconds,
+                  Rng& rng);
+
+  int seconds() const { return seconds_; }
+  bool link_up(int second, LinkId id) const;
+  /// Sorted failed links at a given second.
+  std::vector<LinkId> failed_at(int second) const;
+  /// True when no link is down at the given second.
+  bool all_up(int second) const;
+
+  /// Failure events per link over the whole timeline (Fig 10).
+  const std::vector<int>& failure_counts() const { return failure_counts_; }
+  /// Seconds between consecutive failure events, network-wide (Fig 1a).
+  const std::vector<double>& failure_intervals() const { return intervals_; }
+
+ private:
+  int seconds_;
+  int links_;
+  std::vector<char> down_;  // seconds_ x links_, row-major
+  std::vector<int> failure_counts_;
+  std::vector<double> intervals_;
+};
+
+/// One i.i.d. scenario draw: each link down independently with its failure
+/// probability. Returns the sorted failed link set.
+std::vector<LinkId> sample_down_links(const Topology& topo, Rng& rng);
+
+}  // namespace bate

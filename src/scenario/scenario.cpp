@@ -1,0 +1,104 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bate {
+
+bool Scenario::link_up(LinkId id) const {
+  return !std::binary_search(failed.begin(), failed.end(), id);
+}
+
+bool Scenario::tunnel_up(const Tunnel& tunnel) const {
+  for (LinkId id : tunnel.links) {
+    if (!link_up(id)) return false;
+  }
+  return true;
+}
+
+void for_each_scenario(
+    const Topology& topo, int max_failures,
+    const std::function<void(std::span<const LinkId>, double)>& visit) {
+  const int m = topo.link_count();
+  double all_up = 1.0;
+  for (const Link& l : topo.links()) all_up *= 1.0 - l.failure_prob;
+
+  // Odds ratio x/(1-x) per link lets us derive any scenario's probability
+  // from the all-up probability by multiplication.
+  std::vector<double> odds(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const double x = topo.link(i).failure_prob;
+    odds[static_cast<std::size_t>(i)] = x / (1.0 - x);
+  }
+
+  std::vector<LinkId> failed;
+  // Recursive enumeration of failure subsets by increasing size.
+  std::function<void(int, int, double)> recurse = [&](int start, int remaining,
+                                                      double prob) {
+    if (remaining == 0) return;
+    for (int i = start; i < m; ++i) {
+      const double p = prob * odds[static_cast<std::size_t>(i)];
+      failed.push_back(i);
+      visit(failed, p);
+      recurse(i + 1, remaining - 1, p);
+      failed.pop_back();
+    }
+  };
+  visit(failed, all_up);  // the all-up scenario
+  recurse(0, max_failures, all_up);
+}
+
+ScenarioSet ScenarioSet::enumerate(const Topology& topo, int max_failures,
+                                   std::size_t limit) {
+  if (max_failures < 0) {
+    throw std::invalid_argument("ScenarioSet: max_failures must be >= 0");
+  }
+  const double expected = scenario_count(topo.link_count(), max_failures);
+  if (expected > static_cast<double>(limit)) {
+    throw std::invalid_argument("ScenarioSet: enumeration too large");
+  }
+  ScenarioSet set;
+  set.max_failures_ = max_failures;
+  double total = 0.0;
+  for_each_scenario(topo, max_failures,
+                    [&](std::span<const LinkId> failed, double prob) {
+                      set.scenarios_.push_back(
+                          {{failed.begin(), failed.end()}, prob});
+                      total += prob;
+                    });
+  set.residual_ = std::max(0.0, 1.0 - total);
+  return set;
+}
+
+double scenario_count(int links, int max_failures) {
+  double total = 0.0;
+  double binom = 1.0;  // C(links, 0)
+  for (int i = 0; i <= max_failures && i <= links; ++i) {
+    total += binom;
+    binom = binom * static_cast<double>(links - i) / static_cast<double>(i + 1);
+    if (total > 1e18) return 1e18;
+  }
+  return total;
+}
+
+std::vector<double> failure_count_distribution(const Topology& topo, int max_k,
+                                               std::span<const char> skip) {
+  std::vector<double> dist(static_cast<std::size_t>(max_k) + 1, 0.0);
+  dist[0] = 1.0;
+  for (const Link& l : topo.links()) {
+    if (static_cast<std::size_t>(l.id) < skip.size() &&
+        skip[static_cast<std::size_t>(l.id)] != 0) {
+      continue;
+    }
+    const double x = l.failure_prob;
+    for (int k = max_k; k >= 0; --k) {
+      const auto kk = static_cast<std::size_t>(k);
+      dist[kk] *= 1.0 - x;
+      if (k > 0) dist[kk] += dist[kk - 1] * x;
+    }
+  }
+  return dist;
+}
+
+}  // namespace bate

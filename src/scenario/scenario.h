@@ -1,0 +1,64 @@
+// Network failure scenarios (Sec 3.1) and the pruning method (Sec 3.3,
+// Fig 3): enumerate scenarios with at most y concurrent link failures; all
+// remaining scenarios are aggregated into one special unqualified scenario
+// whose probability is the residual mass.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "routing/tunnels.h"
+#include "topology/graph.h"
+
+namespace bate {
+
+/// One network scenario z: the (sparse) set of failed links and p_z.
+struct Scenario {
+  std::vector<LinkId> failed;  // sorted link ids that are down
+  double prob = 0.0;
+
+  bool link_up(LinkId id) const;
+  /// v^z_t: a tunnel is available iff all of its links are up.
+  bool tunnel_up(const Tunnel& tunnel) const;
+};
+
+/// Enumerated, pruned scenario set. scenarios()[0] is always the all-up
+/// scenario. residual_prob() is the probability mass of everything pruned
+/// (the aggregated unqualified scenario).
+class ScenarioSet {
+ public:
+  /// Enumerates every scenario with at most `max_failures` failed links.
+  /// Throws std::invalid_argument when the count would exceed `limit`
+  /// (guards against accidental 2^|E| blowups).
+  static ScenarioSet enumerate(const Topology& topo, int max_failures,
+                               std::size_t limit = 20'000'000);
+
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+  double residual_prob() const { return residual_; }
+  int max_failures() const { return max_failures_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+  double residual_ = 0.0;
+  int max_failures_ = 0;
+};
+
+/// Streaming enumeration (no storage): calls visit(failed_links, prob) for
+/// every scenario with at most max_failures failures, in increasing failure
+/// count. Used by tests and by benches that only need aggregates.
+void for_each_scenario(
+    const Topology& topo, int max_failures,
+    const std::function<void(std::span<const LinkId>, double)>& visit);
+
+/// Number of scenarios with at most y failures over m links: sum_{i<=y} C(m,i).
+/// Saturates instead of overflowing. (Fig 3 reports these counts.)
+double scenario_count(int links, int max_failures);
+
+/// P(k links down for each k in 0..max_k) over an arbitrary subset of links,
+/// by Poisson-binomial dynamic programming. `skip` marks links to exclude.
+std::vector<double> failure_count_distribution(const Topology& topo,
+                                               int max_k,
+                                               std::span<const char> skip = {});
+
+}  // namespace bate

@@ -1,0 +1,46 @@
+// Repetition campaigns with error bars.
+//
+// The paper runs every simulation configuration 20 times and plots the
+// minimal / average / maximal value (Sec 5.2). Campaign collects a metric
+// over seeded repetitions and renders the paper-style "avg [min, max]"
+// cell.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace bate {
+
+class Campaign {
+ public:
+  /// Runs `reps` repetitions of `metric(seed)` with seeds base, base+1, ...
+  /// and accumulates the results.
+  static Campaign run(int reps, std::uint64_t base_seed,
+                      const std::function<double(std::uint64_t)>& metric) {
+    Campaign c;
+    for (int r = 0; r < reps; ++r) {
+      c.samples_.add(metric(base_seed + static_cast<std::uint64_t>(r)));
+    }
+    return c;
+  }
+
+  double mean() const { return samples_.mean(); }
+  double min() const { return samples_.min(); }
+  double max() const { return samples_.max(); }
+  std::size_t reps() const { return samples_.count(); }
+
+  /// "avg [min, max]" cell, the textual form of the paper's error bars.
+  std::string cell(int precision = 1) const {
+    return fmt(mean(), precision) + " [" + fmt(min(), precision) + ", " +
+           fmt(max(), precision) + "]";
+  }
+
+ private:
+  Summary samples_;
+};
+
+}  // namespace bate

@@ -1,0 +1,64 @@
+// Testbed-style discrete simulation (Sec 5.1).
+//
+// Reproduces the paper's testbed procedure in software: demands arrive over
+// time and pass admission; a TE scheme re-allocates every scheduling period;
+// every second, links fail Bernoulli(x_e) and repair after a fixed time
+// (scenario/sampler.h); the data plane delivers what the surviving,
+// uncongested tunnels carry; per-second satisfaction, loss and profit are
+// accounted exactly as the paper measures them (<=1% downward deviation
+// counts as satisfied).
+//
+// The same pre-generated FailureTimeline can be passed to several policies
+// so competing TE schemes face identical failures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/te.h"
+#include "core/admission.h"
+#include "core/recovery.h"
+#include "core/scheduling.h"
+#include "scenario/sampler.h"
+#include "sim/metrics.h"
+#include "workload/demand_gen.h"
+
+namespace bate {
+
+/// What happens to a demand's traffic when one of its tunnels dies.
+enum class RescalePolicy {
+  kNone,          // failed tunnels simply lose their traffic (BATE-TS)
+  kProportional,  // traffic rescales onto surviving tunnels (TEAVAR/FFC...)
+  kBackup,        // pre-computed backup plans are activated (BATE, Sec 3.4)
+};
+
+struct SimPolicy {
+  std::string name;
+  /// Admission strategy; nullopt admits everything (pure TE baselines).
+  std::optional<AdmissionStrategy> admission;
+  /// Allocator invoked on the active demand set each scheduling period.
+  const TeScheme* te = nullptr;
+  RescalePolicy rescale = RescalePolicy::kNone;
+  /// Branch-and-bound budget applied when admission == kOptimal.
+  BranchBoundOptions optimal_options{};
+};
+
+struct TestbedSimConfig {
+  double horizon_min = 100.0;
+  double schedule_period_min = 1.0;
+  /// Cap on per-demand delivered-ratio samples kept for CDFs.
+  int ratio_samples_per_demand = 50;
+};
+
+/// Runs one simulation of `policy` over the demand sequence and failure
+/// timeline (whose length must cover the horizon). The scheduler argument
+/// provides the availability model used by admission (its catalog must
+/// match the TE scheme's catalog for BATE policies).
+SimMetrics run_testbed_sim(const TrafficScheduler& scheduler,
+                           const SimPolicy& policy,
+                           std::span<const Demand> demands,
+                           const FailureTimeline& timeline,
+                           const TestbedSimConfig& cfg = {});
+
+}  // namespace bate

@@ -1,0 +1,50 @@
+#include "sim/metrics.h"
+
+namespace bate {
+
+int SimMetrics::offered_count() const {
+  int n = 0;
+  for (const auto& o : outcomes) n += o.offered ? 1 : 0;
+  return n;
+}
+
+int SimMetrics::admitted_count() const {
+  int n = 0;
+  for (const auto& o : outcomes) n += o.admitted ? 1 : 0;
+  return n;
+}
+
+double SimMetrics::rejection_ratio() const {
+  const int offered = offered_count();
+  if (offered == 0) return 0.0;
+  return 1.0 - static_cast<double>(admitted_count()) /
+                   static_cast<double>(offered);
+}
+
+double SimMetrics::satisfaction_fraction(double lo, double hi) const {
+  int total = 0;
+  int met = 0;
+  for (const auto& o : outcomes) {
+    if (!o.admitted) continue;
+    if (o.availability_target < lo || o.availability_target > hi) continue;
+    ++total;
+    met += o.target_met() ? 1 : 0;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(met) / total;
+}
+
+double SimMetrics::total_profit() const {
+  double p = 0.0;
+  for (const auto& o : outcomes) p += o.profit();
+  return p;
+}
+
+double SimMetrics::no_failure_profit() const {
+  double p = 0.0;
+  for (const auto& o : outcomes) {
+    if (o.admitted) p += o.charge;
+  }
+  return p;
+}
+
+}  // namespace bate

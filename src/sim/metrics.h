@@ -1,0 +1,63 @@
+// Metric containers produced by the simulators and consumed by the benches.
+#pragma once
+
+#include <vector>
+
+#include "util/stats.h"
+#include "workload/demand.h"
+
+namespace bate {
+
+/// Per-demand outcome of a testbed-style simulation run.
+struct DemandOutcome {
+  DemandId id = -1;
+  bool offered = false;
+  bool admitted = false;
+  double availability_target = 0.0;
+  double charge = 0.0;
+  double refund_fraction = 0.0;
+  std::vector<RefundTier> refund_tiers;
+  long active_seconds = 0;
+  long satisfied_seconds = 0;
+  /// Per-second delivered/demanded ratios (sampled; feeds Fig 8).
+  std::vector<double> delivered_ratio_samples;
+
+  double achieved_availability() const {
+    return active_seconds == 0
+               ? 1.0
+               : static_cast<double>(satisfied_seconds) /
+                     static_cast<double>(active_seconds);
+  }
+  bool target_met() const {
+    return achieved_availability() + 1e-12 >= availability_target;
+  }
+  double profit() const {
+    if (!admitted) return 0.0;
+    Demand pricing;
+    pricing.availability_target = availability_target;
+    pricing.refund_fraction = refund_fraction;
+    pricing.refund_tiers = refund_tiers;
+    return charge * (1.0 - pricing.refund_for(achieved_availability()));
+  }
+};
+
+struct SimMetrics {
+  std::vector<DemandOutcome> outcomes;
+  std::vector<int> link_failure_counts;     // Fig 10
+  std::vector<double> failure_intervals_s;  // Fig 1a
+  std::vector<double> per_second_loss_ratio;  // Fig 11 (only failure seconds)
+  Summary admission_delay_s;                // Fig 12c-style
+
+  int offered_count() const;
+  int admitted_count() const;
+  double rejection_ratio() const;
+  /// Fraction of admitted demands whose availability target was met,
+  /// restricted to targets within [lo, hi].
+  double satisfaction_fraction(double lo = 0.0, double hi = 1.0) const;
+  /// Total retained profit of admitted demands.
+  double total_profit() const;
+  /// Profit if no failure had ever occurred (all admitted fully satisfied).
+  double no_failure_profit() const;
+};
+
+}  // namespace bate

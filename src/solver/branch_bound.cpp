@@ -1,0 +1,161 @@
+#include "solver/branch_bound.h"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace bate {
+
+namespace {
+
+struct Node {
+  // Variable-bound overrides accumulated along the branch.
+  std::vector<std::pair<int, std::pair<double, double>>> bounds;
+  double lp_bound;  // objective of parent relaxation (minimization sense)
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->lp_bound > b->lp_bound;  // best (smallest) bound first
+  }
+};
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
+  if (!model.has_integers()) return solve_lp(model, options.lp);
+
+  const bool maximize = model.sense() == Sense::kMaximize;
+  auto to_min = [&](double v) { return maximize ? -v : v; };
+
+  std::vector<int> int_vars;
+  for (int j = 0; j < model.variable_count(); ++j) {
+    if (model.variable(j).integer) int_vars.push_back(j);
+  }
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_min = kInfinity;
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  open.push(std::make_shared<Node>(Node{{}, -kInfinity}));
+
+  Model work = model;  // mutated bounds per node, restored afterwards
+  int nodes = 0;
+  bool budget_hit = false;
+  const auto start = std::chrono::steady_clock::now();
+
+  while (!open.empty()) {
+    const auto node = open.top();
+    open.pop();
+    if (node->lp_bound >= incumbent_min - options.gap_tol) continue;  // pruned
+    if (++nodes > options.node_limit) {
+      budget_hit = true;
+      break;
+    }
+    if (options.time_limit_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() > options.time_limit_seconds) {
+      budget_hit = true;
+      break;
+    }
+
+    // Apply node bounds.
+    std::vector<std::pair<int, std::pair<double, double>>> saved;
+    saved.reserve(node->bounds.size());
+    for (const auto& [var, bound] : node->bounds) {
+      saved.push_back({var, {work.variable(var).lower, work.variable(var).upper}});
+      work.variable(var).lower = bound.first;
+      work.variable(var).upper = bound.second;
+    }
+
+    Solution relax = solve_lp(work, options.lp);
+
+    // Restore bounds.
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      work.variable(it->first).lower = it->second.first;
+      work.variable(it->first).upper = it->second.second;
+    }
+
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation makes the MILP unbounded or infeasible;
+      // report it directly (our models never hit this in practice).
+      return relax;
+    }
+    if (relax.status == SolveStatus::kIterationLimit) {
+      budget_hit = true;
+      continue;
+    }
+    const double bound_min = to_min(relax.objective);
+    if (bound_min >= incumbent_min - options.gap_tol) continue;
+
+    // Find most fractional integer variable.
+    int branch_var = -1;
+    double best_frac = options.integer_tol;
+    for (int j : int_vars) {
+      const double v = relax.x[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = j;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integer feasible: round off tolerance noise and accept as incumbent.
+      for (int j : int_vars) {
+        relax.x[static_cast<std::size_t>(j)] =
+            std::round(relax.x[static_cast<std::size_t>(j)]);
+      }
+      if (bound_min < incumbent_min) {
+        incumbent = relax;
+        incumbent.status = SolveStatus::kOptimal;
+        incumbent_min = bound_min;
+      }
+      if (options.stop_at_first_incumbent) break;
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(branch_var)];
+    // Branch within the bounds active at this node (they may have been
+    // tightened by an ancestor).
+    double lo = model.variable(branch_var).lower;
+    double hi = model.variable(branch_var).upper;
+    for (const auto& [var, bound] : node->bounds) {
+      if (var == branch_var) {
+        lo = std::max(lo, bound.first);
+        hi = std::min(hi, bound.second);
+      }
+    }
+
+    if (std::floor(v) >= lo - 1e-12) {
+      auto down = std::make_shared<Node>(*node);
+      down->lp_bound = bound_min;
+      down->bounds.push_back({branch_var, {lo, std::floor(v)}});
+      open.push(std::move(down));
+    }
+    if (std::ceil(v) <= hi + 1e-12) {
+      auto up = std::make_shared<Node>(*node);
+      up->lp_bound = bound_min;
+      up->bounds.push_back({branch_var, {std::ceil(v), hi}});
+      open.push(std::move(up));
+    }
+  }
+
+  if (budget_hit) {
+    // kIterationLimit either carries the best incumbent (x non-empty) or,
+    // with no incumbent found, reports that neither feasibility nor
+    // infeasibility was established within the budget (x empty).
+    incumbent.status = SolveStatus::kIterationLimit;
+  }
+  return incumbent;
+}
+
+}  // namespace bate

@@ -1,0 +1,31 @@
+// Branch & bound for the 0-1 MILPs of the paper: optimal admission control
+// (Appendix A) and optimal failure recovery (Sec 3.4). LP relaxations are
+// solved with the simplex of simplex.h; branching is most-fractional with
+// best-bound node selection.
+#pragma once
+
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace bate {
+
+struct BranchBoundOptions {
+  int node_limit = 200000;
+  /// Wall-clock budget; <= 0 means unlimited. When exhausted the incumbent
+  /// (if any) is returned with status kIterationLimit.
+  double time_limit_seconds = 0.0;
+  double integer_tol = 1e-6;
+  /// Relative optimality gap at which the search stops.
+  double gap_tol = 1e-9;
+  /// Stop as soon as any integer-feasible solution is found (for
+  /// feasibility-style MILPs where optimality is irrelevant).
+  bool stop_at_first_incumbent = false;
+  SimplexOptions lp;
+};
+
+/// Solves the MILP. Returns kIterationLimit when the node budget is
+/// exhausted before proving optimality (the incumbent, if any, is returned
+/// in that case with its objective).
+Solution solve_milp(const Model& model, const BranchBoundOptions& options = {});
+
+}  // namespace bate

@@ -1,0 +1,105 @@
+// LP / MILP model container.
+//
+// The paper solves its traffic-scheduling LP and the admission / recovery
+// MILPs with Gurobi; Gurobi is not available offline, so src/solver is a
+// from-scratch replacement: this model class, a bounded-variable revised
+// primal simplex (simplex.h) and branch & bound (branch_bound.h). The optima
+// are identical by LP duality; only absolute solve times differ, and the
+// paper's timing claims are ratios that survive the solver swap (DESIGN.md
+// Sec 3).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bate {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One nonzero of a constraint row: coefficient `coef` on variable `var`.
+struct Term {
+  int var;
+  double coef;
+};
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool integer = false;
+  std::string name;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  /// Adds a variable; returns its index. Throws std::invalid_argument when
+  /// lower > upper.
+  int add_variable(double lower, double upper, double objective,
+                   std::string name = "");
+  /// Adds a 0/1 integer variable.
+  int add_binary(double objective, std::string name = "");
+  /// Marks an existing variable integral (for branch & bound).
+  void set_integer(int var);
+
+  /// Adds a constraint; duplicate vars in `terms` are accumulated.
+  void add_constraint(std::vector<Term> terms, Relation rel, double rhs);
+
+  void set_sense(Sense sense) { sense_ = sense; }
+  Sense sense() const { return sense_; }
+
+  int variable_count() const { return static_cast<int>(variables_.size()); }
+  int constraint_count() const { return static_cast<int>(constraints_.size()); }
+  const Variable& variable(int i) const {
+    return variables_.at(static_cast<std::size_t>(i));
+  }
+  Variable& variable(int i) { return variables_.at(static_cast<std::size_t>(i)); }
+  const Constraint& constraint(int i) const {
+    return constraints_.at(static_cast<std::size_t>(i));
+  }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  bool has_integers() const;
+
+  /// Evaluates a constraint row at the point x.
+  double row_activity(int row, const std::vector<double>& x) const;
+  /// Objective value at x, in the model's sense.
+  double objective_value(const std::vector<double>& x) const;
+  /// True when x satisfies all bounds and rows within tolerance.
+  bool feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  Sense sense_ = Sense::kMinimize;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;        // in the model's sense
+  std::vector<double> x;         // structural variable values
+  /// Dual value per constraint row (LP solves only; empty from branch &
+  /// bound). Sign convention: in the model's own sense, so for a
+  /// minimization problem a binding >= row has a nonnegative dual. By
+  /// strong duality, sum_i dual_i * rhs_i + (bound contributions) equals
+  /// the objective; tests/solver_test.cpp checks the usable invariant
+  /// directly.
+  std::vector<double> duals;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+const char* to_string(SolveStatus status);
+
+}  // namespace bate

@@ -1,0 +1,426 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bate {
+
+namespace {
+
+/// Column-wise sparse matrix of the normalized problem (structural columns
+/// only; slack/artificial columns are unit vectors handled implicitly).
+struct SparseColumns {
+  std::vector<std::vector<Term>> cols;  // per structural var: (row, coef)
+};
+
+class SimplexEngine {
+ public:
+  SimplexEngine(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {
+    build();
+  }
+
+  Solution run() {
+    // Phase 1: minimize total artificial infeasibility if any artificials
+    // carry nonzero value.
+    double art_total = 0.0;
+    for (int j = first_artificial_; j < ncols_; ++j) art_total += x_[sz(j)];
+    if (art_total > opt_.tol) {
+      set_phase1_objective();
+      const SolveStatus st = iterate();
+      if (st == SolveStatus::kIterationLimit) return finish(st);
+      double infeas = 0.0;
+      for (int j = first_artificial_; j < ncols_; ++j) infeas += x_[sz(j)];
+      if (infeas > 1e-6) return finish(SolveStatus::kInfeasible);
+    }
+    // Freeze artificials at zero and run Phase 2 with the real objective.
+    for (int j = first_artificial_; j < ncols_; ++j) {
+      upper_[sz(j)] = 0.0;
+      x_[sz(j)] = std::max(0.0, std::min(x_[sz(j)], 0.0));
+    }
+    set_phase2_objective();
+    return finish(iterate());
+  }
+
+ private:
+  static std::size_t sz(int i) { return static_cast<std::size_t>(i); }
+
+  void build() {
+    m_ = model_.constraint_count();
+    nstruct_ = model_.variable_count();
+    // Column layout: [0, nstruct) structural, [nstruct, nstruct+m) slacks,
+    // [first_artificial_, ncols_) artificials (added lazily below).
+    lower_.resize(sz(nstruct_ + m_));
+    upper_.resize(sz(nstruct_ + m_));
+    cols_.cols.resize(sz(nstruct_));
+
+    const bool maximize = model_.sense() == Sense::kMaximize;
+    obj_struct_.resize(sz(nstruct_));
+    for (int j = 0; j < nstruct_; ++j) {
+      const Variable& v = model_.variable(j);
+      if (!std::isfinite(v.lower)) {
+        throw std::invalid_argument("simplex: finite lower bounds required");
+      }
+      if (v.lower > v.upper) {
+        throw std::invalid_argument("simplex: lower bound exceeds upper");
+      }
+      lower_[sz(j)] = v.lower;
+      upper_[sz(j)] = v.upper;
+      obj_struct_[sz(j)] = maximize ? -v.objective : v.objective;
+    }
+
+    // Normalize rows to <= / = by flipping >= rows; attach slack bounds.
+    rhs_.resize(sz(m_));
+    row_flip_.assign(sz(m_), 1.0);
+    for (int r = 0; r < m_; ++r) {
+      const Constraint& c = model_.constraint(r);
+      double flip = 1.0;
+      if (c.relation == Relation::kGreaterEqual) flip = -1.0;
+      row_flip_[sz(r)] = flip;
+      rhs_[sz(r)] = flip * c.rhs;
+      for (const Term& t : c.terms) {
+        cols_.cols[sz(t.var)].push_back({r, flip * t.coef});
+      }
+      const int slack = nstruct_ + r;
+      lower_[sz(slack)] = 0.0;
+      upper_[sz(slack)] =
+          (c.relation == Relation::kEqual) ? 0.0 : kInfinity;
+    }
+
+    // Initial point: structural nonbasic at lower bound; slacks basic.
+    ncols_ = nstruct_ + m_;
+    x_.assign(sz(ncols_), 0.0);
+    at_upper_.assign(sz(ncols_), 0);
+    in_basis_.assign(sz(ncols_), 0);
+    for (int j = 0; j < nstruct_; ++j) x_[sz(j)] = lower_[sz(j)];
+
+    std::vector<double> activity(sz(m_), 0.0);
+    for (int j = 0; j < nstruct_; ++j) {
+      if (x_[sz(j)] == 0.0) continue;
+      for (const Term& t : cols_.cols[sz(j)]) {
+        activity[sz(t.var)] += t.coef * x_[sz(j)];
+      }
+    }
+
+    basis_.resize(sz(m_));
+    first_artificial_ = ncols_;
+    std::vector<int> art_rows;
+    for (int r = 0; r < m_; ++r) {
+      const double resid = rhs_[sz(r)] - activity[sz(r)];
+      const int slack = nstruct_ + r;
+      const bool slack_ok = resid >= lower_[sz(slack)] - opt_.tol &&
+                            resid <= upper_[sz(slack)] + opt_.tol;
+      if (slack_ok) {
+        basis_[sz(r)] = slack;
+        in_basis_[sz(slack)] = 1;
+        x_[sz(slack)] = std::max(resid, lower_[sz(slack)]);
+        if (upper_[sz(slack)] != kInfinity) {
+          x_[sz(slack)] = std::min(x_[sz(slack)], upper_[sz(slack)]);
+        }
+      } else {
+        // Slack pinned to its nearest bound; an artificial absorbs the rest.
+        const double s =
+            resid < lower_[sz(slack)] ? lower_[sz(slack)] : upper_[sz(slack)];
+        x_[sz(slack)] = s;
+        at_upper_[sz(slack)] =
+            (s == upper_[sz(slack)] && s != lower_[sz(slack)]) ? 1 : 0;
+        art_rows.push_back(r);
+        art_sign_.push_back(resid - s >= 0.0 ? 1.0 : -1.0);
+      }
+    }
+
+    // Artificial columns: +/-1 in their row, bounds [0, inf), basic.
+    for (const int r : art_rows) {
+      const int col = ncols_++;
+      lower_.push_back(0.0);
+      upper_.push_back(kInfinity);
+      x_.push_back(0.0);
+      at_upper_.push_back(0);
+      in_basis_.push_back(1);
+      basis_[sz(r)] = col;
+    }
+    art_row_.assign(sz(ncols_), -1);
+    {
+      std::size_t a = 0;
+      for (int col = first_artificial_; col < ncols_; ++col, ++a) {
+        art_row_[sz(col)] = art_rows[a];
+      }
+    }
+
+    // Basis inverse starts as identity (slack/artificial unit columns,
+    // artificial sign folded into the inverse row).
+    binv_.assign(sz(m_) * sz(m_), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      double diag = 1.0;
+      const int bcol = basis_[sz(r)];
+      if (bcol >= first_artificial_) {
+        diag = 1.0 / art_sign_[sz(bcol - first_artificial_)];
+      }
+      binv_[sz(r) * sz(m_) + sz(r)] = diag;
+    }
+    recompute_basics();
+  }
+
+  /// Column of the full constraint matrix (structural, slack or artificial)
+  /// as sparse (row, coef) terms.
+  void column_terms(int col, std::vector<Term>& out) const {
+    out.clear();
+    if (col < nstruct_) {
+      out = cols_.cols[sz(col)];
+    } else if (col < nstruct_ + m_) {
+      out.push_back({col - nstruct_, 1.0});
+    } else {
+      out.push_back({art_row_[sz(col)], art_sign_[sz(col - first_artificial_)]});
+    }
+  }
+
+  void set_phase1_objective() {
+    c_.assign(sz(ncols_), 0.0);
+    for (int j = first_artificial_; j < ncols_; ++j) c_[sz(j)] = 1.0;
+  }
+
+  void set_phase2_objective() {
+    c_.assign(sz(ncols_), 0.0);
+    for (int j = 0; j < nstruct_; ++j) c_[sz(j)] = obj_struct_[sz(j)];
+  }
+
+  /// Recomputes basic variable values exactly: x_B = B^-1 (b - N x_N).
+  void recompute_basics() {
+    std::vector<double> resid = rhs_;
+    std::vector<Term> terms;
+    for (int j = 0; j < ncols_; ++j) {
+      if (in_basis_[sz(j)] || x_[sz(j)] == 0.0) continue;
+      column_terms(j, terms);
+      for (const Term& t : terms) resid[sz(t.var)] -= t.coef * x_[sz(j)];
+    }
+    for (int r = 0; r < m_; ++r) {
+      double v = 0.0;
+      const double* row = &binv_[sz(r) * sz(m_)];
+      for (int i = 0; i < m_; ++i) v += row[sz(i)] * resid[sz(i)];
+      x_[sz(basis_[sz(r)])] = v;
+    }
+  }
+
+  SolveStatus iterate() {
+    int degenerate_run = 0;
+    std::vector<double> y(sz(m_));
+    std::vector<double> w(sz(m_));
+    std::vector<Term> terms;
+
+    while (iterations_ < opt_.iteration_limit) {
+      ++iterations_;
+      if (iterations_ % opt_.recompute_every == 0) recompute_basics();
+
+      // BTRAN: y = c_B^T B^-1.
+      for (int i = 0; i < m_; ++i) {
+        double v = 0.0;
+        for (int r = 0; r < m_; ++r) {
+          const double cb = c_[sz(basis_[sz(r)])];
+          if (cb != 0.0) v += cb * binv_[sz(r) * sz(m_) + sz(i)];
+        }
+        y[sz(i)] = v;
+      }
+
+      // Pricing.
+      const bool bland = degenerate_run >= opt_.degenerate_switch;
+      int enter = -1;
+      double best = opt_.tol;
+      double enter_dir = 0.0;
+      for (int j = 0; j < ncols_; ++j) {
+        if (in_basis_[sz(j)]) continue;
+        if (lower_[sz(j)] == upper_[sz(j)]) continue;  // fixed
+        column_terms(j, terms);
+        double d = c_[sz(j)];
+        for (const Term& t : terms) d -= y[sz(t.var)] * t.coef;
+        double score = 0.0;
+        double dir = 0.0;
+        if (!at_upper_[sz(j)] && d < -opt_.tol) {
+          score = -d;
+          dir = 1.0;
+        } else if (at_upper_[sz(j)] && d > opt_.tol) {
+          score = d;
+          dir = -1.0;
+        } else {
+          continue;
+        }
+        if (bland) {
+          enter = j;
+          enter_dir = dir;
+          break;
+        }
+        if (score > best) {
+          best = score;
+          enter = j;
+          enter_dir = dir;
+        }
+      }
+      if (enter < 0) return SolveStatus::kOptimal;
+
+      // FTRAN: w = B^-1 A_enter.
+      column_terms(enter, terms);
+      std::fill(w.begin(), w.end(), 0.0);
+      for (const Term& t : terms) {
+        const double coef = t.coef;
+        const std::size_t col = sz(t.var);
+        for (int r = 0; r < m_; ++r) {
+          w[sz(r)] += binv_[sz(r) * sz(m_) + col] * coef;
+        }
+      }
+
+      // Ratio test. Entering var moves by t*enter_dir; basic r moves at rate
+      // -enter_dir * w[r].
+      double t_max = upper_[sz(enter)] - lower_[sz(enter)];  // bound flip
+      int leave_row = -1;
+      double leave_pivot = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        const double rate = -enter_dir * w[sz(r)];
+        if (std::abs(rate) <= opt_.pivot_tol) continue;
+        const int b = basis_[sz(r)];
+        double limit;
+        if (rate > 0.0) {
+          if (upper_[sz(b)] == kInfinity) continue;
+          limit = (upper_[sz(b)] - x_[sz(b)]) / rate;
+        } else {
+          limit = (x_[sz(b)] - lower_[sz(b)]) / (-rate);
+        }
+        limit = std::max(limit, 0.0);
+        if (limit < t_max - 1e-12 ||
+            (limit < t_max + 1e-12 &&
+             (leave_row < 0 || std::abs(w[sz(r)]) > std::abs(leave_pivot)))) {
+          t_max = limit;
+          leave_row = r;
+          leave_pivot = w[sz(r)];
+        }
+      }
+
+      if (t_max == kInfinity || (leave_row < 0 && t_max == kInfinity)) {
+        return SolveStatus::kUnbounded;
+      }
+      if (leave_row < 0 && !std::isfinite(t_max)) {
+        return SolveStatus::kUnbounded;
+      }
+
+      degenerate_run = (t_max <= opt_.tol) ? degenerate_run + 1 : 0;
+
+      if (leave_row < 0) {
+        // Bound flip: entering variable crosses to its other bound.
+        const double step = t_max * enter_dir;
+        x_[sz(enter)] += step;
+        at_upper_[sz(enter)] = at_upper_[sz(enter)] ? 0 : 1;
+        for (int r = 0; r < m_; ++r) {
+          x_[sz(basis_[sz(r)])] -= step * w[sz(r)];
+        }
+        continue;
+      }
+
+      // Pivot.
+      const double step = t_max * enter_dir;
+      for (int r = 0; r < m_; ++r) {
+        x_[sz(basis_[sz(r)])] -= step * w[sz(r)];
+      }
+      const int leave = basis_[sz(leave_row)];
+      const double rate = -enter_dir * leave_pivot;
+      // Pin the leaving variable to the bound it reached.
+      x_[sz(leave)] = (rate > 0.0) ? upper_[sz(leave)] : lower_[sz(leave)];
+      at_upper_[sz(leave)] = (rate > 0.0) ? 1 : 0;
+      in_basis_[sz(leave)] = 0;
+      x_[sz(enter)] += step;
+      in_basis_[sz(enter)] = 1;
+      at_upper_[sz(enter)] = 0;
+      basis_[sz(leave_row)] = enter;
+
+      // Update B^-1: row ops making column `enter` the unit vector e_r.
+      const double alpha = leave_pivot;
+      double* prow = &binv_[sz(leave_row) * sz(m_)];
+      for (int i = 0; i < m_; ++i) prow[sz(i)] /= alpha;
+      for (int r = 0; r < m_; ++r) {
+        if (r == leave_row) continue;
+        const double f = w[sz(r)];
+        if (f == 0.0) continue;
+        double* row = &binv_[sz(r) * sz(m_)];
+        for (int i = 0; i < m_; ++i) row[sz(i)] -= f * prow[sz(i)];
+      }
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  Solution finish(SolveStatus status) {
+    recompute_basics();
+    Solution sol;
+    sol.status = status;
+    sol.x.assign(sz(nstruct_), 0.0);
+    for (int j = 0; j < nstruct_; ++j) sol.x[sz(j)] = x_[sz(j)];
+    double obj = 0.0;
+    for (int j = 0; j < nstruct_; ++j) obj += obj_struct_[sz(j)] * x_[sz(j)];
+    const bool maximize = model_.sense() == Sense::kMaximize;
+    sol.objective = maximize ? -obj : obj;
+
+    if (status == SolveStatus::kOptimal) {
+      // Duals y = c_B^T B^-1 of the internal minimization problem, mapped
+      // back through the row flips and the sense negation so that each
+      // dual is the shadow price d(objective)/d(rhs) in the model's sense.
+      sol.duals.assign(sz(m_), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        double y = 0.0;
+        for (int r = 0; r < m_; ++r) {
+          const double cb = c_[sz(basis_[sz(r)])];
+          if (cb != 0.0) y += cb * binv_[sz(r) * sz(m_) + sz(i)];
+        }
+        sol.duals[sz(i)] = y * row_flip_[sz(i)] * (maximize ? -1.0 : 1.0);
+      }
+    }
+    return sol;
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+
+  int m_ = 0;        // rows
+  int nstruct_ = 0;  // structural columns
+  int ncols_ = 0;    // total columns
+  int first_artificial_ = 0;
+
+  SparseColumns cols_;
+  std::vector<double> obj_struct_;  // minimization-sense structural costs
+  std::vector<double> rhs_;
+  std::vector<double> row_flip_;
+  std::vector<double> lower_, upper_, x_, c_;
+  std::vector<char> at_upper_, in_basis_;
+  std::vector<int> basis_;
+  std::vector<int> art_row_;
+  std::vector<double> art_sign_;
+  std::vector<double> binv_;
+  long iterations_ = 0;
+};
+
+}  // namespace
+
+Solution solve_lp(const Model& model, const SimplexOptions& options) {
+  if (model.constraint_count() == 0) {
+    // Pure bound problem: each variable sits at its best bound.
+    Solution sol;
+    sol.status = SolveStatus::kOptimal;
+    sol.x.resize(static_cast<std::size_t>(model.variable_count()));
+    double obj = 0.0;
+    for (int j = 0; j < model.variable_count(); ++j) {
+      const Variable& v = model.variable(j);
+      const double cost =
+          model.sense() == Sense::kMaximize ? -v.objective : v.objective;
+      double xv = cost >= 0.0 ? v.lower : v.upper;
+      if (!std::isfinite(xv)) {
+        sol.status = SolveStatus::kUnbounded;
+        xv = v.lower;
+      }
+      sol.x[static_cast<std::size_t>(j)] = xv;
+      obj += v.objective * xv;
+    }
+    sol.objective = obj;
+    return sol;
+  }
+  SimplexEngine engine(model, options);
+  return engine.run();
+}
+
+}  // namespace bate

@@ -1,0 +1,34 @@
+// Bounded-variable revised primal simplex with a dense basis inverse.
+//
+// Handles the LP classes this repository produces (traffic-scheduling LPs,
+// TE baselines, LP relaxations inside branch & bound): minimize or maximize
+// c'x subject to rows {<=, >=, =} and variable bounds [l, u] with finite
+// lower bounds (all our variables are nonnegative) and possibly infinite
+// upper bounds.
+//
+// Method: rows are normalized to <= / = and given slack columns; an
+// infeasible slack basis is repaired with artificial columns minimized in a
+// Phase-1 objective; Phase 2 reuses the final Phase-1 basis. Pricing is
+// Dantzig with an automatic switch to Bland's rule under degeneracy. The
+// basis inverse is maintained explicitly (O(m^2) per pivot) and basic values
+// are recomputed periodically to bound numerical drift.
+#pragma once
+
+#include "solver/model.h"
+
+namespace bate {
+
+struct SimplexOptions {
+  int iteration_limit = 200000;        // across both phases
+  double tol = 1e-7;                   // feasibility / optimality tolerance
+  double pivot_tol = 1e-9;             // minimum |pivot| magnitude
+  int degenerate_switch = 60;          // consecutive degenerate pivots before Bland
+  int recompute_every = 256;           // basic-value refresh cadence
+};
+
+/// Solves the LP (integrality markers are ignored). Throws
+/// std::invalid_argument for models with variables whose lower bound is not
+/// finite.
+Solution solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace bate

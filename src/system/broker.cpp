@@ -1,0 +1,101 @@
+#include "system/broker.h"
+
+#include <array>
+
+#include "util/log.h"
+
+namespace bate {
+
+Broker::Broker(int dc_id, std::uint16_t controller_port)
+    : dc_(dc_id), port_(controller_port) {}
+
+Broker::~Broker() { stop(); }
+
+void Broker::start() {
+  socket_ = connect_tcp(port_);
+  socket_.set_nodelay(true);
+  const auto hello = encode_frame(encode_message(HelloMsg{"broker", dc_}));
+  socket_.write_all(hello);
+  running_ = true;
+  thread_ = std::thread([this] { receive_loop(); });
+}
+
+void Broker::stop() {
+  if (!thread_.joinable()) return;
+  running_ = false;
+  // shutdown() (not close()) wakes the receive thread blocked in recv.
+  socket_.shutdown();
+  thread_.join();
+  socket_.close();
+}
+
+void Broker::receive_loop() {
+  FrameReader reader;
+  std::array<std::uint8_t, 4096> buf{};
+  while (running_) {
+    long n = 0;
+    try {
+      n = socket_.read_some(buf);
+    } catch (const std::system_error&) {
+      break;
+    }
+    if (n <= 0) break;  // peer closed or socket shut down
+    reader.feed({buf.data(), static_cast<std::size_t>(n)});
+    while (auto frame = reader.next()) {
+      Message msg;
+      try {
+        msg = decode_message(*frame);
+      } catch (const std::exception& e) {
+        log_warn("broker", std::string("bad message: ") + e.what());
+        continue;
+      }
+      if (const auto* update = std::get_if<AllocationUpdateMsg>(&msg)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        rates_[{update->id, update->pair}] = update->tunnel_mbps;
+        enforcer_.update(update->id, update->pair, update->tunnel_mbps);
+        backup_active_ = update->backup;
+        ++updates_;
+      }
+    }
+  }
+}
+
+std::vector<double> Broker::enforced_rates(DemandId id, int pair) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rates_.find({id, pair});
+  return it == rates_.end() ? std::vector<double>{} : it->second;
+}
+
+double Broker::enforced_total(DemandId id, int pair) const {
+  double total = 0.0;
+  for (double r : enforced_rates(id, pair)) total += r;
+  return total;
+}
+
+int Broker::updates_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return updates_;
+}
+
+bool Broker::backup_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backup_active_;
+}
+
+double Broker::shape(DemandId id, int pair, std::size_t tunnel,
+                     double megabits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enforcer_.shape(id, pair, tunnel, megabits);
+}
+
+void Broker::advance_enforcer(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enforcer_.advance(seconds);
+}
+
+void Broker::report_link(LinkId link, bool up) {
+  const auto framed = encode_frame(encode_message(LinkStatusMsg{link, up}));
+  socket_.write_all(framed);
+}
+
+}  // namespace bate

@@ -1,0 +1,69 @@
+// A BATE broker (Sec 4): one per DC. Connects to the controller over a
+// long-lived TCP session, receives allocation updates for its bandwidth
+// enforcer, and reports link status changes observed by its network agent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/socket.h"
+#include "system/protocol.h"
+#include "system/rate_limiter.h"
+
+namespace bate {
+
+class Broker {
+ public:
+  Broker(int dc_id, std::uint16_t controller_port);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Connects, sends Hello{role="broker"} and starts the receive thread.
+  void start();
+  void stop();
+
+  /// Bandwidth-enforcer view: currently enforced per-tunnel rates for a
+  /// (demand, pair); empty when unknown.
+  std::vector<double> enforced_rates(DemandId id, int pair) const;
+  /// Total enforced rate across tunnels for a (demand, pair).
+  double enforced_total(DemandId id, int pair) const;
+  /// Number of allocation updates received (test/diagnostic hook).
+  int updates_received() const;
+  /// True when the latest update for any row came from a backup plan.
+  bool backup_active() const;
+
+  /// Network agent: report a link status change to the controller.
+  void report_link(LinkId link, bool up);
+
+  /// Bandwidth enforcer (Sec 4): shapes an offered burst on one tunnel of
+  /// an enforced (demand, pair) row; returns the admitted megabits.
+  double shape(DemandId id, int pair, std::size_t tunnel, double megabits);
+  /// Advances the enforcer's token buckets by `seconds`.
+  void advance_enforcer(double seconds);
+
+  int dc() const { return dc_; }
+
+ private:
+  void receive_loop();
+
+  int dc_;
+  std::uint16_t port_;
+  Socket socket_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex mu_;
+  BandwidthEnforcer enforcer_;
+  std::map<std::pair<DemandId, int>, std::vector<double>> rates_;
+  int updates_ = 0;
+  bool backup_active_ = false;
+};
+
+}  // namespace bate

@@ -1,0 +1,56 @@
+// Blocking user-side client for the controller: submit a BA demand and wait
+// for the admission decision, or withdraw a finished demand (Sec 4 "Users").
+// Header-only convenience wrapper over the protocol.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <stdexcept>
+
+#include "net/framing.h"
+#include "net/socket.h"
+#include "system/protocol.h"
+
+namespace bate {
+
+class UserClient {
+ public:
+  explicit UserClient(std::uint16_t controller_port)
+      : socket_(connect_tcp(controller_port)) {
+    socket_.set_nodelay(true);
+    socket_.write_all(encode_frame(encode_message(HelloMsg{"user", -1})));
+  }
+
+  /// Submits a demand and blocks until the admission reply arrives.
+  bool submit(const Demand& demand) {
+    socket_.write_all(encode_frame(encode_message(SubmitDemandMsg{demand})));
+    while (true) {
+      const Message msg = read_message();
+      if (const auto* reply = std::get_if<AdmissionReplyMsg>(&msg)) {
+        if (reply->id == demand.id) return reply->admitted;
+      }
+      // Other traffic (e.g. allocation broadcasts) is not expected on user
+      // connections; ignore anything else.
+    }
+  }
+
+  void withdraw(DemandId id) {
+    socket_.write_all(encode_frame(encode_message(WithdrawDemandMsg{id})));
+  }
+
+ private:
+  Message read_message() {
+    std::array<std::uint8_t, 4096> buf{};
+    while (true) {
+      if (auto frame = reader_.next()) return decode_message(*frame);
+      const long n = socket_.read_some(buf);
+      if (n == 0) throw std::runtime_error("UserClient: controller closed");
+      if (n > 0) reader_.feed({buf.data(), static_cast<std::size_t>(n)});
+    }
+  }
+
+  Socket socket_;
+  FrameReader reader_;
+};
+
+}  // namespace bate

@@ -1,0 +1,171 @@
+#include "system/controller.h"
+
+#include <array>
+
+#include "util/log.h"
+
+namespace bate {
+
+Controller::Controller(const Topology& topo, const TunnelCatalog& catalog,
+                       SchedulerConfig scheduler_cfg,
+                       AdmissionStrategy admission)
+    : scheduler_(topo, catalog, scheduler_cfg),
+      admission_(scheduler_, admission),
+      planner_(topo, catalog) {}
+
+Controller::~Controller() { stop(); }
+
+void Controller::start() {
+  listener_ = std::make_unique<TcpListener>(0);
+  port_ = listener_->port();
+  listener_->set_nonblocking(true);
+  loop_.add_reader(listener_->fd(), [this] { on_accept(); });
+  thread_ = std::thread([this] { loop_.run(20); });
+  log_info("controller", "listening on port " + std::to_string(port_));
+}
+
+void Controller::stop() {
+  if (!thread_.joinable()) return;
+  loop_.stop();
+  thread_.join();
+  for (auto& [fd, peer] : peers_) loop_.remove(fd);
+  peers_.clear();
+  if (listener_) loop_.remove(listener_->fd());
+  listener_.reset();
+}
+
+void Controller::on_accept() {
+  while (auto sock = listener_->accept()) {
+    sock->set_nonblocking(true);
+    sock->set_nodelay(true);
+    const int fd = sock->fd();
+    peers_.emplace(fd, Peer{std::move(*sock), FrameReader{}, "", -1});
+    loop_.add_reader(fd, [this, fd] { on_peer_readable(fd); });
+  }
+}
+
+void Controller::on_peer_readable(int fd) {
+  auto it = peers_.find(fd);
+  if (it == peers_.end()) return;
+  Peer& peer = it->second;
+
+  std::array<std::uint8_t, 4096> buf{};
+  bool closed = false;
+  while (true) {
+    long n = 0;
+    try {
+      n = peer.socket.read_some(buf);
+    } catch (const std::system_error&) {
+      closed = true;
+      break;
+    }
+    if (n == 0) {
+      closed = true;
+      break;
+    }
+    if (n < 0) break;  // would block
+    peer.reader.feed({buf.data(), static_cast<std::size_t>(n)});
+  }
+  while (auto frame = peer.reader.next()) {
+    try {
+      handle_message(peer, decode_message(*frame));
+    } catch (const std::exception& e) {
+      log_warn("controller", std::string("bad message: ") + e.what());
+    }
+  }
+  if (closed) {
+    loop_.remove(fd);
+    peers_.erase(fd);
+  }
+}
+
+void Controller::send_to(Peer& peer, const Message& msg) {
+  const auto framed = encode_frame(encode_message(msg));
+  try {
+    // Frames are small; a blocking send on a nonblocking socket can still
+    // short-write under pressure, which write_all treats as EAGAIN error —
+    // acceptable for the control channel sizes used here.
+    peer.socket.write_all(framed);
+  } catch (const std::system_error& e) {
+    log_warn("controller", std::string("send failed: ") + e.what());
+  }
+}
+
+void Controller::run_scheduling_round() {
+  admission_.reschedule();
+  std::vector<Allocation> current = admission_.allocations();
+  planner_.precompute(admission_.admitted(), current);
+}
+
+void Controller::handle_message(Peer& peer, const Message& msg) {
+  if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
+    peer.role = hello->role;
+    peer.dc = hello->dc;
+    return;
+  }
+  if (const auto* submit = std::get_if<SubmitDemandMsg>(&msg)) {
+    const AdmissionOutcome outcome = admission_.offer(submit->demand);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.demands_offered;
+      stats_.demands_admitted += outcome.admitted ? 1 : 0;
+    }
+    send_to(peer, AdmissionReplyMsg{submit->demand.id, outcome.admitted});
+    if (outcome.admitted) {
+      run_scheduling_round();
+      broadcast_allocations(false, nullptr);
+    }
+    return;
+  }
+  if (const auto* withdraw = std::get_if<WithdrawDemandMsg>(&msg)) {
+    admission_.remove(withdraw->id);
+    run_scheduling_round();
+    broadcast_allocations(false, nullptr);
+    return;
+  }
+  if (const auto* status = std::get_if<LinkStatusMsg>(&msg)) {
+    if (!status->up) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.link_failures_handled;
+      }
+      broadcast_allocations(true, planner_.plan(status->link));
+    } else {
+      broadcast_allocations(false, nullptr);
+    }
+    return;
+  }
+}
+
+void Controller::broadcast_allocations(bool backup,
+                                       const RecoveryResult* plan) {
+  const auto& demands =
+      (backup && plan != nullptr) ? planner_.demands() : admission_.admitted();
+  const auto& allocs = (backup && plan != nullptr)
+                           ? plan->alloc
+                           : admission_.allocations();
+  int sent = 0;
+  for (auto& [fd, peer] : peers_) {
+    if (peer.role != "broker") continue;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
+        AllocationUpdateMsg update;
+        update.id = demands[i].id;
+        update.pair = demands[i].pairs[p].pair;
+        update.tunnel_mbps = allocs[i][p];
+        update.backup = backup;
+        send_to(peer, update);
+        ++sent;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.allocation_updates_sent += sent;
+}
+
+ControllerStats Controller::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace bate

@@ -1,0 +1,82 @@
+// The BATE controller (Sec 4): offline routing (the tunnel catalog it is
+// constructed with), admission control, the online scheduler with backup
+// pre-computation, and the TCP communication channel to brokers and users.
+//
+// The controller runs its epoll loop on a dedicated thread. Users connect,
+// submit demands and receive admission replies; brokers connect, introduce
+// themselves with Hello{role="broker"} and then receive allocation updates
+// (normal after every scheduling round, backup when a broker reports a link
+// down).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/admission.h"
+#include "core/recovery.h"
+#include "core/scheduling.h"
+#include "net/event_loop.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "system/protocol.h"
+
+namespace bate {
+
+struct ControllerStats {
+  int demands_offered = 0;
+  int demands_admitted = 0;
+  int link_failures_handled = 0;
+  int allocation_updates_sent = 0;
+};
+
+class Controller {
+ public:
+  /// Topology and catalog must outlive the controller.
+  Controller(const Topology& topo, const TunnelCatalog& catalog,
+             SchedulerConfig scheduler_cfg = {},
+             AdmissionStrategy admission = AdmissionStrategy::kBate);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Binds a loopback port and starts the service thread.
+  void start();
+  void stop();
+  std::uint16_t port() const { return port_; }
+
+  ControllerStats stats() const;
+
+ private:
+  struct Peer {
+    Socket socket;
+    FrameReader reader;
+    std::string role;  // set by Hello
+    int dc = -1;
+  };
+
+  void on_accept();
+  void on_peer_readable(int fd);
+  void handle_message(Peer& peer, const Message& msg);
+  void send_to(Peer& peer, const Message& msg);
+  void broadcast_allocations(bool backup, const RecoveryResult* plan);
+  void run_scheduling_round();
+
+  TrafficScheduler scheduler_;
+  AdmissionController admission_;
+  BackupPlanner planner_;
+
+  std::unique_ptr<TcpListener> listener_;
+  EventLoop loop_;
+  std::map<int, Peer> peers_;
+  std::thread thread_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex stats_mu_;
+  ControllerStats stats_;
+};
+
+}  // namespace bate

@@ -1,0 +1,64 @@
+#include "system/election.h"
+
+namespace bate {
+
+std::optional<PromiseMsg> PaxosAcceptor::on_prepare(const PrepareMsg& msg) {
+  if (msg.ballot < promised_) return std::nullopt;
+  promised_ = msg.ballot;
+  PromiseMsg promise;
+  promise.ballot = msg.ballot;
+  promise.accepted_ballot = accepted_ballot_;
+  promise.accepted_value = accepted_value_;
+  promise.from = id_;
+  return promise;
+}
+
+std::optional<AcceptedMsg> PaxosAcceptor::on_accept(const AcceptMsg& msg) {
+  if (msg.ballot < promised_) return std::nullopt;
+  promised_ = msg.ballot;
+  accepted_ballot_ = msg.ballot;
+  accepted_value_ = msg.value;
+  AcceptedMsg accepted;
+  accepted.ballot = msg.ballot;
+  accepted.value = msg.value;
+  accepted.from = id_;
+  return accepted;
+}
+
+PrepareMsg PaxosProposer::start(MasterId value) {
+  ballot_ = Ballot{ballot_.round + 1, id_};
+  value_ = value;
+  promises_.clear();
+  accepts_.clear();
+  accept_sent_ = false;
+  decided_ = false;
+  return PrepareMsg{ballot_};
+}
+
+std::optional<AcceptMsg> PaxosProposer::on_promise(const PromiseMsg& msg) {
+  if (msg.ballot != ballot_ || accept_sent_) return std::nullopt;
+  promises_[msg.from] = msg;
+  if (static_cast<int>(promises_.size()) < quorum()) return std::nullopt;
+
+  // Paxos invariant: adopt the value of the highest-ballot prior accept
+  // among the promising quorum, else keep the preferred value.
+  Ballot best;
+  for (const auto& [from, promise] : promises_) {
+    if (promise.accepted_ballot.valid() && promise.accepted_ballot > best) {
+      best = promise.accepted_ballot;
+      value_ = promise.accepted_value;
+    }
+  }
+  accept_sent_ = true;
+  return AcceptMsg{ballot_, value_};
+}
+
+std::optional<MasterId> PaxosProposer::on_accepted(const AcceptedMsg& msg) {
+  if (msg.ballot != ballot_ || decided_) return std::nullopt;
+  accepts_[msg.from] = msg;
+  if (static_cast<int>(accepts_.size()) < quorum()) return std::nullopt;
+  decided_ = true;
+  return msg.value;
+}
+
+}  // namespace bate

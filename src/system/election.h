@@ -1,0 +1,123 @@
+// Controller master election (Sec 4: "controller failures can be remedied
+// by using multiple replications, where the master controller is elected by
+// the Paxos algorithm").
+//
+// Single-decree Paxos as pure state machines — proposer, acceptor and
+// learner roles with explicit messages — so the protocol is deterministic
+// and unit-testable under arbitrary message loss, duplication and
+// reordering. ElectionInstance composes the three roles for one replica;
+// a harness (or a transport) moves the messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace bate {
+
+/// Totally ordered ballot number: (round, proposer id).
+struct Ballot {
+  int round = -1;
+  int node = -1;
+
+  friend auto operator<=>(const Ballot&, const Ballot&) = default;
+  bool valid() const { return round >= 0; }
+};
+
+/// The value being agreed on: the elected master's replica id.
+using MasterId = int;
+
+struct PrepareMsg {
+  Ballot ballot;
+};
+struct PromiseMsg {
+  Ballot ballot;            // the ballot being promised
+  Ballot accepted_ballot;   // highest ballot previously accepted (or invalid)
+  MasterId accepted_value = -1;
+  int from = -1;
+};
+struct AcceptMsg {
+  Ballot ballot;
+  MasterId value = -1;
+};
+struct AcceptedMsg {
+  Ballot ballot;
+  MasterId value = -1;
+  int from = -1;
+};
+
+/// Acceptor role: promises and accepts ballots, never regressing.
+class PaxosAcceptor {
+ public:
+  explicit PaxosAcceptor(int id) : id_(id) {}
+
+  /// Returns a promise when the ballot is >= anything promised before;
+  /// nullopt rejects (stale ballot).
+  std::optional<PromiseMsg> on_prepare(const PrepareMsg& msg);
+  /// Returns an accepted notification when the ballot is still current.
+  std::optional<AcceptedMsg> on_accept(const AcceptMsg& msg);
+
+  const Ballot& promised() const { return promised_; }
+  const Ballot& accepted_ballot() const { return accepted_ballot_; }
+  MasterId accepted_value() const { return accepted_value_; }
+
+ private:
+  int id_;
+  Ballot promised_;
+  Ballot accepted_ballot_;
+  MasterId accepted_value_ = -1;
+};
+
+/// Proposer role: runs the two phases for one ballot at a time.
+class PaxosProposer {
+ public:
+  PaxosProposer(int id, int cluster_size)
+      : id_(id), cluster_size_(cluster_size) {}
+
+  /// Starts (or restarts, with a higher round) a proposal preferring
+  /// `value`; returns the Prepare to broadcast.
+  PrepareMsg start(MasterId value);
+  /// Feeds a promise; returns the Accept to broadcast once a quorum of
+  /// promises for the current ballot has arrived (exactly once).
+  std::optional<AcceptMsg> on_promise(const PromiseMsg& msg);
+  /// Feeds an accepted notification; returns the chosen value once a
+  /// quorum has accepted the current ballot (exactly once).
+  std::optional<MasterId> on_accepted(const AcceptedMsg& msg);
+
+  int quorum() const { return cluster_size_ / 2 + 1; }
+  const Ballot& ballot() const { return ballot_; }
+
+ private:
+  int id_;
+  int cluster_size_;
+  Ballot ballot_;
+  MasterId value_ = -1;
+  std::map<int, PromiseMsg> promises_;
+  std::map<int, AcceptedMsg> accepts_;
+  bool accept_sent_ = false;
+  bool decided_ = false;
+};
+
+/// One replica: acceptor + proposer + learned outcome.
+class ElectionInstance {
+ public:
+  ElectionInstance(int id, int cluster_size)
+      : id_(id), acceptor_(id), proposer_(id, cluster_size) {}
+
+  int id() const { return id_; }
+  PaxosAcceptor& acceptor() { return acceptor_; }
+  PaxosProposer& proposer() { return proposer_; }
+
+  /// Records a decision (from this node's proposer or a learn broadcast).
+  void learn(MasterId master) { master_ = master; }
+  std::optional<MasterId> master() const { return master_; }
+
+ private:
+  int id_;
+  PaxosAcceptor acceptor_;
+  PaxosProposer proposer_;
+  std::optional<MasterId> master_;
+};
+
+}  // namespace bate

@@ -1,0 +1,120 @@
+#include "system/labels.h"
+
+#include <set>
+
+namespace bate {
+
+std::uint32_t VxlanLabel::encode() const {
+  if (demand > kMax || tunnel > kMax) {
+    throw std::invalid_argument("VxlanLabel: field exceeds 12 bits");
+  }
+  return (static_cast<std::uint32_t>(demand) << 12) |
+         static_cast<std::uint32_t>(tunnel);
+}
+
+VxlanLabel VxlanLabel::decode(std::uint32_t vni) {
+  if (vni > 0xFFFFFF) {
+    throw std::invalid_argument("VxlanLabel: VNI exceeds 24 bits");
+  }
+  VxlanLabel label;
+  label.demand = static_cast<std::uint16_t>((vni >> 12) & kMax);
+  label.tunnel = static_cast<std::uint16_t>(vni & kMax);
+  return label;
+}
+
+void SwitchTable::install(const FlowRule& rule) {
+  rules_[rule.label.encode()] = rule.out_link;
+}
+
+void SwitchTable::remove(const VxlanLabel& label) {
+  rules_.erase(label.encode());
+}
+
+std::optional<LinkId> SwitchTable::lookup(const VxlanLabel& label) const {
+  const auto it = rules_.find(label.encode());
+  if (it == rules_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SwitchTable::set_group(std::uint16_t demand,
+                            std::vector<GroupBucket> buckets) {
+  if (demand > VxlanLabel::kMax) {
+    throw std::invalid_argument("SwitchTable: demand exceeds 12 bits");
+  }
+  groups_[demand] = std::move(buckets);
+}
+
+const std::vector<GroupBucket>* SwitchTable::group(
+    std::uint16_t demand) const {
+  const auto it = groups_.find(demand);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+ForwardingPlan compile_forwarding(const Topology& topo,
+                                  const TunnelCatalog& catalog,
+                                  std::span<const Demand> demands,
+                                  std::span<const Allocation> allocs) {
+  ForwardingPlan plan;
+  plan.switches.resize(static_cast<std::size_t>(topo.node_count()));
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    if (d.id < 0 || d.id > static_cast<int>(VxlanLabel::kMax)) {
+      throw std::invalid_argument(
+          "compile_forwarding: demand id exceeds the 12-bit label space");
+    }
+    // Tunnel labels are global per demand across its pairs (pair-major).
+    std::uint16_t tunnel_label = 0;
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+      double total_rate = 0.0;
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        total_rate += allocs[i][p][t];
+      }
+      std::vector<GroupBucket> buckets;
+      for (std::size_t t = 0; t < tunnels.size(); ++t, ++tunnel_label) {
+        const double rate = allocs[i][p][t];
+        if (rate <= 1e-9) continue;
+        const VxlanLabel label{static_cast<std::uint16_t>(d.id),
+                               tunnel_label};
+        // Transit rules: at every hop's switch, label -> next link.
+        for (LinkId e : tunnels[t].links) {
+          plan.switches[static_cast<std::size_t>(topo.link(e).src)].install(
+              {label, e});
+          ++plan.rules_installed;
+        }
+        buckets.push_back({label, rate / total_rate});
+      }
+      if (!buckets.empty()) {
+        plan.switches[static_cast<std::size_t>(tunnels[0].src)].set_group(
+            static_cast<std::uint16_t>(d.id), std::move(buckets));
+        ++plan.groups_installed;
+      }
+    }
+  }
+  return plan;
+}
+
+std::optional<std::vector<LinkId>> trace_label(const Topology& topo,
+                                               const ForwardingPlan& plan,
+                                               NodeId ingress,
+                                               const VxlanLabel& label) {
+  std::vector<LinkId> path;
+  std::set<NodeId> visited;
+  NodeId node = ingress;
+  while (true) {
+    if (!visited.insert(node).second) return std::nullopt;  // loop
+    const auto next =
+        plan.switches[static_cast<std::size_t>(node)].lookup(label);
+    if (!next) {
+      // No rule: either we've reached the egress (done) or the rule chain
+      // is broken (path empty => broken at ingress).
+      if (path.empty()) return std::nullopt;
+      return path;
+    }
+    path.push_back(*next);
+    node = topo.link(*next).dst;
+  }
+}
+
+}  // namespace bate

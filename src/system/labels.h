@@ -1,0 +1,99 @@
+// Label-based forwarding (Sec 4, "Network Agent"):
+//
+// "the first 12 bits of a VxLAN ID represent different demands, and the
+//  last 12 bits represent different tunnels. Therefore, 4096 demands and
+//  4096 tunnels can be supported simultaneously. [...] a flow is marked
+//  with a label at the ingress switch, and the succeeding switches use
+//  this label for forwarding. Group tables [...] are used for flow
+//  splitting."
+//
+// This module implements that scheme: the 24-bit VxLAN label codec, the
+// per-switch flow table (label -> next hop), the ingress group table that
+// splits a demand's traffic across its tunnels in proportion to the
+// enforced rates, and a rule compiler that turns an Allocation into the
+// rules each DC's switch needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "routing/tunnels.h"
+#include "topology/graph.h"
+#include "workload/demand.h"
+
+namespace bate {
+
+/// 24-bit VxLAN network identifier carrying (demand, tunnel) labels.
+struct VxlanLabel {
+  std::uint16_t demand = 0;  // 12 bits
+  std::uint16_t tunnel = 0;  // 12 bits
+
+  static constexpr std::uint16_t kMax = 0x0FFF;  // 4096 values each
+
+  std::uint32_t encode() const;
+  static VxlanLabel decode(std::uint32_t vni);
+};
+
+/// One forwarding rule: packets labelled `label` leave on `out_link`.
+struct FlowRule {
+  VxlanLabel label;
+  LinkId out_link = -1;
+};
+
+/// One ingress group-table bucket: fraction of the demand's traffic that is
+/// labelled with `label` (i.e. sent down that tunnel).
+struct GroupBucket {
+  VxlanLabel label;
+  double weight = 0.0;  // normalized rate share
+};
+
+/// The forwarding state of one DC's edge switch.
+class SwitchTable {
+ public:
+  /// Installs or overwrites the rule for a label. Throws
+  /// std::invalid_argument for labels out of 12-bit range.
+  void install(const FlowRule& rule);
+  /// Removes the rule for a label (idempotent).
+  void remove(const VxlanLabel& label);
+  /// Next hop for a label, if installed.
+  std::optional<LinkId> lookup(const VxlanLabel& label) const;
+
+  /// Replaces the ingress group table for a demand.
+  void set_group(std::uint16_t demand, std::vector<GroupBucket> buckets);
+  const std::vector<GroupBucket>* group(std::uint16_t demand) const;
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::map<std::uint32_t, LinkId> rules_;
+  std::map<std::uint16_t, std::vector<GroupBucket>> groups_;
+};
+
+/// Compiled forwarding state: one SwitchTable per DC.
+struct ForwardingPlan {
+  std::vector<SwitchTable> switches;  // indexed by NodeId
+  int rules_installed = 0;
+  int groups_installed = 0;
+};
+
+/// Compiles an allocation into per-DC switch rules: for every demand and
+/// every tunnel with a positive rate, transit rules along the tunnel and a
+/// weighted ingress group bucket. Demand ids must fit 12 bits.
+ForwardingPlan compile_forwarding(const Topology& topo,
+                                  const TunnelCatalog& catalog,
+                                  std::span<const Demand> demands,
+                                  std::span<const Allocation> allocs);
+
+/// Follows the rules from a tunnel's ingress to its egress; returns the
+/// link path, or nullopt when a rule is missing or a loop is detected
+/// (validation helper for tests and the broker's self-checks).
+std::optional<std::vector<LinkId>> trace_label(const Topology& topo,
+                                               const ForwardingPlan& plan,
+                                               NodeId ingress,
+                                               const VxlanLabel& label);
+
+}  // namespace bate

@@ -1,0 +1,134 @@
+#include "system/protocol.h"
+
+#include <stdexcept>
+
+#include "net/codec.h"
+
+namespace bate {
+
+namespace {
+
+void encode_demand(BufferWriter& w, const Demand& d) {
+  w.i32(d.id);
+  w.u32(static_cast<std::uint32_t>(d.pairs.size()));
+  for (const PairDemand& p : d.pairs) {
+    w.i32(p.pair);
+    w.f64(p.mbps);
+  }
+  w.f64(d.availability_target);
+  w.f64(d.charge);
+  w.f64(d.refund_fraction);
+  w.u32(static_cast<std::uint32_t>(d.refund_tiers.size()));
+  for (const RefundTier& tier : d.refund_tiers) {
+    w.f64(tier.below);
+    w.f64(tier.fraction);
+  }
+  w.f64(d.arrival_minute);
+  w.f64(d.duration_minutes);
+}
+
+Demand decode_demand(BufferReader& r) {
+  Demand d;
+  d.id = r.i32();
+  const std::uint32_t pairs = r.u32();
+  d.pairs.resize(pairs);
+  for (auto& p : d.pairs) {
+    p.pair = r.i32();
+    p.mbps = r.f64();
+  }
+  d.availability_target = r.f64();
+  d.charge = r.f64();
+  d.refund_fraction = r.f64();
+  const std::uint32_t tiers = r.u32();
+  d.refund_tiers.resize(tiers);
+  for (auto& tier : d.refund_tiers) {
+    tier.below = r.f64();
+    tier.fraction = r.f64();
+  }
+  d.arrival_minute = r.f64();
+  d.duration_minutes = r.f64();
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  BufferWriter w;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, HelloMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+          w.str(m.role);
+          w.i32(m.dc);
+        } else if constexpr (std::is_same_v<T, SubmitDemandMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kSubmitDemand));
+          encode_demand(w, m.demand);
+        } else if constexpr (std::is_same_v<T, AdmissionReplyMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kAdmissionReply));
+          w.i32(m.id);
+          w.u8(m.admitted ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, AllocationUpdateMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kAllocationUpdate));
+          w.i32(m.id);
+          w.i32(m.pair);
+          w.f64_vec(m.tunnel_mbps);
+          w.u8(m.backup ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, WithdrawDemandMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kWithdrawDemand));
+          w.i32(m.id);
+        } else if constexpr (std::is_same_v<T, LinkStatusMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kLinkStatus));
+          w.i32(m.link);
+          w.u8(m.up ? 1 : 0);
+        }
+      },
+      msg);
+  return w.bytes();
+}
+
+Message decode_message(std::span<const std::uint8_t> payload) {
+  BufferReader r(payload);
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kHello: {
+      HelloMsg m;
+      m.role = r.str();
+      m.dc = r.i32();
+      return m;
+    }
+    case MsgType::kSubmitDemand: {
+      SubmitDemandMsg m;
+      m.demand = decode_demand(r);
+      return m;
+    }
+    case MsgType::kAdmissionReply: {
+      AdmissionReplyMsg m;
+      m.id = r.i32();
+      m.admitted = r.u8() != 0;
+      return m;
+    }
+    case MsgType::kAllocationUpdate: {
+      AllocationUpdateMsg m;
+      m.id = r.i32();
+      m.pair = r.i32();
+      m.tunnel_mbps = r.f64_vec();
+      m.backup = r.u8() != 0;
+      return m;
+    }
+    case MsgType::kWithdrawDemand: {
+      WithdrawDemandMsg m;
+      m.id = r.i32();
+      return m;
+    }
+    case MsgType::kLinkStatus: {
+      LinkStatusMsg m;
+      m.link = r.i32();
+      m.up = r.u8() != 0;
+      return m;
+    }
+  }
+  throw std::invalid_argument("decode_message: unknown type");
+}
+
+}  // namespace bate

@@ -1,0 +1,68 @@
+// Control-channel wire protocol between users, the controller and the
+// brokers (Sec 4). Messages are framed (net/framing.h) and binary-encoded
+// (net/codec.h) with a leading type byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "topology/graph.h"
+#include "workload/demand.h"
+
+namespace bate {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,            // peer introduction (role + DC id)
+  kSubmitDemand = 2,     // user -> controller
+  kAdmissionReply = 3,   // controller -> user
+  kAllocationUpdate = 4, // controller -> broker: per-demand tunnel rates
+  kWithdrawDemand = 5,   // user -> controller: demand ended
+  kLinkStatus = 6,       // broker -> controller: link up/down
+};
+
+struct HelloMsg {
+  std::string role;  // "broker" | "user"
+  int dc = -1;
+};
+
+struct SubmitDemandMsg {
+  Demand demand;
+};
+
+struct AdmissionReplyMsg {
+  DemandId id = -1;
+  bool admitted = false;
+};
+
+/// One (demand, pair) row of the bandwidth-enforcement table: rates per
+/// tunnel in Mbps. `backup` marks rows coming from an activated backup plan.
+struct AllocationUpdateMsg {
+  DemandId id = -1;
+  int pair = -1;
+  std::vector<double> tunnel_mbps;
+  bool backup = false;
+};
+
+struct WithdrawDemandMsg {
+  DemandId id = -1;
+};
+
+struct LinkStatusMsg {
+  LinkId link = -1;
+  bool up = true;
+};
+
+using Message = std::variant<HelloMsg, SubmitDemandMsg, AdmissionReplyMsg,
+                             AllocationUpdateMsg, WithdrawDemandMsg,
+                             LinkStatusMsg>;
+
+/// Encodes a message payload (not yet framed).
+std::vector<std::uint8_t> encode_message(const Message& msg);
+/// Decodes a payload. Throws std::out_of_range / std::invalid_argument on
+/// malformed input.
+Message decode_message(std::span<const std::uint8_t> payload);
+
+}  // namespace bate

@@ -1,0 +1,108 @@
+// Token-bucket rate enforcement for the broker's bandwidth enforcer
+// (Sec 4: the broker "limits the actual traffic rate in each tunnel in case
+// something is wrong on the end hosts").
+//
+// One TokenBucket per (demand, tunnel): tokens refill at the enforced rate
+// and a transmission consumes its size in tokens; bursts up to the bucket
+// depth are absorbed, sustained overdrive is clipped to the enforced rate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+#include "workload/demand.h"
+
+namespace bate {
+
+class TokenBucket {
+ public:
+  /// rate: tokens (== megabits) added per second; burst: bucket depth.
+  TokenBucket(double rate_mbps, double burst_mb)
+      : rate_(rate_mbps), burst_(burst_mb), tokens_(burst_mb) {
+    if (rate_mbps < 0.0 || burst_mb <= 0.0) {
+      throw std::invalid_argument("TokenBucket: rate/burst");
+    }
+  }
+
+  /// Advances time and refills.
+  void advance(double seconds) {
+    if (seconds < 0.0) throw std::invalid_argument("TokenBucket: time");
+    tokens_ = std::min(burst_, tokens_ + rate_ * seconds);
+  }
+
+  /// Tries to send `megabits`; returns true (and consumes) if they fit.
+  bool try_consume(double megabits) {
+    if (megabits <= tokens_) {
+      tokens_ -= megabits;
+      return true;
+    }
+    return false;
+  }
+
+  /// Sends as much of `megabits` as the bucket allows; returns the admitted
+  /// amount (partial shaping, what a policer's byte counter sees).
+  double consume_up_to(double megabits) {
+    const double admitted = std::min(megabits, tokens_);
+    tokens_ -= admitted;
+    return admitted;
+  }
+
+  void set_rate(double rate_mbps) {
+    if (rate_mbps < 0.0) throw std::invalid_argument("TokenBucket: rate");
+    rate_ = rate_mbps;
+  }
+  double rate() const { return rate_; }
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+};
+
+/// The enforcer table a broker drives from AllocationUpdate messages: one
+/// bucket per (demand, pair, tunnel).
+class BandwidthEnforcer {
+ public:
+  /// Burst window in seconds of the enforced rate (bucket depth).
+  explicit BandwidthEnforcer(double burst_seconds = 0.1)
+      : burst_seconds_(burst_seconds) {}
+
+  /// Installs/updates the per-tunnel rates for a (demand, pair).
+  void update(DemandId demand, int pair, const std::vector<double>& rates) {
+    auto& buckets = table_[{demand, pair}];
+    buckets.clear();
+    for (double rate : rates) {
+      buckets.emplace_back(rate,
+                           std::max(rate * burst_seconds_, 1e-3));
+    }
+  }
+
+  void remove(DemandId demand, int pair) { table_.erase({demand, pair}); }
+
+  /// Advances every bucket by `seconds`.
+  void advance(double seconds) {
+    for (auto& [key, buckets] : table_) {
+      for (TokenBucket& b : buckets) b.advance(seconds);
+    }
+  }
+
+  /// Shapes an offered burst on one tunnel; returns the admitted megabits.
+  /// Unknown rows are dropped entirely (no rule => no service).
+  double shape(DemandId demand, int pair, std::size_t tunnel,
+               double megabits) {
+    const auto it = table_.find({demand, pair});
+    if (it == table_.end() || tunnel >= it->second.size()) return 0.0;
+    return it->second[tunnel].consume_up_to(megabits);
+  }
+
+  std::size_t row_count() const { return table_.size(); }
+
+ private:
+  double burst_seconds_;
+  std::map<std::pair<DemandId, int>, std::vector<TokenBucket>> table_;
+};
+
+}  // namespace bate

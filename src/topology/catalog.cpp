@@ -1,0 +1,125 @@
+#include "topology/catalog.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "topology/generator.h"
+
+namespace bate {
+
+Topology toy4() {
+  // Fig 2(a): capacities 10 Gbps, failure probabilities annotated per link.
+  // Demands flow DC1 -> DC4 over DC2 (upper) or DC3 (lower).
+  Topology t("toy4");
+  const NodeId dc1 = t.add_node("DC1");
+  const NodeId dc2 = t.add_node("DC2");
+  const NodeId dc3 = t.add_node("DC3");
+  const NodeId dc4 = t.add_node("DC4");
+  t.add_link(dc1, dc2, 10000.0, 0.04, "e1");       // 4%
+  t.add_link(dc2, dc4, 10000.0, 0.000001, "e2");   // 0.0001%
+  t.add_link(dc1, dc3, 10000.0, 0.001, "e3");      // 0.1%
+  t.add_link(dc3, dc4, 10000.0, 0.000001, "e4");   // 0.0001%
+  return t;
+}
+
+Topology square4() {
+  // Fig 4: 4 DCs in a square, unit capacity everywhere. Probabilities are
+  // not used by the example; a small uniform value is assigned.
+  Topology t("square4");
+  const NodeId dc1 = t.add_node("DC1");
+  const NodeId dc2 = t.add_node("DC2");
+  const NodeId dc3 = t.add_node("DC3");
+  const NodeId dc4 = t.add_node("DC4");
+  t.add_bidirectional(dc1, dc2, 1.0, 0.001);
+  t.add_bidirectional(dc1, dc3, 1.0, 0.001);
+  t.add_bidirectional(dc2, dc4, 1.0, 0.001);
+  t.add_bidirectional(dc3, dc4, 1.0, 0.001);
+  return t;
+}
+
+namespace {
+
+struct TestbedEdge {
+  const char* label;
+  int a;
+  int b;
+  double failure_prob;
+};
+
+// Fig 6 adjacency, reconstructed from the figure and the Table-3 path lists:
+// the eight bidirectional links and their failure probabilities. L4
+// (DC4-DC5) carries the highest probability (1%), which is the link the
+// paper calls out in the Table-3 discussion.
+constexpr TestbedEdge kTestbedEdges[] = {
+    {"L1", 0, 1, 0.00001},  // DC1-DC2, 0.001%
+    {"L2", 1, 2, 0.00002},  // DC2-DC3, 0.002%
+    {"L3", 2, 3, 0.00001},  // DC3-DC4, 0.001%
+    {"L4", 3, 4, 0.01},     // DC4-DC5, 1%
+    {"L5", 0, 3, 0.0001},   // DC1-DC4, 0.01%
+    {"L6", 1, 4, 0.0002},   // DC2-DC5, 0.02%
+    {"L7", 4, 5, 0.0002},   // DC5-DC6, 0.02%
+    {"L8", 0, 5, 0.0001},   // DC1-DC6, 0.01%
+};
+
+}  // namespace
+
+Topology testbed6() {
+  Topology t("testbed6");
+  for (int i = 0; i < 6; ++i) t.add_node("DC" + std::to_string(i + 1));
+  for (const auto& e : kTestbedEdges) {
+    t.add_bidirectional(e.a, e.b, 1000.0, e.failure_prob);  // 1 Gbps links
+  }
+  return t;
+}
+
+LinkId testbed_link(const Topology& /*testbed*/, const std::string& label) {
+  for (std::size_t i = 0; i < std::size(kTestbedEdges); ++i) {
+    if (label == kTestbedEdges[i].label) {
+      return static_cast<LinkId>(2 * i);  // forward direction of the pair
+    }
+  }
+  throw std::invalid_argument("unknown testbed link label: " + label);
+}
+
+Topology b4() {
+  GeneratorConfig cfg;
+  cfg.nodes = 12;
+  cfg.directed_links = 38;
+  cfg.seed = 0xB4;
+  return generate_topology(cfg, "B4");
+}
+
+Topology ibm() {
+  GeneratorConfig cfg;
+  cfg.nodes = 18;
+  cfg.directed_links = 48;
+  cfg.seed = 0x1B;
+  return generate_topology(cfg, "IBM");
+}
+
+Topology att() {
+  GeneratorConfig cfg;
+  cfg.nodes = 25;
+  cfg.directed_links = 112;
+  cfg.seed = 0xA7;
+  return generate_topology(cfg, "ATT");
+}
+
+Topology fiti() {
+  GeneratorConfig cfg;
+  cfg.nodes = 14;
+  cfg.directed_links = 32;
+  cfg.seed = 0xF1;
+  return generate_topology(cfg, "FITI");
+}
+
+std::vector<Topology> simulation_topologies() {
+  std::vector<Topology> topos;
+  topos.push_back(ibm());
+  topos.push_back(b4());
+  topos.push_back(att());
+  topos.push_back(fiti());
+  return topos;
+}
+
+}  // namespace bate

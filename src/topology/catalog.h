@@ -1,0 +1,33 @@
+// Topology catalog: every network the paper evaluates on.
+//
+//  * toy4():      Fig 2 motivating example (4 DCs, 4 directed links).
+//  * square4():   Fig 4 failure-recovery example (4 DCs, unit capacities).
+//  * testbed6():  Fig 6 testbed (6 DCs, 8 bidirectional links L1..L8, 1 Gbps).
+//  * b4/ibm/att/fiti(): Table 4 simulation topologies, synthesized with the
+//    exact node/link counts (see generator.h for the substitution rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bate {
+
+Topology toy4();
+Topology square4();
+Topology testbed6();
+
+Topology b4();    // 12 nodes, 38 links
+Topology ibm();   // 18 nodes, 48 links
+Topology att();   // 25 nodes, 112 links
+Topology fiti();  // 14 nodes, 32 links
+
+/// All four Table-4 topologies, in the paper's order.
+std::vector<Topology> simulation_topologies();
+
+/// Link index by testbed label L1..L8 (Fig 6 / Fig 10); returns the id of the
+/// forward direction link.
+LinkId testbed_link(const Topology& testbed, const std::string& label);
+
+}  // namespace bate

@@ -1,0 +1,75 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace bate {
+
+double sample_failure_prob(Rng& rng, double shape, double scale) {
+  const double w = rng.weibull(shape, scale);
+  return std::min(std::pow(w, 6) / 10.0, 0.05);
+}
+
+Topology generate_topology(const GeneratorConfig& cfg, std::string name) {
+  if (cfg.nodes < 3) throw std::invalid_argument("generator: need >=3 nodes");
+  if (cfg.directed_links % 2 != 0) {
+    throw std::invalid_argument("generator: directed_links must be even");
+  }
+  const int pairs = cfg.directed_links / 2;
+  if (pairs < cfg.nodes) {
+    throw std::invalid_argument(
+        "generator: need at least one bidirectional pair per node (ring)");
+  }
+  const int max_pairs = cfg.nodes * (cfg.nodes - 1) / 2;
+  if (pairs > max_pairs) {
+    throw std::invalid_argument("generator: too many links for node count");
+  }
+
+  Rng rng(cfg.seed);
+  Topology topo(std::move(name));
+  for (int i = 0; i < cfg.nodes; ++i) topo.add_node();
+
+  auto capacity = [&]() {
+    // Capacities drawn from a small set of realistic WAN tiers within range.
+    const double tiers[] = {1.0, 2.0, 4.0};
+    const double base = tiers[rng.uniform_int(0, 2)];
+    const double cap = cfg.min_capacity_mbps * base;
+    return std::min(cap, cfg.max_capacity_mbps);
+  };
+
+  std::set<std::pair<NodeId, NodeId>> used;
+  auto add_pair = [&](NodeId a, NodeId b) {
+    topo.add_bidirectional(
+        a, b, capacity(),
+        sample_failure_prob(rng, cfg.weibull_shape, cfg.weibull_scale));
+    used.insert({std::min(a, b), std::max(a, b)});
+  };
+
+  // Ring over a random node permutation guarantees strong connectivity.
+  std::vector<NodeId> order(static_cast<std::size_t>(cfg.nodes));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (int i = 0; i < cfg.nodes; ++i) {
+    add_pair(order[static_cast<std::size_t>(i)],
+             order[static_cast<std::size_t>((i + 1) % cfg.nodes)]);
+  }
+
+  // Random chords up to the requested link count.
+  while (static_cast<int>(used.size()) < pairs) {
+    const NodeId a = rng.uniform_int(0, cfg.nodes - 1);
+    const NodeId b = rng.uniform_int(0, cfg.nodes - 1);
+    if (a == b) continue;
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (used.count(key) != 0) continue;
+    add_pair(a, b);
+  }
+  return topo;
+}
+
+}  // namespace bate

@@ -1,0 +1,43 @@
+// Deterministic synthetic WAN generator.
+//
+// The paper's simulation topologies (B4, IBM, ATT from the TEAVAR authors,
+// FITI from direct measurement) are not publicly released as files. We
+// synthesize strongly-connected topologies with the exact node/link counts of
+// Table 4 and heavy-tailed per-link failure probabilities derived from the
+// Weibull(k=8, lambda=0.6) fit the paper itself uses for its simulations
+// (Sec 5.2, Fig 1b). See DESIGN.md Sec 3 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace bate {
+
+struct GeneratorConfig {
+  int nodes = 12;
+  /// Number of *directed* links; must be even (links are added in
+  /// bidirectional pairs) and at least 2*nodes (a ring keeps it connected).
+  int directed_links = 38;
+  double min_capacity_mbps = 2000.0;
+  double max_capacity_mbps = 10000.0;
+  /// Weibull parameters for the failure-probability model.
+  double weibull_shape = 8.0;
+  double weibull_scale = 0.6;
+  std::uint64_t seed = 1;
+};
+
+/// Draws a per-link failure probability from the heavy-tailed model:
+/// W ~ Weibull(shape, scale), p = min(W^6 / 10, 0.05). Raising the Weibull
+/// variate to the 6th power stretches its spread to >2 orders of magnitude,
+/// matching the empirical distribution of Fig 1(b) where a small set of
+/// links contributes most failures.
+double sample_failure_prob(Rng& rng, double shape, double scale);
+
+/// Generates a strongly connected topology with exactly cfg.directed_links
+/// links (cfg.directed_links/2 bidirectional pairs). Throws
+/// std::invalid_argument when counts are infeasible.
+Topology generate_topology(const GeneratorConfig& cfg, std::string name);
+
+}  // namespace bate

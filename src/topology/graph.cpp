@@ -1,0 +1,90 @@
+#include "topology/graph.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace bate {
+
+NodeId Topology::add_node(std::string label) {
+  const NodeId id = node_count();
+  if (label.empty()) label = "DC" + std::to_string(id + 1);
+  node_labels_.push_back(std::move(label));
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, double capacity_mbps,
+                          double failure_prob, std::string name) {
+  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count()) {
+    throw std::out_of_range("add_link: unknown endpoint");
+  }
+  if (src == dst) throw std::invalid_argument("add_link: self loop");
+  if (capacity_mbps <= 0.0) {
+    throw std::invalid_argument("add_link: capacity must be positive");
+  }
+  if (failure_prob < 0.0 || failure_prob >= 1.0) {
+    throw std::invalid_argument("add_link: failure_prob must be in [0,1)");
+  }
+  const LinkId id = link_count();
+  if (name.empty()) {
+    name = node_labels_[static_cast<std::size_t>(src)] + "->" +
+           node_labels_[static_cast<std::size_t>(dst)];
+  }
+  links_.push_back(
+      {id, src, dst, capacity_mbps, failure_prob, std::move(name)});
+  out_links_[static_cast<std::size_t>(src)].push_back(id);
+  in_links_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_bidirectional(NodeId a, NodeId b, double capacity_mbps,
+                                   double failure_prob) {
+  const LinkId forward = add_link(a, b, capacity_mbps, failure_prob);
+  add_link(b, a, capacity_mbps, failure_prob);
+  return forward;
+}
+
+LinkId Topology::find_link(NodeId src, NodeId dst) const {
+  if (src < 0 || src >= node_count()) return -1;
+  for (LinkId id : out_links_[static_cast<std::size_t>(src)]) {
+    if (links_[static_cast<std::size_t>(id)].dst == dst) return id;
+  }
+  return -1;
+}
+
+namespace {
+
+// BFS reachability over either direction.
+int reachable_count(const Topology& topo, NodeId start, bool forward) {
+  std::vector<char> seen(static_cast<std::size_t>(topo.node_count()), 0);
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  int count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    const auto& edges = forward ? topo.out_links(u) : topo.in_links(u);
+    for (LinkId id : edges) {
+      const Link& l = topo.link(id);
+      const NodeId v = forward ? l.dst : l.src;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+bool Topology::strongly_connected() const {
+  if (node_count() == 0) return true;
+  return reachable_count(*this, 0, true) == node_count() &&
+         reachable_count(*this, 0, false) == node_count();
+}
+
+}  // namespace bate

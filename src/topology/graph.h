@@ -1,0 +1,83 @@
+// Directed inter-DC WAN graph: nodes are datacenters, links carry a capacity
+// and an independent failure probability (the paper's G(V,E) model, Sec 3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bate {
+
+using NodeId = int;
+using LinkId = int;
+
+struct Link {
+  LinkId id = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  double capacity = 0.0;      // in Mbps throughout this repo
+  double failure_prob = 0.0;  // probability the link is down in a scenario
+  std::string name;
+};
+
+/// An (ordered) source-destination DC pair, the paper's k in K.
+struct SdPair {
+  NodeId src = -1;
+  NodeId dst = -1;
+  friend bool operator==(const SdPair&, const SdPair&) = default;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a node; returns its id (dense, starting at 0).
+  NodeId add_node(std::string label = "");
+
+  /// Adds a directed link. Throws std::out_of_range for unknown endpoints and
+  /// std::invalid_argument for non-positive capacity or probability outside
+  /// [0,1).
+  LinkId add_link(NodeId src, NodeId dst, double capacity_mbps,
+                  double failure_prob, std::string name = "");
+
+  /// Adds a pair of directed links (src->dst and dst->src) with identical
+  /// capacity and failure probability; returns the forward link id.
+  LinkId add_bidirectional(NodeId a, NodeId b, double capacity_mbps,
+                           double failure_prob);
+
+  int node_count() const { return static_cast<int>(node_labels_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Link>& links() const { return links_; }
+  const std::string& node_label(NodeId id) const {
+    return node_labels_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Outgoing link ids of a node.
+  const std::vector<LinkId>& out_links(NodeId id) const {
+    return out_links_.at(static_cast<std::size_t>(id));
+  }
+  /// Incoming link ids of a node.
+  const std::vector<LinkId>& in_links(NodeId id) const {
+    return in_links_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Looks up a directed link; returns -1 if absent.
+  LinkId find_link(NodeId src, NodeId dst) const;
+
+  /// True when every node can reach every other node.
+  bool strongly_connected() const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> node_labels_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
+};
+
+}  // namespace bate

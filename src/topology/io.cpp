@@ -1,0 +1,107 @@
+#include "topology/io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bate {
+
+std::string to_text(const Topology& topo) {
+  std::ostringstream out;
+  out << "topology " << (topo.name().empty() ? "unnamed" : topo.name())
+      << '\n';
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    out << "node " << topo.node_label(n) << '\n';
+  }
+  out.precision(17);  // max_digits10: exact double round-trip
+  for (const Link& l : topo.links()) {
+    out << "link " << topo.node_label(l.src) << ' ' << topo.node_label(l.dst)
+        << ' ' << l.capacity << ' ' << l.failure_prob << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("topology text, line " + std::to_string(line) +
+                              ": " + message);
+}
+
+}  // namespace
+
+Topology from_text(const std::string& text) {
+  Topology topo;
+  std::map<std::string, NodeId> labels;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+
+  auto node_of = [&](const std::string& label, int line) {
+    const auto it = labels.find(label);
+    if (it == labels.end()) fail(line, "unknown node '" + label + "'");
+    return it->second;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream fields(raw);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank/comment line
+
+    if (directive == "topology") {
+      std::string name;
+      if (!(fields >> name)) fail(line_no, "missing topology name");
+      topo.set_name(name);
+    } else if (directive == "node") {
+      std::string label;
+      if (!(fields >> label)) fail(line_no, "missing node label");
+      if (labels.count(label) != 0) {
+        fail(line_no, "duplicate node '" + label + "'");
+      }
+      labels[label] = topo.add_node(label);
+    } else if (directive == "link" || directive == "bilink") {
+      std::string a;
+      std::string b;
+      double capacity = 0.0;
+      double prob = 0.0;
+      if (!(fields >> a >> b >> capacity >> prob)) {
+        fail(line_no, "expected: " + directive +
+                          " <src> <dst> <capacity> <failure-prob>");
+      }
+      try {
+        if (directive == "link") {
+          topo.add_link(node_of(a, line_no), node_of(b, line_no), capacity,
+                        prob);
+        } else {
+          topo.add_bidirectional(node_of(a, line_no), node_of(b, line_no),
+                                 capacity, prob);
+        }
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  return topo;
+}
+
+void save_topology(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << to_text(topo);
+}
+
+Topology load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+}  // namespace bate

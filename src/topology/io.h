@@ -1,0 +1,30 @@
+// Plain-text topology serialization, so downstream users can run BATE on
+// their own WANs without writing code.
+//
+// Format (line oriented, '#' comments):
+//   topology <name>
+//   node <label>
+//   link <src-label> <dst-label> <capacity-mbps> <failure-prob>
+//   bilink <a-label> <b-label> <capacity-mbps> <failure-prob>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/graph.h"
+
+namespace bate {
+
+/// Serializes a topology to the text format.
+std::string to_text(const Topology& topo);
+
+/// Parses the text format. Throws std::invalid_argument with a line number
+/// on malformed input (unknown directive, unknown node label, bad numbers,
+/// duplicate node labels).
+Topology from_text(const std::string& text);
+
+/// File helpers; throw std::runtime_error when the file cannot be opened.
+void save_topology(const Topology& topo, const std::string& path);
+Topology load_topology(const std::string& path);
+
+}  // namespace bate

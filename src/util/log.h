@@ -1,0 +1,58 @@
+// Minimal leveled logger. The controller/broker system logs through this so
+// integration tests can silence or capture output.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bate {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& component,
+           const std::string& message) {
+    if (level < level_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cerr << '[' << name(level) << "] " << component << ": " << message
+              << '\n';
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+inline void log_info(const std::string& component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kInfo, component, msg);
+}
+inline void log_warn(const std::string& component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kWarn, component, msg);
+}
+inline void log_error(const std::string& component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kError, component, msg);
+}
+
+}  // namespace bate

@@ -1,0 +1,65 @@
+// Seeded random-number utilities.
+//
+// Every stochastic component in this repository draws from an explicitly
+// seeded Rng so that simulations, tests and benches are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bate {
+
+/// Deterministic random source. Thin wrapper over std::mt19937_64 with the
+/// distributions the workload and failure models need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential variate with the given mean (not rate).
+  double exponential_mean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Poisson variate with the given mean.
+  int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Weibull variate with shape k and scale lambda. The paper fits link
+  /// failure probabilities with Weibull(k=8, lambda=0.6) (Fig. 1b, Sec 5.2).
+  double weibull(double shape, double scale) {
+    return std::weibull_distribution<double>(shape, scale)(engine_);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    return std::discrete_distribution<std::size_t>(weights.begin(),
+                                                   weights.end())(engine_);
+  }
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bate

@@ -1,0 +1,43 @@
+// Small statistics helpers shared by the simulator, metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bate {
+
+/// Accumulates scalar samples and reports summary statistics.
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// A point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double fraction;  // P[X <= value]
+};
+
+/// Empirical CDF of the samples, thinned to at most max_points points.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points = 64);
+
+/// Render a CDF as "value fraction" lines for bench output.
+std::string format_cdf(const std::vector<CdfPoint>& cdf);
+
+}  // namespace bate

@@ -1,0 +1,29 @@
+// Fixed-width console table printer used by the bench harnesses so every
+// figure/table reproduction prints aligned, greppable rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bate {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  /// Render with column alignment; `title` printed above if non-empty.
+  std::string to_string(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for mixed rows).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace bate

@@ -1,0 +1,123 @@
+#include "workload/demand_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace bate {
+
+namespace {
+
+/// Arrival times of a Poisson process with the given per-minute rate.
+std::vector<double> poisson_arrivals(Rng& rng, double rate_per_min,
+                                     double horizon_min) {
+  std::vector<double> times;
+  if (rate_per_min <= 0.0) return times;
+  double t = rng.exponential_mean(1.0 / rate_per_min);
+  while (t < horizon_min) {
+    times.push_back(t);
+    t += rng.exponential_mean(1.0 / rate_per_min);
+  }
+  return times;
+}
+
+}  // namespace
+
+std::vector<Demand> generate_demands(const TunnelCatalog& catalog,
+                                     const WorkloadConfig& cfg) {
+  if (catalog.pair_count() == 0) {
+    throw std::invalid_argument("generate_demands: empty catalog");
+  }
+  if (cfg.availability_targets.empty()) {
+    throw std::invalid_argument("generate_demands: no availability targets");
+  }
+  Rng rng(cfg.seed);
+
+  // Pair-selection weights from traffic-matrix volume, when available.
+  std::vector<double> pair_weight(static_cast<std::size_t>(catalog.pair_count()),
+                                  1.0);
+  if (!cfg.matrices.empty()) {
+    for (int k = 0; k < catalog.pair_count(); ++k) {
+      const SdPair& p = catalog.pair(k);
+      double vol = 0.0;
+      for (const TrafficMatrix& tm : cfg.matrices) {
+        vol += tm[static_cast<std::size_t>(p.src)]
+                 [static_cast<std::size_t>(p.dst)];
+      }
+      pair_weight[static_cast<std::size_t>(k)] = vol + 1e-9;
+    }
+  }
+
+  struct Raw {
+    double arrival;
+    int pair;
+  };
+  std::vector<Raw> raws;
+  if (cfg.per_pair_arrivals) {
+    for (int k = 0; k < catalog.pair_count(); ++k) {
+      for (double t :
+           poisson_arrivals(rng, cfg.arrival_rate_per_min, cfg.horizon_min)) {
+        raws.push_back({t, k});
+      }
+    }
+  } else {
+    for (double t :
+         poisson_arrivals(rng, cfg.arrival_rate_per_min, cfg.horizon_min)) {
+      raws.push_back({t, static_cast<int>(rng.weighted_index(pair_weight))});
+    }
+  }
+  std::sort(raws.begin(), raws.end(),
+            [](const Raw& a, const Raw& b) { return a.arrival < b.arrival; });
+
+  std::vector<Demand> demands;
+  demands.reserve(raws.size());
+  for (const Raw& raw : raws) {
+    Demand d;
+    d.id = static_cast<DemandId>(demands.size());
+    d.arrival_minute = raw.arrival;
+    d.duration_minutes = rng.exponential_mean(cfg.mean_duration_min);
+
+    double mbps;
+    if (!cfg.matrices.empty()) {
+      const auto& tm =
+          cfg.matrices[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(cfg.matrices.size()) - 1))];
+      const SdPair& p = catalog.pair(raw.pair);
+      mbps = tm[static_cast<std::size_t>(p.src)]
+               [static_cast<std::size_t>(p.dst)] /
+             cfg.tm_scale_down;
+      mbps *= rng.uniform(0.5, 1.5);
+      mbps = std::max(mbps, 1.0);
+    } else {
+      mbps = rng.uniform(cfg.bw_min_mbps, cfg.bw_max_mbps);
+    }
+    d.pairs = {{raw.pair, mbps}};
+
+    d.availability_target =
+        cfg.availability_targets[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(cfg.availability_targets.size()) - 1))];
+    d.charge = cfg.unit_price_per_mbps * mbps;
+    if (!cfg.services.empty()) {
+      const auto& svc = cfg.services[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(cfg.services.size()) - 1))];
+      d.refund_fraction = svc.base_refund();
+      d.refund_tiers = svc.tiers;
+    }
+    demands.push_back(std::move(d));
+  }
+  return demands;
+}
+
+std::vector<Demand> active_at(const std::vector<Demand>& demands,
+                              double minute) {
+  std::vector<Demand> active;
+  for (const Demand& d : demands) {
+    if (d.arrival_minute <= minute && minute < d.end_minute()) {
+      active.push_back(d);
+    }
+  }
+  return active;
+}
+
+}  // namespace bate

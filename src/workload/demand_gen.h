@@ -1,0 +1,60 @@
+// Demand workload generator (Sec 5.1 testbed / Sec 5.2 simulation models):
+// Poisson arrivals, exponential durations, bandwidths either uniform
+// (testbed: 10-50 Mbps) or drawn from traffic matrices with a scale-down
+// factor (simulations), availability targets and refund ratios sampled from
+// the SLA catalogs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/tunnels.h"
+#include "workload/demand.h"
+#include "workload/sla.h"
+#include "workload/traffic_matrix.h"
+
+namespace bate {
+
+struct WorkloadConfig {
+  /// Mean demand arrivals per minute. With per_pair_arrivals the rate
+  /// applies to every s-d pair independently (testbed model), otherwise it
+  /// is the network-wide rate (simulation model).
+  double arrival_rate_per_min = 2.0;
+  bool per_pair_arrivals = false;
+
+  double mean_duration_min = 5.0;
+  double horizon_min = 100.0;
+
+  /// Uniform bandwidth range, used when `matrices` is empty.
+  double bw_min_mbps = 10.0;
+  double bw_max_mbps = 50.0;
+
+  /// Optional traffic matrices: pair choice is weighted by matrix volume and
+  /// the bandwidth is the matrix entry divided by `tm_scale_down` (the
+  /// paper's factor-5 scale-down, fn. 12).
+  std::vector<TrafficMatrix> matrices;
+  double tm_scale_down = 5.0;
+
+  /// Availability targets sampled uniformly (see sla.h target sets).
+  std::vector<double> availability_targets = {0.95, 0.99, 0.999, 0.9995,
+                                              0.9999};
+  /// Services whose refund ratio is sampled; empty => no refunds.
+  std::vector<SlaService> services;
+  /// Charge g_d = unit price * requested Mbps ("a unit price is charged for
+  /// 1 Mbps", Sec 5.1).
+  double unit_price_per_mbps = 1.0;
+
+  std::uint64_t seed = 11;
+};
+
+/// Generates the arrival-ordered demand sequence for the given tunnel
+/// catalog (demands target its pairs). Ids are assigned 0..n-1 in arrival
+/// order.
+std::vector<Demand> generate_demands(const TunnelCatalog& catalog,
+                                     const WorkloadConfig& cfg);
+
+/// Demands whose lifetime covers the given minute.
+std::vector<Demand> active_at(const std::vector<Demand>& demands,
+                              double minute);
+
+}  // namespace bate

@@ -1,0 +1,59 @@
+#include "workload/sla.h"
+
+namespace bate {
+
+double SlaService::refund_for(double achieved_availability) const {
+  double refund = 0.0;
+  for (const RefundTier& tier : tiers) {
+    if (achieved_availability < tier.below) refund = tier.fraction;
+  }
+  return refund;
+}
+
+const std::vector<SlaService>& azure_services() {
+  // Tier structures follow the public Azure SLA pages the paper cites:
+  // typically 10 % below the headline availability, 25 % below 99 %, and
+  // 100 % below 95 %.
+  static const std::vector<SlaService> services = {
+      {"API Management", {{0.9995, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"App Configuration", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Application Gateway", {{0.9995, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Application Insights", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Automation", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Virtual Machines", {{0.9999, 0.10}, {0.999, 0.25}, {0.95, 1.00}}},
+      {"BareMetal Infrastructure", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Azure Cache for Redis", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Content Delivery Network", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+      {"Storage Accounts", {{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}},
+  };
+  return services;
+}
+
+std::vector<SlaService> testbed_services() {
+  const auto& all = azure_services();
+  return {all[7], all[8], all[5]};  // Redis, CDN, Virtual Machines
+}
+
+const std::vector<AvailabilityTarget>& b4_targets() {
+  static const std::vector<AvailabilityTarget> targets = {
+      {"Search ads, DNS, WWW", 0.9999},
+      {"Photo service, backend, Email", 0.9995},
+      {"Ads database replication", 0.999},
+      {"Search index copies, logs", 0.99},
+      {"Bulk transfer", 0.0},
+  };
+  return targets;
+}
+
+const std::vector<double>& testbed_target_set() {
+  static const std::vector<double> set = {0.95, 0.99, 0.999, 0.9995, 0.9999};
+  return set;
+}
+
+const std::vector<double>& simulation_target_set() {
+  static const std::vector<double> set = {0.0,   0.90,   0.95,  0.99,
+                                          0.999, 0.9995, 0.9999};
+  return set;
+}
+
+}  // namespace bate

@@ -1,0 +1,43 @@
+// SLA economics: the B4 availability-target catalog (Table 1) and the ten
+// Azure services whose refunding ratios the paper samples (Sec 5.2, fn. 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/demand.h"
+
+namespace bate {
+
+struct SlaService {
+  std::string name;
+  /// Tiers sorted by descending `below`; the last matching tier applies.
+  std::vector<RefundTier> tiers;
+
+  /// Refund fraction owed for an achieved availability (0 when the SLA met).
+  double refund_for(double achieved_availability) const;
+  /// The paper's simple model uses a single mu_d per demand: the refund of
+  /// the first (mildest) violated tier.
+  double base_refund() const { return tiers.empty() ? 0.0 : tiers.front().fraction; }
+};
+
+/// The 10 Azure services cited by the paper (API Management, App
+/// Configuration, Application Gateway, Application Insights, Automation,
+/// Virtual Machines, BareMetal Infrastructure, Redis, CDN, Storage).
+const std::vector<SlaService>& azure_services();
+
+/// The 3 services used in the testbed experiments (Redis, CDN, VMs).
+std::vector<SlaService> testbed_services();
+
+/// Table 1: B4 availability targets per service class.
+struct AvailabilityTarget {
+  std::string service;
+  double availability;  // 0 means best-effort (bulk transfer, "N/A")
+};
+const std::vector<AvailabilityTarget>& b4_targets();
+
+/// The availability-target sets the evaluation samples from.
+const std::vector<double>& testbed_target_set();     // Sec 5.1
+const std::vector<double>& simulation_target_set();  // Sec 5.2
+
+}  // namespace bate

@@ -1,0 +1,52 @@
+#include "workload/traffic_matrix.h"
+
+#include <stdexcept>
+
+namespace bate {
+
+double mean_link_capacity(const Topology& topo) {
+  if (topo.link_count() == 0) return 0.0;
+  double total = 0.0;
+  for (const Link& l : topo.links()) total += l.capacity;
+  return total / topo.link_count();
+}
+
+std::vector<TrafficMatrix> generate_traffic_matrices(
+    const Topology& topo, int count, const TrafficMatrixConfig& cfg) {
+  if (count <= 0) throw std::invalid_argument("traffic matrices: count");
+  Rng rng(cfg.seed);
+  const int n = topo.node_count();
+  const double target_mean = mean_link_capacity(topo) * cfg.load_fraction;
+
+  std::vector<TrafficMatrix> matrices;
+  matrices.reserve(static_cast<std::size_t>(count));
+  for (int m = 0; m < count; ++m) {
+    // Node masses: exponential => a few hot DCs dominate, like real WANs.
+    std::vector<double> mass(static_cast<std::size_t>(n));
+    for (double& w : mass) w = rng.exponential_mean(1.0) + 0.05;
+
+    TrafficMatrix tm(static_cast<std::size_t>(n),
+                     std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    double sum = 0.0;
+    int entries = 0;
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        if (s == d) continue;
+        const double jitter = rng.uniform(1.0 - cfg.jitter, 1.0 + cfg.jitter);
+        tm[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+            mass[static_cast<std::size_t>(s)] *
+            mass[static_cast<std::size_t>(d)] * jitter;
+        sum += tm[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)];
+        ++entries;
+      }
+    }
+    const double scale = target_mean / (sum / entries);
+    for (auto& row : tm) {
+      for (double& v : row) v *= scale;
+    }
+    matrices.push_back(std::move(tm));
+  }
+  return matrices;
+}
+
+}  // namespace bate

@@ -1,0 +1,37 @@
+// Gravity-model traffic matrices.
+//
+// The paper draws demand bandwidths from 200 measured traffic matrices per
+// topology (from the TEAVAR authors / FITI measurement) with a scale-down
+// factor of 5 so several demands fit per pair. Those matrices are not
+// released; we synthesize gravity-model matrices (node masses ~ exponential,
+// entry ~ mass_s * mass_d, normalized to a target utilization of the
+// topology's capacity), which reproduces the skewed pair-load structure the
+// evaluation depends on. See DESIGN.md Sec 3.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace bate {
+
+/// Dense |V| x |V| matrix in Mbps; diagonal is zero.
+using TrafficMatrix = std::vector<std::vector<double>>;
+
+struct TrafficMatrixConfig {
+  /// Average per-pair demand as a fraction of the mean link capacity.
+  double load_fraction = 0.5;
+  /// Multiplicative jitter applied per entry, uniform in [1-j, 1+j].
+  double jitter = 0.3;
+  std::uint64_t seed = 7;
+};
+
+/// Generates `count` matrices (the paper collected 200 per topology).
+std::vector<TrafficMatrix> generate_traffic_matrices(
+    const Topology& topo, int count, const TrafficMatrixConfig& cfg = {});
+
+/// Mean link capacity of a topology (normalization helper).
+double mean_link_capacity(const Topology& topo);
+
+}  // namespace bate

@@ -1,0 +1,30 @@
+// Tests for the repetition-campaign helper (paper Sec 5.2 error bars).
+#include <gtest/gtest.h>
+
+#include "sim/campaign.h"
+
+namespace bate {
+namespace {
+
+TEST(Campaign, CollectsSeededRepetitions) {
+  std::vector<std::uint64_t> seeds;
+  const Campaign c = Campaign::run(5, 100, [&](std::uint64_t seed) {
+    seeds.push_back(seed);
+    return static_cast<double>(seed - 100);
+  });
+  EXPECT_EQ(c.reps(), 5u);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{100, 101, 102, 103, 104}));
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max(), 4.0);
+}
+
+TEST(Campaign, RendersErrorBarCell) {
+  const Campaign c =
+      Campaign::run(3, 0, [](std::uint64_t s) { return 10.0 * s; });
+  EXPECT_EQ(c.cell(0), "10 [0, 20]");
+  EXPECT_EQ(c.cell(1), "10.0 [0.0, 20.0]");
+}
+
+}  // namespace
+}  // namespace bate

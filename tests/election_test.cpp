@@ -1,0 +1,206 @@
+// Tests for the Paxos master election (Sec 4): role-level behaviour, the
+// safety property (at most one master chosen) under message loss,
+// duplication, reordering and duelling proposers, and liveness of a clean
+// run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "system/election.h"
+#include "util/rng.h"
+
+namespace bate {
+namespace {
+
+TEST(Ballot, TotalOrder) {
+  EXPECT_LT((Ballot{0, 1}), (Ballot{1, 0}));
+  EXPECT_LT((Ballot{1, 0}), (Ballot{1, 2}));
+  EXPECT_EQ((Ballot{2, 3}), (Ballot{2, 3}));
+  EXPECT_FALSE(Ballot{}.valid());
+  EXPECT_TRUE((Ballot{0, 0}).valid());
+}
+
+TEST(Acceptor, PromisesMonotonically) {
+  PaxosAcceptor acceptor(0);
+  EXPECT_TRUE(acceptor.on_prepare({Ballot{1, 0}}).has_value());
+  EXPECT_FALSE(acceptor.on_prepare({Ballot{0, 5}}).has_value());  // stale
+  EXPECT_TRUE(acceptor.on_prepare({Ballot{1, 0}}).has_value());   // same ok
+  EXPECT_TRUE(acceptor.on_prepare({Ballot{2, 0}}).has_value());
+  EXPECT_EQ(acceptor.promised(), (Ballot{2, 0}));
+}
+
+TEST(Acceptor, RejectsStaleAccepts) {
+  PaxosAcceptor acceptor(0);
+  acceptor.on_prepare({Ballot{3, 1}});
+  EXPECT_FALSE(acceptor.on_accept({Ballot{2, 9}, 7}).has_value());
+  const auto accepted = acceptor.on_accept({Ballot{3, 1}, 7});
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->value, 7);
+  EXPECT_EQ(acceptor.accepted_value(), 7);
+}
+
+TEST(Acceptor, PromiseCarriesPriorAccept) {
+  PaxosAcceptor acceptor(0);
+  acceptor.on_prepare({Ballot{1, 0}});
+  acceptor.on_accept({Ballot{1, 0}, 42});
+  const auto promise = acceptor.on_prepare({Ballot{2, 1}});
+  ASSERT_TRUE(promise.has_value());
+  EXPECT_EQ(promise->accepted_ballot, (Ballot{1, 0}));
+  EXPECT_EQ(promise->accepted_value, 42);
+}
+
+TEST(Proposer, NeedsQuorumOfPromises) {
+  PaxosProposer proposer(0, 5);  // quorum = 3
+  const PrepareMsg prepare = proposer.start(0);
+  PromiseMsg promise;
+  promise.ballot = prepare.ballot;
+  promise.from = 0;
+  EXPECT_FALSE(proposer.on_promise(promise).has_value());
+  promise.from = 1;
+  EXPECT_FALSE(proposer.on_promise(promise).has_value());
+  promise.from = 1;  // duplicate: must not count twice
+  EXPECT_FALSE(proposer.on_promise(promise).has_value());
+  promise.from = 2;
+  const auto accept = proposer.on_promise(promise);
+  ASSERT_TRUE(accept.has_value());
+  EXPECT_EQ(accept->value, 0);
+  // Further promises do not re-emit the accept.
+  promise.from = 3;
+  EXPECT_FALSE(proposer.on_promise(promise).has_value());
+}
+
+TEST(Proposer, AdoptsHighestPriorValue) {
+  PaxosProposer proposer(2, 3);  // quorum = 2
+  const PrepareMsg prepare = proposer.start(2);
+  PromiseMsg a;
+  a.ballot = prepare.ballot;
+  a.from = 0;
+  a.accepted_ballot = Ballot{0, 1};
+  a.accepted_value = 9;
+  PromiseMsg b;
+  b.ballot = prepare.ballot;
+  b.from = 1;
+  EXPECT_FALSE(proposer.on_promise(a).has_value());
+  const auto accept = proposer.on_promise(b);
+  ASSERT_TRUE(accept.has_value());
+  EXPECT_EQ(accept->value, 9);  // adopted, not its own preference (2)
+}
+
+TEST(Proposer, DecidesOnQuorumOfAccepts) {
+  PaxosProposer proposer(0, 3);
+  const PrepareMsg prepare = proposer.start(0);
+  for (int from : {0, 1}) {
+    PromiseMsg p;
+    p.ballot = prepare.ballot;
+    p.from = from;
+    proposer.on_promise(p);
+  }
+  AcceptedMsg acc;
+  acc.ballot = prepare.ballot;
+  acc.value = 0;
+  acc.from = 0;
+  EXPECT_FALSE(proposer.on_accepted(acc).has_value());
+  acc.from = 2;
+  const auto decided = proposer.on_accepted(acc);
+  ASSERT_TRUE(decided.has_value());
+  EXPECT_EQ(*decided, 0);
+}
+
+// --- Randomized safety harness --------------------------------------------
+//
+// A tiny message-passing simulator: every replica proposes itself as
+// master; messages are dropped/duplicated/reordered at random. Safety: any
+// two decisions (across all proposers, across all rounds) must agree.
+
+struct Harness {
+  std::vector<ElectionInstance> nodes;
+  std::vector<MasterId> decisions;
+  Rng rng;
+
+  explicit Harness(int n, std::uint64_t seed) : rng(seed) {
+    for (int i = 0; i < n; ++i) nodes.emplace_back(i, n);
+  }
+
+  /// Runs `rounds` proposal rounds with lossy delivery.
+  void run(int rounds, double drop_prob) {
+    const int n = static_cast<int>(nodes.size());
+    for (int round = 0; round < rounds; ++round) {
+      const int proposer = rng.uniform_int(0, n - 1);
+      const PrepareMsg prepare =
+          nodes[static_cast<std::size_t>(proposer)].proposer().start(proposer);
+
+      std::vector<PromiseMsg> promises;
+      for (auto& node : nodes) {
+        if (rng.bernoulli(drop_prob)) continue;  // lost prepare
+        if (auto p = node.acceptor().on_prepare(prepare)) {
+          promises.push_back(*p);
+          if (rng.bernoulli(0.2)) promises.push_back(*p);  // duplicate
+        }
+      }
+      std::shuffle(promises.begin(), promises.end(), rng.engine());
+
+      std::optional<AcceptMsg> accept;
+      for (const PromiseMsg& p : promises) {
+        if (rng.bernoulli(drop_prob)) continue;  // lost promise
+        if (auto a = nodes[static_cast<std::size_t>(proposer)]
+                         .proposer()
+                         .on_promise(p)) {
+          accept = a;
+        }
+      }
+      if (!accept) continue;
+
+      std::vector<AcceptedMsg> accepteds;
+      for (auto& node : nodes) {
+        if (rng.bernoulli(drop_prob)) continue;  // lost accept
+        if (auto a = node.acceptor().on_accept(*accept)) {
+          accepteds.push_back(*a);
+        }
+      }
+      std::shuffle(accepteds.begin(), accepteds.end(), rng.engine());
+      for (const AcceptedMsg& a : accepteds) {
+        if (rng.bernoulli(drop_prob)) continue;  // lost accepted
+        if (auto master = nodes[static_cast<std::size_t>(proposer)]
+                              .proposer()
+                              .on_accepted(a)) {
+          decisions.push_back(*master);
+          nodes[static_cast<std::size_t>(proposer)].learn(*master);
+        }
+      }
+    }
+  }
+};
+
+class PaxosSafety : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaxosSafety, AtMostOneMasterUnderLossyNetwork) {
+  Harness harness(3 + GetParam() % 3, 8800 + static_cast<std::uint64_t>(GetParam()));
+  harness.run(30, 0.3);
+  for (std::size_t i = 1; i < harness.decisions.size(); ++i) {
+    EXPECT_EQ(harness.decisions[i], harness.decisions[0])
+        << "conflicting masters chosen (seed " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosSafety, ::testing::Range(0, 30));
+
+TEST(PaxosLiveness, CleanRunElectsProposer) {
+  Harness harness(5, 1);
+  harness.run(1, 0.0);
+  ASSERT_FALSE(harness.decisions.empty());
+  // With no prior accepts, the proposer's own id is chosen.
+  EXPECT_GE(harness.decisions[0], 0);
+  EXPECT_LT(harness.decisions[0], 5);
+}
+
+TEST(PaxosLiveness, LaterRoundsPreserveEarlierDecision) {
+  Harness harness(5, 2);
+  harness.run(40, 0.0);
+  ASSERT_GE(harness.decisions.size(), 2u);
+  for (MasterId m : harness.decisions) {
+    EXPECT_EQ(m, harness.decisions[0]);
+  }
+}
+
+}  // namespace
+}  // namespace bate

@@ -1,0 +1,76 @@
+// Tests for the topology text format: round-trips, parse errors, comments,
+// and file helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "topology/catalog.h"
+#include "topology/io.h"
+
+namespace bate {
+namespace {
+
+TEST(TopologyIo, RoundTripsEveryCatalogTopology) {
+  for (const Topology& original :
+       {toy4(), square4(), testbed6(), b4(), fiti()}) {
+    const Topology parsed = from_text(to_text(original));
+    ASSERT_EQ(parsed.node_count(), original.node_count()) << original.name();
+    ASSERT_EQ(parsed.link_count(), original.link_count()) << original.name();
+    EXPECT_EQ(parsed.name(), original.name());
+    for (LinkId e = 0; e < original.link_count(); ++e) {
+      EXPECT_EQ(parsed.link(e).src, original.link(e).src);
+      EXPECT_EQ(parsed.link(e).dst, original.link(e).dst);
+      EXPECT_DOUBLE_EQ(parsed.link(e).capacity, original.link(e).capacity);
+      EXPECT_DOUBLE_EQ(parsed.link(e).failure_prob,
+                       original.link(e).failure_prob);
+    }
+  }
+}
+
+TEST(TopologyIo, ParsesCommentsAndBlankLines) {
+  const Topology t = from_text(
+      "# a WAN\n"
+      "topology demo\n"
+      "\n"
+      "node A\n"
+      "node B   # the second DC\n"
+      "bilink A B 1000 0.001\n");
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.node_count(), 2);
+  EXPECT_EQ(t.link_count(), 2);
+  EXPECT_DOUBLE_EQ(t.link(0).failure_prob, 0.001);
+}
+
+TEST(TopologyIo, RejectsMalformedInput) {
+  EXPECT_THROW(from_text("frobnicate X\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("node A\nnode A\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("node A\nlink A B 10 0.1\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("node A\nnode B\nlink A B ten 0.1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_text("node A\nnode B\nlink A B 10 1.5\n"),
+               std::invalid_argument);
+  // Error message carries the line number.
+  try {
+    from_text("node A\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, FileHelpers) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "bate_topology_io_test.txt";
+  const Topology original = testbed6();
+  save_topology(original, path.string());
+  const Topology loaded = load_topology(path.string());
+  EXPECT_EQ(loaded.link_count(), original.link_count());
+  EXPECT_EQ(loaded.name(), original.name());
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_topology("/nonexistent/nowhere.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bate

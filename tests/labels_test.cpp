@@ -1,0 +1,169 @@
+// Tests for the label-based forwarding scheme (Sec 4): VxLAN label codec,
+// switch flow/group tables, rule compilation from allocations, and label
+// tracing along tunnels.
+#include <gtest/gtest.h>
+
+#include "core/scheduling.h"
+#include "core/recovery.h"
+#include "system/labels.h"
+#include "topology/catalog.h"
+
+namespace bate {
+namespace {
+
+TEST(VxlanLabel, EncodeDecodeRoundTrip) {
+  for (std::uint16_t d : {0, 1, 2047, 4095}) {
+    for (std::uint16_t t : {0, 7, 4095}) {
+      const VxlanLabel label{d, t};
+      const VxlanLabel back = VxlanLabel::decode(label.encode());
+      EXPECT_EQ(back.demand, d);
+      EXPECT_EQ(back.tunnel, t);
+    }
+  }
+}
+
+TEST(VxlanLabel, FieldLayoutMatchesPaper) {
+  // First 12 bits = demand, last 12 bits = tunnel.
+  const VxlanLabel label{0x0ABC, 0x0123};
+  EXPECT_EQ(label.encode(), 0xABC123u);
+}
+
+TEST(VxlanLabel, RejectsOversizedFields) {
+  EXPECT_THROW((VxlanLabel{4096, 0}).encode(), std::invalid_argument);
+  EXPECT_THROW((VxlanLabel{0, 4096}).encode(), std::invalid_argument);
+  EXPECT_THROW(VxlanLabel::decode(0x1000000), std::invalid_argument);
+}
+
+TEST(SwitchTable, InstallLookupRemove) {
+  SwitchTable table;
+  const VxlanLabel label{5, 2};
+  EXPECT_FALSE(table.lookup(label).has_value());
+  table.install({label, 7});
+  ASSERT_TRUE(table.lookup(label).has_value());
+  EXPECT_EQ(*table.lookup(label), 7);
+  table.install({label, 9});  // overwrite
+  EXPECT_EQ(*table.lookup(label), 9);
+  table.remove(label);
+  EXPECT_FALSE(table.lookup(label).has_value());
+  table.remove(label);  // idempotent
+}
+
+TEST(SwitchTable, GroupBuckets) {
+  SwitchTable table;
+  table.set_group(3, {{VxlanLabel{3, 0}, 0.25}, {VxlanLabel{3, 1}, 0.75}});
+  const auto* group = table.group(3);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2u);
+  EXPECT_DOUBLE_EQ((*group)[1].weight, 0.75);
+  EXPECT_EQ(table.group(4), nullptr);
+  EXPECT_THROW(table.set_group(5000, {}), std::invalid_argument);
+}
+
+struct CompileFixture {
+  Topology topo = testbed6();
+  TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  TrafficScheduler scheduler{topo, catalog, SchedulerConfig{}};
+};
+
+TEST(CompileForwarding, RulesFollowTunnelsAndWeightsSumToOne) {
+  CompileFixture fx;
+  std::vector<Demand> demands(2);
+  demands[0].id = 1;
+  demands[0].pairs = {{fx.catalog.pair_index({0, 2}), 400.0}};
+  demands[0].availability_target = 0.99;
+  demands[1].id = 2;
+  demands[1].pairs = {{fx.catalog.pair_index({0, 4}), 900.0}};
+  demands[1].availability_target = 0.95;
+  const auto r = fx.scheduler.schedule(demands);
+  ASSERT_TRUE(r.feasible);
+
+  const auto plan =
+      compile_forwarding(fx.topo, fx.catalog, demands, r.alloc);
+  EXPECT_GT(plan.rules_installed, 0);
+  EXPECT_EQ(plan.groups_installed, 2);
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    const auto& tunnels = fx.catalog.tunnels(d.pairs[0].pair);
+    const NodeId ingress = tunnels[0].src;
+    const auto* group = plan.switches[static_cast<std::size_t>(ingress)]
+                            .group(static_cast<std::uint16_t>(d.id));
+    ASSERT_NE(group, nullptr) << "demand " << d.id;
+    double weight = 0.0;
+    for (const GroupBucket& bucket : *group) {
+      weight += bucket.weight;
+      // Tracing the bucket's label reproduces exactly the tunnel's links.
+      const auto path =
+          trace_label(fx.topo, plan, ingress, bucket.label);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(*path, tunnels[bucket.label.tunnel].links);
+    }
+    EXPECT_NEAR(weight, 1.0, 1e-9);
+  }
+}
+
+TEST(CompileForwarding, RejectsOversizedDemandIds) {
+  CompileFixture fx;
+  std::vector<Demand> demands(1);
+  demands[0].id = 5000;  // > 4095
+  demands[0].pairs = {{0, 100.0}};
+  std::vector<Allocation> allocs = {
+      Allocation{std::vector<double>(fx.catalog.tunnels(0).size(), 10.0)}};
+  EXPECT_THROW(
+      compile_forwarding(fx.topo, fx.catalog, demands, allocs),
+      std::invalid_argument);
+}
+
+TEST(TraceLabel, DetectsMissingRule) {
+  CompileFixture fx;
+  ForwardingPlan plan;
+  plan.switches.resize(static_cast<std::size_t>(fx.topo.node_count()));
+  EXPECT_FALSE(trace_label(fx.topo, plan, 0, VxlanLabel{1, 0}).has_value());
+}
+
+TEST(TraceLabel, DetectsLoops) {
+  CompileFixture fx;
+  ForwardingPlan plan;
+  plan.switches.resize(static_cast<std::size_t>(fx.topo.node_count()));
+  // Install a 2-node loop DC1 -> DC2 -> DC1.
+  const VxlanLabel label{9, 0};
+  plan.switches[0].install({label, fx.topo.find_link(0, 1)});
+  plan.switches[1].install({label, fx.topo.find_link(1, 0)});
+  EXPECT_FALSE(trace_label(fx.topo, plan, 0, label).has_value());
+}
+
+TEST(BackupPlannerExtension, ConcurrentPairPlansAreUsed) {
+  CompileFixture fx;
+  std::vector<Demand> demands(2);
+  demands[0].id = 1;
+  demands[0].pairs = {{fx.catalog.pair_index({0, 2}), 400.0}};
+  demands[0].availability_target = 0.99;
+  demands[0].charge = 400.0;
+  demands[1].id = 2;
+  demands[1].pairs = {{fx.catalog.pair_index({0, 4}), 500.0}};
+  demands[1].availability_target = 0.95;
+  demands[1].charge = 500.0;
+  const auto r = fx.scheduler.schedule(demands);
+  ASSERT_TRUE(r.feasible);
+
+  BackupPlanner single(fx.topo, fx.catalog, 0);
+  BackupPlanner pairs(fx.topo, fx.catalog, 8);
+  single.precompute(demands, r.alloc);
+  pairs.precompute(demands, r.alloc);
+  EXPECT_GT(pairs.plan_count(), single.plan_count());
+
+  // plan_for: exact pair match where planned, single-link fallback else.
+  std::vector<LinkId> loaded;
+  const auto usage = link_usage(fx.topo, fx.catalog, demands, r.alloc);
+  for (LinkId e = 0; e < fx.topo.link_count(); ++e) {
+    if (usage[static_cast<std::size_t>(e)] > 1e-9) loaded.push_back(e);
+  }
+  ASSERT_GE(loaded.size(), 2u);
+  const LinkId two[] = {loaded[0], loaded[1]};
+  EXPECT_NE(pairs.plan_for(two), nullptr);
+  EXPECT_NE(single.plan_for(two), nullptr);  // falls back to single plan
+  EXPECT_EQ(single.plan_for({}), nullptr);
+}
+
+}  // namespace
+}  // namespace bate

@@ -1,0 +1,168 @@
+// Tests for the networking substrate: codec round-trips, framing (including
+// split/partial/oversized frames), sockets over loopback, and the event
+// loop.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/codec.h"
+#include "net/event_loop.h"
+#include "net/framing.h"
+#include "net/socket.h"
+
+namespace bate {
+namespace {
+
+TEST(Codec, RoundTripsScalars) {
+  BufferWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.f64_vec({1.5, -2.5, 0.0});
+
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, ThrowsOnTruncation) {
+  BufferWriter w;
+  w.u32(7);
+  BufferReader r(w.bytes());
+  r.u32();
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(Codec, ThrowsOnTruncatedString) {
+  BufferWriter w;
+  w.u32(100);  // announces a 100-byte string with no payload
+  BufferReader r(w.bytes());
+  EXPECT_THROW(r.str(), std::out_of_range);
+}
+
+TEST(Framing, EncodeThenDecode) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto framed = encode_frame(payload);
+  ASSERT_EQ(framed.size(), 9u);
+  FrameReader reader;
+  reader.feed(framed);
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Framing, HandlesByteAtATimeDelivery) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const auto framed = encode_frame(payload);
+  FrameReader reader;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    EXPECT_FALSE(reader.next().has_value());
+    reader.feed({&framed[i], 1});
+  }
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+}
+
+TEST(Framing, HandlesMultipleFramesInOneFeed) {
+  auto a = encode_frame(std::vector<std::uint8_t>{1});
+  const auto b = encode_frame(std::vector<std::uint8_t>{2, 2});
+  a.insert(a.end(), b.begin(), b.end());
+  FrameReader reader;
+  reader.feed(a);
+  EXPECT_EQ(reader.next()->size(), 1u);
+  EXPECT_EQ(reader.next()->size(), 2u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Framing, EmptyPayloadIsValid) {
+  const auto framed = encode_frame({});
+  FrameReader reader;
+  reader.feed(framed);
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Framing, RejectsOversizedFrames) {
+  FrameReader reader;
+  // Announce a 1 GiB frame.
+  const std::uint8_t evil[] = {0x00, 0x00, 0x00, 0x40};
+  EXPECT_THROW(reader.feed(evil), std::length_error);
+}
+
+TEST(Socket, LoopbackEcho) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    auto conn = listener.accept();
+    ASSERT_TRUE(conn.has_value());
+    std::uint8_t buf[16];
+    const long n = conn->read_some(buf);
+    ASSERT_GT(n, 0);
+    conn->write_all({buf, static_cast<std::size_t>(n)});
+  });
+
+  Socket client = connect_tcp(listener.port());
+  const std::uint8_t msg[] = {'p', 'i', 'n', 'g'};
+  client.write_all(msg);
+  std::uint8_t buf[16];
+  const long n = client.read_some(buf);
+  server.join();
+  ASSERT_EQ(n, 4);
+  EXPECT_EQ(std::memcmp(buf, msg, 4), 0);
+}
+
+TEST(Socket, MoveTransfersOwnership) {
+  TcpListener listener(0);
+  Socket a = connect_tcp(listener.port());
+  const int fd = a.fd();
+  Socket b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.fd(), fd);
+}
+
+TEST(Socket, NonblockingReadReturnsWouldBlock) {
+  TcpListener listener(0);
+  Socket client = connect_tcp(listener.port());
+  client.set_nonblocking(true);
+  std::uint8_t buf[8];
+  EXPECT_EQ(client.read_some(buf), -1);
+}
+
+TEST(EventLoop, DispatchesReadEvents) {
+  TcpListener listener(0);
+  listener.set_nonblocking(true);
+  Socket client = connect_tcp(listener.port());
+
+  EventLoop loop;
+  int accepted = 0;
+  loop.add_reader(listener.fd(), [&] {
+    while (listener.accept()) ++accepted;
+  });
+  // The pending connection should wake the loop.
+  for (int i = 0; i < 50 && accepted == 0; ++i) loop.run_once(20);
+  EXPECT_EQ(accepted, 1);
+  loop.remove(listener.fd());
+}
+
+TEST(EventLoop, RunStopsOnRequest) {
+  EventLoop loop;
+  int ticks = 0;
+  loop.run(1, [&] {
+    if (++ticks >= 3) loop.stop();
+  });
+  EXPECT_GE(ticks, 3);
+}
+
+}  // namespace
+}  // namespace bate

@@ -1,0 +1,196 @@
+// Cross-component property suites tying the algorithms to their claimed
+// guarantees:
+//   * Conjecture soundness vs the optimal MILP (Theorem 1 direction).
+//   * Guaranteed greedy allocations really meet their hard targets.
+//   * Scheduling monotonicity: more pruning (smaller y) never allocates
+//     less bandwidth.
+//   * Simplex vs brute force on random equality-constrained LPs.
+//   * Recovery never exceeds pre-failure profit and respects the refund
+//     floor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/admission.h"
+#include "core/pricing.h"
+#include "core/recovery.h"
+#include "core/scheduling.h"
+#include "solver/simplex.h"
+#include "topology/catalog.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+#include "workload/demand_gen.h"
+
+namespace bate {
+namespace {
+
+struct RandomCase {
+  Topology topo;
+  TunnelCatalog catalog;
+  std::vector<Demand> demands;
+};
+
+RandomCase make_case(std::uint64_t seed, int max_demands) {
+  GeneratorConfig cfg;
+  cfg.nodes = 6;
+  cfg.directed_links = 18;
+  cfg.seed = seed;
+  RandomCase c{generate_topology(cfg, "prop"), {}, {}};
+  c.catalog = TunnelCatalog::build_all_pairs(c.topo, 3);
+
+  WorkloadConfig wl;
+  wl.arrival_rate_per_min = 2.0;
+  wl.horizon_min = 8.0;
+  wl.mean_duration_min = 60.0;
+  wl.bw_min_mbps = 50.0;
+  wl.bw_max_mbps = 800.0;
+  wl.availability_targets = {0.0, 0.9, 0.99, 0.999};
+  wl.services = testbed_services();
+  wl.seed = seed * 31 + 7;
+  c.demands = generate_demands(c.catalog, wl);
+  if (static_cast<int>(c.demands.size()) > max_demands) {
+    c.demands.resize(static_cast<std::size_t>(max_demands));
+  }
+  return c;
+}
+
+class ConjectureSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConjectureSoundness, ConjectureAdmitImpliesOptimalAdmit) {
+  const RandomCase c = make_case(9000 + GetParam(), 6);
+  if (c.demands.empty()) GTEST_SKIP();
+  const TrafficScheduler scheduler(c.topo, c.catalog, SchedulerConfig{});
+  if (!admission_conjecture(scheduler, c.demands)) GTEST_SKIP();
+  EXPECT_TRUE(optimal_admission_check(scheduler, c.demands))
+      << "Theorem 1 violated (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConjectureSoundness, ::testing::Range(0, 12));
+
+class GuaranteedAllocation : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuaranteedAllocation, MeetsHardTargetAndCapacity) {
+  const RandomCase c = make_case(9100 + GetParam(), 10);
+  const TrafficScheduler scheduler(c.topo, c.catalog, SchedulerConfig{});
+  std::vector<double> residual(static_cast<std::size_t>(c.topo.link_count()));
+  for (LinkId e = 0; e < c.topo.link_count(); ++e) {
+    residual[static_cast<std::size_t>(e)] = c.topo.link(e).capacity;
+  }
+  for (const Demand& d : c.demands) {
+    const auto before = residual;
+    const auto alloc = greedy_allocate_guaranteed(scheduler, d, residual);
+    if (!alloc) {
+      EXPECT_EQ(before, residual);  // failure leaves residual untouched
+      continue;
+    }
+    // Full bandwidth on every pair.
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      double total = 0.0;
+      for (double f : (*alloc)[p]) total += f;
+      EXPECT_GE(total + 1e-6, d.pairs[p].mbps);
+    }
+    // Hard availability under the scheduler's model.
+    double avail = 1.0;
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      avail *= scheduler.lp_patterns(d.pairs[p].pair)
+                   .availability((*alloc)[p], d.pairs[p].mbps);
+    }
+    EXPECT_GE(avail + 1e-9, d.availability_target);
+    // Residual only decreased and never negative.
+    for (std::size_t e = 0; e < residual.size(); ++e) {
+      EXPECT_LE(residual[e], before[e] + 1e-9);
+      EXPECT_GE(residual[e], -1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuaranteedAllocation, ::testing::Range(0, 12));
+
+class PruningMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningMonotonicity, SmallerYNeverAllocatesLess) {
+  const RandomCase c = make_case(9200 + GetParam(), 8);
+  if (c.demands.empty()) GTEST_SKIP();
+  double prev = kInfinity;  // allocation at smaller y (upper bound)
+  bool any = false;
+  for (int y = 1; y <= 3; ++y) {
+    SchedulerConfig cfg;
+    cfg.max_failures = y;
+    cfg.hard_repair = false;  // compare the pure LP optima
+    cfg.reliability_epsilon = 0.0;
+    const TrafficScheduler scheduler(c.topo, c.catalog, cfg);
+    const auto r = scheduler.schedule(c.demands);
+    if (!r.feasible) continue;
+    if (any) {
+      EXPECT_LE(r.total_allocated_mbps, prev + 1e-3)
+          << "y=" << y << " seed " << GetParam();
+    }
+    prev = r.total_allocated_mbps;
+    any = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningMonotonicity, ::testing::Range(0, 10));
+
+class RecoveryProfitBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryProfitBounds, GreedyWithinFloorAndCeiling) {
+  const RandomCase c = make_case(9300 + GetParam(), 12);
+  if (c.demands.empty()) GTEST_SKIP();
+  Rng rng(77 + static_cast<std::uint64_t>(GetParam()));
+  const LinkId failed[] = {
+      static_cast<LinkId>(rng.uniform_int(0, c.topo.link_count() - 1))};
+  const auto rec = recover_greedy(c.topo, c.catalog, c.demands, failed);
+  double floor = 0.0;
+  for (const Demand& d : c.demands) {
+    floor += (1.0 - d.refund_fraction) * d.charge;
+  }
+  EXPECT_GE(rec.profit + 1e-9, floor);
+  EXPECT_LE(rec.profit, full_profit(c.demands) + 1e-9);
+  // full_profit flags must be consistent with the reported profit.
+  double recomputed = 0.0;
+  for (std::size_t i = 0; i < c.demands.size(); ++i) {
+    recomputed += demand_profit(c.demands[i], rec.full_profit[i] != 0);
+  }
+  EXPECT_NEAR(rec.profit, recomputed, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryProfitBounds, ::testing::Range(0, 15));
+
+// Random equality-constrained LPs: min c'x st Ax = b, 0 <= x <= u with a
+// known feasible point; the simplex optimum must be feasible and no worse.
+class EqualitySimplex : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqualitySimplex, OptimumFeasibleAndDominatesWitness) {
+  Rng rng(9400 + static_cast<std::uint64_t>(GetParam()));
+  const int n = 5 + rng.uniform_int(0, 4);
+  const int m = 2 + rng.uniform_int(0, 2);
+
+  std::vector<double> witness(static_cast<std::size_t>(n));
+  for (auto& v : witness) v = rng.uniform(0.2, 2.0);
+
+  Model model;
+  std::vector<int> vars;
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(model.add_variable(0.0, 4.0, rng.uniform(-2.0, 2.0)));
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<Term> terms;
+    double rhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = rng.uniform(-1.0, 2.0);
+      terms.push_back({vars[static_cast<std::size_t>(j)], a});
+      rhs += a * witness[static_cast<std::size_t>(j)];
+    }
+    model.add_constraint(std::move(terms), Relation::kEqual, rhs);
+  }
+  const Solution sol = solve_lp(model);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_TRUE(model.feasible(sol.x, 1e-5)) << "seed " << GetParam();
+  EXPECT_LE(sol.objective, model.objective_value(witness) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqualitySimplex, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace bate

@@ -1,0 +1,207 @@
+// Tests for the routing substrate: Dijkstra, Yen's KSP (cross-checked with
+// brute-force path enumeration), edge-disjoint paths, oblivious-style
+// selection and the tunnel catalog.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "routing/edge_disjoint.h"
+#include "routing/ksp.h"
+#include "routing/oblivious.h"
+#include "routing/tunnels.h"
+#include "topology/catalog.h"
+#include "topology/generator.h"
+
+namespace bate {
+namespace {
+
+bool is_simple_path(const Topology& topo, NodeId src, NodeId dst,
+                    const std::vector<LinkId>& path) {
+  if (path.empty()) return false;
+  std::set<NodeId> seen{src};
+  NodeId cur = src;
+  for (LinkId id : path) {
+    if (topo.link(id).src != cur) return false;
+    cur = topo.link(id).dst;
+    if (!seen.insert(cur).second) return false;
+  }
+  return cur == dst;
+}
+
+/// All simple paths from src to dst by DFS, sorted by (length, links).
+std::vector<std::vector<LinkId>> all_simple_paths(const Topology& topo,
+                                                  NodeId src, NodeId dst) {
+  std::vector<std::vector<LinkId>> result;
+  std::vector<LinkId> cur;
+  std::vector<char> visited(static_cast<std::size_t>(topo.node_count()), 0);
+  std::function<void(NodeId)> dfs = [&](NodeId u) {
+    if (u == dst) {
+      result.push_back(cur);
+      return;
+    }
+    visited[static_cast<std::size_t>(u)] = 1;
+    for (LinkId id : topo.out_links(u)) {
+      const NodeId v = topo.link(id).dst;
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      cur.push_back(id);
+      dfs(v);
+      cur.pop_back();
+    }
+    visited[static_cast<std::size_t>(u)] = 0;
+  };
+  dfs(src);
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return result;
+}
+
+TEST(ShortestPath, FindsDirectPath) {
+  const Topology t = testbed6();
+  const auto path = shortest_path(t, 0, 3, unit_weight);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);  // DC1-DC4 is a direct link
+}
+
+TEST(ShortestPath, RespectsBans) {
+  const Topology t = toy4();
+  std::vector<char> banned(static_cast<std::size_t>(t.link_count()), 0);
+  banned[static_cast<std::size_t>(t.find_link(0, 1))] = 1;  // kill e1
+  const auto path = shortest_path(t, 0, 3, unit_weight, banned);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), t.find_link(0, 2));  // must go via DC3
+}
+
+TEST(ShortestPath, ReturnsNulloptWhenDisconnected) {
+  Topology t;
+  t.add_node();
+  t.add_node();
+  EXPECT_FALSE(shortest_path(t, 0, 1, unit_weight).has_value());
+}
+
+TEST(ShortestPath, ThrowsOnNonPositiveWeight) {
+  const Topology t = toy4();
+  EXPECT_THROW(
+      shortest_path(t, 0, 3, [](const Link&) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(Ksp, PathsAreSimpleAndSorted) {
+  const Topology t = testbed6();
+  const auto paths = k_shortest_paths(t, 0, 2, 4, unit_weight);
+  ASSERT_GE(paths.size(), 2u);
+  for (const auto& p : paths) EXPECT_TRUE(is_simple_path(t, 0, 2, p));
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].size(), paths[i].size());
+  }
+  // All distinct.
+  std::set<std::vector<LinkId>> uniq(paths.begin(), paths.end());
+  EXPECT_EQ(uniq.size(), paths.size());
+}
+
+class KspVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(KspVsBruteForce, MatchesEnumerationOnRandomGraphs) {
+  GeneratorConfig cfg;
+  cfg.nodes = 6;
+  cfg.directed_links = 16;
+  cfg.seed = 500 + static_cast<std::uint64_t>(GetParam());
+  const Topology t = generate_topology(cfg, "rnd");
+
+  const NodeId src = GetParam() % t.node_count();
+  const NodeId dst = (src + 1 + GetParam() % (t.node_count() - 1)) %
+                     t.node_count();
+  if (src == dst) GTEST_SKIP();
+
+  const auto expected = all_simple_paths(t, src, dst);
+  const int k = std::min<std::size_t>(4, expected.size());
+  const auto got = k_shortest_paths(t, src, dst, k, unit_weight);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(k));
+  // Hop counts must match the k shortest enumerated ones.
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].size(),
+              expected[static_cast<std::size_t>(i)].size())
+        << "path rank " << i;
+    EXPECT_TRUE(is_simple_path(t, src, dst, got[static_cast<std::size_t>(i)]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KspVsBruteForce, ::testing::Range(0, 20));
+
+TEST(EdgeDisjoint, PathsShareNoLinks) {
+  const Topology t = testbed6();
+  const auto paths = edge_disjoint_paths(t, 0, 4, 4);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<LinkId> used;
+  for (const auto& p : paths) {
+    for (LinkId id : p) EXPECT_TRUE(used.insert(id).second);
+  }
+}
+
+TEST(Oblivious, ProducesDistinctSimplePaths) {
+  const Topology t = testbed6();
+  const auto paths = oblivious_paths(t, 0, 2, 3);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<std::vector<LinkId>> uniq(paths.begin(), paths.end());
+  EXPECT_EQ(uniq.size(), paths.size());
+  for (const auto& p : paths) EXPECT_TRUE(is_simple_path(t, 0, 2, p));
+}
+
+TEST(Tunnel, AvailabilityIsLinkProduct) {
+  const Topology t = toy4();
+  Tunnel tn{0, 3, {t.find_link(0, 1), t.find_link(1, 3)}};
+  EXPECT_NEAR(tn.availability(t), 0.96 * 0.999999, 1e-9);
+  EXPECT_TRUE(tn.uses(t.find_link(0, 1)));
+  EXPECT_FALSE(tn.uses(t.find_link(0, 2)));
+  EXPECT_EQ(tn.to_string(t), "DC1->DC2->DC4");
+}
+
+TEST(TunnelCatalog, BuildsForRequestedPairs) {
+  const Topology t = testbed6();
+  const std::vector<SdPair> pairs = {{0, 2}, {0, 3}, {0, 4}};
+  const auto catalog = TunnelCatalog::build(t, pairs, 4);
+  EXPECT_EQ(catalog.pair_count(), 3);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(catalog.tunnels(k).size(), 1u);
+    EXPECT_LE(catalog.tunnels(k).size(), 4u);
+  }
+  EXPECT_EQ(catalog.pair_index({0, 3}), 1);
+  EXPECT_EQ(catalog.pair_index({5, 0}), -1);
+}
+
+TEST(TunnelCatalog, AllPairsCoversEveryOrderedPair) {
+  const Topology t = toy4();
+  // toy4 is not strongly connected in both directions (links are one-way),
+  // so restrict to the reachable pairs.
+  const std::vector<SdPair> pairs = {{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+  const auto catalog = TunnelCatalog::build(t, pairs, 2);
+  EXPECT_EQ(catalog.pair_count(), 5);
+  EXPECT_EQ(catalog.tunnels(catalog.pair_index({0, 3})).size(), 2u);
+}
+
+TEST(TunnelCatalog, ThrowsOnDisconnectedPair) {
+  const Topology t = toy4();
+  const std::vector<SdPair> pairs = {{3, 0}};  // no reverse links in toy4
+  EXPECT_THROW(TunnelCatalog::build(t, pairs, 2), std::runtime_error);
+}
+
+TEST(TunnelCatalog, SchemesProduceValidTunnels) {
+  const Topology t = ibm();
+  const std::vector<SdPair> pairs = {{0, 5}, {3, 9}};
+  for (auto scheme : {RoutingScheme::kKsp, RoutingScheme::kEdgeDisjoint,
+                      RoutingScheme::kOblivious}) {
+    const auto catalog = TunnelCatalog::build(t, pairs, 4, scheme);
+    for (int k = 0; k < catalog.pair_count(); ++k) {
+      for (const Tunnel& tn : catalog.tunnels(k)) {
+        EXPECT_TRUE(is_simple_path(t, tn.src, tn.dst, tn.links));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bate

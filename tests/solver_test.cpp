@@ -1,0 +1,428 @@
+// Tests for the LP/MILP solver substrate: hand-checked LPs, bound handling,
+// infeasibility/unboundedness detection, randomized cross-checks against
+// brute-force vertex enumeration, and branch & bound vs exhaustive search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "solver/branch_bound.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace bate {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Model, RejectsBadVariable) {
+  Model m;
+  EXPECT_THROW(m.add_variable(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.add_variable(0.0, std::nan(""), 0.0), std::invalid_argument);
+}
+
+TEST(Model, AccumulatesDuplicateTerms) {
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, 1.0);
+  m.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::kLessEqual, 6.0);
+  ASSERT_EQ(m.constraint(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.constraint(0).terms[0].coef, 3.0);
+}
+
+TEST(Model, RejectsUnknownVariableInConstraint) {
+  Model m;
+  m.add_variable(0.0, 1.0, 0.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, Relation::kEqual, 0.0),
+               std::out_of_range);
+}
+
+TEST(Simplex, SolvesTextbookMax) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  => (2, 6), obj 36.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_variable(0.0, kInfinity, 3.0);
+  const int y = m.add_variable(0.0, kInfinity, 5.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 6.0, kTol);
+}
+
+TEST(Simplex, SolvesMinWithGreaterEqual) {
+  // min 2x + 3y st x + y >= 10, x >= 2, y >= 1  => x=9? No: cost favors x
+  // (2<3), so y at its lower bound 1, x = 9; obj = 21.
+  Model m;
+  const int x = m.add_variable(2.0, kInfinity, 2.0);
+  const int y = m.add_variable(1.0, kInfinity, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 10.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 21.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 9.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.0, kTol);
+}
+
+TEST(Simplex, HandlesEqualityRows) {
+  // min x + y st x + 2y = 4, x - y = 1  => x=2, y=1, obj 3.
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kEqual, 4.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleSystem) {
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, 0.0);
+  const int y = m.add_variable(0.0, kInfinity, 0.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 0.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEqual, 1.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsUpperBounds) {
+  // max x + y with x <= 2, y <= 3 (bounds), x + y <= 4.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_variable(0.0, 2.0, 1.0);
+  const int y = m.add_variable(0.0, 3.0, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, kTol);
+  EXPECT_LE(s.x[static_cast<std::size_t>(x)], 2.0 + kTol);
+  EXPECT_LE(s.x[static_cast<std::size_t>(y)], 3.0 + kTol);
+}
+
+TEST(Simplex, NonzeroLowerBounds) {
+  // min x + y with x in [3,10], y in [4,10], x + y >= 9 => obj 9 at (5,4)
+  // or (3,6): either way obj 9... actually min is max(9, 3+4)=9? x+y >= 9
+  // binds above 7, so obj = 9.
+  Model m;
+  const int x = m.add_variable(3.0, 10.0, 1.0);
+  const int y = m.add_variable(4.0, 10.0, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 9.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, kTol);
+}
+
+TEST(Simplex, FixedVariables) {
+  Model m;
+  const int x = m.add_variable(2.5, 2.5, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 4.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.5, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.5, kTol);
+}
+
+TEST(Simplex, EmptyModelNoConstraints) {
+  Model m;
+  const int x = m.add_variable(1.0, 5.0, -2.0);  // min -2x => x at ub
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 5.0, kTol);
+}
+
+TEST(Simplex, DegenerateProblem) {
+  // Classic degenerate LP (multiple constraints through one vertex).
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  m.add_constraint({{y, 1.0}}, Relation::kLessEqual, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 3.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+// --- Randomized cross-check against brute-force vertex enumeration -------
+//
+// For small LPs max c'x st Ax <= b, x in [0, u], the optimum (when it
+// exists) lies at an intersection of n active constraints (rows or bounds).
+// We enumerate all candidate points from constraint pairs in 2D.
+
+struct Dense2D {
+  // rows: a1 x + a2 y <= b
+  std::vector<std::array<double, 3>> rows;
+  double ux, uy;
+  double c1, c2;
+};
+
+double brute_force_2d(const Dense2D& p) {
+  std::vector<std::array<double, 3>> all = p.rows;
+  all.push_back({1.0, 0.0, p.ux});
+  all.push_back({0.0, 1.0, p.uy});
+  all.push_back({-1.0, 0.0, 0.0});
+  all.push_back({0.0, -1.0, 0.0});
+  double best = -1e300;
+  auto feasible = [&](double x, double y) {
+    for (const auto& r : all) {
+      if (r[0] * x + r[1] * y > r[2] + 1e-9) return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const double det = all[i][0] * all[j][1] - all[i][1] * all[j][0];
+      if (std::abs(det) < 1e-12) continue;
+      const double x = (all[i][2] * all[j][1] - all[i][1] * all[j][2]) / det;
+      const double y = (all[i][0] * all[j][2] - all[i][2] * all[j][0]) / det;
+      if (feasible(x, y)) best = std::max(best, p.c1 * x + p.c2 * y);
+    }
+  }
+  return best;
+}
+
+class SimplexRandom2D : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandom2D, MatchesBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> coef(-2.0, 4.0);
+  std::uniform_real_distribution<double> rhs(1.0, 8.0);
+
+  Dense2D p;
+  p.ux = rhs(rng);
+  p.uy = rhs(rng);
+  p.c1 = coef(rng);
+  p.c2 = coef(rng);
+  const int nrows = 2 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < nrows; ++i) {
+    p.rows.push_back({coef(rng), coef(rng), rhs(rng)});
+  }
+  const double expected = brute_force_2d(p);
+
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_variable(0.0, p.ux, p.c1);
+  const int y = m.add_variable(0.0, p.uy, p.c2);
+  for (const auto& r : p.rows) {
+    m.add_constraint({{x, r[0]}, {y, r[1]}}, Relation::kLessEqual, r[2]);
+  }
+  const Solution s = solve_lp(m);
+  // x=y=0 is always feasible here, so the LP must be solvable.
+  ASSERT_EQ(s.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(s.objective, expected, 1e-5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom2D, ::testing::Range(0, 40));
+
+// Random feasibility-consistency check in higher dimension: generate a
+// feasible point first, then verify the solver's optimum is no worse and
+// feasible.
+class SimplexRandomND : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomND, OptimalIsFeasibleAndNoWorse) {
+  std::mt19937_64 rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> coef(0.0, 3.0);
+  const int n = 4 + static_cast<int>(rng() % 5);
+  const int rows = 3 + static_cast<int>(rng() % 6);
+
+  // Feasible point z in [0,2]^n.
+  std::vector<double> z(static_cast<std::size_t>(n));
+  for (auto& v : z) v = coef(rng) / 1.5;
+
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  std::vector<int> vars;
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(m.add_variable(0.0, 5.0, coef(rng) - 1.0));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = coef(rng) - 1.0;
+      terms.push_back({vars[static_cast<std::size_t>(j)], a});
+      activity += a * z[static_cast<std::size_t>(j)];
+    }
+    // rhs with slack so z stays strictly feasible.
+    m.add_constraint(std::move(terms), Relation::kLessEqual,
+                     activity + coef(rng) + 0.1);
+  }
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_TRUE(m.feasible(s.x, 1e-5)) << "seed " << GetParam();
+  EXPECT_GE(s.objective, m.objective_value(z) - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomND, ::testing::Range(0, 40));
+
+// --- Branch & bound -------------------------------------------------------
+
+TEST(BranchBound, SolvesKnapsack) {
+  // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary => a+c (17) vs b+c (20).
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int a = m.add_binary(10.0);
+  const int b = m.add_binary(13.0);
+  const int c = m.add_binary(7.0);
+  m.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Relation::kLessEqual, 6.0);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 20.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(b)], 1.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(c)], 1.0, kTol);
+}
+
+TEST(BranchBound, MixedIntegerContinuous) {
+  // max y + 0.5 x st y integer, y <= 2.5, x <= 1.2, x + y <= 3.1.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_variable(0.0, 1.2, 0.5);
+  const int y = m.add_variable(0.0, 2.5, 1.0);
+  m.set_integer(y);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 3.1);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 1.1, 1e-5);
+}
+
+TEST(BranchBound, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 with x integer: LP feasible, MILP infeasible.
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, 1.0);
+  m.set_integer(x);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 0.4);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 0.6);
+  EXPECT_EQ(solve_milp(m).status, SolveStatus::kInfeasible);
+}
+
+class BnbRandomKnapsack : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbRandomKnapsack, MatchesExhaustive) {
+  std::mt19937_64 rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> u(0.5, 5.0);
+  const int n = 6 + static_cast<int>(rng() % 5);  // up to 10 binaries
+
+  std::vector<double> value(static_cast<std::size_t>(n));
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    value[static_cast<std::size_t>(j)] = u(rng);
+    weight[static_cast<std::size_t>(j)] = u(rng);
+  }
+  const double capacity = u(rng) * n / 3.0;
+
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  std::vector<Term> row;
+  for (int j = 0; j < n; ++j) {
+    const int v = m.add_binary(value[static_cast<std::size_t>(j)]);
+    row.push_back({v, weight[static_cast<std::size_t>(j)]});
+  }
+  m.add_constraint(std::move(row), Relation::kLessEqual, capacity);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+
+  double best = 0.0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    double w = 0.0;
+    double v = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if ((mask >> j) & 1u) {
+        w += weight[static_cast<std::size_t>(j)];
+        v += value[static_cast<std::size_t>(j)];
+      }
+    }
+    if (w <= capacity + 1e-12) best = std::max(best, v);
+  }
+  EXPECT_NEAR(s.objective, best, 1e-5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbRandomKnapsack, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace bate
+
+namespace bate {
+namespace {
+
+// Shadow-price property of the duals: perturbing a constraint's rhs by a
+// small eps changes the optimum by ~dual * eps (for non-degenerate rows).
+class DualShadowPrice : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualShadowPrice, DualsPredictRhsPerturbation) {
+  std::mt19937_64 rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> coef(0.2, 2.0);
+  const bool maximize = GetParam() % 2 == 0;
+  const int n = 3 + static_cast<int>(rng() % 3);
+
+  Model m;
+  m.set_sense(maximize ? Sense::kMaximize : Sense::kMinimize);
+  std::vector<int> vars;
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(m.add_variable(0.0, 10.0, coef(rng)));
+  }
+  // Rows through a random interior-ish point keep the LP feasible.
+  const int rows = 2 + static_cast<int>(rng() % 3);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) terms.push_back({vars[static_cast<std::size_t>(j)], coef(rng)});
+    m.add_constraint(std::move(terms),
+                     maximize ? Relation::kLessEqual : Relation::kGreaterEqual,
+                     coef(rng) * n);
+  }
+  const Solution base = solve_lp(m);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  ASSERT_EQ(base.duals.size(), static_cast<std::size_t>(rows));
+
+  const double eps = 1e-5;
+  for (int r = 0; r < rows; ++r) {
+    Model perturbed = m;
+    // Rebuild the row with rhs + eps (Model has no rhs setter by design).
+    Constraint c = m.constraint(r);
+    Model shifted;
+    shifted.set_sense(m.sense());
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = m.variable(j);
+      shifted.add_variable(v.lower, v.upper, v.objective);
+    }
+    for (int rr = 0; rr < rows; ++rr) {
+      Constraint row = m.constraint(rr);
+      shifted.add_constraint(row.terms, row.relation,
+                             row.rhs + (rr == r ? eps : 0.0));
+    }
+    const Solution moved = solve_lp(shifted);
+    ASSERT_EQ(moved.status, SolveStatus::kOptimal);
+    const double predicted = base.duals[static_cast<std::size_t>(r)] * eps;
+    EXPECT_NEAR(moved.objective - base.objective, predicted, 1e-7)
+        << "row " << r << " seed " << GetParam();
+    (void)perturbed;
+    (void)c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualShadowPrice, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace bate

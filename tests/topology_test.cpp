@@ -1,0 +1,160 @@
+// Tests for the topology substrate: graph invariants, catalog networks
+// (Table 4 / Fig 2 / Fig 6 shapes), and the synthetic generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/catalog.h"
+#include "topology/generator.h"
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace bate {
+namespace {
+
+TEST(Graph, AddNodesAndLinks) {
+  Topology t("t");
+  const NodeId a = t.add_node("A");
+  const NodeId b = t.add_node("B");
+  const LinkId l = t.add_link(a, b, 100.0, 0.01);
+  EXPECT_EQ(t.node_count(), 2);
+  EXPECT_EQ(t.link_count(), 1);
+  EXPECT_EQ(t.link(l).src, a);
+  EXPECT_EQ(t.link(l).dst, b);
+  EXPECT_EQ(t.find_link(a, b), l);
+  EXPECT_EQ(t.find_link(b, a), -1);
+}
+
+TEST(Graph, RejectsInvalidLinks) {
+  Topology t;
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  EXPECT_THROW(t.add_link(a, a, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, 7, 1.0, 0.0), std::out_of_range);
+}
+
+TEST(Graph, BidirectionalAddsBothDirections) {
+  Topology t;
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  t.add_bidirectional(a, b, 10.0, 0.001);
+  EXPECT_EQ(t.link_count(), 2);
+  EXPECT_NE(t.find_link(a, b), -1);
+  EXPECT_NE(t.find_link(b, a), -1);
+}
+
+TEST(Graph, StronglyConnectedDetection) {
+  Topology t;
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  const NodeId c = t.add_node();
+  t.add_link(a, b, 1.0, 0.0);
+  t.add_link(b, c, 1.0, 0.0);
+  EXPECT_FALSE(t.strongly_connected());
+  t.add_link(c, a, 1.0, 0.0);
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Catalog, Toy4MatchesFig2) {
+  const Topology t = toy4();
+  EXPECT_EQ(t.node_count(), 4);
+  EXPECT_EQ(t.link_count(), 4);
+  // e1: DC1->DC2 at 4%, e3: DC1->DC3 at 0.1%.
+  EXPECT_NEAR(t.link(t.find_link(0, 1)).failure_prob, 0.04, 1e-12);
+  EXPECT_NEAR(t.link(t.find_link(0, 2)).failure_prob, 0.001, 1e-12);
+  for (const Link& l : t.links()) EXPECT_DOUBLE_EQ(l.capacity, 10000.0);
+}
+
+TEST(Catalog, Testbed6MatchesFig6) {
+  const Topology t = testbed6();
+  EXPECT_EQ(t.node_count(), 6);
+  EXPECT_EQ(t.link_count(), 16);  // 8 bidirectional pairs
+  EXPECT_TRUE(t.strongly_connected());
+  // L4 (DC4-DC5) carries the highest failure probability: 1%.
+  const LinkId l4 = testbed_link(t, "L4");
+  EXPECT_NEAR(t.link(l4).failure_prob, 0.01, 1e-12);
+  for (const Link& l : t.links()) {
+    EXPECT_LE(l.failure_prob, 0.01 + 1e-12);
+    EXPECT_DOUBLE_EQ(l.capacity, 1000.0);  // 1 Gbps testbed links
+  }
+  EXPECT_THROW(testbed_link(t, "L9"), std::invalid_argument);
+}
+
+TEST(Catalog, Table4Counts) {
+  struct Expect {
+    Topology topo;
+    int nodes;
+    int links;
+  };
+  Expect cases[] = {
+      {b4(), 12, 38}, {ibm(), 18, 48}, {att(), 25, 112}, {fiti(), 14, 32}};
+  for (auto& c : cases) {
+    EXPECT_EQ(c.topo.node_count(), c.nodes) << c.topo.name();
+    EXPECT_EQ(c.topo.link_count(), c.links) << c.topo.name();
+    EXPECT_TRUE(c.topo.strongly_connected()) << c.topo.name();
+  }
+}
+
+TEST(Catalog, TopologiesAreDeterministic) {
+  const Topology a = b4();
+  const Topology b = b4();
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (LinkId e = 0; e < a.link_count(); ++e) {
+    EXPECT_EQ(a.link(e).src, b.link(e).src);
+    EXPECT_EQ(a.link(e).dst, b.link(e).dst);
+    EXPECT_DOUBLE_EQ(a.link(e).failure_prob, b.link(e).failure_prob);
+  }
+}
+
+TEST(Generator, RespectsExactCounts) {
+  GeneratorConfig cfg;
+  cfg.nodes = 9;
+  cfg.directed_links = 26;
+  cfg.seed = 42;
+  const Topology t = generate_topology(cfg, "g");
+  EXPECT_EQ(t.node_count(), 9);
+  EXPECT_EQ(t.link_count(), 26);
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Generator, RejectsInfeasibleConfigs) {
+  GeneratorConfig cfg;
+  cfg.nodes = 5;
+  cfg.directed_links = 7;  // odd
+  EXPECT_THROW(generate_topology(cfg, "g"), std::invalid_argument);
+  cfg.directed_links = 6;  // fewer than a ring
+  EXPECT_THROW(generate_topology(cfg, "g"), std::invalid_argument);
+  cfg.directed_links = 42;  // more than complete graph (5*4 = 20)
+  EXPECT_THROW(generate_topology(cfg, "g"), std::invalid_argument);
+}
+
+TEST(Generator, FailureProbabilitiesAreHeavyTailed) {
+  // Across many draws the spread should exceed two orders of magnitude
+  // (Fig 1b) and stay within [0, 0.05].
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double p = sample_failure_prob(rng, 8.0, 0.6);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 0.05);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi / std::max(lo, 1e-12), 100.0);
+}
+
+TEST(Generator, LinksComeInBidirectionalPairs) {
+  const Topology t = fiti();
+  std::set<std::pair<NodeId, NodeId>> dirs;
+  for (const Link& l : t.links()) dirs.insert({l.src, l.dst});
+  for (const Link& l : t.links()) {
+    EXPECT_TRUE(dirs.count({l.dst, l.src})) << l.name;
+  }
+}
+
+}  // namespace
+}  // namespace bate

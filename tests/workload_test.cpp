@@ -1,0 +1,186 @@
+// Tests for the workload substrate: SLA catalogs, traffic matrices, and the
+// Poisson demand generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/catalog.h"
+#include "workload/demand_gen.h"
+#include "workload/sla.h"
+#include "workload/traffic_matrix.h"
+
+namespace bate {
+namespace {
+
+TEST(Sla, AzureCatalogHasTenServices) {
+  const auto& services = azure_services();
+  EXPECT_EQ(services.size(), 10u);
+  for (const auto& s : services) {
+    EXPECT_FALSE(s.tiers.empty()) << s.name;
+    EXPECT_GT(s.base_refund(), 0.0) << s.name;
+    // Tiers sorted by descending threshold.
+    for (std::size_t i = 1; i < s.tiers.size(); ++i) {
+      EXPECT_LT(s.tiers[i].below, s.tiers[i - 1].below) << s.name;
+    }
+  }
+}
+
+TEST(Sla, RefundTiersApplyWorstMatch) {
+  const SlaService vm = azure_services()[5];  // Virtual Machines
+  EXPECT_DOUBLE_EQ(vm.refund_for(0.99995), 0.0);
+  EXPECT_DOUBLE_EQ(vm.refund_for(0.9995), 0.10);
+  EXPECT_DOUBLE_EQ(vm.refund_for(0.995), 0.25);
+  EXPECT_DOUBLE_EQ(vm.refund_for(0.90), 1.00);
+}
+
+TEST(Sla, TestbedServicesAreRedisCdnVm) {
+  const auto services = testbed_services();
+  ASSERT_EQ(services.size(), 3u);
+  EXPECT_EQ(services[0].name, "Azure Cache for Redis");
+  EXPECT_EQ(services[1].name, "Content Delivery Network");
+  EXPECT_EQ(services[2].name, "Virtual Machines");
+}
+
+TEST(Sla, B4TargetsMatchTable1) {
+  const auto& targets = b4_targets();
+  ASSERT_EQ(targets.size(), 5u);
+  EXPECT_DOUBLE_EQ(targets[0].availability, 0.9999);
+  EXPECT_DOUBLE_EQ(targets[3].availability, 0.99);
+  EXPECT_DOUBLE_EQ(targets[4].availability, 0.0);  // bulk: N/A
+}
+
+TEST(TrafficMatrix, GeneratesRequestedCount) {
+  const Topology topo = b4();
+  const auto tms = generate_traffic_matrices(topo, 5);
+  EXPECT_EQ(tms.size(), 5u);
+  for (const auto& tm : tms) {
+    EXPECT_EQ(tm.size(), static_cast<std::size_t>(topo.node_count()));
+    for (int i = 0; i < topo.node_count(); ++i) {
+      EXPECT_DOUBLE_EQ(tm[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(i)], 0.0);
+    }
+  }
+}
+
+TEST(TrafficMatrix, MeanEntryTracksLoadFraction) {
+  const Topology topo = b4();
+  TrafficMatrixConfig cfg;
+  cfg.load_fraction = 0.25;
+  const auto tms = generate_traffic_matrices(topo, 3, cfg);
+  const double target = mean_link_capacity(topo) * 0.25;
+  for (const auto& tm : tms) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& row : tm) {
+      for (double v : row) {
+        if (v > 0.0) {
+          sum += v;
+          ++n;
+        }
+      }
+    }
+    EXPECT_NEAR(sum / n, target, target * 0.05);
+  }
+}
+
+TEST(DemandGen, ArrivalsSortedAndWithinHorizon) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.arrival_rate_per_min = 3.0;
+  cfg.horizon_min = 50.0;
+  cfg.seed = 5;
+  const auto demands = generate_demands(catalog, cfg);
+  EXPECT_GT(demands.size(), 50u);  // ~150 expected
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    EXPECT_EQ(d.id, static_cast<DemandId>(i));
+    EXPECT_GE(d.arrival_minute, 0.0);
+    EXPECT_LT(d.arrival_minute, 50.0);
+    EXPECT_GT(d.duration_minutes, 0.0);
+    EXPECT_GE(d.pairs[0].mbps, cfg.bw_min_mbps);
+    EXPECT_LE(d.pairs[0].mbps, cfg.bw_max_mbps);
+    EXPECT_DOUBLE_EQ(d.charge, d.pairs[0].mbps);  // unit price
+    if (i > 0) EXPECT_GE(d.arrival_minute, demands[i - 1].arrival_minute);
+  }
+}
+
+TEST(DemandGen, PoissonRateIsRespected) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.arrival_rate_per_min = 4.0;
+  cfg.horizon_min = 500.0;
+  cfg.seed = 11;
+  const auto demands = generate_demands(catalog, cfg);
+  const double rate = static_cast<double>(demands.size()) / cfg.horizon_min;
+  EXPECT_NEAR(rate, 4.0, 0.5);
+}
+
+TEST(DemandGen, PerPairArrivalsMultiplyVolume) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.arrival_rate_per_min = 0.2;
+  cfg.horizon_min = 100.0;
+  cfg.seed = 13;
+  const auto global = generate_demands(catalog, cfg);
+  cfg.per_pair_arrivals = true;
+  const auto per_pair = generate_demands(catalog, cfg);
+  // 30 ordered pairs => ~30x the demand volume.
+  EXPECT_GT(per_pair.size(), global.size() * 10);
+}
+
+TEST(DemandGen, RefundsComeFromServices) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.services = testbed_services();
+  cfg.horizon_min = 30.0;
+  cfg.seed = 17;
+  const auto demands = generate_demands(catalog, cfg);
+  for (const Demand& d : demands) {
+    EXPECT_GT(d.refund_fraction, 0.0);
+    EXPECT_LE(d.refund_fraction, 1.0);
+  }
+}
+
+TEST(DemandGen, TrafficMatrixDrivenBandwidths) {
+  const Topology topo = b4();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.matrices = generate_traffic_matrices(topo, 4);
+  cfg.tm_scale_down = 5.0;
+  cfg.horizon_min = 20.0;
+  cfg.arrival_rate_per_min = 5.0;
+  cfg.seed = 23;
+  const auto demands = generate_demands(catalog, cfg);
+  ASSERT_GT(demands.size(), 20u);
+  for (const Demand& d : demands) EXPECT_GE(d.pairs[0].mbps, 1.0);
+}
+
+TEST(DemandGen, ActiveAtFiltersByLifetime) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.horizon_min = 60.0;
+  cfg.mean_duration_min = 5.0;
+  cfg.seed = 29;
+  const auto demands = generate_demands(catalog, cfg);
+  const auto active = active_at(demands, 30.0);
+  for (const Demand& d : active) {
+    EXPECT_LE(d.arrival_minute, 30.0);
+    EXPECT_GT(d.end_minute(), 30.0);
+  }
+}
+
+TEST(DemandGen, RejectsBadConfig) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  WorkloadConfig cfg;
+  cfg.availability_targets = {};
+  EXPECT_THROW(generate_demands(catalog, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bate
