@@ -6,7 +6,28 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace bate {
+
+/// Admission preconditions (Sec 3.2): a demand offered to Algorithm 1 must
+/// request finite nonnegative bandwidth on known pairs with beta in [0,1];
+/// everything downstream (greedy walk, conjecture, MILP) assumes it.
+void validate_demand(const TunnelCatalog& catalog, const Demand& demand) {
+  BATE_ASSERT_MSG(!demand.pairs.empty(), "admission: demand with no pairs");
+  for (const PairDemand& pd : demand.pairs) {
+    BATE_ASSERT_MSG(pd.pair >= 0 && pd.pair < catalog.pair_count(),
+                    "admission: demand references unknown pair");
+    BATE_ASSERT_MSG(std::isfinite(pd.mbps) && pd.mbps >= 0.0,
+                    "admission: negative or non-finite bandwidth request");
+  }
+  BATE_ASSERT_MSG(demand.availability_target >= 0.0 &&
+                      demand.availability_target <= 1.0,
+                  "admission: availability target outside [0,1]");
+  BATE_ASSERT_MSG(demand.refund_fraction >= 0.0 &&
+                      demand.refund_fraction <= 1.0,
+                  "admission: refund fraction outside [0,1]");
+}
 
 namespace {
 
@@ -106,6 +127,7 @@ bool admission_conjecture(const TrafficScheduler& scheduler,
                           std::span<const Demand> demands) {
   const Topology& topo = scheduler.topology();
   const TunnelCatalog& catalog = scheduler.catalog();
+  for (const Demand& d : demands) validate_demand(catalog, d);
 
   // Line 2: process demands by ascending sum_k b^k_d * beta_d.
   std::vector<Demand> order(demands.begin(), demands.end());
@@ -136,6 +158,10 @@ std::optional<Allocation> greedy_allocate(const Topology& topo,
                                           const TunnelCatalog& catalog,
                                           const Demand& demand,
                                           std::vector<double>& residual) {
+  validate_demand(catalog, demand);
+  BATE_ASSERT_MSG(
+      residual.size() == static_cast<std::size_t>(topo.link_count()),
+      "admission: residual vector does not match topology");
   std::vector<double> scratch = residual;
   GreedyResult r =
       greedy_core(topo, catalog, demand, scratch, /*allow_partial=*/false);
@@ -149,6 +175,10 @@ std::optional<Allocation> greedy_allocate_guaranteed(
     std::vector<double>& residual) {
   const Topology& topo = scheduler.topology();
   const TunnelCatalog& catalog = scheduler.catalog();
+  validate_demand(catalog, demand);
+  BATE_ASSERT_MSG(
+      residual.size() == static_cast<std::size_t>(topo.link_count()),
+      "admission: residual vector does not match topology");
   std::vector<double> scratch = residual;
   GreedyResult r =
       greedy_core(topo, catalog, demand, scratch, /*allow_partial=*/false);
@@ -207,6 +237,10 @@ Allocation greedy_allocate_partial(const Topology& topo,
                                    const TunnelCatalog& catalog,
                                    const Demand& demand,
                                    std::vector<double>& residual) {
+  validate_demand(catalog, demand);
+  BATE_ASSERT_MSG(
+      residual.size() == static_cast<std::size_t>(topo.link_count()),
+      "admission: residual vector does not match topology");
   GreedyResult r =
       greedy_core(topo, catalog, demand, residual, /*allow_partial=*/true);
   return std::move(r.alloc);
@@ -424,6 +458,9 @@ bool AdmissionController::try_fixed(const Demand& demand) {
 }
 
 AdmissionOutcome AdmissionController::offer(const Demand& demand) {
+  validate_demand(scheduler_->catalog(), demand);
+  BATE_DCHECK_MSG(admitted_.size() == allocations_.size(),
+                  "admission: admitted/allocation desync");
   const auto start = std::chrono::steady_clock::now();
   AdmissionOutcome outcome;
 

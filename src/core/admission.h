@@ -27,6 +27,11 @@ namespace bate {
 
 enum class AdmissionStrategy { kFixed, kBate, kOptimal };
 
+/// Aborts (BATE_ASSERT, util/check.h) unless `demand` satisfies the
+/// admission preconditions: at least one pair, every pair known to the
+/// catalog, finite nonnegative bandwidth, beta and mu in [0,1].
+void validate_demand(const TunnelCatalog& catalog, const Demand& demand);
+
 /// Algorithm 1: greedy conjecture on whether every demand in `demands` can
 /// be satisfied simultaneously. Conservative: a `true` answer implies a
 /// feasible allocation exists (Theorem 1) — the greedy allocation built

@@ -7,10 +7,30 @@
 #include "core/pricing.h"
 #include "core/scheduling.h"
 #include "solver/model.h"
+#include "util/check.h"
 
 namespace bate {
 
 namespace {
+
+/// Recovery preconditions (Sec 3.4): failed links must name real links and
+/// every demand must reference catalog pairs, or the surviving-tunnel scan
+/// indexes out of bounds.
+void validate_recovery_inputs(const Topology& topo,
+                              const TunnelCatalog& catalog,
+                              std::span<const Demand> demands,
+                              std::span<const LinkId> failed_links) {
+  for (const LinkId e : failed_links) {
+    BATE_ASSERT_MSG(e >= 0 && e < topo.link_count(),
+                    "recovery: failed link outside topology");
+  }
+  for (const Demand& d : demands) {
+    for (const PairDemand& pd : d.pairs) {
+      BATE_ASSERT_MSG(pd.pair >= 0 && pd.pair < catalog.pair_count(),
+                      "recovery: demand references unknown pair");
+    }
+  }
+}
 
 bool link_failed(std::span<const LinkId> failed, LinkId id) {
   return std::find(failed.begin(), failed.end(), id) != failed.end();
@@ -80,6 +100,7 @@ RecoveryResult recover_optimal(const Topology& topo,
                                std::span<const Demand> demands,
                                std::span<const LinkId> failed_links,
                                const BranchBoundOptions& options) {
+  validate_recovery_inputs(topo, catalog, demands, failed_links);
   Model model;
   model.set_sense(Sense::kMaximize);
 
@@ -170,6 +191,7 @@ RecoveryResult recover_greedy(const Topology& topo,
                               const TunnelCatalog& catalog,
                               std::span<const Demand> demands,
                               std::span<const LinkId> failed_links) {
+  validate_recovery_inputs(topo, catalog, demands, failed_links);
   RecoveryResult result;
   result.solved = true;
   result.full_profit.assign(demands.size(), 0);
@@ -253,6 +275,9 @@ RecoveryResult recover_greedy(const Topology& topo,
 
 void BackupPlanner::precompute(std::span<const Demand> demands,
                                std::span<const Allocation> current) {
+  BATE_ASSERT_MSG(current.size() == demands.size(),
+                  "recovery: allocation set does not match demand set");
+  validate_recovery_inputs(*topo_, *catalog_, demands, {});
   demands_.assign(demands.begin(), demands.end());
   plans_.clear();
   const auto usage = link_usage(*topo_, *catalog_, demands, current);

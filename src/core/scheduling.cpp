@@ -6,6 +6,7 @@
 
 #include "solver/branch_bound.h"
 #include "solver/model.h"
+#include "util/check.h"
 
 namespace bate {
 
@@ -90,6 +91,23 @@ DemandPatterns TrafficScheduler::demand_patterns(const Demand& demand) const {
 ScheduleResult TrafficScheduler::schedule(
     std::span<const Demand> demands,
     std::span<const double> capacity_override) const {
+  // Scheduling preconditions (Sec 3.3): the override must cover every link,
+  // and each demand's target/requests must be well-formed — the LP rows
+  // (1), (3), (4) silently produce garbage otherwise.
+  BATE_ASSERT_MSG(
+      capacity_override.empty() ||
+          capacity_override.size() ==
+              static_cast<std::size_t>(topo_->link_count()),
+      "schedule: capacity override does not match topology");
+  for (const Demand& d : demands) {
+    BATE_ASSERT_MSG(d.availability_target >= 0.0 &&
+                        d.availability_target <= 1.0,
+                    "schedule: availability target outside [0,1]");
+    for (const PairDemand& pd : d.pairs) {
+      BATE_ASSERT_MSG(std::isfinite(pd.mbps) && pd.mbps >= 0.0,
+                      "schedule: negative or non-finite bandwidth request");
+    }
+  }
   Model model;
   model.set_sense(Sense::kMinimize);
 
@@ -216,11 +234,20 @@ ScheduleResult TrafficScheduler::schedule(
     for (std::size_t p = 0; p < d.pairs.size(); ++p) {
       auto& out = result.alloc[i][p];
       out.resize(static_cast<std::size_t>(gvars[i][p].tunnel_count));
+      double pair_total = 0.0;
       for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
         const double g =
             sol.x[static_cast<std::size_t>(gvars[i][p].first_var + t)];
         out[static_cast<std::size_t>(t)] = std::max(0.0, g * d.pairs[p].mbps);
+        pair_total += out[static_cast<std::size_t>(t)];
       }
+      // LP row (1) (sum_t g >= 1) guarantees the request is covered in the
+      // no-failure pattern. Totals above b_d are legitimate redundancy — the
+      // per-scenario credit B^z_d is capped at b_d separately through the
+      // B-variable bounds in rows (3)/(4).
+      BATE_DCHECK_MSG(
+          pair_total >= d.pairs[p].mbps * (1.0 - 1e-6) - 1e-6,
+          "schedule: optimal allocation under-covers the request");
     }
   }
 
@@ -228,7 +255,13 @@ ScheduleResult TrafficScheduler::schedule(
 
   for (const Allocation& a : result.alloc) {
     for (const auto& per_pair : a) {
-      for (double f : per_pair) result.total_allocated_mbps += f;
+      for (double f : per_pair) {
+        // Postcondition of (1),(5): rates are finite and nonnegative; a
+        // violation means the tableau drifted, not a tight instance.
+        BATE_DCHECK_MSG(std::isfinite(f) && f >= 0.0,
+                        "schedule: corrupt allocation rate");
+        result.total_allocated_mbps += f;
+      }
     }
   }
   return result;
@@ -237,6 +270,8 @@ ScheduleResult TrafficScheduler::schedule(
 double TrafficScheduler::pattern_hard_availability(
     const DemandPatterns& dp, const Demand& demand,
     const Allocation& alloc) {
+  BATE_ASSERT_MSG(alloc.size() == demand.pairs.size(),
+                  "schedule: allocation shape does not match demand");
   double avail = 0.0;
   const auto patterns = static_cast<PatternMask>(dp.dist.prob.size());
   for (PatternMask s = 0; s < patterns; ++s) {

@@ -1,42 +1,152 @@
 #include "net/event_loop.h"
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
+#include <cstdint>
 #include <system_error>
+#include <utility>
 #include <vector>
 
+#include "util/check.h"
+
 namespace bate {
+
+namespace {
+
+/// Marks the current thread as the loop thread for the dispatch scope;
+/// aborts if another thread is already inside run()/run_once().
+class LoopThreadScope {
+ public:
+  explicit LoopThreadScope(std::atomic<std::thread::id>& slot) : slot_(slot) {
+    const auto self = std::this_thread::get_id();
+    const auto prev = slot_.exchange(self, std::memory_order_acq_rel);
+    BATE_ASSERT_MSG(prev == std::thread::id{} || prev == self,
+                    "EventLoop: run_once from two threads");
+    nested_ = prev == self;
+  }
+  ~LoopThreadScope() {
+    if (!nested_) {
+      slot_.store(std::thread::id{}, std::memory_order_release);
+    }
+  }
+  LoopThreadScope(const LoopThreadScope&) = delete;
+  LoopThreadScope& operator=(const LoopThreadScope&) = delete;
+
+ private:
+  std::atomic<std::thread::id>& slot_;
+  bool nested_ = false;
+};
+
+}  // namespace
 
 EventLoop::EventLoop() {
   epoll_fd_ = ::epoll_create1(0);
   if (epoll_fd_ < 0) {
     throw std::system_error(errno, std::generic_category(), "epoll_create1");
   }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::system_error(errno, std::generic_category(), "eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    const int err = errno;
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw std::system_error(err, std::generic_category(), "epoll_ctl(wake)");
+  }
 }
 
 EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
-void EventLoop::add_reader(int fd, Callback on_readable) {
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-    throw std::system_error(errno, std::generic_category(), "epoll_ctl(ADD)");
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // Best effort: a full eventfd counter already guarantees a wakeup.
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::apply(PendingOp op) {
+  if (op.add) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = op.fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, op.fd, &ev) < 0) {
+      // EEXIST: watcher replaced (callback swap); anything else is fatal
+      // when applied synchronously, logged-and-dropped when deferred (the
+      // fd may have been closed while the op sat in the queue).
+      if (errno != EEXIST) {
+        throw std::system_error(errno, std::generic_category(),
+                                "epoll_ctl(ADD)");
+      }
+    }
+    readers_[op.fd] = std::move(op.cb);
+  } else {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, op.fd, nullptr);
+    readers_.erase(op.fd);
   }
-  readers_[fd] = std::move(on_readable);
+}
+
+void EventLoop::drain_pending() {
+  std::vector<PendingOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ops.swap(pending_);
+  }
+  for (PendingOp& op : ops) {
+    try {
+      apply(std::move(op));
+    } catch (const std::system_error&) {
+      // Deferred op raced with fd closure; watching a dead fd is a no-op.
+    }
+  }
+}
+
+void EventLoop::add_reader(int fd, Callback on_readable) {
+  if (in_loop_thread()) {
+    apply(PendingOp{fd, true, std::move(on_readable)});
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(PendingOp{fd, true, std::move(on_readable)});
+  }
+  wake();
 }
 
 void EventLoop::remove(int fd) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  readers_.erase(fd);
+  if (in_loop_thread()) {
+    apply(PendingOp{fd, false, {}});
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    // Cancel any queued add for the same fd first: the pair must not
+    // reorder into (remove, stale add).
+    std::erase_if(pending_, [fd](const PendingOp& op) { return op.fd == fd; });
+    pending_.push_back(PendingOp{fd, false, {}});
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  stopped_ = true;
+  wake();
 }
 
 int EventLoop::run_once(int timeout_ms) {
+  LoopThreadScope scope(loop_thread_);
+  drain_pending();
+
   std::array<epoll_event, 32> events{};
   const int n =
       ::epoll_wait(epoll_fd_, events.data(), events.size(), timeout_ms);
@@ -47,7 +157,18 @@ int EventLoop::run_once(int timeout_ms) {
   // Collect fds first: a callback may add/remove watchers.
   std::vector<int> ready;
   ready.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) ready.push_back(events[static_cast<std::size_t>(i)].data.fd);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t count = 0;
+      [[maybe_unused]] const auto r = ::read(wake_fd_, &count, sizeof(count));
+      continue;
+    }
+    ready.push_back(fd);
+  }
+  // A wakeup means queued mutations may be waiting; apply them before
+  // dispatch so a cross-thread remove() suppresses a pending event.
+  drain_pending();
   int dispatched = 0;
   for (int fd : ready) {
     const auto it = readers_.find(fd);
@@ -60,7 +181,8 @@ int EventLoop::run_once(int timeout_ms) {
 }
 
 void EventLoop::run(int tick_ms, const Callback& on_tick) {
-  stopped_ = false;
+  // stop() is sticky: a stop that lands before the loop thread enters run()
+  // must not be lost (start/stop churn), so stopped_ is never reset here.
   while (!stopped_) {
     run_once(tick_ms);
     if (on_tick) on_tick();

@@ -1,9 +1,28 @@
 // Minimal epoll-based event loop driving the controller and broker I/O.
+//
+// Threading contract
+// ------------------
+// Exactly one thread may execute run()/run_once() at a time (the "loop
+// thread"; enforced with BATE_ASSERT). Watcher mutation is safe from any
+// thread:
+//   * from the loop thread (i.e. inside a callback), add_reader()/remove()
+//     apply immediately — a callback may remove itself;
+//   * from any other thread (including before the loop thread starts), the
+//     operation is queued and applied at the top of the next run_once(); a
+//     wakeup fd interrupts a blocking epoll_wait so the change takes effect
+//     promptly.
+// remove() from a non-loop thread therefore does NOT guarantee the callback
+// is not currently executing; join the loop thread (or call from a callback)
+// before destroying callback-captured state. stop() is safe from any thread
+// and wakes a blocked loop.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace bate {
 
@@ -16,23 +35,49 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  /// Watches a file descriptor for readability.
+  /// Watches a file descriptor for readability (see threading contract).
   void add_reader(int fd, Callback on_readable);
+  /// Stops watching `fd` (see threading contract).
   void remove(int fd);
 
   /// Runs one poll iteration with the given timeout (ms; -1 blocks).
   /// Returns the number of events dispatched.
   int run_once(int timeout_ms);
   /// Loops until stop() is called (polling at `tick_ms`, invoking
-  /// `on_tick`, when provided, between polls).
+  /// `on_tick`, when provided, between polls). stop() is sticky: if it was
+  /// already called — even before run() began — run() returns immediately.
   void run(int tick_ms = 50, const Callback& on_tick = {});
-  void stop() { stopped_ = true; }
+  /// Thread-safe; interrupts a blocking epoll_wait.
+  void stop();
   bool stopped() const { return stopped_; }
 
+  /// True when called from inside run()/run_once() on the loop thread.
+  bool in_loop_thread() const {
+    return loop_thread_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
  private:
+  struct PendingOp {
+    int fd = -1;
+    bool add = false;  // false: remove
+    Callback cb;       // only for add
+  };
+
+  /// Applies one watcher mutation on the loop thread (or pre-loop).
+  void apply(PendingOp op);
+  /// Drains queued mutations; called at the top of run_once().
+  void drain_pending();
+  void wake();
+
   int epoll_fd_ = -1;
-  std::map<int, Callback> readers_;
+  int wake_fd_ = -1;
+  std::map<int, Callback> readers_;  // loop-thread state
+  std::atomic<std::thread::id> loop_thread_{};
   std::atomic<bool> stopped_{false};
+
+  std::mutex pending_mu_;
+  std::vector<PendingOp> pending_;  // GUARDED_BY(pending_mu_)
 };
 
 }  // namespace bate

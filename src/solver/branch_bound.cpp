@@ -6,6 +6,8 @@
 #include <queue>
 #include <vector>
 
+#include "util/check.h"
+
 namespace bate {
 
 namespace {
@@ -26,6 +28,9 @@ struct NodeOrder {
 }  // namespace
 
 Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
+  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
+  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
+                  "branch_bound: integer_tol outside (0, 0.5)");
   if (!model.has_integers()) return solve_lp(model, options.lp);
 
   const bool maximize = model.sense() == Sense::kMaximize;
@@ -114,6 +119,10 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
         relax.x[static_cast<std::size_t>(j)] =
             std::round(relax.x[static_cast<std::size_t>(j)]);
       }
+      // Rounding may only absorb tolerance noise, never move the point off
+      // the feasible set the relaxation certified.
+      BATE_DCHECK_MSG(model.feasible(relax.x, 1e-4),
+                      "branch_bound: rounded incumbent infeasible");
       if (bound_min < incumbent_min) {
         incumbent = relax;
         incumbent.status = SolveStatus::kOptimal;

@@ -5,9 +5,35 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.h"
+
 namespace bate {
 
 namespace {
+
+/// Tableau-consistency contract (check.h): every row must reference declared
+/// variables with finite coefficients, and no bound or rhs may be NaN. A
+/// model violating this produced out-of-bounds column indexing (UB) before;
+/// it now aborts through BATE_ASSERT instead of returning garbage.
+void validate_model(const Model& model) {
+  const int n = model.variable_count();
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = model.variable(j);
+    BATE_ASSERT_MSG(!std::isnan(v.lower) && !std::isnan(v.upper),
+                    "simplex: NaN variable bound");
+    BATE_ASSERT_MSG(!std::isnan(v.objective), "simplex: NaN objective");
+  }
+  for (int r = 0; r < model.constraint_count(); ++r) {
+    const Constraint& c = model.constraint(r);
+    BATE_ASSERT_MSG(!std::isnan(c.rhs), "simplex: NaN constraint rhs");
+    for (const Term& t : c.terms) {
+      BATE_ASSERT_MSG(t.var >= 0 && t.var < n,
+                      "simplex: constraint references unknown variable");
+      BATE_ASSERT_MSG(std::isfinite(t.coef),
+                      "simplex: non-finite constraint coefficient");
+    }
+  }
+}
 
 /// Column-wise sparse matrix of the normalized problem (structural columns
 /// only; slack/artificial columns are unit vectors handled implicitly).
@@ -147,6 +173,13 @@ class SimplexEngine {
       for (int col = first_artificial_; col < ncols_; ++col, ++a) {
         art_row_[sz(col)] = art_rows[a];
       }
+    }
+
+    // Basis validity: every row owns exactly one basic column in range.
+    for (int r = 0; r < m_; ++r) {
+      BATE_ASSERT_MSG(basis_[sz(r)] >= 0 && basis_[sz(r)] < ncols_ &&
+                          in_basis_[sz(basis_[sz(r)])] == 1,
+                      "simplex: invalid initial basis");
     }
 
     // Basis inverse starts as identity (slack/artificial unit columns,
@@ -321,6 +354,8 @@ class SimplexEngine {
         x_[sz(basis_[sz(r)])] -= step * w[sz(r)];
       }
       const int leave = basis_[sz(leave_row)];
+      BATE_DCHECK_MSG(std::abs(leave_pivot) > opt_.pivot_tol,
+                      "simplex: pivot below tolerance");
       const double rate = -enter_dir * leave_pivot;
       // Pin the leaving variable to the bound it reached.
       x_[sz(leave)] = (rate > 0.0) ? upper_[sz(leave)] : lower_[sz(leave)];
@@ -398,6 +433,10 @@ class SimplexEngine {
 }  // namespace
 
 Solution solve_lp(const Model& model, const SimplexOptions& options) {
+  validate_model(model);
+  BATE_ASSERT_MSG(options.iteration_limit > 0 && options.tol > 0.0 &&
+                      options.pivot_tol > 0.0,
+                  "simplex: nonsensical options");
   if (model.constraint_count() == 0) {
     // Pure bound problem: each variable sits at its best bound.
     Solution sol;

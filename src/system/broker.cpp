@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace bate {
@@ -12,24 +13,40 @@ Broker::Broker(int dc_id, std::uint16_t controller_port)
 Broker::~Broker() { stop(); }
 
 void Broker::start() {
+  BATE_ASSERT_MSG(!thread_.joinable(), "broker started twice");
   socket_ = connect_tcp(port_);
   socket_.set_nodelay(true);
   const auto hello = encode_frame(encode_message(HelloMsg{"broker", dc_}));
-  socket_.write_all(hello);
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    socket_.write_all(hello);
+  }
   running_ = true;
   thread_ = std::thread([this] { receive_loop(); });
 }
 
 void Broker::stop() {
   if (!thread_.joinable()) return;
-  running_ = false;
-  // shutdown() (not close()) wakes the receive thread blocked in recv.
-  socket_.shutdown();
+  {
+    // Under write_mu_ so no report_link write can interleave with the
+    // shutdown; writers observing running_ == false drop their frame.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    running_ = false;
+    // shutdown() (not close()) wakes the receive thread blocked in recv.
+    socket_.shutdown();
+  }
   thread_.join();
+  // Close only after join: the receive loop can no longer touch the fd, and
+  // report_link sees running_ == false, so nobody can race the close (or a
+  // kernel reuse of the fd number).
+  std::lock_guard<std::mutex> lock(write_mu_);
   socket_.close();
 }
 
-void Broker::receive_loop() {
+// Reader side of socket_ deliberately takes no lock: stop() shuts the socket
+// down under write_mu_ and joins this thread before close(), so the fd stays
+// valid for the loop's whole lifetime.
+void Broker::receive_loop() {  // bate-lint: allow(guarded-field)
   FrameReader reader;
   std::array<std::uint8_t, 4096> buf{};
   while (running_) {
@@ -95,7 +112,18 @@ void Broker::advance_enforcer(double seconds) {
 
 void Broker::report_link(LinkId link, bool up) {
   const auto framed = encode_frame(encode_message(LinkStatusMsg{link, up}));
-  socket_.write_all(framed);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!running_) {
+    log_warn("broker", "dropping link report: broker stopped");
+    return;
+  }
+  try {
+    socket_.write_all(framed);
+  } catch (const std::system_error& e) {
+    // Controller went away (EPIPE/ECONNRESET); the agent keeps running and
+    // the report is dropped, matching the paper's fail-static stance.
+    log_warn("broker", std::string("dropping link report: ") + e.what());
+  }
 }
 
 }  // namespace bate

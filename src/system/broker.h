@@ -39,7 +39,8 @@ class Broker {
   /// True when the latest update for any row came from a backup plan.
   bool backup_active() const;
 
-  /// Network agent: report a link status change to the controller.
+  /// Network agent: report a link status change to the controller. Safe
+  /// from any thread; a report racing stop() (or after it) is dropped.
   void report_link(LinkId link, bool up);
 
   /// Bandwidth enforcer (Sec 4): shapes an offered burst on one tunnel of
@@ -55,15 +56,21 @@ class Broker {
 
   int dc_;
   std::uint16_t port_;
-  Socket socket_;
   std::thread thread_;
   std::atomic<bool> running_{false};
 
+  // Socket lifetime/ordering (stop()): writers take write_mu_ and check
+  // running_ so no send can race the shutdown+close sequence; the receive
+  // thread only reads, and shutdown() (under write_mu_) unblocks it before
+  // join, after which close() is single-threaded.
+  mutable std::mutex write_mu_;
+  Socket socket_;  // writes GUARDED_BY(write_mu_)
+
   mutable std::mutex mu_;
-  BandwidthEnforcer enforcer_;
-  std::map<std::pair<DemandId, int>, std::vector<double>> rates_;
-  int updates_ = 0;
-  bool backup_active_ = false;
+  BandwidthEnforcer enforcer_;                                // GUARDED_BY(mu_)
+  std::map<std::pair<DemandId, int>, std::vector<double>> rates_;  // GUARDED_BY(mu_)
+  int updates_ = 0;              // GUARDED_BY(mu_)
+  bool backup_active_ = false;   // GUARDED_BY(mu_)
 };
 
 }  // namespace bate

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace bate {
@@ -16,21 +17,25 @@ Controller::Controller(const Topology& topo, const TunnelCatalog& catalog,
 Controller::~Controller() { stop(); }
 
 void Controller::start() {
+  BATE_ASSERT_MSG(!thread_.joinable(), "controller started twice");
   listener_ = std::make_unique<TcpListener>(0);
   port_ = listener_->port();
   listener_->set_nonblocking(true);
+  // add_reader from this (non-loop) thread is queued and applied at the top
+  // of the loop thread's first run_once (net/event_loop.h contract).
   loop_.add_reader(listener_->fd(), [this] { on_accept(); });
   thread_ = std::thread([this] { loop_.run(20); });
   log_info("controller", "listening on port " + std::to_string(port_));
 }
 
 void Controller::stop() {
+  // Terminal: stop() is sticky on the loop, so a Controller cannot be
+  // restarted. Order matters — only after join() owns this thread the
+  // loop-thread state (peers_, listener_), so sockets are closed last.
   if (!thread_.joinable()) return;
   loop_.stop();
   thread_.join();
-  for (auto& [fd, peer] : peers_) loop_.remove(fd);
   peers_.clear();
-  if (listener_) loop_.remove(listener_->fd());
   listener_.reset();
 }
 
@@ -101,6 +106,11 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
   if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
     peer.role = hello->role;
     peer.dc = hello->dc;
+    // A broker may introduce itself after demands were already admitted and
+    // broadcast (its Hello races with the first SubmitDemand on a different
+    // connection). Hand the late joiner the current allocation snapshot so
+    // its enforcer never starts from a stale void.
+    if (peer.role == "broker") send_allocation_snapshot(peer);
     return;
   }
   if (const auto* submit = std::get_if<SubmitDemandMsg>(&msg)) {
@@ -137,6 +147,33 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
   }
 }
 
+int Controller::send_allocations_to(Peer& peer, bool backup,
+                                    std::span<const Demand> demands,
+                                    std::span<const Allocation> allocs) {
+  BATE_DCHECK_MSG(demands.size() == allocs.size(),
+                  "controller: demand/allocation desync");
+  int sent = 0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
+      AllocationUpdateMsg update;
+      update.id = demands[i].id;
+      update.pair = demands[i].pairs[p].pair;
+      update.tunnel_mbps = allocs[i][p];
+      update.backup = backup;
+      send_to(peer, update);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+void Controller::send_allocation_snapshot(Peer& peer) {
+  const int sent = send_allocations_to(peer, false, admission_.admitted(),
+                                       admission_.allocations());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.allocation_updates_sent += sent;
+}
+
 void Controller::broadcast_allocations(bool backup,
                                        const RecoveryResult* plan) {
   const auto& demands =
@@ -147,17 +184,7 @@ void Controller::broadcast_allocations(bool backup,
   int sent = 0;
   for (auto& [fd, peer] : peers_) {
     if (peer.role != "broker") continue;
-    for (std::size_t i = 0; i < demands.size(); ++i) {
-      for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
-        AllocationUpdateMsg update;
-        update.id = demands[i].id;
-        update.pair = demands[i].pairs[p].pair;
-        update.tunnel_mbps = allocs[i][p];
-        update.backup = backup;
-        send_to(peer, update);
-        ++sent;
-      }
-    }
+    sent += send_allocations_to(peer, backup, demands, allocs);
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.allocation_updates_sent += sent;

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 
 #include "core/admission.h"
@@ -62,21 +63,30 @@ class Controller {
   void on_peer_readable(int fd);
   void handle_message(Peer& peer, const Message& msg);
   void send_to(Peer& peer, const Message& msg);
+  /// Sends one AllocationUpdate per (demand, pair) to `peer`; returns the
+  /// number of updates written. Loop thread only.
+  int send_allocations_to(Peer& peer, bool backup,
+                          std::span<const Demand> demands,
+                          std::span<const Allocation> allocs);
+  /// Current (non-backup) allocations to a newly introduced broker.
+  void send_allocation_snapshot(Peer& peer);
   void broadcast_allocations(bool backup, const RecoveryResult* plan);
   void run_scheduling_round();
 
+  // Loop-thread state: touched only from the epoll thread (callbacks), or
+  // before start() / after stop() joins it.
   TrafficScheduler scheduler_;
   AdmissionController admission_;
   BackupPlanner planner_;
-
   std::unique_ptr<TcpListener> listener_;
   EventLoop loop_;
   std::map<int, Peer> peers_;
+
   std::thread thread_;
-  std::uint16_t port_ = 0;
+  std::uint16_t port_ = 0;  // written by start() before the thread exists
 
   mutable std::mutex stats_mu_;
-  ControllerStats stats_;
+  ControllerStats stats_;  // GUARDED_BY(stats_mu_)
 };
 
 }  // namespace bate

@@ -1,0 +1,35 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace bate {
+
+namespace {
+
+void default_handler(const char* file, int line, const char* expr,
+                     const char* message) {
+  std::ostringstream out;
+  out << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (message != nullptr && message[0] != '\0') out << " — " << message;
+  Logger::instance().log(LogLevel::kError, "check", out.str());
+}
+
+std::atomic<CheckFailureHandler> g_handler{&default_handler};
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &default_handler);
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  g_handler.load()(file, line, expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace bate

@@ -1,0 +1,66 @@
+// Contract assertions for solver and system invariants.
+//
+// BATE's availability guarantee (Sec 3.2 Theorem 1) is only as strong as the
+// solver state it is computed from: a corrupted simplex tableau or an
+// inconsistent admission precondition must abort loudly rather than return a
+// plausible-looking allocation. BATE_ASSERT is always on (all build types);
+// BATE_DCHECK compiles away under NDEBUG unless BATE_ENABLE_DCHECKS is
+// defined, so hot solver loops can carry cheap debug-only checks.
+//
+// A violation routes through the installed failure handler, which logs the
+// expression, location and optional message, then aborts. Tests exercise the
+// abort path with gtest death tests (tests/check_test.cpp).
+#pragma once
+
+#include <string>
+
+namespace bate {
+
+/// Invoked on assertion failure. Must not return; the default logs through
+/// util/log.h and calls std::abort().
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const char* expr, const char* message);
+
+/// Installs a custom failure handler (must not return); returns the previous
+/// one. Intended for tests and embedders that need to flush state first.
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Routes a failed check through the installed handler and aborts. Marked
+/// noreturn: even a misbehaving handler that returns is followed by abort().
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message = {});
+
+}  // namespace bate
+
+/// Hard invariant: enabled in every build type. `msg` is evaluated lazily
+/// (only on failure) and may be any expression convertible to std::string.
+#define BATE_ASSERT(cond)                                       \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::bate::check_failed(__FILE__, __LINE__, #cond);          \
+    }                                                           \
+  } while (false)
+
+#define BATE_ASSERT_MSG(cond, msg)                              \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::bate::check_failed(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                           \
+  } while (false)
+
+/// Debug-only invariant: compiled out under NDEBUG (the default
+/// RelWithDebInfo build) unless BATE_ENABLE_DCHECKS is defined. The
+/// condition must be side-effect free.
+#if !defined(NDEBUG) || defined(BATE_ENABLE_DCHECKS)
+#define BATE_DCHECK_IS_ON 1
+#define BATE_DCHECK(cond) BATE_ASSERT(cond)
+#define BATE_DCHECK_MSG(cond, msg) BATE_ASSERT_MSG(cond, msg)
+#else
+#define BATE_DCHECK_IS_ON 0
+#define BATE_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#define BATE_DCHECK_MSG(cond, msg) \
+  do {                             \
+  } while (false)
+#endif

@@ -21,7 +21,8 @@ TEST(Campaign, CollectsSeededRepetitions) {
 
 TEST(Campaign, RendersErrorBarCell) {
   const Campaign c =
-      Campaign::run(3, 0, [](std::uint64_t s) { return 10.0 * s; });
+      Campaign::run(3, 0,
+                    [](std::uint64_t s) { return 10.0 * static_cast<double>(s); });
   EXPECT_EQ(c.cell(0), "10 [0, 20]");
   EXPECT_EQ(c.cell(1), "10.0 [0.0, 20.0]");
 }

@@ -1,0 +1,162 @@
+// Contract-assertion layer (util/check.h): BATE_ASSERT aborts in every
+// build type, BATE_DCHECK compiles away under NDEBUG, and the solver entry
+// points abort on inconsistent input instead of returning garbage.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+#include "core/recovery.h"
+#include "solver/simplex.h"
+#include "topology/catalog.h"
+
+namespace bate {
+namespace {
+
+TEST(Check, AssertPassesOnTrueCondition) {
+  BATE_ASSERT(1 + 1 == 2);
+  BATE_ASSERT_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, AssertAbortsOnViolation) {
+  EXPECT_DEATH(BATE_ASSERT(1 + 1 == 3), "assertion failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, AssertMsgCarriesMessage) {
+  EXPECT_DEATH(BATE_ASSERT_MSG(false, "tableau drifted"), "tableau drifted");
+}
+
+TEST(Check, DcheckMatchesBuildType) {
+#if BATE_DCHECK_IS_ON
+  EXPECT_DEATH(BATE_DCHECK(false), "assertion failed");
+#else
+  // Release: DCHECK is a no-op and must not evaluate into an abort.
+  BATE_DCHECK(false);
+  BATE_DCHECK_MSG(false, "unused");
+  SUCCEED();
+#endif
+}
+
+TEST(Check, DcheckConditionNotRequiredToBeEvaluatedInRelease) {
+#if !BATE_DCHECK_IS_ON
+  int evaluations = 0;
+  BATE_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 0);
+#else
+  GTEST_SKIP() << "DCHECK active in this build";
+#endif
+}
+
+TEST(CheckDeathTest, HandlerRunsBeforeAbort) {
+  // The failure handler fires before abort; the default logs through
+  // util/log.h to stderr, which is what EXPECT_DEATH matches above. A
+  // custom handler that returns is still followed by abort().
+  static bool handler_ran = false;
+  const auto previous = set_check_failure_handler(
+      +[](const char*, int, const char*, const char*) { handler_ran = true; });
+  EXPECT_DEATH(BATE_ASSERT(false), "");
+  set_check_failure_handler(previous);
+  // handler_ran stays false in this process: the death happened in the
+  // forked child. The point of the round-trip is the API contract.
+  EXPECT_FALSE(handler_ran);
+}
+
+// --- Solver invariants abort instead of returning garbage -------------------
+
+TEST(CheckDeathTest, SimplexAbortsOnDanglingVariableReference) {
+  Model m;
+  m.add_variable(0.0, 10.0, 1.0);
+  // Row references variable 7 which was never declared: before the contract
+  // layer this indexed the column store out of bounds (UB).
+  Model inconsistent = m;
+  // Model::add_constraint cannot produce this; corrupt the row directly the
+  // way a buggy caller (or memory error) would.
+  inconsistent.add_constraint({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  const_cast<Constraint&>(inconsistent.constraint(0)).terms[0].var = 7;
+  EXPECT_DEATH(solve_lp(inconsistent), "unknown variable");
+}
+
+TEST(CheckDeathTest, SimplexAbortsOnNaNCoefficient) {
+  Model m;
+  m.add_variable(0.0, 10.0, 1.0);
+  m.add_constraint({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  const_cast<Constraint&>(m.constraint(0)).terms[0].coef =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(solve_lp(m), "non-finite constraint coefficient");
+}
+
+TEST(CheckDeathTest, BranchBoundRejectsNonsenseOptions) {
+  Model m;
+  m.add_binary(1.0);
+  BranchBoundOptions opt;
+  opt.node_limit = 0;
+  EXPECT_DEATH(solve_milp(m, opt), "node_limit");
+}
+
+TEST(CheckDeathTest, AdmissionAbortsOnUnknownPair) {
+  const Topology topo = testbed6();
+  const TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  const TrafficScheduler scheduler(topo, catalog);
+  Demand d;
+  d.id = 1;
+  d.pairs = {{catalog.pair_count() + 3, 100.0}};  // unknown pair index
+  d.availability_target = 0.99;
+  AdmissionController admission(scheduler, AdmissionStrategy::kBate);
+  EXPECT_DEATH(admission.offer(d), "unknown pair");
+}
+
+TEST(CheckDeathTest, AdmissionAbortsOnNegativeBandwidth) {
+  const Topology topo = testbed6();
+  const TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  const TrafficScheduler scheduler(topo, catalog);
+  Demand d;
+  d.id = 1;
+  d.pairs = {{0, -5.0}};
+  AdmissionController admission(scheduler, AdmissionStrategy::kBate);
+  EXPECT_DEATH(admission.offer(d), "negative or non-finite bandwidth");
+}
+
+TEST(CheckDeathTest, SchedulerAbortsOnMismatchedCapacityOverride) {
+  const Topology topo = testbed6();
+  const TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  const TrafficScheduler scheduler(topo, catalog);
+  Demand d;
+  d.id = 1;
+  d.pairs = {{0, 100.0}};
+  d.availability_target = 0.9;
+  const std::vector<Demand> demands{d};
+  const std::vector<double> short_caps(2, 1000.0);  // topology has more links
+  EXPECT_DEATH(scheduler.schedule(demands, short_caps),
+               "capacity override does not match topology");
+}
+
+TEST(CheckDeathTest, RecoveryAbortsOnForeignLink) {
+  const Topology topo = testbed6();
+  const TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  Demand d;
+  d.id = 1;
+  d.pairs = {{0, 100.0}};
+  const std::vector<Demand> demands{d};
+  const std::vector<LinkId> failed{topo.link_count() + 1};
+  EXPECT_DEATH(recover_greedy(topo, catalog, demands, failed),
+               "failed link outside topology");
+}
+
+TEST(Check, ValidDemandPassesValidation) {
+  const Topology topo = testbed6();
+  const TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  Demand d;
+  d.id = 1;
+  d.pairs = {{0, 100.0}};
+  d.availability_target = 0.999;
+  d.refund_fraction = 0.1;
+  validate_demand(catalog, d);  // must not abort
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bate

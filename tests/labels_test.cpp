@@ -12,8 +12,10 @@ namespace bate {
 namespace {
 
 TEST(VxlanLabel, EncodeDecodeRoundTrip) {
-  for (std::uint16_t d : {0, 1, 2047, 4095}) {
-    for (std::uint16_t t : {0, 7, 4095}) {
+  for (std::uint16_t d : {std::uint16_t{0}, std::uint16_t{1},
+                          std::uint16_t{2047}, std::uint16_t{4095}}) {
+    for (std::uint16_t t :
+         {std::uint16_t{0}, std::uint16_t{7}, std::uint16_t{4095}}) {
       const VxlanLabel label{d, t};
       const VxlanLabel back = VxlanLabel::decode(label.encode());
       EXPECT_EQ(back.demand, d);

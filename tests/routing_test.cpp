@@ -118,7 +118,7 @@ TEST_P(KspVsBruteForce, MatchesEnumerationOnRandomGraphs) {
   if (src == dst) GTEST_SKIP();
 
   const auto expected = all_simple_paths(t, src, dst);
-  const int k = std::min<std::size_t>(4, expected.size());
+  const int k = static_cast<int>(std::min<std::size_t>(4, expected.size()));
   const auto got = k_shortest_paths(t, src, dst, k, unit_weight);
   ASSERT_EQ(got.size(), static_cast<std::size_t>(k));
   // Hop counts must match the k shortest enumerated ones.

@@ -101,7 +101,9 @@ TEST(DemandGen, ArrivalsSortedAndWithinHorizon) {
     EXPECT_GE(d.pairs[0].mbps, cfg.bw_min_mbps);
     EXPECT_LE(d.pairs[0].mbps, cfg.bw_max_mbps);
     EXPECT_DOUBLE_EQ(d.charge, d.pairs[0].mbps);  // unit price
-    if (i > 0) EXPECT_GE(d.arrival_minute, demands[i - 1].arrival_minute);
+    if (i > 0) {
+      EXPECT_GE(d.arrival_minute, demands[i - 1].arrival_minute);
+    }
   }
 }
 

@@ -1,0 +1,437 @@
+// bate_lint — project-invariant lint no off-the-shelf tool knows.
+//
+// Registered as a ctest (tier-1), so every build runs it. Rules (rationale
+// in DESIGN.md "Verification"):
+//
+//   pragma-once     every header under src/, tests/, tools/, bench/ and
+//                   examples/ carries #pragma once.
+//   seeded-rng      no std::rand / srand / std::random_device outside
+//                   src/util/rng.h: scenario sampling and workload
+//                   generation must stay bit-reproducible, so every random
+//                   draw flows through the explicitly seeded Rng.
+//   no-naked-new    no `new` expressions; ownership is RAII-only
+//                   (make_unique/containers). A leak in the controller's
+//                   event loop accumulates forever.
+//   guarded-field   src/system + src/net: a field annotated
+//                   `// GUARDED_BY(mu)` in a header may only be mentioned
+//                   in .cpp functions that also take a lock on `mu`
+//                   (lock_guard / scoped_lock / unique_lock). Heuristic
+//                   tier: function granularity, comment/string stripped.
+//   solver-double   no `float` in src/solver: the simplex tableau and all
+//                   derived arithmetic stay double; mixing float silently
+//                   halves the mantissa and breaks the availability
+//                   guarantee's tolerance analysis.
+//
+// Escape hatch: a line containing `bate-lint: allow(<rule>)` disables the
+// named rule for that line (or, on a function's opening line, for the
+// guarded-field scan of that function).
+//
+// Usage: bate_lint <repo_root>   (exit 0 = clean, 1 = findings, 2 = usage)
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void report(const fs::path& file, int line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file.string(), line, rule, message});
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Replaces comments and string/char literals with spaces (newlines kept so
+/// line numbers survive). Good enough for lint: no raw strings in this
+/// repository (the lint reports them if ever used for code-like content).
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `line` with identifier boundaries on both
+/// sides (so `new` does not match `renewal`).
+bool contains_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// True when the raw (unstripped) source line allows `rule`.
+bool line_allows(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("bate-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+// --- Rule: pragma-once ------------------------------------------------------
+
+void check_pragma_once(const fs::path& file, const std::string& raw) {
+  if (raw.find("#pragma once") == std::string::npos) {
+    report(file, 1, "pragma-once", "header is missing #pragma once");
+  }
+}
+
+// --- Rule: seeded-rng -------------------------------------------------------
+
+void check_seeded_rng(const fs::path& file, const fs::path& rel,
+                      const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw) {
+  if (rel == fs::path("src/util/rng.h")) return;
+  static const char* kBanned[] = {"std::rand", "srand", "random_device"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (code[i].find(token) != std::string::npos &&
+          !line_allows(raw[i], "seeded-rng")) {
+        report(file, static_cast<int>(i + 1), "seeded-rng",
+               std::string(token) +
+                   " breaks scenario determinism; draw from util/rng.h Rng");
+      }
+    }
+  }
+}
+
+// --- Rule: no-naked-new -----------------------------------------------------
+
+void check_naked_new(const fs::path& file, const std::vector<std::string>& code,
+                     const std::vector<std::string>& raw) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (contains_token(code[i], "new") && !line_allows(raw[i], "no-naked-new")) {
+      report(file, static_cast<int>(i + 1), "no-naked-new",
+             "naked new; use std::make_unique / containers");
+    }
+  }
+}
+
+// --- Rule: solver-double ----------------------------------------------------
+
+void check_solver_double(const fs::path& file,
+                         const std::vector<std::string>& code,
+                         const std::vector<std::string>& raw) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (contains_token(code[i], "float") &&
+        !line_allows(raw[i], "solver-double")) {
+      report(file, static_cast<int>(i + 1), "solver-double",
+             "solver arithmetic must stay double (simplex tolerance "
+             "analysis assumes a 52-bit mantissa)");
+    }
+  }
+}
+
+// --- Rule: guarded-field ----------------------------------------------------
+
+struct GuardedField {
+  std::string field;
+  std::string mutex;
+  std::string declared_in;
+};
+
+/// Parses `// GUARDED_BY(mu)` annotations from a header. The annotated
+/// field is the first identifier-like token of the declaration on that line.
+std::vector<GuardedField> parse_guarded_fields(const fs::path& header,
+                                               const std::string& raw) {
+  std::vector<GuardedField> fields;
+  static const std::regex kAnnot(R"(GUARDED_BY\(([A-Za-z_][A-Za-z0-9_]*)\))");
+  static const std::regex kDecl(R"(([A-Za-z_][A-Za-z0-9_]*)\s*(=[^;]*)?;)");
+  const auto lines = split_lines(raw);
+  for (const auto& line : lines) {
+    std::smatch annot;
+    if (!std::regex_search(line, annot, kAnnot)) continue;
+    // Field name: last identifier before the `;` (e.g. `int updates_ = 0;`
+    // or `std::map<...> rates_;`).
+    const std::string decl = line.substr(0, line.find("//"));
+    std::smatch best;
+    std::string field;
+    auto begin = std::sregex_iterator(decl.begin(), decl.end(), kDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) field = (*it)[1];
+    if (field.empty()) continue;
+    fields.push_back({field, annot[1], header.string()});
+  }
+  return fields;
+}
+
+/// Function-granularity scan of a .cpp: every function body mentioning a
+/// guarded field must also take a lock naming its mutex. Heuristic: a
+/// function starts at an unnested line containing '(' (and not starting
+/// with namespace/struct/class/enum/using); its body spans the balanced
+/// braces that follow.
+void check_guarded_fields(const fs::path& file,
+                          const std::vector<GuardedField>& fields,
+                          const std::string& code, const std::string& raw) {
+  if (fields.empty()) return;
+  const auto code_lines = split_lines(code);
+  const auto raw_lines = split_lines(raw);
+
+  int depth = 0;
+  int fn_start = -1;   // line where the current function signature begins
+  int fn_depth = 0;    // brace depth at which the function body opened
+  std::string body;    // accumulated body text of the current function
+
+  auto flush_function = [&](int end_line) {
+    if (fn_start < 0) return;
+    const bool has_lock = (body.find("lock_guard") != std::string::npos ||
+                           body.find("scoped_lock") != std::string::npos ||
+                           body.find("unique_lock") != std::string::npos);
+    for (const GuardedField& gf : fields) {
+      if (!contains_token(body, gf.field)) continue;
+      const bool locks_right_mutex =
+          has_lock && contains_token(body, gf.mutex);
+      if (locks_right_mutex) continue;
+      if (line_allows(raw_lines[static_cast<std::size_t>(fn_start)],
+                      "guarded-field")) {
+        continue;
+      }
+      report(file, fn_start + 1, "guarded-field",
+             "function touches " + gf.field + " (GUARDED_BY " + gf.mutex +
+                 " in " + gf.declared_in + ") without locking it");
+    }
+    (void)end_line;
+    fn_start = -1;
+    body.clear();
+  };
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    if (fn_start >= 0) body += line + "\n";
+
+    // Detect a function signature before counting this line's braces.
+    if (fn_start < 0 && depth <= 2) {  // namespaces nest at most twice here
+      std::string trimmed = line;
+      trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+      const bool looks_decl =
+          !trimmed.empty() && trimmed.find('(') != std::string::npos &&
+          trimmed.rfind("namespace", 0) == std::string::npos &&
+          trimmed.rfind("using", 0) == std::string::npos &&
+          trimmed.rfind("#", 0) == std::string::npos &&
+          trimmed.rfind("struct", 0) == std::string::npos &&
+          trimmed.rfind("class", 0) == std::string::npos &&
+          trimmed.rfind("enum", 0) == std::string::npos;
+      if (looks_decl) {
+        fn_start = static_cast<int>(i);
+        fn_depth = depth;
+        body = line + "\n";
+      }
+    }
+
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (fn_start >= 0 && depth <= fn_depth) {
+          flush_function(static_cast<int>(i));
+        }
+      }
+    }
+    // A declaration without a body (prototype) ends at `;` at fn_depth.
+    if (fn_start >= 0 && depth == fn_depth &&
+        line.find(';') != std::string::npos &&
+        line.find('{') == std::string::npos && body.find('{') == std::string::npos) {
+      fn_start = -1;
+      body.clear();
+    }
+  }
+  flush_function(static_cast<int>(code_lines.size()) - 1);
+}
+
+// --- Driver -----------------------------------------------------------------
+
+bool has_extension(const fs::path& p, const char* ext) {
+  return p.extension() == ext;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: bate_lint <repo_root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::exists(root / "src")) {
+    std::cerr << "bate_lint: " << root << " does not look like the repo root\n";
+    return 2;
+  }
+
+  const std::vector<std::string> kTrees = {"src", "tests", "tools", "bench",
+                                           "examples"};
+
+  // Pass 1: collect GUARDED_BY annotations from src/system and src/net
+  // headers, keyed by the .cpp that implements them (same stem).
+  std::map<std::string, std::vector<GuardedField>> guarded_by_stem;
+  for (const char* dir : {"src/system", "src/net"}) {
+    if (!fs::exists(root / dir)) continue;
+    for (const auto& entry : fs::directory_iterator(root / dir)) {
+      if (!entry.is_regular_file() || !has_extension(entry.path(), ".h")) {
+        continue;
+      }
+      const std::string raw = read_file(entry.path());
+      auto fields = parse_guarded_fields(
+          fs::relative(entry.path(), root), raw);
+      if (!fields.empty()) {
+        guarded_by_stem[entry.path().stem().string()] = std::move(fields);
+      }
+    }
+  }
+
+  for (const std::string& tree : kTrees) {
+    const fs::path base = root / tree;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& path = entry.path();
+      const bool header = has_extension(path, ".h");
+      const bool source = has_extension(path, ".cpp");
+      if (!header && !source) continue;
+
+      const fs::path rel = fs::relative(path, root);
+      const std::string raw = read_file(path);
+      const std::string code = strip_comments_and_strings(raw);
+      const auto code_lines = split_lines(code);
+      const auto raw_lines = split_lines(raw);
+
+      if (header) check_pragma_once(rel, raw);
+      check_seeded_rng(rel, rel, code_lines, raw_lines);
+      check_naked_new(rel, code_lines, raw_lines);
+      if (rel.string().rfind("src/solver", 0) == 0) {
+        check_solver_double(rel, code_lines, raw_lines);
+      }
+      if (source && (rel.string().rfind("src/system", 0) == 0 ||
+                     rel.string().rfind("src/net", 0) == 0)) {
+        const auto it = guarded_by_stem.find(path.stem().string());
+        if (it != guarded_by_stem.end()) {
+          check_guarded_fields(rel, it->second, code, raw);
+        }
+      }
+    }
+  }
+
+  if (g_findings.empty()) {
+    std::cout << "bate_lint: clean\n";
+    return 0;
+  }
+  std::sort(g_findings.begin(), g_findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  for (const Finding& f : g_findings) {
+    std::cerr << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  }
+  std::cerr << "bate_lint: " << g_findings.size() << " finding(s)\n";
+  return 1;
+}

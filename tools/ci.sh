@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Four-way verification matrix (DESIGN.md Sec 8 "Verification"):
+#
+#   1. plain      RelWithDebInfo build + full ctest (tier-1)
+#   2. asan-ubsan AddressSanitizer + UndefinedBehaviorSanitizer, -Werror
+#   3. tsan       ThreadSanitizer over the concurrency-sensitive suites
+#   4. lint       bate_lint (always) + clang-tidy (when installed)
+#
+# Every leg uses the CMakePresets.json presets, so a CI runner and a
+# developer shell run the identical configuration. Legs can be selected:
+#   tools/ci.sh            # all four
+#   tools/ci.sh plain tsan # just those
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$PWD
+
+legs=("$@")
+if [ ${#legs[@]} -eq 0 ]; then
+  legs=(plain asan-ubsan tsan lint)
+fi
+
+banner() { printf '\n=== ci.sh: %s ===\n' "$*"; }
+
+run_preset() {  # <configure-preset> [ctest args...]
+  local preset=$1; shift
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" "$@"
+}
+
+for leg in "${legs[@]}"; do
+  case "$leg" in
+    plain)
+      banner "plain RelWithDebInfo + full ctest"
+      run_preset dev
+      ;;
+    asan-ubsan)
+      banner "AddressSanitizer + UBSan"
+      run_preset asan-ubsan
+      ;;
+    tsan)
+      banner "ThreadSanitizer (concurrency suites)"
+      run_preset tsan
+      ;;
+    lint)
+      banner "bate_lint"
+      cmake --preset dev
+      cmake --build --preset dev -j "$(nproc)" --target bate_lint
+      "build/dev/tools/bate_lint" "$ROOT"
+      if command -v clang-tidy >/dev/null 2>&1; then
+        banner "clang-tidy (tidy preset)"
+        cmake --preset tidy
+        cmake --build --preset tidy -j "$(nproc)"
+      else
+        echo "ci.sh: clang-tidy not installed; skipping the tidy leg" >&2
+      fi
+      ;;
+    *)
+      echo "ci.sh: unknown leg '$leg' (plain|asan-ubsan|tsan|lint)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+banner "all legs passed"
