@@ -1,0 +1,221 @@
+// Solver microbench: times solve_lp on fixed seeded LP instances built by
+// the scheduling / admission / recovery model builders, for the fast engine
+// and the reference (debug) engine, and emits BENCH_solver.json via
+// tools/bench_report so every PR carries a perf trajectory.
+//
+// Usage:
+//   bench_solver [--reps N] [--out BENCH_solver.json] [--validate FILE]
+//
+// --validate parses FILE against the BENCH schema and exits (0 valid, 1
+// not); the CI bench-smoke leg uses it on the file a tiny --reps run just
+// emitted. Every instance is solved once with SimplexOptions::reference_mode
+// (full pricing + refactorization every iteration — the pre-overhaul
+// behaviour) and `reps` times with the default fast path; the two objectives
+// must agree to 1e-6 relative or the bench aborts.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "common.h"
+#include "core/admission.h"
+#include "core/recovery.h"
+#include "core/scheduling.h"
+#include "sim/experiment.h"
+#include "solver/simplex.h"
+#include "workload/traffic_matrix.h"
+
+namespace {
+
+using namespace bate;
+
+struct Instance {
+  std::string name;
+  Model model;
+};
+
+std::vector<Demand> seeded_demands(const TunnelCatalog& catalog,
+                                   const Topology& topo, int count,
+                                   std::uint64_t seed) {
+  WorkloadConfig wl;
+  wl.arrival_rate_per_min = 2.0;
+  wl.mean_duration_min = 10.0;
+  wl.horizon_min = 60.0;
+  wl.matrices = generate_traffic_matrices(topo, 5);
+  wl.tm_scale_down = 20.0;
+  wl.availability_targets = {0.95, 0.99, 0.999};
+  wl.seed = seed;
+  auto demands = steady_state_snapshot(catalog, wl, 30.0);
+  if (static_cast<int>(demands.size()) > count) demands.resize(count);
+  return demands;
+}
+
+/// The fixed instance set: scheduling LPs on three topologies plus the LP
+/// relaxations of the admission and recovery MILPs. Seeds are pinned so the
+/// numbers are comparable across PRs.
+std::vector<Instance> build_instances() {
+  std::vector<Instance> out;
+
+  struct SchedSpec {
+    const char* name;
+    Topology topo;
+    int demands;
+    int y;
+    std::uint64_t seed;
+  };
+  std::vector<SchedSpec> specs;
+  specs.push_back({"sched_testbed6_d12", testbed6(), 12, 2, 4242});
+  specs.push_back({"sched_testbed6_d24", testbed6(), 24, 2, 4243});
+  specs.push_back({"sched_b4_d12_y3", b4(), 12, 3, 4244});
+  specs.push_back({"sched_b4_d20_y3", b4(), 20, 3, 4245});
+  specs.push_back({"sched_ibm_d10_y3", ibm(), 10, 3, 4250});
+
+  for (auto& s : specs) {
+    const auto catalog = TunnelCatalog::build_all_pairs(s.topo, 4);
+    SchedulerConfig cfg;
+    cfg.max_failures = s.y;
+    TrafficScheduler sched(s.topo, catalog, cfg);
+    const auto demands = seeded_demands(catalog, s.topo, s.demands, s.seed);
+    out.push_back({s.name, sched.build_schedule_model(demands)});
+
+    if (std::strcmp(s.name, "sched_testbed6_d12") == 0) {
+      // Admission + recovery relaxations ride on the same substrate.
+      out.push_back(
+          {"admission_testbed6_d12", build_admission_model(sched, demands)});
+      const std::vector<LinkId> failed = {0};
+      out.push_back({"recovery_testbed6_d12",
+                     build_recovery_model(s.topo, catalog, demands, failed)});
+    }
+    if (std::strcmp(s.name, "sched_b4_d12_y3") == 0) {
+      out.push_back(
+          {"admission_b4_d12_y3", build_admission_model(sched, demands)});
+      const std::vector<LinkId> failed = {0, 5};
+      out.push_back({"recovery_b4_d12_y3",
+                     build_recovery_model(s.topo, catalog, demands, failed)});
+    }
+  }
+  return out;
+}
+
+double quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 7;
+  std::string out_path = "BENCH_solver.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
+      reps = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--validate") == 0 && a + 1 < argc) {
+      const std::string err = validate_bench_json(argv[a + 1]);
+      if (!err.empty()) {
+        std::fprintf(stderr, "bench_solver: %s: INVALID: %s\n", argv[a + 1],
+                     err.c_str());
+        return 1;
+      }
+      std::printf("bench_solver: %s: schema OK\n", argv[a + 1]);
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_solver [--reps N] [--out FILE] "
+                   "[--validate FILE]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  auto instances = build_instances();
+  BenchReport report;
+  report.bench = "solver";
+
+  std::printf("%-24s %10s %10s %10s %10s %8s %10s\n", "instance", "ref_ms",
+              "median_ms", "p95_ms", "speedup", "iters", "pivots/s");
+  for (const Instance& inst : instances) {
+    // Reference (pre-overhaul) engine: one timed solve.
+    SimplexOptions ref;
+    ref.reference_mode = true;
+    const auto r0 = std::chrono::steady_clock::now();
+    const Solution ref_sol = solve_lp(inst.model, ref);
+    const auto r1 = std::chrono::steady_clock::now();
+    const double ref_ms =
+        std::chrono::duration<double, std::milli>(r1 - r0).count();
+
+    SimplexOptions fast;
+    std::vector<double> times;
+    Solution sol;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      sol = solve_lp(inst.model, fast);
+      const auto t1 = std::chrono::steady_clock::now();
+      times.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+
+    if (sol.status != ref_sol.status) {
+      std::fprintf(stderr, "bench_solver: %s: status mismatch fast=%d ref=%d\n",
+                   inst.name.c_str(), static_cast<int>(sol.status),
+                   static_cast<int>(ref_sol.status));
+      return 1;
+    }
+    if (sol.status == SolveStatus::kOptimal) {
+      const double denom = std::max(1.0, std::abs(ref_sol.objective));
+      if (std::abs(sol.objective - ref_sol.objective) / denom > 1e-6) {
+        std::fprintf(stderr,
+                     "bench_solver: %s: objective mismatch fast=%.9g "
+                     "ref=%.9g\n",
+                     inst.name.c_str(), sol.objective, ref_sol.objective);
+        return 1;
+      }
+    }
+
+    const double median_ms = quantile(times, 0.5);
+    const double p95_ms = quantile(times, 0.95);
+    const double pivots_per_sec =
+        median_ms > 0.0 ? static_cast<double>(sol.pivots) / (median_ms / 1e3)
+                        : 0.0;
+    const double speedup = median_ms > 0.0 ? ref_ms / median_ms : 0.0;
+
+    std::printf("%-24s %10.3f %10.3f %10.3f %9.1fx %8ld %10.0f\n",
+                inst.name.c_str(), ref_ms, median_ms, p95_ms, speedup,
+                sol.iterations, pivots_per_sec);
+
+    BenchCase c;
+    c.name = inst.name;
+    c.metrics = {
+        {"rows", static_cast<double>(inst.model.constraint_count())},
+        {"cols", static_cast<double>(inst.model.variable_count())},
+        {"median_ms", median_ms},
+        {"p95_ms", p95_ms},
+        {"reference_ms", ref_ms},
+        {"speedup_vs_reference", speedup},
+        {"iterations", static_cast<double>(sol.iterations)},
+        {"pivots", static_cast<double>(sol.pivots)},
+        {"pivots_per_sec", pivots_per_sec},
+    };
+    report.cases.push_back(std::move(c));
+  }
+
+  write_bench_json(report, out_path);
+  const std::string err = validate_bench_json(out_path);
+  if (!err.empty()) {
+    std::fprintf(stderr, "bench_solver: emitted file invalid: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cases)\n", out_path.c_str(),
+              report.cases.size());
+  return 0;
+}

@@ -246,9 +246,14 @@ Allocation greedy_allocate_partial(const Topology& topo,
   return std::move(r.alloc);
 }
 
-bool optimal_admission_check(const TrafficScheduler& scheduler,
-                             std::span<const Demand> demands,
-                             const BranchBoundOptions& options) {
+namespace {
+
+/// Builds the Appendix-A feasibility MILP. `layout`, when non-null, receives
+/// (first_var, tunnel_count) per (demand, pair position), flattened
+/// pair-major in demand order.
+Model build_admission_model_impl(const TrafficScheduler& scheduler,
+                                 std::span<const Demand> demands,
+                                 std::vector<std::pair<int, int>>* layout) {
   const Topology& topo = scheduler.topology();
   const TunnelCatalog& catalog = scheduler.catalog();
 
@@ -260,6 +265,7 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
     int tunnel_count = 0;
   };
   std::vector<std::vector<PairVars>> gvars(demands.size());
+  if (layout) layout->clear();
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const Demand& d = demands[i];
     gvars[i].resize(d.pairs.size());
@@ -281,19 +287,22 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
       std::vector<Term> row;
       for (int t = 0; t < tn; ++t) row.push_back({gvars[i][p].first_var + t, 1.0});
       model.add_constraint(std::move(row), Relation::kGreaterEqual, 1.0);
+      if (layout) {
+        layout->push_back({gvars[i][p].first_var, gvars[i][p].tunnel_count});
+      }
     }
   }
 
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const Demand& d = demands[i];
     if (d.availability_target <= 0.0) continue;
-    const DemandPatterns dp = scheduler.demand_patterns(d);
-    const auto patterns = static_cast<PatternMask>(dp.dist.prob.size());
+    const auto dp = scheduler.demand_patterns(d);
+    const auto patterns = static_cast<PatternMask>(dp->dist.prob.size());
 
     std::vector<int> qvar(patterns, -1);
     std::vector<Term> avail_row;
     for (PatternMask s = 1; s < patterns; ++s) {
-      const double prob = dp.dist.prob[s];
+      const double prob = dp->dist.prob[s];
       if (prob <= 0.0) continue;
       const int q = model.add_binary(0.0);
       qvar[s] = q;
@@ -302,10 +311,10 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
       // (14): R^z_dk >= q  for every pair, i.e. sum_{t in S} g >= q.
       for (std::size_t p = 0; p < d.pairs.size(); ++p) {
         std::vector<Term> row{{q, -1.0}};
-        for (int t = dp.ranges[p].first; t < dp.ranges[p].second; ++t) {
+        for (int t = dp->ranges[p].first; t < dp->ranges[p].second; ++t) {
           if ((s >> t) & 1u) {
             row.push_back(
-                {gvars[i][p].first_var + (t - dp.ranges[p].first), 1.0});
+                {gvars[i][p].first_var + (t - dp->ranges[p].first), 1.0});
           }
         }
         model.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);
@@ -314,7 +323,7 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
     // Monotonicity cuts: a pattern implies every superset pattern (more
     // tunnels up can only increase R). Tightens the relaxation.
     const int total_tunnels =
-        dp.ranges.empty() ? 0 : dp.ranges.back().second;
+        dp->ranges.empty() ? 0 : dp->ranges.back().second;
     for (PatternMask s = 1; s < patterns; ++s) {
       if (qvar[s] < 0) continue;
       for (int t = 0; t < total_tunnels; ++t) {
@@ -353,6 +362,21 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
     for (Term& term : row) term.coef /= std::max(cap, 1e-9);
     model.add_constraint(std::move(row), Relation::kLessEqual, 1.0);
   }
+  return model;
+}
+
+}  // namespace
+
+Model build_admission_model(const TrafficScheduler& scheduler,
+                            std::span<const Demand> demands) {
+  return build_admission_model_impl(scheduler, demands, nullptr);
+}
+
+bool optimal_admission_check(const TrafficScheduler& scheduler,
+                             std::span<const Demand> demands,
+                             const BranchBoundOptions& options) {
+  std::vector<std::pair<int, int>> layout;
+  const Model model = build_admission_model_impl(scheduler, demands, &layout);
 
   // Presolve at the root: the LP relaxation is a relaxation of the hard
   // MILP, so LP-infeasible proves rejection; and if the relaxation's g
@@ -362,22 +386,24 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
   if (relax.status == SolveStatus::kInfeasible) return false;
   if (relax.status == SolveStatus::kOptimal) {
     bool all_hard_ok = true;
+    std::size_t flat = 0;
     for (std::size_t i = 0; i < demands.size() && all_hard_ok; ++i) {
       const Demand& d = demands[i];
+      const std::size_t base = flat;
+      flat += d.pairs.size();
       if (d.availability_target <= 0.0) continue;
       Allocation alloc(d.pairs.size());
       for (std::size_t p = 0; p < d.pairs.size(); ++p) {
-        alloc[p].resize(static_cast<std::size_t>(gvars[i][p].tunnel_count));
-        for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
+        const auto [first_var, tunnel_count] = layout[base + p];
+        alloc[p].resize(static_cast<std::size_t>(tunnel_count));
+        for (int t = 0; t < tunnel_count; ++t) {
           alloc[p][static_cast<std::size_t>(t)] =
-              std::max(0.0,
-                       relax.x[static_cast<std::size_t>(gvars[i][p].first_var +
-                                                        t)]) *
+              std::max(0.0, relax.x[static_cast<std::size_t>(first_var + t)]) *
               d.pairs[p].mbps;
         }
       }
-      const DemandPatterns dp = scheduler.demand_patterns(d);
-      all_hard_ok = TrafficScheduler::pattern_hard_availability(dp, d, alloc) +
+      const auto dp = scheduler.demand_patterns(d);
+      all_hard_ok = TrafficScheduler::pattern_hard_availability(*dp, d, alloc) +
                         1e-9 >=
                     d.availability_target;
     }
@@ -395,9 +421,9 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
       for (std::size_t i = 0; i < demands.size() && all_hard_ok; ++i) {
         const Demand& d = demands[i];
         if (d.availability_target <= 0.0) continue;
-        const DemandPatterns dp = scheduler.demand_patterns(d);
+        const auto dp = scheduler.demand_patterns(d);
         all_hard_ok = TrafficScheduler::pattern_hard_availability(
-                          dp, d, repaired.alloc[i]) +
+                          *dp, d, repaired.alloc[i]) +
                           1e-9 >=
                       d.availability_target;
       }

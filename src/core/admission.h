@@ -48,6 +48,12 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
                              std::span<const Demand> demands,
                              const BranchBoundOptions& options = {});
 
+/// The Appendix-A feasibility MILP itself, without solving it. Exposed for
+/// the solver microbench (bench/bench_solver.cpp), which times solve_lp on
+/// its LP relaxation.
+Model build_admission_model(const TrafficScheduler& scheduler,
+                            std::span<const Demand> demands);
+
 /// Greedy single-demand allocation against residual link capacities, the
 /// inner loop of Algorithm 1 (also used for temporary allocations). Returns
 /// nullopt when the residual capacity cannot carry the demand. `residual` is

@@ -95,27 +95,27 @@ std::vector<double> surviving_residual(const Topology& topo,
 
 }  // namespace
 
-RecoveryResult recover_optimal(const Topology& topo,
-                               const TunnelCatalog& catalog,
-                               std::span<const Demand> demands,
-                               std::span<const LinkId> failed_links,
-                               const BranchBoundOptions& options) {
-  validate_recovery_inputs(topo, catalog, demands, failed_links);
+namespace {
+
+// g = f/b per (demand, pair, surviving tunnel); capped at 1 (allocating
+// beyond the demand cannot raise profit).
+struct RecoveryPairVars {
+  std::vector<int> var;  // -1 for dead tunnels
+};
+
+Model build_recovery_model_impl(
+    const Topology& topo, const TunnelCatalog& catalog,
+    std::span<const Demand> demands, std::span<const LinkId> failed_links,
+    std::vector<std::vector<RecoveryPairVars>>* gvars_out,
+    std::vector<int>* yvar_out) {
   Model model;
   model.set_sense(Sense::kMaximize);
 
-  // g = f/b per (demand, pair, surviving tunnel); capped at 1 (allocating
-  // beyond the demand cannot raise profit).
-  struct PairVars {
-    std::vector<int> var;  // -1 for dead tunnels
-  };
-  std::vector<std::vector<PairVars>> gvars(demands.size());
+  std::vector<std::vector<RecoveryPairVars>> gvars(demands.size());
   std::vector<int> yvar(demands.size(), -1);
 
-  double constant = 0.0;  // sum_d (1 - mu_d) g_d
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const Demand& d = demands[i];
-    constant += (1.0 - d.refund_fraction) * d.charge;
     // Objective gain for keeping full profit: mu_d * charge.
     yvar[i] = model.add_binary(d.refund_fraction * d.charge);
     gvars[i].resize(d.pairs.size());
@@ -157,6 +157,31 @@ RecoveryResult recover_optimal(const Topology& topo,
     for (Term& term : row) term.coef /= std::max(cap, 1e-9);
     model.add_constraint(std::move(row), Relation::kLessEqual, 1.0);
   }
+  if (gvars_out) *gvars_out = std::move(gvars);
+  if (yvar_out) *yvar_out = std::move(yvar);
+  return model;
+}
+
+}  // namespace
+
+Model build_recovery_model(const Topology& topo, const TunnelCatalog& catalog,
+                           std::span<const Demand> demands,
+                           std::span<const LinkId> failed_links) {
+  validate_recovery_inputs(topo, catalog, demands, failed_links);
+  return build_recovery_model_impl(topo, catalog, demands, failed_links,
+                                   nullptr, nullptr);
+}
+
+RecoveryResult recover_optimal(const Topology& topo,
+                               const TunnelCatalog& catalog,
+                               std::span<const Demand> demands,
+                               std::span<const LinkId> failed_links,
+                               const BranchBoundOptions& options) {
+  validate_recovery_inputs(topo, catalog, demands, failed_links);
+  std::vector<std::vector<RecoveryPairVars>> gvars;
+  std::vector<int> yvar;
+  const Model model = build_recovery_model_impl(topo, catalog, demands,
+                                                failed_links, &gvars, &yvar);
 
   const Solution sol = solve_milp(model, options);
 

@@ -39,6 +39,13 @@ RecoveryResult recover_optimal(const Topology& topo,
                                std::span<const LinkId> failed_links,
                                const BranchBoundOptions& options = {});
 
+/// The profit-maximization MILP (12) itself, without solving it. Exposed for
+/// the solver microbench (bench/bench_solver.cpp), which times solve_lp on
+/// its LP relaxation.
+Model build_recovery_model(const Topology& topo, const TunnelCatalog& catalog,
+                           std::span<const Demand> demands,
+                           std::span<const LinkId> failed_links);
+
 /// Algorithm 2: greedy 2-approximation. Demands are served whole in
 /// descending profit density g_d / sum_k b^k_d; a single large demand can
 /// evict the accumulated set when its charge exceeds theirs.

@@ -7,6 +7,7 @@
 #include "solver/branch_bound.h"
 #include "solver/model.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace bate {
 
@@ -57,13 +58,29 @@ TrafficScheduler::TrafficScheduler(const Topology& topo,
   if (cfg_.max_failures < 0) {
     throw std::invalid_argument("TrafficScheduler: max_failures < 0");
   }
-  lp_patterns_.reserve(static_cast<std::size_t>(catalog.pair_count()));
-  reference_patterns_.reserve(static_cast<std::size_t>(catalog.pair_count()));
-  for (int k = 0; k < catalog.pair_count(); ++k) {
-    const auto& tunnels = catalog.tunnels(k);
-    lp_patterns_.push_back(
-        make_patterns(topo, tunnels, cfg_.exact, cfg_.max_failures));
-    reference_patterns_.push_back(make_patterns(topo, tunnels, true, 0));
+  // Per-pair precomputation is independent across pairs: run it through the
+  // shared pool into pre-sized slots (deterministic regardless of order).
+  const int pairs = catalog.pair_count();
+  lp_patterns_.resize(static_cast<std::size_t>(pairs));
+  reference_patterns_.resize(static_cast<std::size_t>(pairs));
+  tunnel_avail_.resize(static_cast<std::size_t>(pairs));
+  ThreadPool::shared().parallel_for(pairs, [&](int k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const auto& tunnels = catalog_->tunnels(k);
+    lp_patterns_[sk] =
+        make_patterns(*topo_, tunnels, cfg_.exact, cfg_.max_failures);
+    reference_patterns_[sk] = make_patterns(*topo_, tunnels, true, 0);
+    tunnel_avail_[sk].reserve(tunnels.size());
+    for (const Tunnel& t : tunnels) {
+      tunnel_avail_[sk].push_back(t.availability(*topo_));
+    }
+  });
+  single_patterns_.resize(static_cast<std::size_t>(pairs));
+  for (int k = 0; k < pairs; ++k) {
+    auto dp = std::make_shared<DemandPatterns>();
+    dp->dist = lp_patterns_[static_cast<std::size_t>(k)];
+    dp->ranges = {{0, dp->dist.tunnel_count}};
+    single_patterns_[static_cast<std::size_t>(k)] = std::move(dp);
   }
 }
 
@@ -76,21 +93,39 @@ const PatternDistribution& TrafficScheduler::reference_patterns(
   return reference_patterns_.at(static_cast<std::size_t>(pair));
 }
 
-DemandPatterns TrafficScheduler::demand_patterns(const Demand& demand) const {
-  DemandPatterns dp;
+std::shared_ptr<const DemandPatterns> TrafficScheduler::demand_patterns(
+    const Demand& demand) const {
   if (demand.pairs.size() == 1) {
-    dp.dist = lp_patterns_[static_cast<std::size_t>(demand.pairs[0].pair)];
-    dp.ranges = {{0, dp.dist.tunnel_count}};
-    return dp;
+    return single_patterns_[static_cast<std::size_t>(demand.pairs[0].pair)];
   }
-  const auto joint = joint_tunnels(*catalog_, demand, dp.ranges);
-  dp.dist = make_patterns(*topo_, joint, cfg_.exact, cfg_.max_failures);
-  return dp;
+  std::vector<int> key;
+  key.reserve(demand.pairs.size());
+  for (const PairDemand& pd : demand.pairs) key.push_back(pd.pair);
+  {
+    std::lock_guard<std::mutex> lock(joint_mu_);
+    const auto it = joint_cache_.find(key);
+    if (it != joint_cache_.end()) return it->second;
+  }
+  // Build outside the lock: the joint enumeration is the expensive part and
+  // distinct keys shouldn't serialize. A racing duplicate build of the same
+  // key is harmless (identical value; first insert wins).
+  auto dp = std::make_shared<DemandPatterns>();
+  const auto joint = joint_tunnels(*catalog_, demand, dp->ranges);
+  dp->dist = make_patterns(*topo_, joint, cfg_.exact, cfg_.max_failures);
+  std::lock_guard<std::mutex> lock(joint_mu_);
+  return joint_cache_.emplace(std::move(key), std::move(dp)).first->second;
 }
 
-ScheduleResult TrafficScheduler::schedule(
+Model TrafficScheduler::build_schedule_model(
     std::span<const Demand> demands,
     std::span<const double> capacity_override) const {
+  return build_schedule_model_impl(demands, capacity_override, nullptr);
+}
+
+Model TrafficScheduler::build_schedule_model_impl(
+    std::span<const Demand> demands,
+    std::span<const double> capacity_override,
+    std::vector<std::pair<int, int>>* layout) const {
   // Scheduling preconditions (Sec 3.3): the override must cover every link,
   // and each demand's target/requests must be well-formed — the LP rows
   // (1), (3), (4) silently produce garbage otherwise.
@@ -117,6 +152,7 @@ ScheduleResult TrafficScheduler::schedule(
     int tunnel_count = 0;
   };
   std::vector<std::vector<PairVars>> gvars(demands.size());
+  if (layout) layout->clear();
 
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const Demand& d = demands[i];
@@ -129,16 +165,18 @@ ScheduleResult TrafficScheduler::schedule(
       const int tn = static_cast<int>(catalog_->tunnels(pd.pair).size());
       gvars[i][p].tunnel_count = tn;
       gvars[i][p].first_var = model.variable_count();
-      const auto& tunnels = catalog_->tunnels(pd.pair);
+      // Tunnel availabilities were hoisted into tunnel_avail_ at
+      // construction (they depend only on topology + tunnel, not on the
+      // demand set).
+      const auto& avail = tunnel_avail_[static_cast<std::size_t>(pd.pair)];
       for (int t = 0; t < tn; ++t) {
         // g = f / b, so the objective coefficient is b (minimize total f),
         // with a reliability tie-break preferring available tunnels,
         // weighted by the demand's availability target.
-        const double avail =
-            tunnels[static_cast<std::size_t>(t)].availability(*topo_);
         model.add_variable(
             0.0, kInfinity,
-            pd.mbps * (1.0 + cfg_.reliability_epsilon * (1.0 - avail) *
+            pd.mbps * (1.0 + cfg_.reliability_epsilon *
+                                 (1.0 - avail[static_cast<std::size_t>(t)]) *
                                  (1.0 + availability_weight(
                                             d.availability_target))));
       }
@@ -146,6 +184,9 @@ ScheduleResult TrafficScheduler::schedule(
       std::vector<Term> row;
       for (int t = 0; t < tn; ++t) row.push_back({gvars[i][p].first_var + t, 1.0});
       model.add_constraint(std::move(row), Relation::kGreaterEqual, 1.0);
+      if (layout) {
+        layout->push_back({gvars[i][p].first_var, gvars[i][p].tunnel_count});
+      }
     }
   }
 
@@ -154,9 +195,9 @@ ScheduleResult TrafficScheduler::schedule(
     const Demand& d = demands[i];
     if (d.availability_target <= 0.0) continue;  // best-effort (Table 1 N/A)
 
-    const DemandPatterns dp = demand_patterns(d);
-    const PatternDistribution* dist = &dp.dist;
-    const auto& ranges = dp.ranges;
+    const auto dp = demand_patterns(d);
+    const PatternDistribution* dist = &dp->dist;
+    const auto& ranges = dp->ranges;
 
     std::vector<Term> avail_row;
     const auto patterns = static_cast<PatternMask>(dist->prob.size());
@@ -219,7 +260,15 @@ ScheduleResult TrafficScheduler::schedule(
                            cap <= 0.0 ? 0.0 : 1.0);
     }
   }
+  return model;
+}
 
+ScheduleResult TrafficScheduler::schedule(
+    std::span<const Demand> demands,
+    std::span<const double> capacity_override) const {
+  std::vector<std::pair<int, int>> layout;
+  const Model model =
+      build_schedule_model_impl(demands, capacity_override, &layout);
   const Solution sol = solve_lp(model, cfg_.lp);
 
   ScheduleResult result;
@@ -228,16 +277,17 @@ ScheduleResult TrafficScheduler::schedule(
   if (!result.feasible) return result;
 
   result.alloc.resize(demands.size());
+  std::size_t flat = 0;
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const Demand& d = demands[i];
     result.alloc[i].resize(d.pairs.size());
-    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+    for (std::size_t p = 0; p < d.pairs.size(); ++p, ++flat) {
+      const auto [first_var, tunnel_count] = layout[flat];
       auto& out = result.alloc[i][p];
-      out.resize(static_cast<std::size_t>(gvars[i][p].tunnel_count));
+      out.resize(static_cast<std::size_t>(tunnel_count));
       double pair_total = 0.0;
-      for (int t = 0; t < gvars[i][p].tunnel_count; ++t) {
-        const double g =
-            sol.x[static_cast<std::size_t>(gvars[i][p].first_var + t)];
+      for (int t = 0; t < tunnel_count; ++t) {
+        const double g = sol.x[static_cast<std::size_t>(first_var + t)];
         out[static_cast<std::size_t>(t)] = std::max(0.0, g * d.pairs[p].mbps);
         pair_total += out[static_cast<std::size_t>(t)];
       }
@@ -317,8 +367,8 @@ void TrafficScheduler::repair_hard_availability(
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const Demand& d = demands[i];
     if (d.availability_target <= 0.0) continue;
-    const DemandPatterns dp = demand_patterns(d);
-    if (pattern_hard_availability(dp, d, result.alloc[i]) + 1e-9 >=
+    const auto dp = demand_patterns(d);
+    if (pattern_hard_availability(*dp, d, result.alloc[i]) + 1e-9 >=
         d.availability_target) {
       continue;
     }
@@ -332,33 +382,34 @@ void TrafficScheduler::repair_hard_availability(
     std::vector<std::pair<int, int>> gv(d.pairs.size());  // first var, count
     for (std::size_t p = 0; p < d.pairs.size(); ++p) {
       const auto& tunnels = catalog_->tunnels(d.pairs[p].pair);
+      const auto& avail =
+          tunnel_avail_[static_cast<std::size_t>(d.pairs[p].pair)];
       gv[p] = {model.variable_count(), static_cast<int>(tunnels.size())};
       std::vector<Term> full;
       for (std::size_t t = 0; t < tunnels.size(); ++t) {
-        const double avail = tunnels[t].availability(*topo_);
         const int v = model.add_variable(
             0.0, kInfinity,
             d.pairs[p].mbps *
-                (1.0 + cfg_.reliability_epsilon * (1.0 - avail) *
+                (1.0 + cfg_.reliability_epsilon * (1.0 - avail[t]) *
                            (1.0 +
                             availability_weight(d.availability_target))));
         full.push_back({v, 1.0});
       }
       model.add_constraint(std::move(full), Relation::kGreaterEqual, 1.0);
     }
-    const auto patterns = static_cast<PatternMask>(dp.dist.prob.size());
+    const auto patterns = static_cast<PatternMask>(dp->dist.prob.size());
     std::vector<Term> avail_row;
     for (PatternMask s = 1; s < patterns; ++s) {
-      if (dp.dist.prob[s] <= 0.0) continue;
+      if (dp->dist.prob[s] <= 0.0) continue;
       const int q = model.add_binary(0.0);
       avail_row.push_back(
-          {q, dp.dist.prob[s] *
+          {q, dp->dist.prob[s] *
                   availability_row_scale(d.availability_target)});
       for (std::size_t p = 0; p < d.pairs.size(); ++p) {
         std::vector<Term> row{{q, -1.0}};
-        for (int t = dp.ranges[p].first; t < dp.ranges[p].second; ++t) {
+        for (int t = dp->ranges[p].first; t < dp->ranges[p].second; ++t) {
           if ((s >> t) & 1u) {
-            row.push_back({gv[p].first + (t - dp.ranges[p].first), 1.0});
+            row.push_back({gv[p].first + (t - dp->ranges[p].first), 1.0});
           }
         }
         model.add_constraint(std::move(row), Relation::kGreaterEqual, 0.0);

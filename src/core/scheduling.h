@@ -15,6 +15,9 @@
 // capped at 1 so a scenario can contribute at most its own probability.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -94,9 +97,21 @@ class TrafficScheduler {
   const PatternDistribution& lp_patterns(int pair) const;
   /// Reference (exact where tractable) pattern distribution for a pair.
   const PatternDistribution& reference_patterns(int pair) const;
-  /// Pattern distribution of a whole demand under the LP model (per-pair
-  /// cache for single-pair demands, joint distribution for multi-pair).
-  DemandPatterns demand_patterns(const Demand& demand) const;
+  /// Pattern distribution of a whole demand under the LP model. Single-pair
+  /// demands resolve to the precomputed per-pair distribution; multi-pair
+  /// demands build the joint distribution once and cache it keyed by the
+  /// demand's pair list (schedule() and the hard-repair pass previously
+  /// rebuilt it per demand per call). Thread-safe.
+  std::shared_ptr<const DemandPatterns> demand_patterns(
+      const Demand& demand) const;
+
+  /// Builds the scheduling LP (rows 1, 3, 4, 6) for the demand set without
+  /// solving it. This is exactly the model schedule() solves; exposed so the
+  /// solver microbench (bench/bench_solver.cpp) can time solve_lp on real
+  /// instances.
+  Model build_schedule_model(
+      std::span<const Demand> demands,
+      std::span<const double> capacity_override = {}) const;
 
   const Topology& topology() const { return *topo_; }
   const TunnelCatalog& catalog() const { return *catalog_; }
@@ -109,6 +124,12 @@ class TrafficScheduler {
                                           const Allocation& alloc);
 
  private:
+  /// Model build plus the g-variable layout: (first_var, tunnel_count) per
+  /// (demand, pair position), flattened pair-major in demand order.
+  Model build_schedule_model_impl(
+      std::span<const Demand> demands,
+      std::span<const double> capacity_override,
+      std::vector<std::pair<int, int>>* layout) const;
   void repair_hard_availability(std::span<const Demand> demands,
                                 ScheduleResult& result,
                                 std::span<const double> capacity_override)
@@ -118,6 +139,16 @@ class TrafficScheduler {
   SchedulerConfig cfg_;
   std::vector<PatternDistribution> lp_patterns_;
   std::vector<PatternDistribution> reference_patterns_;
+  /// tunnel_avail_[pair][t] = catalog tunnel availability, hoisted out of
+  /// the per-LP-variable loops in schedule() and the repair MILP.
+  std::vector<std::vector<double>> tunnel_avail_;
+  /// Per-pair DemandPatterns for single-pair demands, built once in the
+  /// constructor.
+  std::vector<std::shared_ptr<const DemandPatterns>> single_patterns_;
+  /// Joint distributions for multi-pair demands, built on first use.
+  mutable std::mutex joint_mu_;
+  mutable std::map<std::vector<int>, std::shared_ptr<const DemandPatterns>>
+      joint_cache_;  // GUARDED_BY(joint_mu_)
 };
 
 /// Total bandwidth an allocation places on each link (indexed by LinkId).

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace bate {
 
@@ -25,6 +27,24 @@ class Campaign {
     for (int r = 0; r < reps; ++r) {
       c.samples_.add(metric(base_seed + static_cast<std::uint64_t>(r)));
     }
+    return c;
+  }
+
+  /// Parallel variant: dispatches the repetitions across `pool`, then
+  /// reduces in rep order. Each rep owns its seed and `metric` must be
+  /// thread-safe (pure in its seed); results land in a pre-sized slot
+  /// array indexed by rep, so the accumulated Summary is BIT-IDENTICAL to
+  /// the serial overload regardless of execution order.
+  static Campaign run(int reps, std::uint64_t base_seed,
+                      const std::function<double(std::uint64_t)>& metric,
+                      ThreadPool& pool) {
+    std::vector<double> slots(static_cast<std::size_t>(reps > 0 ? reps : 0));
+    pool.parallel_for(reps, [&](int r) {
+      slots[static_cast<std::size_t>(r)] =
+          metric(base_seed + static_cast<std::uint64_t>(r));
+    });
+    Campaign c;
+    for (const double v : slots) c.samples_.add(v);
     return c;
   }
 

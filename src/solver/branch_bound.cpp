@@ -52,6 +52,8 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
 
   Model work = model;  // mutated bounds per node, restored afterwards
   int nodes = 0;
+  long total_iterations = 0;
+  long total_pivots = 0;
   bool budget_hit = false;
   const auto start = std::chrono::steady_clock::now();
 
@@ -81,6 +83,8 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
     }
 
     Solution relax = solve_lp(work, options.lp);
+    total_iterations += relax.iterations;
+    total_pivots += relax.pivots;
 
     // Restore bounds.
     for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
@@ -92,6 +96,8 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
     if (relax.status == SolveStatus::kUnbounded) {
       // An unbounded relaxation makes the MILP unbounded or infeasible;
       // report it directly (our models never hit this in practice).
+      relax.iterations = total_iterations;
+      relax.pivots = total_pivots;
       return relax;
     }
     if (relax.status == SolveStatus::kIterationLimit) {
@@ -164,6 +170,8 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
     // infeasibility was established within the budget (x empty).
     incumbent.status = SolveStatus::kIterationLimit;
   }
+  incumbent.iterations = total_iterations;
+  incumbent.pivots = total_pivots;
   return incumbent;
 }
 

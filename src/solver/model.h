@@ -96,6 +96,10 @@ struct Solution {
   /// the objective; tests/solver_test.cpp checks the usable invariant
   /// directly.
   std::vector<double> duals;
+  /// Solver work counters: simplex iterations (including bound flips) and
+  /// basis-changing pivots. Accumulated across nodes for MILP solves.
+  long iterations = 0;
+  long pivots = 0;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -39,6 +40,18 @@ void validate_model(const Model& model) {
 /// only; slack/artificial columns are unit vectors handled implicitly).
 struct SparseColumns {
   std::vector<std::vector<Term>> cols;  // per structural var: (row, coef)
+};
+
+/// One PFI factor: pivoting column w into row `row` multiplies B^-1 from the
+/// left by E^-1, the identity with column `row` replaced by
+/// eta = (1/w_r at r; -w_i/w_r elsewhere). Off-pivot entries live in a flat
+/// shared arena ([begin, end) into eta_terms_) to keep FTRAN/BTRAN streaming
+/// cache-friendly.
+struct EtaHeader {
+  int row;
+  double pivot;  // 1 / w_row
+  int begin;
+  int end;
 };
 
 class SimplexEngine {
@@ -115,6 +128,16 @@ class SimplexEngine {
           (c.relation == Relation::kEqual) ? 0.0 : kInfinity;
     }
 
+    // Row-wise adjacency of the structural columns (term.var is the COLUMN
+    // here), used to form the pivot row alpha = rho^T A sparsely when
+    // updating the cached reduced costs.
+    rows_.resize(sz(m_));
+    for (int j = 0; j < nstruct_; ++j) {
+      for (const Term& t : cols_.cols[sz(j)]) {
+        rows_[sz(t.var)].push_back({j, t.coef});
+      }
+    }
+
     // Initial point: structural nonbasic at lower bound; slacks basic.
     ncols_ = nstruct_ + m_;
     x_.assign(sz(ncols_), 0.0);
@@ -182,125 +205,338 @@ class SimplexEngine {
                       "simplex: invalid initial basis");
     }
 
-    // Basis inverse starts as identity (slack/artificial unit columns,
-    // artificial sign folded into the inverse row).
-    binv_.assign(sz(m_) * sz(m_), 0.0);
+    // The initial basis is diagonal (slack/artificial unit columns, the
+    // artificial sign folded into base_diag_); the eta file starts empty.
+    base_diag_.assign(sz(m_), 1.0);
     for (int r = 0; r < m_; ++r) {
-      double diag = 1.0;
       const int bcol = basis_[sz(r)];
       if (bcol >= first_artificial_) {
-        diag = 1.0 / art_sign_[sz(bcol - first_artificial_)];
+        base_diag_[sz(r)] = 1.0 / art_sign_[sz(bcol - first_artificial_)];
       }
-      binv_[sz(r) * sz(m_) + sz(r)] = diag;
     }
+
+    d_.assign(sz(ncols_), 0.0);
+    alpha_.assign(sz(ncols_), 0.0);
+    alpha_seen_.assign(sz(ncols_), 0);
+    w_.assign(sz(m_), 0.0);
+    rho_.assign(sz(m_), 0.0);
+    ywork_.assign(sz(m_), 0.0);
     recompute_basics();
   }
 
-  /// Column of the full constraint matrix (structural, slack or artificial)
-  /// as sparse (row, coef) terms.
-  void column_terms(int col, std::vector<Term>& out) const {
-    out.clear();
-    if (col < nstruct_) {
-      out = cols_.cols[sz(col)];
-    } else if (col < nstruct_ + m_) {
-      out.push_back({col - nstruct_, 1.0});
+  /// Column of the full constraint matrix as sparse (row, coef) terms.
+  /// Structural columns are borrowed views into the column store; unit
+  /// (slack / artificial) columns are synthesized into the caller's
+  /// one-element buffer — no per-column vector copies on the hot path.
+  std::span<const Term> column(int col, Term& unit) const {
+    if (col < nstruct_) return cols_.cols[sz(col)];
+    if (col < nstruct_ + m_) {
+      unit = {col - nstruct_, 1.0};
     } else {
-      out.push_back({art_row_[sz(col)], art_sign_[sz(col - first_artificial_)]});
+      unit = {art_row_[sz(col)], art_sign_[sz(col - first_artificial_)]};
+    }
+    return {&unit, 1};
+  }
+
+  // --- PFI basis representation --------------------------------------------
+
+  /// FTRAN: v := B^-1 v, streaming the eta file forward.
+  void ftran(std::vector<double>& v) const {
+    for (int i = 0; i < m_; ++i) v[sz(i)] *= base_diag_[sz(i)];
+    for (const EtaHeader& e : etas_) {
+      const double vr = v[sz(e.row)];
+      if (vr == 0.0) continue;
+      v[sz(e.row)] = e.pivot * vr;
+      for (int k = e.begin; k < e.end; ++k) {
+        v[sz(eta_terms_[sz(k)].var)] += eta_terms_[sz(k)].coef * vr;
+      }
     }
   }
+
+  /// BTRAN: v := B^-T v, streaming the eta file backward.
+  void btran(std::vector<double>& v) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const EtaHeader& e = *it;
+      double acc = e.pivot * v[sz(e.row)];
+      for (int k = e.begin; k < e.end; ++k) {
+        acc += eta_terms_[sz(k)].coef * v[sz(eta_terms_[sz(k)].var)];
+      }
+      v[sz(e.row)] = acc;
+    }
+    for (int i = 0; i < m_; ++i) v[sz(i)] *= base_diag_[sz(i)];
+  }
+
+  /// Appends the eta factor for pivoting column `w` (= B^-1 A_enter) into
+  /// row `row`.
+  void append_eta(int row, const std::vector<double>& w) {
+    const double inv = 1.0 / w[sz(row)];
+    const int begin = static_cast<int>(eta_terms_.size());
+    for (int i = 0; i < m_; ++i) {
+      if (i == row || w[sz(i)] == 0.0) continue;
+      eta_terms_.push_back({i, -w[sz(i)] * inv});
+    }
+    etas_.push_back({row, inv, begin, static_cast<int>(eta_terms_.size())});
+  }
+
+  /// Rebuilds the eta file from the current basis columns (reinversion),
+  /// then refreshes basic values and reduced costs. Unit basis columns fold
+  /// into the diagonal base; structural columns pivot greedily on the
+  /// largest available magnitude. A numerically dependent structural column
+  /// (|pivot| below tolerance — drift, not a property of a valid basis) is
+  /// evicted and its row handed back to the slack.
+  void refactorize() {
+    etas_.clear();
+    eta_terms_.clear();
+    base_diag_.assign(sz(m_), 1.0);
+    std::vector<char> pivoted(sz(m_), 0);
+    std::vector<int> new_basis(sz(m_), -1);
+    std::vector<int> structural;
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[sz(r)];
+      if (b < nstruct_) {
+        structural.push_back(b);
+        continue;
+      }
+      int row = b - nstruct_;
+      double coef = 1.0;
+      if (b >= first_artificial_) {
+        row = art_row_[sz(b)];
+        coef = art_sign_[sz(b - first_artificial_)];
+      }
+      BATE_ASSERT_MSG(!pivoted[sz(row)],
+                      "simplex: duplicate unit column in basis");
+      base_diag_[sz(row)] = 1.0 / coef;
+      pivoted[sz(row)] = 1;
+      new_basis[sz(row)] = b;
+    }
+    for (const int c : structural) {
+      std::fill(w_.begin(), w_.end(), 0.0);
+      for (const Term& t : cols_.cols[sz(c)]) w_[sz(t.var)] = t.coef;
+      ftran(w_);
+      int best_row = -1;
+      double best = 1e-10;
+      for (int r = 0; r < m_; ++r) {
+        if (pivoted[sz(r)]) continue;
+        if (std::abs(w_[sz(r)]) > best) {
+          best = std::abs(w_[sz(r)]);
+          best_row = r;
+        }
+      }
+      if (best_row < 0) {
+        // Evict: pin to the nearest bound; the slack takes its row below.
+        in_basis_[sz(c)] = 0;
+        const double lo = lower_[sz(c)];
+        const double hi = upper_[sz(c)];
+        const double xv = x_[sz(c)];
+        const bool to_upper = hi != kInfinity && std::abs(hi - xv) < std::abs(xv - lo);
+        x_[sz(c)] = to_upper ? hi : lo;
+        at_upper_[sz(c)] = to_upper ? 1 : 0;
+        continue;
+      }
+      append_eta(best_row, w_);
+      pivoted[sz(best_row)] = 1;
+      new_basis[sz(best_row)] = c;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (pivoted[sz(r)]) continue;
+      const int slack = nstruct_ + r;
+      new_basis[sz(r)] = slack;
+      in_basis_[sz(slack)] = 1;
+    }
+    basis_ = new_basis;
+    pivots_since_refactor_ = 0;
+    recompute_basics();
+    recompute_reduced_costs();
+  }
+
+  // --- Objectives and reduced costs ----------------------------------------
 
   void set_phase1_objective() {
     c_.assign(sz(ncols_), 0.0);
     for (int j = first_artificial_; j < ncols_; ++j) c_[sz(j)] = 1.0;
+    recompute_reduced_costs();
   }
 
   void set_phase2_objective() {
     c_.assign(sz(ncols_), 0.0);
     for (int j = 0; j < nstruct_; ++j) c_[sz(j)] = obj_struct_[sz(j)];
+    recompute_reduced_costs();
   }
+
+  /// Exact reduced costs for every column: d_j = c_j - y^T A_j with
+  /// y = c_B^T B^-1 (one BTRAN, then one pass over the column nonzeros).
+  void recompute_reduced_costs() {
+    for (int r = 0; r < m_; ++r) ywork_[sz(r)] = c_[sz(basis_[sz(r)])];
+    btran(ywork_);
+    Term unit;
+    for (int j = 0; j < ncols_; ++j) {
+      if (in_basis_[sz(j)]) {
+        d_[sz(j)] = 0.0;
+        continue;
+      }
+      double d = c_[sz(j)];
+      for (const Term& t : column(j, unit)) d -= ywork_[sz(t.var)] * t.coef;
+      d_[sz(j)] = d;
+    }
+    d_exact_ = true;
+  }
+
+  /// Updates the cached reduced costs across a basis change from the pivot
+  /// row: with rho = e_r^T B^-1 (old basis) and mu = d_enter / w_r,
+  /// d_j' = d_j - mu * (rho^T A_j). The pivot row is formed sparsely from
+  /// the row-wise adjacency, touching only columns with support in rho.
+  void update_reduced_costs(int enter, int leave_row, double pivot_w) {
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[sz(leave_row)] = 1.0;
+    btran(rho_);
+    const double mu = d_[sz(enter)] / pivot_w;
+    alpha_touched_.clear();
+    auto touch = [&](int j, double v) {
+      if (!alpha_seen_[sz(j)]) {
+        alpha_seen_[sz(j)] = 1;
+        alpha_touched_.push_back(j);
+      }
+      alpha_[sz(j)] += v;
+    };
+    for (int i = 0; i < m_; ++i) {
+      const double rv = rho_[sz(i)];
+      if (rv == 0.0) continue;
+      for (const Term& t : rows_[sz(i)]) touch(t.var, rv * t.coef);
+      touch(nstruct_ + i, rv);  // slack column e_i
+    }
+    for (int a = first_artificial_; a < ncols_; ++a) {
+      const double rv = rho_[sz(art_row_[sz(a)])];
+      if (rv != 0.0) touch(a, rv * art_sign_[sz(a - first_artificial_)]);
+    }
+    for (const int j : alpha_touched_) {
+      d_[sz(j)] -= mu * alpha_[sz(j)];
+      alpha_[sz(j)] = 0.0;
+      alpha_seen_[sz(j)] = 0;
+    }
+    d_[sz(enter)] = 0.0;  // entering column becomes basic
+    d_exact_ = false;
+  }
+
+  // --- Pricing --------------------------------------------------------------
+
+  bool eligible(int j, double& score, double& dir) const {
+    if (in_basis_[sz(j)]) return false;
+    if (lower_[sz(j)] == upper_[sz(j)]) return false;  // fixed
+    const double d = d_[sz(j)];
+    if (!at_upper_[sz(j)] && d < -opt_.tol) {
+      score = -d;
+      dir = 1.0;
+      return true;
+    }
+    if (at_upper_[sz(j)] && d > opt_.tol) {
+      score = d;
+      dir = -1.0;
+      return true;
+    }
+    return false;
+  }
+
+  int pricing_window() const {
+    if (opt_.pricing_window > 0) return opt_.pricing_window;
+    return std::max(64, ncols_ / 8);
+  }
+
+  /// Partial pricing against the cached reduced costs: scan from the
+  /// rotating cursor, Dantzig-best within the window, extending the scan
+  /// until a candidate appears or the rotation completes. Bland mode scans
+  /// all columns in index order and takes the first eligible one.
+  int price(bool bland, double& enter_dir) {
+    if (bland || opt_.reference_mode) {
+      int best_j = -1;
+      double best = opt_.tol;
+      for (int j = 0; j < ncols_; ++j) {
+        double score = 0.0;
+        double dir = 0.0;
+        if (!eligible(j, score, dir)) continue;
+        if (bland) {
+          enter_dir = dir;
+          return j;
+        }
+        if (score > best) {
+          best = score;
+          best_j = j;
+          enter_dir = dir;
+        }
+      }
+      return best_j;
+    }
+    const int window = pricing_window();
+    int best_j = -1;
+    double best = opt_.tol;
+    int j = price_cursor_;
+    for (int scanned = 1; scanned <= ncols_; ++scanned) {
+      double score = 0.0;
+      double dir = 0.0;
+      if (eligible(j, score, dir) && score > best) {
+        best = score;
+        best_j = j;
+        enter_dir = dir;
+      }
+      ++j;
+      if (j == ncols_) j = 0;
+      if (best_j >= 0 && scanned >= window) break;
+    }
+    price_cursor_ = j;
+    return best_j;
+  }
+
+  // --- Main loop -------------------------------------------------------------
 
   /// Recomputes basic variable values exactly: x_B = B^-1 (b - N x_N).
   void recompute_basics() {
     std::vector<double> resid = rhs_;
-    std::vector<Term> terms;
+    Term unit;
     for (int j = 0; j < ncols_; ++j) {
       if (in_basis_[sz(j)] || x_[sz(j)] == 0.0) continue;
-      column_terms(j, terms);
-      for (const Term& t : terms) resid[sz(t.var)] -= t.coef * x_[sz(j)];
+      for (const Term& t : column(j, unit)) {
+        resid[sz(t.var)] -= t.coef * x_[sz(j)];
+      }
     }
-    for (int r = 0; r < m_; ++r) {
-      double v = 0.0;
-      const double* row = &binv_[sz(r) * sz(m_)];
-      for (int i = 0; i < m_; ++i) v += row[sz(i)] * resid[sz(i)];
-      x_[sz(basis_[sz(r)])] = v;
-    }
+    ftran(resid);
+    for (int r = 0; r < m_; ++r) x_[sz(basis_[sz(r)])] = resid[sz(r)];
+    iters_since_recompute_ = 0;
   }
 
   SolveStatus iterate() {
     int degenerate_run = 0;
-    std::vector<double> y(sz(m_));
-    std::vector<double> w(sz(m_));
-    std::vector<Term> terms;
+    Term unit;
 
     while (iterations_ < opt_.iteration_limit) {
       ++iterations_;
-      if (iterations_ % opt_.recompute_every == 0) recompute_basics();
-
-      // BTRAN: y = c_B^T B^-1.
-      for (int i = 0; i < m_; ++i) {
-        double v = 0.0;
-        for (int r = 0; r < m_; ++r) {
-          const double cb = c_[sz(basis_[sz(r)])];
-          if (cb != 0.0) v += cb * binv_[sz(r) * sz(m_) + sz(i)];
-        }
-        y[sz(i)] = v;
+      ++iters_since_recompute_;
+      if (opt_.reference_mode) {
+        refactorize();
+      } else if (pivots_since_refactor_ >= opt_.recompute_every) {
+        refactorize();
+      } else if (iters_since_recompute_ >= opt_.recompute_every) {
+        // Long bound-flip runs append no etas but still drift x.
+        recompute_basics();
       }
 
-      // Pricing.
       const bool bland = degenerate_run >= opt_.degenerate_switch;
-      int enter = -1;
-      double best = opt_.tol;
+      // Bland's anti-cycling argument needs exact reduced-cost signs.
+      if (bland && !d_exact_) recompute_reduced_costs();
+
       double enter_dir = 0.0;
-      for (int j = 0; j < ncols_; ++j) {
-        if (in_basis_[sz(j)]) continue;
-        if (lower_[sz(j)] == upper_[sz(j)]) continue;  // fixed
-        column_terms(j, terms);
-        double d = c_[sz(j)];
-        for (const Term& t : terms) d -= y[sz(t.var)] * t.coef;
-        double score = 0.0;
-        double dir = 0.0;
-        if (!at_upper_[sz(j)] && d < -opt_.tol) {
-          score = -d;
-          dir = 1.0;
-        } else if (at_upper_[sz(j)] && d > opt_.tol) {
-          score = d;
-          dir = -1.0;
-        } else {
-          continue;
-        }
-        if (bland) {
-          enter = j;
-          enter_dir = dir;
-          break;
-        }
-        if (score > best) {
-          best = score;
-          enter = j;
-          enter_dir = dir;
-        }
+      int enter = price(bland, enter_dir);
+      if (enter < 0) {
+        // The cached reduced costs priced out; confirm against exact ones
+        // before declaring optimality.
+        if (d_exact_) return SolveStatus::kOptimal;
+        recompute_reduced_costs();
+        enter = price(bland, enter_dir);
+        if (enter < 0) return SolveStatus::kOptimal;
       }
-      if (enter < 0) return SolveStatus::kOptimal;
 
       // FTRAN: w = B^-1 A_enter.
-      column_terms(enter, terms);
-      std::fill(w.begin(), w.end(), 0.0);
-      for (const Term& t : terms) {
-        const double coef = t.coef;
-        const std::size_t col = sz(t.var);
-        for (int r = 0; r < m_; ++r) {
-          w[sz(r)] += binv_[sz(r) * sz(m_) + col] * coef;
-        }
-      }
+      std::fill(w_.begin(), w_.end(), 0.0);
+      for (const Term& t : column(enter, unit)) w_[sz(t.var)] = t.coef;
+      ftran(w_);
 
       // Ratio test. Entering var moves by t*enter_dir; basic r moves at rate
       // -enter_dir * w[r].
@@ -308,7 +544,7 @@ class SimplexEngine {
       int leave_row = -1;
       double leave_pivot = 0.0;
       for (int r = 0; r < m_; ++r) {
-        const double rate = -enter_dir * w[sz(r)];
+        const double rate = -enter_dir * w_[sz(r)];
         if (std::abs(rate) <= opt_.pivot_tol) continue;
         const int b = basis_[sz(r)];
         double limit;
@@ -321,19 +557,18 @@ class SimplexEngine {
         limit = std::max(limit, 0.0);
         if (limit < t_max - 1e-12 ||
             (limit < t_max + 1e-12 &&
-             (leave_row < 0 || std::abs(w[sz(r)]) > std::abs(leave_pivot)))) {
+             (leave_row < 0 || std::abs(w_[sz(r)]) > std::abs(leave_pivot)))) {
           t_max = limit;
           leave_row = r;
-          leave_pivot = w[sz(r)];
+          leave_pivot = w_[sz(r)];
         }
       }
 
-      if (t_max == kInfinity || (leave_row < 0 && t_max == kInfinity)) {
-        return SolveStatus::kUnbounded;
-      }
-      if (leave_row < 0 && !std::isfinite(t_max)) {
-        return SolveStatus::kUnbounded;
-      }
+      // Unbounded iff nothing blocks the entering direction: no basic limit
+      // and no opposite bound to flip to. (t_max finite implies a blocking
+      // row or a bound flip, so this single check suffices; the old second
+      // leave_row < 0 branch was unreachable.)
+      if (t_max == kInfinity) return SolveStatus::kUnbounded;
 
       degenerate_run = (t_max <= opt_.tol) ? degenerate_run + 1 : 0;
 
@@ -343,19 +578,28 @@ class SimplexEngine {
         x_[sz(enter)] += step;
         at_upper_[sz(enter)] = at_upper_[sz(enter)] ? 0 : 1;
         for (int r = 0; r < m_; ++r) {
-          x_[sz(basis_[sz(r)])] -= step * w[sz(r)];
+          x_[sz(basis_[sz(r)])] -= step * w_[sz(r)];
         }
         continue;
       }
 
       // Pivot.
-      const double step = t_max * enter_dir;
-      for (int r = 0; r < m_; ++r) {
-        x_[sz(basis_[sz(r)])] -= step * w[sz(r)];
-      }
-      const int leave = basis_[sz(leave_row)];
+      ++pivots_;
+      ++pivots_since_refactor_;
       BATE_DCHECK_MSG(std::abs(leave_pivot) > opt_.pivot_tol,
                       "simplex: pivot below tolerance");
+      // Reduced-cost update needs the pivot row of the OLD basis inverse;
+      // do it before the eta append changes the file. The reference mode
+      // recomputes everything next iteration instead.
+      if (!opt_.reference_mode) {
+        update_reduced_costs(enter, leave_row, leave_pivot);
+      }
+
+      const double step = t_max * enter_dir;
+      for (int r = 0; r < m_; ++r) {
+        x_[sz(basis_[sz(r)])] -= step * w_[sz(r)];
+      }
+      const int leave = basis_[sz(leave_row)];
       const double rate = -enter_dir * leave_pivot;
       // Pin the leaving variable to the bound it reached.
       x_[sz(leave)] = (rate > 0.0) ? upper_[sz(leave)] : lower_[sz(leave)];
@@ -365,18 +609,7 @@ class SimplexEngine {
       in_basis_[sz(enter)] = 1;
       at_upper_[sz(enter)] = 0;
       basis_[sz(leave_row)] = enter;
-
-      // Update B^-1: row ops making column `enter` the unit vector e_r.
-      const double alpha = leave_pivot;
-      double* prow = &binv_[sz(leave_row) * sz(m_)];
-      for (int i = 0; i < m_; ++i) prow[sz(i)] /= alpha;
-      for (int r = 0; r < m_; ++r) {
-        if (r == leave_row) continue;
-        const double f = w[sz(r)];
-        if (f == 0.0) continue;
-        double* row = &binv_[sz(r) * sz(m_)];
-        for (int i = 0; i < m_; ++i) row[sz(i)] -= f * prow[sz(i)];
-      }
+      append_eta(leave_row, w_);
     }
     return SolveStatus::kIterationLimit;
   }
@@ -385,6 +618,8 @@ class SimplexEngine {
     recompute_basics();
     Solution sol;
     sol.status = status;
+    sol.iterations = iterations_;
+    sol.pivots = pivots_;
     sol.x.assign(sz(nstruct_), 0.0);
     for (int j = 0; j < nstruct_; ++j) sol.x[sz(j)] = x_[sz(j)];
     double obj = 0.0;
@@ -396,14 +631,12 @@ class SimplexEngine {
       // Duals y = c_B^T B^-1 of the internal minimization problem, mapped
       // back through the row flips and the sense negation so that each
       // dual is the shadow price d(objective)/d(rhs) in the model's sense.
+      for (int r = 0; r < m_; ++r) ywork_[sz(r)] = c_[sz(basis_[sz(r)])];
+      btran(ywork_);
       sol.duals.assign(sz(m_), 0.0);
       for (int i = 0; i < m_; ++i) {
-        double y = 0.0;
-        for (int r = 0; r < m_; ++r) {
-          const double cb = c_[sz(basis_[sz(r)])];
-          if (cb != 0.0) y += cb * binv_[sz(r) * sz(m_) + sz(i)];
-        }
-        sol.duals[sz(i)] = y * row_flip_[sz(i)] * (maximize ? -1.0 : 1.0);
+        sol.duals[sz(i)] =
+            ywork_[sz(i)] * row_flip_[sz(i)] * (maximize ? -1.0 : 1.0);
       }
     }
     return sol;
@@ -418,6 +651,7 @@ class SimplexEngine {
   int first_artificial_ = 0;
 
   SparseColumns cols_;
+  std::vector<std::vector<Term>> rows_;  // row-wise structural adjacency
   std::vector<double> obj_struct_;  // minimization-sense structural costs
   std::vector<double> rhs_;
   std::vector<double> row_flip_;
@@ -426,8 +660,26 @@ class SimplexEngine {
   std::vector<int> basis_;
   std::vector<int> art_row_;
   std::vector<double> art_sign_;
-  std::vector<double> binv_;
+
+  // PFI basis representation.
+  std::vector<double> base_diag_;
+  std::vector<EtaHeader> etas_;
+  std::vector<Term> eta_terms_;
+  int pivots_since_refactor_ = 0;
+  int iters_since_recompute_ = 0;
+
+  // Cached reduced costs + pivot-row workspace.
+  std::vector<double> d_;
+  bool d_exact_ = false;
+  std::vector<double> alpha_;
+  std::vector<char> alpha_seen_;
+  std::vector<int> alpha_touched_;
+  int price_cursor_ = 0;
+
+  std::vector<double> w_, rho_, ywork_;
+
   long iterations_ = 0;
+  long pivots_ = 0;
 };
 
 }  // namespace

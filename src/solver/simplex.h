@@ -1,4 +1,5 @@
-// Bounded-variable revised primal simplex with a dense basis inverse.
+// Bounded-variable revised primal simplex over a product-form-of-inverse
+// (PFI / eta-file) basis representation.
 //
 // Handles the LP classes this repository produces (traffic-scheduling LPs,
 // TE baselines, LP relaxations inside branch & bound): minimize or maximize
@@ -8,10 +9,26 @@
 //
 // Method: rows are normalized to <= / = and given slack columns; an
 // infeasible slack basis is repaired with artificial columns minimized in a
-// Phase-1 objective; Phase 2 reuses the final Phase-1 basis. Pricing is
-// Dantzig with an automatic switch to Bland's rule under degeneracy. The
-// basis inverse is maintained explicitly (O(m^2) per pivot) and basic values
-// are recomputed periodically to bound numerical drift.
+// Phase-1 objective; Phase 2 reuses the final Phase-1 basis. The hot path
+// (DESIGN.md "Solver performance"):
+//
+//  * B^-1 is never formed. Each pivot appends one sparse eta factor; FTRAN /
+//    BTRAN stream through the eta file, and the file is rebuilt from the
+//    basis columns (reinversion) every `recompute_every` pivots.
+//  * Reduced costs are cached for every column and updated from the pivot
+//    row after each basis change (d' = d - (d_q / w_r) * alpha_r), instead
+//    of recomputing c_j - y'A_j for all columns each iteration.
+//  * Pricing is partial: a rotating window of columns is scanned against the
+//    cached reduced costs (Dantzig rule inside the window); only when a full
+//    rotation prices out are the reduced costs recomputed exactly to either
+//    confirm optimality or resume. Bland's rule still takes over under
+//    sustained degeneracy (with exact reduced costs, preserving the
+//    anti-cycling guarantee).
+//
+// `reference_mode` disables all three optimizations — full Dantzig pricing
+// over freshly computed reduced costs plus a refactorization every
+// iteration — and is the debug/equivalence baseline the tests compare
+// against (tests/simplex_equivalence_test.cpp).
 #pragma once
 
 #include "solver/model.h"
@@ -23,7 +40,16 @@ struct SimplexOptions {
   double tol = 1e-7;                   // feasibility / optimality tolerance
   double pivot_tol = 1e-9;             // minimum |pivot| magnitude
   int degenerate_switch = 60;          // consecutive degenerate pivots before Bland
-  int recompute_every = 256;           // basic-value refresh cadence
+  /// Pivots between basis refactorizations (eta-file rebuild; also the
+  /// basic-value refresh cadence bounding numerical drift).
+  int recompute_every = 256;
+  /// Columns scanned per partial-pricing round; 0 picks a size from the
+  /// column count. Ignored in reference mode.
+  int pricing_window = 0;
+  /// Debug / equivalence baseline: full pricing over exact reduced costs and
+  /// a refactorization every iteration. Orders of magnitude slower; only for
+  /// tests and the bench_solver before/after comparison.
+  bool reference_mode = false;
 };
 
 /// Solves the LP (integrality markers are ignored). Throws

@@ -1,0 +1,149 @@
+// Equivalence of the fast simplex path (partial pricing, cached reduced
+// costs, eta-file basis) against the reference mode (full Dantzig pricing
+// over exact reduced costs, refactorization every iteration — the
+// pre-overhaul behaviour kept as SimplexOptions::reference_mode).
+//
+// Both paths must agree on the feasibility verdict on every instance and,
+// when optimal, on the objective to tight relative tolerance. Iteration
+// counts may differ (different pivot sequences are fine; the optimum is
+// unique in value, not in basis).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/admission.h"
+#include "core/scheduling.h"
+#include "routing/tunnels.h"
+#include "solver/simplex.h"
+#include "topology/catalog.h"
+#include "workload/demand.h"
+
+namespace bate {
+namespace {
+
+constexpr double kRelTol = 1e-6;
+
+void expect_equivalent(const Model& model, const std::string& what) {
+  SimplexOptions fast;
+  SimplexOptions ref;
+  ref.reference_mode = true;
+  const Solution a = solve_lp(model, fast);
+  const Solution b = solve_lp(model, ref);
+  ASSERT_EQ(a.status, b.status) << what;
+  if (a.status == SolveStatus::kOptimal) {
+    const double denom = std::max(1.0, std::abs(b.objective));
+    EXPECT_LE(std::abs(a.objective - b.objective) / denom, kRelTol) << what;
+  }
+}
+
+/// Random bounded LP with a mix of row relations, bound shapes and senses.
+/// Constructed so that all three verdicts (optimal / infeasible / unbounded)
+/// occur across the seed range.
+Model random_lp(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> nvars_d(2, 12);
+  std::uniform_int_distribution<int> nrows_d(1, 14);
+  std::uniform_real_distribution<double> coef_d(-4.0, 4.0);
+  std::uniform_real_distribution<double> unit_d(0.0, 1.0);
+
+  Model m;
+  if (unit_d(rng) < 0.5) m.set_sense(Sense::kMaximize);
+  const int n = nvars_d(rng);
+  for (int j = 0; j < n; ++j) {
+    const double lo = unit_d(rng) < 0.3 ? coef_d(rng) * 0.5 : 0.0;
+    double hi = kInfinity;
+    if (unit_d(rng) < 0.6) hi = lo + std::abs(coef_d(rng)) * 3.0;
+    m.add_variable(std::min(lo, hi), hi, coef_d(rng));
+  }
+  const int rows = nrows_d(rng);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (unit_d(rng) < 0.5) terms.push_back({j, coef_d(rng)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const double roll = unit_d(rng);
+    const Relation rel = roll < 0.6   ? Relation::kLessEqual
+                         : roll < 0.85 ? Relation::kGreaterEqual
+                                       : Relation::kEqual;
+    m.add_constraint(std::move(terms), rel, coef_d(rng) * 2.0);
+  }
+  return m;
+}
+
+class SimplexEquivalenceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexEquivalenceRandom, FastMatchesReference) {
+  const int seed = GetParam();
+  // 10 instances per ctest shard x 20 shards = 200 seeded random LPs.
+  for (int k = 0; k < 10; ++k) {
+    const std::uint64_t s =
+        9000u + static_cast<std::uint64_t>(seed) * 10u +
+        static_cast<std::uint64_t>(k);
+    expect_equivalent(random_lp(s), "random_lp seed " + std::to_string(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexEquivalenceRandom,
+                         ::testing::Range(0, 20));
+
+/// A small-topology demand set with mixed availability targets, the same
+/// shape the schedulers produce in production.
+std::vector<Demand> small_demands(const TunnelCatalog& catalog,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pair_d(0, catalog.pair_count() - 1);
+  std::uniform_real_distribution<double> mbps_d(5.0, 60.0);
+  std::uniform_real_distribution<double> unit_d(0.0, 1.0);
+  std::vector<Demand> demands;
+  for (int i = 0; i < 8; ++i) {
+    Demand d;
+    d.id = i;
+    d.pairs.push_back({pair_d(rng), mbps_d(rng)});
+    if (unit_d(rng) < 0.25) d.pairs.push_back({pair_d(rng), mbps_d(rng)});
+    const double roll = unit_d(rng);
+    d.availability_target = roll < 0.3 ? 0.0 : (roll < 0.7 ? 0.99 : 0.999);
+    demands.push_back(std::move(d));
+  }
+  return demands;
+}
+
+TEST(SimplexEquivalence, SchedulingModels) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 3);
+  TrafficScheduler sched(topo, catalog);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto demands = small_demands(catalog, seed);
+    expect_equivalent(sched.build_schedule_model(demands),
+                      "schedule seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimplexEquivalence, AdmissionModels) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 3);
+  TrafficScheduler sched(topo, catalog);
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const auto demands = small_demands(catalog, seed);
+    // The admission MILP's LP relaxation (integrality markers ignored by
+    // solve_lp).
+    expect_equivalent(build_admission_model(sched, demands),
+                      "admission seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimplexEquivalence, SolutionCarriesWorkCounters) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 3);
+  TrafficScheduler sched(topo, catalog);
+  const auto demands = small_demands(catalog, 21);
+  const Solution sol = solve_lp(sched.build_schedule_model(demands), {});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_GT(sol.iterations, 0);
+  EXPECT_GT(sol.pivots, 0);
+  EXPECT_LE(sol.pivots, sol.iterations);
+}
+
+}  // namespace
+}  // namespace bate

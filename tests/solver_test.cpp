@@ -104,6 +104,24 @@ TEST(Simplex, DetectsUnbounded) {
   EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
 }
 
+TEST(Simplex, DetectsUnboundedAfterPivots) {
+  // Regression for the ratio-test unboundedness check (the old code carried
+  // an unreachable second branch): the unbounded ray only appears after the
+  // profitable bounded column has been pivoted in, and both the fast path
+  // and the reference mode must report it.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int z = m.add_variable(0.0, kInfinity, 10.0);
+  const int x = m.add_variable(0.0, kInfinity, 0.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{z, 1.0}}, Relation::kLessEqual, 3.0);
+  m.add_constraint({{y, 1.0}, {x, -1.0}}, Relation::kLessEqual, 0.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+  SimplexOptions ref;
+  ref.reference_mode = true;
+  EXPECT_EQ(solve_lp(m, ref).status, SolveStatus::kUnbounded);
+}
+
 TEST(Simplex, RespectsUpperBounds) {
   // max x + y with x <= 2, y <= 3 (bounds), x + y <= 4.
   Model m;

@@ -370,10 +370,10 @@ int main(int argc, char** argv) {
   const std::vector<std::string> kTrees = {"src", "tests", "tools", "bench",
                                            "examples"};
 
-  // Pass 1: collect GUARDED_BY annotations from src/system and src/net
-  // headers, keyed by the .cpp that implements them (same stem).
+  // Pass 1: collect GUARDED_BY annotations from src/system, src/net and
+  // src/util headers, keyed by the .cpp that implements them (same stem).
   std::map<std::string, std::vector<GuardedField>> guarded_by_stem;
-  for (const char* dir : {"src/system", "src/net"}) {
+  for (const char* dir : {"src/system", "src/net", "src/util"}) {
     if (!fs::exists(root / dir)) continue;
     for (const auto& entry : fs::directory_iterator(root / dir)) {
       if (!entry.is_regular_file() || !has_extension(entry.path(), ".h")) {
@@ -411,7 +411,8 @@ int main(int argc, char** argv) {
         check_solver_double(rel, code_lines, raw_lines);
       }
       if (source && (rel.string().rfind("src/system", 0) == 0 ||
-                     rel.string().rfind("src/net", 0) == 0)) {
+                     rel.string().rfind("src/net", 0) == 0 ||
+                     rel.string().rfind("src/util", 0) == 0)) {
         const auto it = guarded_by_stem.find(path.stem().string());
         if (it != guarded_by_stem.end()) {
           check_guarded_fields(rel, it->second, code, raw);

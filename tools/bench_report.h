@@ -1,0 +1,47 @@
+// BENCH_*.json emission and schema validation.
+//
+// Every perf-relevant bench writes one JSON report so the repo accumulates a
+// perf trajectory across PRs (EXPERIMENTS.md "Solver microbenchmark"). The
+// schema is deliberately tiny:
+//
+//   {
+//     "bench": "solver",
+//     "schema_version": 1,
+//     "cases": [
+//       {"name": "testbed6_d12",
+//        "metrics": {"median_ms": 0.41, "p95_ms": 0.47, ...}},
+//       ...
+//     ]
+//   }
+//
+// validate_bench_json re-parses an emitted file with a minimal hand-rolled
+// JSON reader (no third-party deps) and checks exactly that shape; the CI
+// bench-smoke leg (tools/ci.sh) runs it on every push.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bate {
+
+struct BenchCase {
+  std::string name;
+  /// Ordered (metric name, value) pairs; values must be finite.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct BenchReport {
+  std::string bench;  // e.g. "solver"
+  std::vector<BenchCase> cases;
+};
+
+/// Serializes the report to `path`. Throws std::runtime_error when the file
+/// cannot be written or a metric value is not finite.
+void write_bench_json(const BenchReport& report, const std::string& path);
+
+/// Parses `path` and checks the BENCH schema above. Returns an empty string
+/// on success, else a one-line description of the first violation.
+std::string validate_bench_json(const std::string& path);
+
+}  // namespace bate

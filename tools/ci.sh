@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Four-way verification matrix (DESIGN.md Sec 8 "Verification"):
+# Five-way verification matrix (DESIGN.md Sec 8 "Verification"):
 #
-#   1. plain      RelWithDebInfo build + full ctest (tier-1)
-#   2. asan-ubsan AddressSanitizer + UndefinedBehaviorSanitizer, -Werror
-#   3. tsan       ThreadSanitizer over the concurrency-sensitive suites
-#   4. lint       bate_lint (always) + clang-tidy (when installed)
+#   1. plain       RelWithDebInfo build + full ctest (tier-1)
+#   2. asan-ubsan  AddressSanitizer + UndefinedBehaviorSanitizer, -Werror
+#   3. tsan        ThreadSanitizer over the concurrency-sensitive suites
+#   4. lint        bate_lint (always) + clang-tidy (when installed)
+#   5. bench-smoke bench_solver with a tiny rep count; validates the emitted
+#                  BENCH json against the schema (tools/bench_report.h)
 #
 # Every leg uses the CMakePresets.json presets, so a CI runner and a
 # developer shell run the identical configuration. Legs can be selected:
-#   tools/ci.sh            # all four
+#   tools/ci.sh            # all five
 #   tools/ci.sh plain tsan # just those
 set -euo pipefail
 
@@ -17,7 +19,7 @@ ROOT=$PWD
 
 legs=("$@")
 if [ ${#legs[@]} -eq 0 ]; then
-  legs=(plain asan-ubsan tsan lint)
+  legs=(plain asan-ubsan tsan lint bench-smoke)
 fi
 
 banner() { printf '\n=== ci.sh: %s ===\n' "$*"; }
@@ -56,8 +58,17 @@ for leg in "${legs[@]}"; do
         echo "ci.sh: clang-tidy not installed; skipping the tidy leg" >&2
       fi
       ;;
+    bench-smoke)
+      banner "bench-smoke (bench_solver --reps 1 + schema validation)"
+      cmake --preset dev
+      cmake --build --preset dev -j "$(nproc)" --target bench_solver
+      smoke_json=$(mktemp /tmp/BENCH_solver_smoke.XXXXXX.json)
+      "build/dev/bench/bench_solver" --reps 1 --out "$smoke_json"
+      "build/dev/bench/bench_solver" --validate "$smoke_json"
+      rm -f "$smoke_json"
+      ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (plain|asan-ubsan|tsan|lint)" >&2
+      echo "ci.sh: unknown leg '$leg' (plain|asan-ubsan|tsan|lint|bench-smoke)" >&2
       exit 2
       ;;
   esac
