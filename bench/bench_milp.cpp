@@ -1,0 +1,355 @@
+// MILP microbench: times solve_milp on fixed seeded admission / recovery
+// MILP instances in three configurations — cold branch & bound (every node
+// relaxation solved from scratch, PR 2's solver), warm-started branch &
+// bound (children restart from the parent relaxation's final basis), and
+// warm-started parallel branch & bound (work-shared best-bound search on a
+// thread pool) — and emits BENCH_milp.json via tools/bench_report so every
+// PR carries a perf trajectory for the integer path too.
+//
+// Two instance families, each run with its production configuration:
+//
+//  * admission_* — the admission feasibility MILPs, solved the way
+//    core/admission.cpp solves them: stop at the first incumbent under a
+//    node budget. The testbed6 instances reach an incumbent inside the
+//    budget; the ibm/b4 instances exhaust it (every configuration visits
+//    the full budget, making them pure node-throughput measurements).
+//  * recovery_* — post-failure recovery MILPs with non-trivial refund
+//    fractions, demand volumes scaled until surviving capacity binds, and
+//    the most-loaded links failed, solved to optimality.
+//
+// Every configuration must reach the same verdict (incumbent found /
+// budget exhausted / infeasible) or the bench aborts. Instances solved to
+// optimality are additionally solved once with the reference simplex under
+// cold branch & bound and all objectives must agree to 1e-6 relative;
+// budget-exhausted instances skip the reference run (there is no objective
+// to compare, and a 2000-node reference-mode tree costs close to a minute).
+//
+// Usage:
+//   bench_milp [--reps N] [--out BENCH_milp.json] [--validate FILE]
+//
+// --validate parses FILE against the BENCH schema and exits (0 valid, 1
+// not); the CI bench-smoke leg uses it on the file a tiny --reps run just
+// emitted.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "common.h"
+#include "core/admission.h"
+#include "core/recovery.h"
+#include "core/scheduling.h"
+#include "sim/experiment.h"
+#include "solver/branch_bound.h"
+#include "util/thread_pool.h"
+#include "workload/traffic_matrix.h"
+
+namespace {
+
+using namespace bate;
+
+struct Instance {
+  std::string name;
+  Model model;
+  bool stop_at_first = false;  // admission: production config
+  long node_limit = 0;
+  bool run_reference = false;  // solve once in reference mode and compare
+};
+
+std::vector<Demand> seeded_demands(const TunnelCatalog& catalog,
+                                   const Topology& topo, int count,
+                                   std::uint64_t seed) {
+  WorkloadConfig wl;
+  wl.arrival_rate_per_min = 2.0;
+  wl.mean_duration_min = 10.0;
+  wl.horizon_min = 60.0;
+  wl.matrices = generate_traffic_matrices(topo, 5);
+  wl.tm_scale_down = 20.0;
+  wl.availability_targets = {0.95, 0.99, 0.999};
+  wl.seed = seed;
+  auto demands = steady_state_snapshot(catalog, wl, 30.0);
+  if (static_cast<int>(demands.size()) > count) demands.resize(count);
+  return demands;
+}
+
+/// The `count` most loaded links (by total tunnel-membership demand), i.e.
+/// the failures that actually stress the recovery MILP into branching.
+std::vector<LinkId> most_loaded_links(const Topology& topo,
+                                      const TunnelCatalog& catalog,
+                                      const std::vector<Demand>& demands,
+                                      int count) {
+  std::vector<double> load(topo.links().size(), 0.0);
+  for (const Demand& d : demands) {
+    for (const auto& pr : d.pairs) {
+      for (const Tunnel& t : catalog.tunnels(pr.pair)) {
+        for (LinkId l : t.links) load[static_cast<std::size_t>(l)] += pr.mbps;
+      }
+    }
+  }
+  std::vector<LinkId> idx(load.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<LinkId>(i);
+  std::sort(idx.begin(), idx.end(), [&](LinkId a, LinkId b) {
+    return load[static_cast<std::size_t>(a)] >
+           load[static_cast<std::size_t>(b)];
+  });
+  idx.resize(static_cast<std::size_t>(count));
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+/// Fixed instance set on pinned seeds. Admission instances mirror the
+/// controller's feasibility checks (stop at first incumbent, 2000-node
+/// budget); recovery instances get explicit refund fractions (workload
+/// snapshots default to mu = 0, which makes the y variables objective-free
+/// and the relaxation trivially integral), scaled-up volumes, and the most
+/// loaded links failed so the MILPs branch rather than solving at the root.
+std::vector<Instance> build_instances() {
+  std::vector<Instance> out;
+
+  struct AdmissionSpec {
+    const char* name;
+    Topology topo;
+    int demands;
+    int y;
+    std::uint64_t seed;
+    bool run_reference;
+  };
+  std::vector<AdmissionSpec> aspecs;
+  aspecs.push_back({"testbed6_d12", testbed6(), 12, 2, 4242, true});
+  aspecs.push_back({"testbed6_d20", testbed6(), 20, 2, 4247, true});
+  aspecs.push_back({"ibm_d10", ibm(), 10, 3, 4254, false});
+  aspecs.push_back({"ibm_d12", ibm(), 12, 3, 4252, false});
+  aspecs.push_back({"ibm_d14", ibm(), 14, 3, 4253, false});
+  aspecs.push_back({"b4_d8", b4(), 8, 3, 4248, false});
+  aspecs.push_back({"b4_d10", b4(), 10, 3, 4249, false});
+  for (auto& s : aspecs) {
+    const auto catalog = TunnelCatalog::build_all_pairs(s.topo, 4);
+    SchedulerConfig cfg;
+    cfg.max_failures = s.y;
+    TrafficScheduler sched(s.topo, catalog, cfg);
+    const auto demands = seeded_demands(catalog, s.topo, s.demands, s.seed);
+    Instance inst;
+    inst.name = std::string("admission_") + s.name;
+    inst.model = build_admission_model(sched, demands);
+    inst.stop_at_first = true;
+    inst.node_limit = 2000;
+    inst.run_reference = s.run_reference;
+    out.push_back(std::move(inst));
+  }
+
+  struct RecoverySpec {
+    const char* name;
+    Topology topo;
+    int demands;
+    std::uint64_t seed;
+    double scale;
+    int failures;
+  };
+  std::vector<RecoverySpec> rspecs;
+  rspecs.push_back({"testbed6_d24", testbed6(), 24, 4243, 10.0, 3});
+  rspecs.push_back({"b4_d23", b4(), 23, 4244, 24.0, 4});
+  rspecs.push_back({"ibm_d24", ibm(), 24, 4251, 20.0, 4});
+  for (auto& s : rspecs) {
+    const auto catalog = TunnelCatalog::build_all_pairs(s.topo, 4);
+    auto demands = seeded_demands(catalog, s.topo, s.demands, s.seed);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      demands[i].refund_fraction = 0.2 + 0.15 * static_cast<double>(i % 5);
+      for (auto& p : demands[i].pairs) p.mbps *= s.scale;
+    }
+    const auto failed =
+        most_loaded_links(s.topo, catalog, demands, s.failures);
+    Instance inst;
+    inst.name = std::string("recovery_") + s.name;
+    inst.model = build_recovery_model(s.topo, catalog, demands, failed);
+    inst.stop_at_first = false;
+    inst.node_limit = 4000;
+    inst.run_reference = true;
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+double quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct Timed {
+  Solution sol;
+  BranchBoundStats stats;
+  std::vector<double> times_ms;
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+Timed run_config(const Model& model, const BranchBoundOptions& opt, int reps) {
+  Timed t;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    t.sol = solve_milp(model, opt, nullptr, &t.stats);
+    const auto t1 = std::chrono::steady_clock::now();
+    t.times_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  t.median_ms = quantile(t.times_ms, 0.5);
+  t.p95_ms = quantile(t.times_ms, 0.95);
+  return t;
+}
+
+/// Same verdict, and the same objective (1e-6 relative) when both report
+/// an incumbent. Stop-at-first searches legitimately return their budget
+/// status rather than a proven optimum; for those the verdict is the
+/// product the controller consumes.
+bool agree(const Solution& a, const Solution& b) {
+  if (a.status != b.status) return false;
+  if (a.status != SolveStatus::kOptimal) return true;
+  const double denom = std::max(1.0, std::abs(b.objective));
+  return std::abs(a.objective - b.objective) / denom <= 1e-6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  std::string out_path = "BENCH_milp.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
+      reps = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--validate") == 0 && a + 1 < argc) {
+      const std::string err = validate_bench_json(argv[a + 1]);
+      if (!err.empty()) {
+        std::fprintf(stderr, "bench_milp: %s: INVALID: %s\n", argv[a + 1],
+                     err.c_str());
+        return 1;
+      }
+      std::printf("bench_milp: %s: schema OK\n", argv[a + 1]);
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_milp [--reps N] [--out FILE] "
+                   "[--validate FILE]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  auto instances = build_instances();
+  ThreadPool pool;  // hardware concurrency
+  BenchReport report;
+  report.bench = "milp";
+
+  std::printf("%-24s %9s %9s %9s %9s %8s %9s %10s\n", "instance", "cold_ms",
+              "warm_ms", "par_ms", "warm_spd", "nodes", "warm_nds",
+              "nodes/s");
+  for (const Instance& inst : instances) {
+    std::fprintf(stderr, "bench_milp: solving %s (%d rows, %d cols)\n",
+                 inst.name.c_str(), inst.model.constraint_count(),
+                 inst.model.variable_count());
+    BranchBoundOptions warm_opt;  // warm_start_nodes defaults to true
+    warm_opt.node_limit = inst.node_limit;
+    warm_opt.stop_at_first_incumbent = inst.stop_at_first;
+    BranchBoundOptions cold_opt = warm_opt;
+    cold_opt.warm_start_nodes = false;
+    BranchBoundOptions par_opt = warm_opt;
+    par_opt.pool = &pool;
+
+    // Reference baseline: cold branch & bound over the reference simplex
+    // (full pricing, refactorization every iteration). One timed solve.
+    double ref_ms = 0.0;
+    Solution ref_sol;
+    if (inst.run_reference) {
+      BranchBoundOptions ref_opt = cold_opt;
+      ref_opt.lp.reference_mode = true;
+      const auto r0 = std::chrono::steady_clock::now();
+      ref_sol = solve_milp(inst.model, ref_opt);
+      const auto r1 = std::chrono::steady_clock::now();
+      ref_ms = std::chrono::duration<double, std::milli>(r1 - r0).count();
+    }
+
+    const Timed cold = run_config(inst.model, cold_opt, reps);
+    const Timed warm = run_config(inst.model, warm_opt, reps);
+    const Timed par = run_config(inst.model, par_opt, reps);
+
+    for (const auto* t : {&warm, &par}) {
+      const Solution& baseline = inst.run_reference ? ref_sol : cold.sol;
+      if (!agree(t->sol, baseline) || !agree(cold.sol, baseline)) {
+        std::fprintf(stderr,
+                     "bench_milp: %s: verdict/objective mismatch (cold "
+                     "status=%d obj=%.9g, got status=%d obj=%.9g, baseline "
+                     "status=%d obj=%.9g)\n",
+                     inst.name.c_str(), static_cast<int>(cold.sol.status),
+                     cold.sol.objective, static_cast<int>(t->sol.status),
+                     t->sol.objective, static_cast<int>(baseline.status),
+                     baseline.objective);
+        return 1;
+      }
+    }
+
+    const double warm_speedup =
+        warm.median_ms > 0.0 ? cold.median_ms / warm.median_ms : 0.0;
+    const double par_speedup =
+        par.median_ms > 0.0 ? cold.median_ms / par.median_ms : 0.0;
+    const double nodes_per_sec =
+        warm.median_ms > 0.0
+            ? static_cast<double>(warm.stats.nodes_solved) /
+                  (warm.median_ms / 1e3)
+            : 0.0;
+
+    std::printf("%-24s %9.3f %9.3f %9.3f %8.2fx %8ld %9ld %10.0f\n",
+                inst.name.c_str(), cold.median_ms, warm.median_ms,
+                par.median_ms, warm_speedup, warm.stats.nodes_solved,
+                warm.stats.warm_started_nodes, nodes_per_sec);
+
+    BenchCase c;
+    c.name = inst.name;
+    c.metrics = {
+        {"rows", static_cast<double>(inst.model.constraint_count())},
+        {"cols", static_cast<double>(inst.model.variable_count())},
+        {"node_limit", static_cast<double>(inst.node_limit)},
+        {"nodes", static_cast<double>(warm.stats.nodes_solved)},
+        {"warm_started_nodes",
+         static_cast<double>(warm.stats.warm_started_nodes)},
+        {"max_depth", static_cast<double>(warm.stats.max_depth)},
+        {"cold_median_ms", cold.median_ms},
+        {"cold_p95_ms", cold.p95_ms},
+        {"warm_median_ms", warm.median_ms},
+        {"warm_p95_ms", warm.p95_ms},
+        {"parallel_median_ms", par.median_ms},
+        {"parallel_p95_ms", par.p95_ms},
+        {"warm_speedup_vs_cold", warm_speedup},
+        {"parallel_speedup_vs_cold", par_speedup},
+        {"nodes_per_sec", nodes_per_sec},
+    };
+    if (inst.run_reference) c.metrics.push_back({"reference_ms", ref_ms});
+    report.cases.push_back(std::move(c));
+  }
+
+  std::vector<double> speedups;
+  for (const BenchCase& c : report.cases) {
+    for (const auto& [k, v] : c.metrics) {
+      if (k == "warm_speedup_vs_cold") speedups.push_back(v);
+    }
+  }
+  std::printf("median warm speedup vs cold: %.2fx over %zu instances\n",
+              quantile(speedups, 0.5), speedups.size());
+
+  write_bench_json(report, out_path);
+  const std::string err = validate_bench_json(out_path);
+  if (!err.empty()) {
+    std::fprintf(stderr, "bench_milp: emitted file invalid: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cases)\n", out_path.c_str(),
+              report.cases.size());
+  return 0;
+}

@@ -381,8 +381,11 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
   // Presolve at the root: the LP relaxation is a relaxation of the hard
   // MILP, so LP-infeasible proves rejection; and if the relaxation's g
   // already meets every HARD availability target, the MILP is feasible
-  // without branching. Both checks are exact short-circuits.
-  const Solution relax = solve_lp(model, options.lp);
+  // without branching. Both checks are exact short-circuits. The final
+  // basis is kept: if branch & bound is needed below, its root relaxation
+  // is this very LP and warm-starts straight to optimal.
+  WarmStart warm;
+  const Solution relax = solve_lp(model, options.lp, &warm);
   if (relax.status == SolveStatus::kInfeasible) return false;
   if (relax.status == SolveStatus::kOptimal) {
     bool all_hard_ok = true;
@@ -433,7 +436,7 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
 
   BranchBoundOptions feasibility = options;
   feasibility.stop_at_first_incumbent = true;
-  const Solution sol = solve_milp(model, feasibility);
+  const Solution sol = solve_milp(model, feasibility, &warm);
   if (sol.status == SolveStatus::kOptimal) return true;
   if (sol.status == SolveStatus::kIterationLimit) {
     // Budget exhausted. A non-empty solution is an integer-feasible
@@ -563,7 +566,11 @@ void AdmissionController::remove(DemandId id) {
 
 bool AdmissionController::reschedule() {
   if (admitted_.empty()) return true;
-  const ScheduleResult r = scheduler_->schedule(admitted_);
+  // Successive reschedules over a slowly changing admitted set re-solve a
+  // near-identical LP; sched_basis_ chains each period's final basis into
+  // the next solve (stale after admits/removals change the model shape, in
+  // which case schedule() falls back to the cold path on its own).
+  const ScheduleResult r = scheduler_->schedule(admitted_, {}, &sched_basis_);
   if (!r.feasible) return false;
   allocations_ = r.alloc;
   return true;

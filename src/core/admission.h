@@ -120,6 +120,8 @@ class AdmissionController {
   BranchBoundOptions optimal_options_;
   std::vector<Demand> admitted_;
   std::vector<Allocation> allocations_;
+  /// Basis chained across reschedule() calls (see ScheduleBasisCache).
+  ScheduleBasisCache sched_basis_;
 };
 
 }  // namespace bate

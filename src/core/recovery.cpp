@@ -176,14 +176,15 @@ RecoveryResult recover_optimal(const Topology& topo,
                                const TunnelCatalog& catalog,
                                std::span<const Demand> demands,
                                std::span<const LinkId> failed_links,
-                               const BranchBoundOptions& options) {
+                               const BranchBoundOptions& options,
+                               WarmStart* warm) {
   validate_recovery_inputs(topo, catalog, demands, failed_links);
   std::vector<std::vector<RecoveryPairVars>> gvars;
   std::vector<int> yvar;
   const Model model = build_recovery_model_impl(topo, catalog, demands,
                                                 failed_links, &gvars, &yvar);
 
-  const Solution sol = solve_milp(model, options);
+  const Solution sol = solve_milp(model, options, warm);
 
   RecoveryResult result;
   result.solved = sol.status == SolveStatus::kOptimal ||
@@ -304,15 +305,23 @@ void BackupPlanner::precompute(std::span<const Demand> demands,
                   "recovery: allocation set does not match demand set");
   validate_recovery_inputs(*topo_, *catalog_, demands, {});
   demands_.assign(demands.begin(), demands.end());
-  plans_.clear();
+  plans_.clear();  // bases_ survives: it chains rounds (see header)
+  auto make_plan = [&](const std::vector<LinkId>& failed) {
+    if (!optimal_) {
+      return recover_greedy(*topo_, *catalog_, demands_, failed);
+    }
+    // cold-start: the *first* round for a failure set has no basis yet;
+    // every later round warm-starts from bases_[failed].
+    return recover_optimal(*topo_, *catalog_, demands_, failed,
+                           optimal_options_, &bases_[failed]);
+  };
   const auto usage = link_usage(*topo_, *catalog_, demands, current);
   std::vector<LinkId> loaded;
   for (LinkId e = 0; e < topo_->link_count(); ++e) {
     if (usage[static_cast<std::size_t>(e)] <= 1e-9) continue;  // unaffected
     loaded.push_back(e);
     const std::vector<LinkId> failed{e};
-    plans_.emplace(failed,
-                   recover_greedy(*topo_, *catalog_, demands_, failed));
+    plans_.emplace(failed, make_plan(failed));
   }
 
   if (concurrent_pairs_ <= 0) return;
@@ -331,8 +340,7 @@ void BackupPlanner::precompute(std::span<const Demand> demands,
                                   static_cast<int>(pairs.size()));
   for (int i = 0; i < count; ++i) {
     plans_.emplace(pairs[static_cast<std::size_t>(i)].second,
-                   recover_greedy(*topo_, *catalog_, demands_,
-                                  pairs[static_cast<std::size_t>(i)].second));
+                   make_plan(pairs[static_cast<std::size_t>(i)].second));
   }
 }
 

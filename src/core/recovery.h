@@ -32,12 +32,21 @@ struct RecoveryResult {
   bool solved = false;
 };
 
-/// Optimal recovery: the profit-maximization MILP (12).
+/// Optimal recovery: the profit-maximization MILP (12). `warm`, when
+/// non-null, warm-starts the root relaxation and receives the root's final
+/// basis back — successive solves for the same failure set (BackupPlanner
+/// rounds, periodic re-planning) re-solve a near-identical MILP, so the
+/// basis carries over; a stale basis (the surviving-tunnel variable space
+/// changed) falls back to the cold path with identical results. The
+/// pre-failure *schedule* basis cannot seed this: the recovery MILP lives
+/// in a different variable space (per-surviving-tunnel g plus binary y), so
+/// chaining happens recovery-to-recovery, not schedule-to-recovery.
 RecoveryResult recover_optimal(const Topology& topo,
                                const TunnelCatalog& catalog,
                                std::span<const Demand> demands,
                                std::span<const LinkId> failed_links,
-                               const BranchBoundOptions& options = {});
+                               const BranchBoundOptions& options = {},
+                               WarmStart* warm = nullptr);
 
 /// The profit-maximization MILP (12) itself, without solving it. Exposed for
 /// the solver microbench (bench/bench_solver.cpp), which times solve_lp on
@@ -66,10 +75,22 @@ class BackupPlanner {
                 int concurrent_pairs = 0)
       : topo_(&topo), catalog_(&catalog), concurrent_pairs_(concurrent_pairs) {}
 
-  /// Computes (with the greedy algorithm) one backup plan per loaded link,
-  /// plus plans for the `concurrent_pairs` most probable loaded link pairs.
+  /// Computes one backup plan per loaded link, plus plans for the
+  /// `concurrent_pairs` most probable loaded link pairs. Greedy by default;
+  /// see use_optimal_plans().
   void precompute(std::span<const Demand> demands,
                   std::span<const Allocation> current);
+
+  /// Switches precompute() from the greedy 2-approximation to the optimal
+  /// recovery MILP under the given branch & bound budget. Each failure
+  /// set's root basis is cached across precompute() rounds: periodic
+  /// re-planning re-solves a near-identical MILP per failure set (the
+  /// demand set drifts slowly), so the root relaxation warm-starts; a
+  /// stale basis falls back to the cold path with identical plans.
+  void use_optimal_plans(const BranchBoundOptions& options) {
+    optimal_ = true;
+    optimal_options_ = options;
+  }
 
   /// The plan for a single failed link; nullptr when none was pre-computed.
   const RecoveryResult* plan(LinkId link) const;
@@ -85,8 +106,14 @@ class BackupPlanner {
   const Topology* topo_;
   const TunnelCatalog* catalog_;
   int concurrent_pairs_;
+  bool optimal_ = false;
+  BranchBoundOptions optimal_options_;
   std::vector<Demand> demands_;
   std::map<std::vector<LinkId>, RecoveryResult> plans_;
+  /// Root bases chained across precompute() rounds, keyed by failure set.
+  /// Survives plans_.clear() deliberately — the cache's whole value is the
+  /// previous round's basis.
+  std::map<std::vector<LinkId>, WarmStart> bases_;
 };
 
 }  // namespace bate

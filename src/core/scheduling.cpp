@@ -264,12 +264,13 @@ Model TrafficScheduler::build_schedule_model_impl(
 }
 
 ScheduleResult TrafficScheduler::schedule(
-    std::span<const Demand> demands,
-    std::span<const double> capacity_override) const {
+    std::span<const Demand> demands, std::span<const double> capacity_override,
+    ScheduleBasisCache* basis) const {
   std::vector<std::pair<int, int>> layout;
   const Model model =
       build_schedule_model_impl(demands, capacity_override, &layout);
-  const Solution sol = solve_lp(model, cfg_.lp);
+  const Solution sol =
+      solve_lp(model, cfg_.lp, basis != nullptr ? &basis->lp : nullptr);
 
   ScheduleResult result;
   result.status = sol.status;
@@ -436,6 +437,9 @@ void TrafficScheduler::repair_hard_availability(
 
     BranchBoundOptions bnb;
     bnb.node_limit = 4000;
+    // cold-start: each demand builds a differently-shaped MILP (its own
+    // pattern set), so no basis survives between loop iterations. Nodes
+    // inside the solve still warm-start from their parents.
     const Solution fix = solve_milp(model, bnb);
     if (fix.status == SolveStatus::kOptimal) {
       Allocation repaired(d.pairs.size());

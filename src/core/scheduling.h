@@ -65,6 +65,19 @@ struct DemandPatterns {
   std::vector<std::pair<int, int>> ranges;
 };
 
+/// Caller-owned basis cache for chained schedule() calls: the periodic
+/// re-solve over a slowly changing admitted set re-solves a near-identical
+/// LP, so carrying the previous period's basis skips Phase 1 (and most of
+/// Phase 2) of the next solve. schedule() warm-starts from `lp.basis` when
+/// it is compatible with the new model (stale shapes fall back to the cold
+/// path — results are identical either way) and writes the final basis
+/// back. Not thread-safe: one cache per call chain, never shared across
+/// threads (schedule() itself stays const and thread-safe when called
+/// without a cache).
+struct ScheduleBasisCache {
+  WarmStart lp;
+};
+
 struct ScheduleResult {
   bool feasible = false;
   /// alloc[i] is the Allocation of demands[i] (pair-major, tunnel-minor).
@@ -82,9 +95,12 @@ class TrafficScheduler {
 
   /// Solves the scheduling LP for the given demand set against the full
   /// link capacities (or `capacity_override` when non-empty; indexed by
-  /// LinkId).
+  /// LinkId). `basis`, when non-null, warm-starts the LP from the previous
+  /// call's basis and receives this call's basis back (see
+  /// ScheduleBasisCache).
   ScheduleResult schedule(std::span<const Demand> demands,
-                          std::span<const double> capacity_override = {}) const;
+                          std::span<const double> capacity_override = {},
+                          ScheduleBasisCache* basis = nullptr) const;
 
   /// Availability achieved by an allocation under the *reference* (exact or
   /// quasi-exact) failure model: the probability mass of scenarios where

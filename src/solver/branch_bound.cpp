@@ -1,167 +1,278 @@
 #include "solver/branch_bound.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace bate {
 
 namespace {
 
+/// splitmix64 finalizer. Node tie keys are derived from the parent's key
+/// and the branch direction, so a node's key depends only on its position
+/// in the tree (and the seed) — never on scheduling or insertion order.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One open node: a single bound delta against the parent; the node's full
+/// bound set is its chain to the root. Children share the parent
+/// relaxation's final basis (one heap copy per expanded node, not per
+/// child) for warm starts.
 struct Node {
-  // Variable-bound overrides accumulated along the branch.
-  std::vector<std::pair<int, std::pair<double, double>>> bounds;
-  double lp_bound;  // objective of parent relaxation (minimization sense)
+  std::shared_ptr<const Node> parent;
+  std::shared_ptr<const Basis> warm;  // parent relaxation's final basis
+  double lp_bound = -kInfinity;       // parent bound (minimization sense)
+  std::uint64_t tie = 0;              // deterministic order tie-break key
+  double lower = 0.0;                 // the delta: var's bounds at this node
+  double upper = 0.0;
+  int var = -1;                       // -1: root (no delta)
+  int depth = 0;
 };
+
+// A node must stay one flat bound delta — no per-node containers. If this
+// fires, someone re-introduced accumulated bound copies (the pre-PR 3 Node
+// duplicated the whole path's bound vector into every child).
+static_assert(sizeof(Node) <= 2 * sizeof(std::shared_ptr<const Node>) + 48,
+              "branch_bound: Node grew past a single bound delta");
 
 struct NodeOrder {
-  bool operator()(const std::shared_ptr<Node>& a,
-                  const std::shared_ptr<Node>& b) const {
-    return a->lp_bound > b->lp_bound;  // best (smallest) bound first
+  bool operator()(const std::shared_ptr<const Node>& a,
+                  const std::shared_ptr<const Node>& b) const {
+    if (a->lp_bound != b->lp_bound) {
+      return a->lp_bound > b->lp_bound;  // best (smallest) bound first
+    }
+    return a->tie > b->tie;  // seeded, position-derived: deterministic
   }
 };
 
-}  // namespace
+using OpenQueue =
+    std::priority_queue<std::shared_ptr<const Node>,
+                        std::vector<std::shared_ptr<const Node>>, NodeOrder>;
 
-Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
-  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
-  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
-                  "branch_bound: integer_tol outside (0, 0.5)");
-  if (!model.has_integers()) return solve_lp(model, options.lp);
-
-  const bool maximize = model.sense() == Sense::kMaximize;
-  auto to_min = [&](double v) { return maximize ? -v : v; };
-
+/// Immutable per-search context shared by the serial and parallel drivers.
+struct Search {
+  const Model& model;
+  const BranchBoundOptions& opt;
+  bool maximize;
   std::vector<int> int_vars;
-  for (int j = 0; j < model.variable_count(); ++j) {
-    if (model.variable(j).integer) int_vars.push_back(j);
+  std::chrono::steady_clock::time_point start;
+
+  double to_min(double v) const { return maximize ? -v : v; }
+  bool out_of_time() const {
+    if (opt.time_limit_seconds <= 0.0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count() > opt.time_limit_seconds;
+  }
+};
+
+/// Everything one node expansion produces; the driver merges it into the
+/// search state (the parallel driver under its queue lock).
+struct Expansion {
+  Solution relax;
+  double bound_min = kInfinity;
+  bool warm_used = false;
+  bool integer_feasible = false;
+  long deltas = 0;
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+/// Deterministic incumbent acceptance: a strictly better objective wins;
+/// equal objectives break ties lexicographically on x, so the final
+/// incumbent of a run-to-optimality search does not depend on the order in
+/// which workers complete nodes.
+bool better_incumbent(double cand_min, const std::vector<double>& cand_x,
+                      double best_min, const Solution& best) {
+  if (cand_min != best_min) return cand_min < best_min;
+  return std::lexicographical_compare(cand_x.begin(), cand_x.end(),
+                                      best.x.begin(), best.x.end());
+}
+
+/// Applies the node's bound chain to `work`, solves the relaxation
+/// (warm-started from the parent basis when enabled), restores `work`, and
+/// builds the children. Touches no shared search state beyond the immutable
+/// context and the `incumbent_min` snapshot, so expansions of distinct
+/// nodes run concurrently on per-worker `work` copies.
+Expansion expand(const Search& s, Model& work,
+                 const std::shared_ptr<const Node>& node, double incumbent_min,
+                 WarmStart* root_warm) {
+  Expansion out;
+
+  // Apply the chain root-first so deeper deltas override ancestors.
+  std::vector<const Node*> chain;
+  for (const Node* p = node.get(); p != nullptr && p->var >= 0;
+       p = p->parent.get()) {
+    chain.push_back(p);
+  }
+  std::vector<std::pair<int, std::pair<double, double>>> saved;
+  saved.reserve(chain.size());
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    Variable& v = work.variable((*it)->var);
+    saved.push_back({(*it)->var, {v.lower, v.upper}});
+    v.lower = (*it)->lower;
+    v.upper = (*it)->upper;
   }
 
+  const bool is_root = node->var < 0;
+  WarmStart ws;
+  if (is_root && root_warm != nullptr) {
+    ws.basis = root_warm->basis;
+  } else if (s.opt.warm_start_nodes && node->warm != nullptr) {
+    ws.basis = *node->warm;
+  }
+  const bool track_basis =
+      s.opt.warm_start_nodes || (is_root && root_warm != nullptr);
+  out.relax = solve_lp(work, s.opt.lp, track_basis ? &ws : nullptr);
+  out.warm_used = ws.used;
+
+  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+    work.variable(it->first).lower = it->second.first;
+    work.variable(it->first).upper = it->second.second;
+  }
+
+  if (is_root && root_warm != nullptr) {
+    // Hand the root relaxation's final basis back to the caller, who chains
+    // it into the next related solve (admission re-checks, recovery).
+    root_warm->basis = ws.basis;
+    root_warm->used = ws.used;
+  }
+
+  if (out.relax.status != SolveStatus::kOptimal) return out;
+  out.bound_min = s.to_min(out.relax.objective);
+  if (out.bound_min >= incumbent_min - s.opt.gap_tol) return out;  // pruned
+
+  // Most fractional integer variable.
+  int branch_var = -1;
+  double best_frac = s.opt.integer_tol;
+  for (int j : s.int_vars) {
+    const double v = out.relax.x[static_cast<std::size_t>(j)];
+    const double frac = std::abs(v - std::round(v));
+    if (frac > best_frac) {
+      best_frac = frac;
+      branch_var = j;
+    }
+  }
+
+  if (branch_var < 0) {
+    // Integer feasible: round off tolerance noise and offer as incumbent.
+    for (int j : s.int_vars) {
+      out.relax.x[static_cast<std::size_t>(j)] =
+          std::round(out.relax.x[static_cast<std::size_t>(j)]);
+    }
+    // Rounding may only absorb tolerance noise, never move the point off
+    // the feasible set the relaxation certified.
+    BATE_DCHECK_MSG(s.model.feasible(out.relax.x, 1e-4),
+                    "branch_bound: rounded incumbent infeasible");
+    out.integer_feasible = true;
+    return out;
+  }
+
+  // Branch within the bounds active at this node. The nearest ancestor
+  // delta on branch_var already carries the whole path's intersection.
+  double lo = s.model.variable(branch_var).lower;
+  double hi = s.model.variable(branch_var).upper;
+  for (const Node* p = node.get(); p != nullptr && p->var >= 0;
+       p = p->parent.get()) {
+    if (p->var == branch_var) {
+      lo = p->lower;
+      hi = p->upper;
+      break;
+    }
+  }
+
+  std::shared_ptr<const Basis> child_basis;
+  if (s.opt.warm_start_nodes) {
+    child_basis = std::make_shared<const Basis>(std::move(ws.basis));
+  }
+  const double v = out.relax.x[static_cast<std::size_t>(branch_var)];
+  auto make_child = [&](double clo, double chi, std::uint64_t salt) {
+    auto child = std::make_shared<Node>();
+    child->parent = node;
+    child->warm = child_basis;
+    child->lp_bound = out.bound_min;
+    child->tie = mix64(node->tie ^ salt);
+    child->var = branch_var;
+    child->lower = clo;
+    child->upper = chi;
+    child->depth = node->depth + 1;
+    ++out.deltas;
+    out.children.push_back(std::move(child));
+  };
+  if (std::floor(v) >= lo - 1e-12) make_child(lo, std::floor(v), 0x2545f491ull);
+  if (std::ceil(v) <= hi + 1e-12) make_child(std::ceil(v), hi, 0x9d2c5681ull);
+  return out;
+}
+
+Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
+                    WarmStart* root_warm, BranchBoundStats& st) {
   Solution incumbent;
   incumbent.status = SolveStatus::kInfeasible;
   double incumbent_min = kInfinity;
 
-  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
-                      NodeOrder>
-      open;
-  open.push(std::make_shared<Node>(Node{{}, -kInfinity}));
+  OpenQueue open;
+  open.push(std::move(root));
+  st.nodes_created = 1;
 
-  Model work = model;  // mutated bounds per node, restored afterwards
-  int nodes = 0;
-  long total_iterations = 0;
-  long total_pivots = 0;
+  Model work = s.model;  // mutated bounds per node, restored afterwards
+  long popped = 0;
+  long iters = 0;
+  long pivots = 0;
   bool budget_hit = false;
-  const auto start = std::chrono::steady_clock::now();
 
   while (!open.empty()) {
     const auto node = open.top();
     open.pop();
-    if (node->lp_bound >= incumbent_min - options.gap_tol) continue;  // pruned
-    if (++nodes > options.node_limit) {
-      budget_hit = true;
-      break;
-    }
-    if (options.time_limit_seconds > 0.0 &&
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-                .count() > options.time_limit_seconds) {
+    if (node->lp_bound >= incumbent_min - s.opt.gap_tol) continue;  // pruned
+    if (++popped > s.opt.node_limit || s.out_of_time()) {
       budget_hit = true;
       break;
     }
 
-    // Apply node bounds.
-    std::vector<std::pair<int, std::pair<double, double>>> saved;
-    saved.reserve(node->bounds.size());
-    for (const auto& [var, bound] : node->bounds) {
-      saved.push_back({var, {work.variable(var).lower, work.variable(var).upper}});
-      work.variable(var).lower = bound.first;
-      work.variable(var).upper = bound.second;
-    }
+    Expansion e = expand(s, work, node, incumbent_min, root_warm);
+    ++st.nodes_solved;
+    if (e.warm_used) ++st.warm_started_nodes;
+    st.max_depth = std::max(st.max_depth, node->depth);
+    iters += e.relax.iterations;
+    pivots += e.relax.pivots;
 
-    Solution relax = solve_lp(work, options.lp);
-    total_iterations += relax.iterations;
-    total_pivots += relax.pivots;
-
-    // Restore bounds.
-    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
-      work.variable(it->first).lower = it->second.first;
-      work.variable(it->first).upper = it->second.second;
-    }
-
-    if (relax.status == SolveStatus::kInfeasible) continue;
-    if (relax.status == SolveStatus::kUnbounded) {
+    if (e.relax.status == SolveStatus::kInfeasible) continue;
+    if (e.relax.status == SolveStatus::kUnbounded) {
       // An unbounded relaxation makes the MILP unbounded or infeasible;
       // report it directly (our models never hit this in practice).
-      relax.iterations = total_iterations;
-      relax.pivots = total_pivots;
-      return relax;
+      e.relax.iterations = iters;
+      e.relax.pivots = pivots;
+      e.relax.nodes = st.nodes_solved;
+      return e.relax;
     }
-    if (relax.status == SolveStatus::kIterationLimit) {
+    if (e.relax.status == SolveStatus::kIterationLimit) {
       budget_hit = true;
       continue;
     }
-    const double bound_min = to_min(relax.objective);
-    if (bound_min >= incumbent_min - options.gap_tol) continue;
-
-    // Find most fractional integer variable.
-    int branch_var = -1;
-    double best_frac = options.integer_tol;
-    for (int j : int_vars) {
-      const double v = relax.x[static_cast<std::size_t>(j)];
-      const double frac = std::abs(v - std::round(v));
-      if (frac > best_frac) {
-        best_frac = frac;
-        branch_var = j;
-      }
-    }
-
-    if (branch_var < 0) {
-      // Integer feasible: round off tolerance noise and accept as incumbent.
-      for (int j : int_vars) {
-        relax.x[static_cast<std::size_t>(j)] =
-            std::round(relax.x[static_cast<std::size_t>(j)]);
-      }
-      // Rounding may only absorb tolerance noise, never move the point off
-      // the feasible set the relaxation certified.
-      BATE_DCHECK_MSG(model.feasible(relax.x, 1e-4),
-                      "branch_bound: rounded incumbent infeasible");
-      if (bound_min < incumbent_min) {
-        incumbent = relax;
+    if (e.integer_feasible) {
+      if (better_incumbent(e.bound_min, e.relax.x, incumbent_min, incumbent)) {
+        incumbent_min = e.bound_min;
+        incumbent = std::move(e.relax);
         incumbent.status = SolveStatus::kOptimal;
-        incumbent_min = bound_min;
       }
-      if (options.stop_at_first_incumbent) break;
+      if (s.opt.stop_at_first_incumbent) break;
       continue;
     }
-
-    const double v = relax.x[static_cast<std::size_t>(branch_var)];
-    // Branch within the bounds active at this node (they may have been
-    // tightened by an ancestor).
-    double lo = model.variable(branch_var).lower;
-    double hi = model.variable(branch_var).upper;
-    for (const auto& [var, bound] : node->bounds) {
-      if (var == branch_var) {
-        lo = std::max(lo, bound.first);
-        hi = std::min(hi, bound.second);
-      }
-    }
-
-    if (std::floor(v) >= lo - 1e-12) {
-      auto down = std::make_shared<Node>(*node);
-      down->lp_bound = bound_min;
-      down->bounds.push_back({branch_var, {lo, std::floor(v)}});
-      open.push(std::move(down));
-    }
-    if (std::ceil(v) <= hi + 1e-12) {
-      auto up = std::make_shared<Node>(*node);
-      up->lp_bound = bound_min;
-      up->bounds.push_back({branch_var, {std::ceil(v), hi}});
-      open.push(std::move(up));
-    }
+    st.nodes_created += static_cast<long>(e.children.size());
+    st.bound_deltas_allocated += e.deltas;
+    for (auto& c : e.children) open.push(std::move(c));
   }
 
   if (budget_hit) {
@@ -170,9 +281,161 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options) {
     // infeasibility was established within the budget (x empty).
     incumbent.status = SolveStatus::kIterationLimit;
   }
-  incumbent.iterations = total_iterations;
-  incumbent.pivots = total_pivots;
+  incumbent.iterations = iters;
+  incumbent.pivots = pivots;
+  incumbent.nodes = st.nodes_solved;
   return incumbent;
+}
+
+Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
+                      WarmStart* root_warm, BranchBoundStats& st,
+                      ThreadPool& pool) {
+  // Shared best-bound search state. Workers pop the globally best open
+  // node, expand it unlocked on a worker-local model copy, and merge the
+  // result back under `mu`. `inflight` counts popped-but-unmerged nodes so
+  // idle workers know whether more work can still appear; while waiting
+  // they drain unrelated pool tasks via run_one() instead of sleeping.
+  struct SharedState {
+    std::mutex mu;
+    std::condition_variable cv;
+    OpenQueue open;              // GUARDED_BY(mu)
+    int inflight = 0;            // GUARDED_BY(mu)
+    long popped = 0;             // GUARDED_BY(mu)
+    bool stop = false;           // GUARDED_BY(mu)
+    bool budget_hit = false;     // GUARDED_BY(mu)
+    bool unbounded = false;      // GUARDED_BY(mu)
+    Solution unbounded_sol;      // GUARDED_BY(mu)
+    double incumbent_min = kInfinity;  // GUARDED_BY(mu)
+    Solution incumbent;          // GUARDED_BY(mu)
+    long iters = 0;              // GUARDED_BY(mu)
+    long pivots = 0;             // GUARDED_BY(mu)
+  } sh;
+  sh.incumbent.status = SolveStatus::kInfeasible;
+  sh.open.push(std::move(root));
+  st.nodes_created = 1;
+
+  const int workers = pool.thread_count() + 1;  // caller participates
+  pool.parallel_for(workers, [&](int) {
+    Model work = s.model;
+    std::unique_lock<std::mutex> lk(sh.mu);
+    for (;;) {
+      while (!sh.stop && sh.open.empty() && sh.inflight > 0) {
+        lk.unlock();
+        const bool ran = pool.run_one();
+        lk.lock();
+        if (!ran && !sh.stop && sh.open.empty() && sh.inflight > 0) {
+          sh.cv.wait_for(lk, std::chrono::microseconds(200));
+        }
+      }
+      if (sh.stop || sh.open.empty()) return;  // empty implies inflight == 0
+      auto node = sh.open.top();
+      sh.open.pop();
+      if (node->lp_bound >= sh.incumbent_min - s.opt.gap_tol) continue;
+      if (++sh.popped > s.opt.node_limit || s.out_of_time()) {
+        sh.budget_hit = true;
+        sh.stop = true;
+        sh.cv.notify_all();
+        return;
+      }
+      ++sh.inflight;
+      const double incumbent_snapshot = sh.incumbent_min;
+      lk.unlock();
+
+      Expansion e;
+      try {
+        e = expand(s, work, node, incumbent_snapshot, root_warm);
+      } catch (...) {
+        // Unblock the other workers before parallel_for rethrows this on
+        // the caller; a worker that exits without merging would hang them.
+        lk.lock();
+        --sh.inflight;
+        sh.stop = true;
+        sh.cv.notify_all();
+        throw;
+      }
+
+      lk.lock();
+      --sh.inflight;
+      ++st.nodes_solved;
+      if (e.warm_used) ++st.warm_started_nodes;
+      st.max_depth = std::max(st.max_depth, node->depth);
+      sh.iters += e.relax.iterations;
+      sh.pivots += e.relax.pivots;
+      switch (e.relax.status) {
+        case SolveStatus::kInfeasible:
+          break;
+        case SolveStatus::kUnbounded:
+          sh.unbounded = true;
+          sh.unbounded_sol = std::move(e.relax);
+          sh.stop = true;
+          break;
+        case SolveStatus::kIterationLimit:
+          sh.budget_hit = true;
+          break;
+        case SolveStatus::kOptimal:
+          if (e.integer_feasible) {
+            if (better_incumbent(e.bound_min, e.relax.x, sh.incumbent_min,
+                                 sh.incumbent)) {
+              sh.incumbent_min = e.bound_min;
+              sh.incumbent = std::move(e.relax);
+              sh.incumbent.status = SolveStatus::kOptimal;
+            }
+            if (s.opt.stop_at_first_incumbent) sh.stop = true;
+          } else {
+            st.nodes_created += static_cast<long>(e.children.size());
+            st.bound_deltas_allocated += e.deltas;
+            for (auto& c : e.children) sh.open.push(std::move(c));
+          }
+          break;
+      }
+      sh.cv.notify_all();
+      if (sh.stop) return;
+    }
+  });
+
+  Solution out;
+  if (sh.unbounded) {
+    out = std::move(sh.unbounded_sol);
+  } else {
+    out = std::move(sh.incumbent);
+    if (sh.budget_hit) out.status = SolveStatus::kIterationLimit;
+  }
+  out.iterations = sh.iters;
+  out.pivots = sh.pivots;
+  out.nodes = st.nodes_solved;
+  return out;
+}
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const BranchBoundOptions& options,
+                    WarmStart* root_warm, BranchBoundStats* stats) {
+  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
+  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
+                  "branch_bound: integer_tol outside (0, 0.5)");
+  BranchBoundStats local;
+  BranchBoundStats& st = stats != nullptr ? *stats : local;
+  st = BranchBoundStats{};
+  if (!model.has_integers()) return solve_lp(model, options.lp, root_warm);
+
+  Search s{model,
+           options,
+           model.sense() == Sense::kMaximize,
+           {},
+           std::chrono::steady_clock::now()};
+  for (int j = 0; j < model.variable_count(); ++j) {
+    if (model.variable(j).integer) s.int_vars.push_back(j);
+  }
+
+  auto root = std::make_shared<Node>();
+  root->tie = mix64(options.tie_break_seed ^ 0x6a09e667f3bcc908ull);
+
+  ThreadPool* pool = options.pool;
+  if (pool != nullptr && pool->current_worker() >= 0) {
+    pool = nullptr;  // already inside the pool: serial fallback (no nesting)
+  }
+  return pool != nullptr ? run_parallel(s, std::move(root), root_warm, st, *pool)
+                         : run_serial(s, std::move(root), root_warm, st);
 }
 
 }  // namespace bate

@@ -2,12 +2,23 @@
 // (Appendix A) and optimal failure recovery (Sec 3.4). LP relaxations are
 // solved with the simplex of simplex.h; branching is most-fractional with
 // best-bound node selection.
+//
+// Each open node holds one bound delta against its parent (the full bound
+// set of a node is its chain to the root) and a shared handle on the
+// parent's final simplex basis, so child relaxations warm-start and skip
+// Phase 1 on almost every node. With `pool` set, open nodes are explored by
+// a parallel best-bound tree search whose incumbent objective is
+// deterministic for a fixed seed (DESIGN.md "Solver performance").
 #pragma once
+
+#include <cstdint>
 
 #include "solver/model.h"
 #include "solver/simplex.h"
 
 namespace bate {
+
+class ThreadPool;
 
 struct BranchBoundOptions {
   int node_limit = 200000;
@@ -18,14 +29,45 @@ struct BranchBoundOptions {
   /// Relative optimality gap at which the search stops.
   double gap_tol = 1e-9;
   /// Stop as soon as any integer-feasible solution is found (for
-  /// feasibility-style MILPs where optimality is irrelevant).
+  /// feasibility-style MILPs where optimality is irrelevant). With a pool,
+  /// *which* feasible point is found first is scheduling-dependent; only
+  /// run-to-optimality searches have a deterministic incumbent objective.
   bool stop_at_first_incumbent = false;
+  /// Children warm-start from the parent relaxation's final basis. Off
+  /// reproduces the PR 2 cold-per-node behaviour (benches, debugging);
+  /// either way the incumbent is the same, only the work differs.
+  bool warm_start_nodes = true;
+  /// Seeds the position-derived node tie-break keys (equal-bound nodes are
+  /// popped in seeded key order, never in insertion/scheduling order).
+  std::uint64_t tie_break_seed = 0;
+  /// Parallel tree search across this pool's workers plus the caller; null
+  /// keeps the serial search. A call from inside a pool worker falls back
+  /// to serial (nested parallel_for could deadlock — see thread_pool.h).
+  ThreadPool* pool = nullptr;
   SimplexOptions lp;
+};
+
+/// Search counters, for tests and benches.
+struct BranchBoundStats {
+  long nodes_created = 0;   // root + every child pushed
+  long nodes_solved = 0;    // relaxations actually solved
+  /// Bound deltas allocated across the run — exactly one per non-root node.
+  /// tests/branch_bound pins bound_deltas_allocated == nodes_created - 1 so
+  /// nodes can never silently grow back to full bound-vector copies.
+  long bound_deltas_allocated = 0;
+  long warm_started_nodes = 0;  // relaxations that accepted a warm basis
+  int max_depth = 0;
 };
 
 /// Solves the MILP. Returns kIterationLimit when the node budget is
 /// exhausted before proving optimality (the incumbent, if any, is returned
 /// in that case with its objective).
-Solution solve_milp(const Model& model, const BranchBoundOptions& options = {});
+///
+/// `root_warm` (optional) warm-starts the root relaxation — e.g. from a
+/// previous solve of the same model's relaxation — and receives the root's
+/// final basis back. `stats`, when non-null, receives search counters.
+Solution solve_milp(const Model& model, const BranchBoundOptions& options = {},
+                    WarmStart* root_warm = nullptr,
+                    BranchBoundStats* stats = nullptr);
 
 }  // namespace bate

@@ -100,6 +100,8 @@ struct Solution {
   /// basis-changing pivots. Accumulated across nodes for MILP solves.
   long iterations = 0;
   long pivots = 0;
+  /// Branch & bound nodes whose relaxation was solved (0 for plain LPs).
+  long nodes = 0;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

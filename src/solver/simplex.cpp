@@ -58,8 +58,22 @@ class SimplexEngine {
  public:
   SimplexEngine(const Model& model, const SimplexOptions& options)
       : model_(model), opt_(options) {
-    build();
+    build_common();
+    install_cold_basis();
   }
+
+  /// Warm construction: restart from a caller-supplied basis. Check
+  /// `warm_ok()` — a malformed basis (duplicate basic column, status
+  /// mismatch) leaves the engine unusable and the caller must rebuild cold.
+  SimplexEngine(const Model& model, const SimplexOptions& options,
+                const Basis& warm)
+      : model_(model), opt_(options) {
+    build_common();
+    warm_ok_ = install_warm_basis(warm);
+  }
+
+  bool warm_ok() const { return warm_ok_; }
+  bool gave_up() const { return gave_up_; }
 
   Solution run() {
     // Phase 1: minimize total artificial infeasibility if any artificials
@@ -83,10 +97,120 @@ class SimplexEngine {
     return finish(iterate());
   }
 
+  /// Warm path: no artificial columns. Primal infeasibility of the restarted
+  /// basis is repaired by a composite Phase 1 — each round relaxes the
+  /// violated bound of every out-of-range basic variable to its current
+  /// value, prices a +/-1 cost on it to drive it back inside, re-solves, and
+  /// snaps variables that re-entered their true range. Soundness of the
+  /// infeasibility verdict: the composite problem relaxes the true feasible
+  /// region, and any true-feasible point scores strictly better on the
+  /// composite objective than a point where every shifted variable still
+  /// violates — so such a composite *optimum* proves the true region empty.
+  /// A composite phase that diverges (unbounded ray, or more rounds than
+  /// rows) sets gave_up(); the caller re-solves cold, which is always sound.
+  Solution run_warm() {
+    struct Shift {
+      int col;
+      double lo, hi;  // true bounds, restored after the round
+    };
+    std::vector<Shift> shifts;
+    for (int round = 0; round <= m_ + 1; ++round) {
+      shifts.clear();
+      c_.assign(sz(ncols_), 0.0);
+      for (int r = 0; r < m_; ++r) {
+        const int b = basis_[sz(r)];
+        if (x_[sz(b)] < lower_[sz(b)] - opt_.tol) {
+          shifts.push_back({b, lower_[sz(b)], upper_[sz(b)]});
+          lower_[sz(b)] = x_[sz(b)];
+          c_[sz(b)] = -1.0;  // minimize: drive up toward the true lower bound
+        } else if (x_[sz(b)] > upper_[sz(b)] + opt_.tol) {
+          shifts.push_back({b, lower_[sz(b)], upper_[sz(b)]});
+          upper_[sz(b)] = x_[sz(b)];
+          c_[sz(b)] = 1.0;  // drive down toward the true upper bound
+        }
+      }
+      if (shifts.empty()) {
+        // Primal feasible: straight to Phase 2 on the real objective.
+        set_phase2_objective();
+        return finish(iterate());
+      }
+      recompute_reduced_costs();
+      const SolveStatus st = iterate();
+      for (const Shift& s : shifts) {
+        lower_[sz(s.col)] = s.lo;
+        upper_[sz(s.col)] = s.hi;
+      }
+      if (st == SolveStatus::kIterationLimit) return finish(st);
+      if (st == SolveStatus::kUnbounded) break;  // composite diverged
+      // A shifted variable that left the basis was pinned at its *relaxed*
+      // bound; snap it to the nearest true bound before the next round
+      // re-checks the basic values against it.
+      bool snapped_nonbasic = false;
+      for (const Shift& s : shifts) {
+        if (in_basis_[sz(s.col)]) continue;
+        const double xv = x_[sz(s.col)];
+        if (xv < s.lo) {
+          x_[sz(s.col)] = s.lo;
+          at_upper_[sz(s.col)] = 0;
+          snapped_nonbasic = true;
+        } else if (s.hi != kInfinity && xv > s.hi) {
+          x_[sz(s.col)] = s.hi;
+          at_upper_[sz(s.col)] = 1;
+          snapped_nonbasic = true;
+        }
+      }
+      if (snapped_nonbasic) recompute_basics();
+      int still_violating = 0;
+      for (const Shift& s : shifts) {
+        if (!in_basis_[sz(s.col)]) continue;
+        const double xv = x_[sz(s.col)];
+        if (xv < s.lo - opt_.tol || xv > s.hi + opt_.tol) ++still_violating;
+      }
+      if (!snapped_nonbasic &&
+          still_violating == static_cast<int>(shifts.size())) {
+        return finish(SolveStatus::kInfeasible);
+      }
+    }
+    gave_up_ = true;
+    Solution sol;
+    sol.status = SolveStatus::kIterationLimit;  // discarded by the caller
+    return sol;
+  }
+
+  /// Snapshot of the final basis for warm-starting a related solve. A basic
+  /// artificial (unit column +/-e_a) is exported as the slack of its row
+  /// (e_a — a parallel unit column, so the swap keeps the basis nonsingular
+  /// and that slack cannot already be basic elsewhere).
+  Basis export_basis() const {
+    Basis b;
+    b.structural_count = nstruct_;
+    b.constraint_count = m_;
+    b.basic.resize(sz(m_));
+    b.status.assign(sz(nstruct_ + m_), VarStatus::kAtLower);
+    for (int j = 0; j < nstruct_ + m_; ++j) {
+      if (in_basis_[sz(j)]) {
+        b.status[sz(j)] = VarStatus::kBasic;
+      } else if (at_upper_[sz(j)]) {
+        b.status[sz(j)] = VarStatus::kAtUpper;
+      }
+    }
+    for (int r = 0; r < m_; ++r) {
+      int col = basis_[sz(r)];
+      if (col >= first_artificial_) {
+        const int slack = nstruct_ + art_row_[sz(col)];
+        if (b.status[sz(slack)] == VarStatus::kBasic) return {};  // defensive
+        b.status[sz(slack)] = VarStatus::kBasic;
+        col = slack;
+      }
+      b.basic[sz(r)] = col;
+    }
+    return b;
+  }
+
  private:
   static std::size_t sz(int i) { return static_cast<std::size_t>(i); }
 
-  void build() {
+  void build_common() {
     m_ = model_.constraint_count();
     nstruct_ = model_.variable_count();
     // Column layout: [0, nstruct) structural, [nstruct, nstruct+m) slacks,
@@ -137,7 +261,18 @@ class SimplexEngine {
         rows_[sz(t.var)].push_back({j, t.coef});
       }
     }
+  }
 
+  void init_workspaces() {
+    d_.assign(sz(ncols_), 0.0);
+    alpha_.assign(sz(ncols_), 0.0);
+    alpha_seen_.assign(sz(ncols_), 0);
+    w_.assign(sz(m_), 0.0);
+    rho_.assign(sz(m_), 0.0);
+    ywork_.assign(sz(m_), 0.0);
+  }
+
+  void install_cold_basis() {
     // Initial point: structural nonbasic at lower bound; slacks basic.
     ncols_ = nstruct_ + m_;
     x_.assign(sz(ncols_), 0.0);
@@ -215,13 +350,46 @@ class SimplexEngine {
       }
     }
 
-    d_.assign(sz(ncols_), 0.0);
-    alpha_.assign(sz(ncols_), 0.0);
-    alpha_seen_.assign(sz(ncols_), 0);
-    w_.assign(sz(m_), 0.0);
-    rho_.assign(sz(m_), 0.0);
-    ywork_.assign(sz(m_), 0.0);
+    init_workspaces();
     recompute_basics();
+  }
+
+  /// Installs a caller-supplied basis: no artificial columns, nonbasic
+  /// statuses repaired by bound-flipping (kAtUpper on an infinite upper
+  /// bound, or a kBasic column no row references, falls back to the lower
+  /// bound), then a fresh factorization — refactorize() also evicts
+  /// numerically dependent columns to a bound and hands their rows to the
+  /// slacks. Returns false on a malformed basis (caller rebuilds cold).
+  bool install_warm_basis(const Basis& warm) {
+    ncols_ = nstruct_ + m_;
+    first_artificial_ = ncols_;
+    x_.assign(sz(ncols_), 0.0);
+    at_upper_.assign(sz(ncols_), 0);
+    in_basis_.assign(sz(ncols_), 0);
+    basis_.assign(sz(m_), -1);
+    for (int r = 0; r < m_; ++r) {
+      const int col = warm.basic[sz(r)];
+      if (col < 0 || col >= ncols_ || in_basis_[sz(col)] ||
+          warm.status[sz(col)] != VarStatus::kBasic) {
+        return false;
+      }
+      basis_[sz(r)] = col;
+      in_basis_[sz(col)] = 1;
+    }
+    for (int j = 0; j < ncols_; ++j) {
+      if (in_basis_[sz(j)]) continue;
+      const bool to_upper = warm.status[sz(j)] == VarStatus::kAtUpper &&
+                            upper_[sz(j)] != kInfinity;
+      x_[sz(j)] = to_upper ? upper_[sz(j)] : lower_[sz(j)];
+      at_upper_[sz(j)] = to_upper ? 1 : 0;
+    }
+    art_row_.assign(sz(ncols_), -1);
+    art_sign_.clear();
+    base_diag_.assign(sz(m_), 1.0);
+    init_workspaces();
+    c_.assign(sz(ncols_), 0.0);  // real objective set by run_warm()
+    refactorize();
+    return true;
   }
 
   /// Column of the full constraint matrix as sparse (row, coef) terms.
@@ -680,15 +848,19 @@ class SimplexEngine {
 
   long iterations_ = 0;
   long pivots_ = 0;
+  bool warm_ok_ = false;
+  bool gave_up_ = false;
 };
 
 }  // namespace
 
-Solution solve_lp(const Model& model, const SimplexOptions& options) {
+Solution solve_lp(const Model& model, const SimplexOptions& options,
+                  WarmStart* warm) {
   validate_model(model);
   BATE_ASSERT_MSG(options.iteration_limit > 0 && options.tol > 0.0 &&
                       options.pivot_tol > 0.0,
                   "simplex: nonsensical options");
+  if (warm) warm->used = false;
   if (model.constraint_count() == 0) {
     // Pure bound problem: each variable sits at its best bound.
     Solution sol;
@@ -708,10 +880,28 @@ Solution solve_lp(const Model& model, const SimplexOptions& options) {
       obj += v.objective * xv;
     }
     sol.objective = obj;
+    if (warm) warm->basis = Basis{};  // nothing to restart from
     return sol;
   }
+  // Warm restart: shape-compatible basis, not in reference mode (the
+  // equivalence baseline must be byte-for-byte the pre-overhaul path).
+  if (warm && !options.reference_mode && !warm->basis.empty() &&
+      warm->basis.compatible_with(model)) {
+    SimplexEngine engine(model, options, warm->basis);
+    if (engine.warm_ok()) {
+      Solution sol = engine.run_warm();
+      if (!engine.gave_up()) {
+        warm->used = true;
+        warm->basis = engine.export_basis();
+        return sol;
+      }
+    }
+    // Malformed basis content or a diverged composite phase: solve cold.
+  }
   SimplexEngine engine(model, options);
-  return engine.run();
+  Solution sol = engine.run();
+  if (warm) warm->basis = engine.export_basis();
+  return sol;
 }
 
 }  // namespace bate

@@ -31,9 +31,54 @@
 // against (tests/simplex_equivalence_test.cpp).
 #pragma once
 
+#include <vector>
+
 #include "solver/model.h"
 
 namespace bate {
+
+/// Status of one column (structural variable or row slack) in a basis
+/// snapshot. Nonbasic columns sit at one of their bounds; `kAtUpper` on a
+/// column with an infinite upper bound is repaired to `kAtLower` on load.
+enum class VarStatus : unsigned char { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+/// A simplex basis snapshot: the basic column of every row plus the status
+/// of every column (structural columns first, then one slack per row, in row
+/// order). Artificial columns are never exported — a basic artificial is
+/// swapped for the slack of its row before the snapshot is taken (both are
+/// unit columns in the same row, so nonsingularity is preserved).
+///
+/// A basis is *stale* for a model when the shape differs
+/// (structural_count/constraint_count mismatch); stale bases are ignored and
+/// the solve falls back to the cold path. See DESIGN.md "Solver
+/// performance" for the full warm-start contract.
+struct Basis {
+  int structural_count = 0;
+  int constraint_count = 0;
+  std::vector<int> basic;          // per row: basic column index
+  std::vector<VarStatus> status;   // per column: structural, then slacks
+
+  bool empty() const { return basic.empty() && status.empty(); }
+  /// Shape check only (cheap); content validity is checked on install.
+  bool compatible_with(const Model& model) const {
+    return structural_count == model.variable_count() &&
+           constraint_count == model.constraint_count() &&
+           static_cast<int>(basic.size()) == constraint_count &&
+           static_cast<int>(status.size()) ==
+               structural_count + constraint_count;
+  }
+};
+
+/// In/out warm-start handle for solve_lp. On input, a non-empty `basis`
+/// compatible with the model restarts the solve from that basis (fresh
+/// factorization, bound-flip repair of nonbasic statuses, composite Phase 1
+/// for any primal infeasibility). On output, `basis` holds the final basis
+/// of the solve (cold or warm) so the caller can chain re-solves, and
+/// `used` reports whether the input basis was actually accepted.
+struct WarmStart {
+  Basis basis;
+  bool used = false;
+};
 
 struct SimplexOptions {
   int iteration_limit = 200000;        // across both phases
@@ -55,6 +100,13 @@ struct SimplexOptions {
 /// Solves the LP (integrality markers are ignored). Throws
 /// std::invalid_argument for models with variables whose lower bound is not
 /// finite.
-Solution solve_lp(const Model& model, const SimplexOptions& options = {});
+///
+/// `warm` (optional) carries a basis across related solves: a compatible
+/// input basis is restarted from (stale or unusable bases fall back to the
+/// cold path — the result is identical either way, only the work differs),
+/// and the final basis is written back on return. `reference_mode` ignores
+/// warm input so the equivalence baseline is untouched.
+Solution solve_lp(const Model& model, const SimplexOptions& options = {},
+                  WarmStart* warm = nullptr);
 
 }  // namespace bate

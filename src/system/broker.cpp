@@ -1,6 +1,7 @@
 #include "system/broker.h"
 
 #include <array>
+#include <chrono>
 
 #include "util/check.h"
 #include "util/log.h"
@@ -67,11 +68,14 @@ void Broker::receive_loop() {  // bate-lint: allow(guarded-field)
         continue;
       }
       if (const auto* update = std::get_if<AllocationUpdateMsg>(&msg)) {
-        std::lock_guard<std::mutex> lock(mu_);
-        rates_[{update->id, update->pair}] = update->tunnel_mbps;
-        enforcer_.update(update->id, update->pair, update->tunnel_mbps);
-        backup_active_ = update->backup;
-        ++updates_;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          rates_[{update->id, update->pair}] = update->tunnel_mbps;
+          enforcer_.update(update->id, update->pair, update->tunnel_mbps);
+          backup_active_ = update->backup;
+          ++updates_;
+        }
+        cv_.notify_all();
       }
     }
   }
@@ -91,6 +95,13 @@ double Broker::enforced_total(DemandId id, int pair) const {
 
 int Broker::updates_received() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return updates_;
+}
+
+int Broker::wait_updates_past(int count, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+               [&] { return updates_ > count; });
   return updates_;
 }
 

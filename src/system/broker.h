@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -36,6 +37,11 @@ class Broker {
   double enforced_total(DemandId id, int pair) const;
   /// Number of allocation updates received (test/diagnostic hook).
   int updates_received() const;
+  /// Blocks until more than `count` allocation updates have been received
+  /// or `timeout_ms` elapses; returns the current update count. Event-driven
+  /// alternative to sleep/poll loops for callers waiting on enforcer state:
+  /// wake-ups ride the receive thread's notification instead of a timer.
+  int wait_updates_past(int count, int timeout_ms) const;
   /// True when the latest update for any row came from a backup plan.
   bool backup_active() const;
 
@@ -67,6 +73,7 @@ class Broker {
   Socket socket_;  // writes GUARDED_BY(write_mu_)
 
   mutable std::mutex mu_;
+  mutable std::condition_variable cv_;  // signalled per update, waits on mu_
   BandwidthEnforcer enforcer_;                                // GUARDED_BY(mu_)
   std::map<std::pair<DemandId, int>, std::vector<double>> rates_;  // GUARDED_BY(mu_)
   int updates_ = 0;              // GUARDED_BY(mu_)

@@ -9,14 +9,17 @@
 // unique in value, not in basis).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <random>
 
 #include "core/admission.h"
 #include "core/scheduling.h"
 #include "routing/tunnels.h"
+#include "solver/branch_bound.h"
 #include "solver/simplex.h"
 #include "topology/catalog.h"
+#include "util/thread_pool.h"
 #include "workload/demand.h"
 
 namespace bate {
@@ -131,6 +134,249 @@ TEST(SimplexEquivalence, AdmissionModels) {
     expect_equivalent(build_admission_model(sched, demands),
                       "admission seed " + std::to_string(seed));
   }
+}
+
+// --- Warm-started re-solves (solve_lp WarmStart API) ----------------------
+
+Solution reference_solve(const Model& model) {
+  SimplexOptions ref;
+  ref.reference_mode = true;
+  return solve_lp(model, ref);
+}
+
+void expect_matches_reference(const Solution& got, const Model& model,
+                              const std::string& what) {
+  const Solution want = reference_solve(model);
+  ASSERT_EQ(got.status, want.status) << what;
+  if (want.status == SolveStatus::kOptimal) {
+    const double denom = std::max(1.0, std::abs(want.objective));
+    EXPECT_LE(std::abs(got.objective - want.objective) / denom, kRelTol)
+        << what;
+  }
+}
+
+TEST(SimplexWarmStart, SameModelResolveReusesBasis) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 3);
+  TrafficScheduler sched(topo, catalog);
+  const Model model = sched.build_schedule_model(small_demands(catalog, 31));
+
+  WarmStart warm;
+  const Solution cold = solve_lp(model, {}, &warm);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(warm.used);  // nothing to reuse on the first solve
+  ASSERT_TRUE(warm.basis.compatible_with(model));
+
+  const Solution hot = solve_lp(model, {}, &warm);
+  EXPECT_TRUE(warm.used);
+  ASSERT_EQ(hot.status, SolveStatus::kOptimal);
+  // Restarting from the final basis of the identical model converges
+  // without re-doing the cold solve's pivoting work.
+  EXPECT_LE(hot.pivots, cold.pivots);
+  expect_matches_reference(hot, model, "same-model warm resolve");
+}
+
+TEST(SimplexWarmStart, PerturbedResolvesMatchReference) {
+  // The production pattern: period t+1 re-solves a model with the same
+  // shape but drifted objective/bounds, warm-started from period t's basis.
+  int used = 0;
+  for (std::uint64_t seed = 9100; seed < 9130; ++seed) {
+    Model model = random_lp(seed);
+    WarmStart warm;
+    solve_lp(model, {}, &warm);
+    ASSERT_TRUE(warm.basis.compatible_with(model)) << seed;
+
+    Model drifted = model;
+    std::mt19937_64 rng(seed ^ 0xabcdefull);
+    std::uniform_real_distribution<double> jitter(-0.2, 0.2);
+    for (int j = 0; j < drifted.variable_count(); ++j) {
+      Variable& v = drifted.variable(j);
+      v.objective += jitter(rng);
+      v.lower -= std::abs(jitter(rng));  // widen: keeps lower <= upper
+      if (v.upper != kInfinity) v.upper += std::abs(jitter(rng));
+    }
+    const Solution hot = solve_lp(drifted, {}, &warm);
+    if (warm.used) ++used;
+    expect_matches_reference(hot, drifted,
+                             "perturbed seed " + std::to_string(seed));
+  }
+  // The warm path must actually engage on same-shape re-solves, not
+  // silently fall back cold across the whole suite.
+  EXPECT_GT(used, 15);
+}
+
+TEST(SimplexWarmStart, StaleBasisFallsBackCold) {
+  Model a = random_lp(9200);
+  WarmStart warm;
+  solve_lp(a, {}, &warm);
+
+  Model b = random_lp(9201);
+  if (b.variable_count() == a.variable_count() &&
+      b.constraint_count() == a.constraint_count()) {
+    b.add_variable(0.0, 1.0, 0.0);  // force a shape mismatch
+  }
+  ASSERT_FALSE(warm.basis.compatible_with(b));
+  const Solution sol = solve_lp(b, {}, &warm);
+  EXPECT_FALSE(warm.used);
+  // The stale basis was replaced by b's final basis.
+  EXPECT_TRUE(warm.basis.compatible_with(b));
+  expect_matches_reference(sol, b, "stale-basis fallback");
+}
+
+TEST(SimplexWarmStart, ReferenceModeIgnoresWarmStart) {
+  const Model model = random_lp(9210);
+  WarmStart warm;
+  solve_lp(model, {}, &warm);
+  ASSERT_TRUE(warm.basis.compatible_with(model));
+
+  SimplexOptions ref;
+  ref.reference_mode = true;
+  const Solution sol = solve_lp(model, ref, &warm);
+  EXPECT_FALSE(warm.used);  // reference mode never takes the warm path
+  ASSERT_EQ(sol.status, reference_solve(model).status);
+}
+
+// --- Branch & bound: warm-started nodes and the parallel driver -----------
+
+/// Random bounded feasible MILP (binaries plus a few continuous vars, all
+/// coefficients positive, <= rows): x = 0 is always feasible, so every
+/// instance has a unique optimal objective both drivers must reach.
+Model random_milp(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> nbin_d(3, 8);
+  std::uniform_int_distribution<int> ncont_d(0, 3);
+  std::uniform_real_distribution<double> coef_d(0.5, 5.0);
+  std::uniform_real_distribution<double> unit_d(0.0, 1.0);
+
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int nb = nbin_d(rng);
+  const int nc = ncont_d(rng);
+  for (int j = 0; j < nb; ++j) m.add_binary(coef_d(rng));
+  for (int j = 0; j < nc; ++j) {
+    m.add_variable(0.0, coef_d(rng), 0.3 * coef_d(rng));
+  }
+  const int n = nb + nc;
+  const int rows = 2 + static_cast<int>(rng() % 4);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (unit_d(rng) < 0.7) terms.push_back({j, coef_d(rng)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    m.add_constraint(std::move(terms), Relation::kLessEqual,
+                     coef_d(rng) * n / 2.5);
+  }
+  return m;
+}
+
+TEST(BranchBound, WarmStartedNodesMatchColdAndReference) {
+  long warm_nodes = 0;
+  for (int k = 0; k < 100; ++k) {
+    const std::uint64_t s = 31000u + static_cast<std::uint64_t>(k);
+    const Model m = random_milp(s);
+
+    BranchBoundOptions warm_opt;  // warm_start_nodes defaults to true
+    BranchBoundOptions cold_opt;
+    cold_opt.warm_start_nodes = false;
+    BranchBoundOptions ref_opt;
+    ref_opt.warm_start_nodes = false;
+    ref_opt.lp.reference_mode = true;
+
+    BranchBoundStats warm_st;
+    const Solution a = solve_milp(m, warm_opt, nullptr, &warm_st);
+    const Solution b = solve_milp(m, cold_opt);
+    const Solution r = solve_milp(m, ref_opt);
+    warm_nodes += warm_st.warm_started_nodes;
+
+    ASSERT_EQ(a.status, SolveStatus::kOptimal) << "seed " << s;
+    ASSERT_EQ(b.status, SolveStatus::kOptimal) << "seed " << s;
+    ASSERT_EQ(r.status, SolveStatus::kOptimal) << "seed " << s;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << s;
+    EXPECT_NEAR(a.objective, r.objective, 1e-6) << "seed " << s;
+    ASSERT_EQ(a.x.size(), b.x.size()) << "seed " << s;
+    for (std::size_t j = 0; j < a.x.size(); ++j) {
+      EXPECT_NEAR(a.x[j], b.x[j], 1e-5) << "seed " << s << " var " << j;
+    }
+  }
+  // Parent bases must actually seed child relaxations across the suite.
+  EXPECT_GT(warm_nodes, 0);
+}
+
+TEST(BranchBound, NodeMemoryStaysDeltaSized) {
+  // Every node beyond the root carries exactly one bound delta; a full
+  // bound-vector copy per node (the pre-warm-start implementation) would
+  // blow this count up by the tree depth. The static_assert on sizeof(Node)
+  // in branch_bound.cpp is the compile-time half of this guard.
+  long branched_instances = 0;
+  for (int k = 0; k < 20; ++k) {
+    const Model m = random_milp(31500u + static_cast<std::uint64_t>(k));
+    BranchBoundStats st;
+    const Solution sol = solve_milp(m, {}, nullptr, &st);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal) << k;
+    EXPECT_EQ(st.bound_deltas_allocated, st.nodes_created - 1) << k;
+    if (st.nodes_created > 1) ++branched_instances;
+  }
+  // The suite must contain instances that actually branch.
+  EXPECT_GT(branched_instances, 0);
+}
+
+TEST(BranchBound, RootWarmStartRoundTrip) {
+  const Model m = random_milp(31007);
+  WarmStart warm;
+  const Solution a = solve_milp(m, {}, &warm);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(warm.used);  // first root relaxation had no basis
+  ASSERT_TRUE(warm.basis.compatible_with(m));
+
+  const Solution b = solve_milp(m, {}, &warm);
+  EXPECT_TRUE(warm.used);  // second root relaxation accepted the basis
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(BranchBoundParallel, MatchesSerialOnSeededSuite) {
+  ThreadPool pool(4);
+  for (int k = 0; k < 100; ++k) {
+    const std::uint64_t s = 32000u + static_cast<std::uint64_t>(k);
+    const Model m = random_milp(s);
+
+    BranchBoundOptions serial_opt;
+    BranchBoundOptions par_opt;
+    par_opt.pool = &pool;
+
+    const Solution a = solve_milp(m, serial_opt);
+    const Solution b = solve_milp(m, par_opt);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal) << "seed " << s;
+    ASSERT_EQ(b.status, SolveStatus::kOptimal) << "seed " << s;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << s;
+    ASSERT_EQ(a.x.size(), b.x.size()) << "seed " << s;
+    for (std::size_t j = 0; j < a.x.size(); ++j) {
+      EXPECT_NEAR(a.x[j], b.x[j], 1e-5) << "seed " << s << " var " << j;
+    }
+  }
+}
+
+TEST(BranchBoundParallel, NestedCallFallsBackToSerial) {
+  // solve_milp invoked from inside the same pool (a Campaign worker calling
+  // admission checks, say) must not recurse into run_parallel; the nested
+  // call detects it is on a pool worker and runs serially.
+  ThreadPool pool(2);
+  const Model m = random_milp(32050);
+  const Solution want = solve_milp(m);
+  ASSERT_EQ(want.status, SolveStatus::kOptimal);
+
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&](int) {
+    BranchBoundOptions opt;
+    opt.pool = &pool;
+    const Solution got = solve_milp(m, opt);
+    if (got.status == SolveStatus::kOptimal &&
+        std::abs(got.objective - want.objective) < 1e-6) {
+      ok++;
+    }
+  });
+  EXPECT_EQ(ok.load(), 4);
 }
 
 TEST(SimplexEquivalence, SolutionCarriesWorkCounters) {

@@ -27,7 +27,12 @@ Demand make_demand(DemandId id, int pair, double mbps, double beta) {
   return d;
 }
 
-bool wait_for(const std::function<bool()>& cond, int ms = 8000) {
+// Deadlines are deliberately generous: under parallel ctest with sanitizers
+// the controller's scheduling round can stall for seconds at a time, and a
+// wait that exits early on a passing condition costs nothing.
+constexpr int kWaitMs = 30000;
+
+bool wait_for(const std::function<bool()>& cond, int ms = kWaitMs) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   while (std::chrono::steady_clock::now() < deadline) {
@@ -35,6 +40,24 @@ bool wait_for(const std::function<bool()>& cond, int ms = 8000) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return cond();
+}
+
+/// Event-driven variant for conditions over broker state: re-evaluates
+/// `cond` after each allocation update the broker receives (no fixed poll
+/// interval, no missed-update race: the update count is sampled before the
+/// condition, so an update landing in between wakes the next wait at once).
+bool wait_for_broker(const Broker& broker, const std::function<bool()>& cond,
+                     int ms = kWaitMs) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  for (;;) {
+    const int seen = broker.updates_received();
+    if (cond()) return true;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return cond();
+    broker.wait_updates_past(seen, static_cast<int>(left.count()));
+  }
 }
 
 TEST(Protocol, RoundTripsEveryMessageType) {
@@ -95,14 +118,17 @@ TEST_F(SystemFixture, SubmitAdmitAndEnforce) {
 
   // The broker must receive the allocation for (demand 1, pair 0) summing
   // to the demanded 200 Mbps.
-  EXPECT_TRUE(wait_for([&] {
+  EXPECT_TRUE(wait_for_broker(broker, [&] {
     return std::abs(broker.enforced_total(1, 0) - 200.0) < 1.0;
   })) << "enforced " << broker.enforced_total(1, 0);
 
+  // The broker can observe the update (and wake this thread) before the
+  // controller thread books it into stats, so the counter gets its own wait.
+  EXPECT_TRUE(
+      wait_for([&] { return controller->stats().allocation_updates_sent > 0; }));
   const auto stats = controller->stats();
   EXPECT_EQ(stats.demands_offered, 1);
   EXPECT_EQ(stats.demands_admitted, 1);
-  EXPECT_GT(stats.allocation_updates_sent, 0);
   broker.stop();
 }
 
@@ -134,7 +160,8 @@ TEST_F(SystemFixture, LinkFailureActivatesBackup) {
   UserClient user(controller->port());
 
   ASSERT_TRUE(user.submit(make_demand(1, 0, 300.0, 0.99)));
-  ASSERT_TRUE(wait_for([&] { return broker.enforced_total(1, 0) > 0.0; }));
+  ASSERT_TRUE(wait_for_broker(
+      broker, [&] { return broker.enforced_total(1, 0) > 0.0; }));
 
   // Find a link the allocation uses and report it down.
   const auto rates = broker.enforced_rates(1, 0);
@@ -149,13 +176,14 @@ TEST_F(SystemFixture, LinkFailureActivatesBackup) {
   ASSERT_NE(used, -1);
 
   broker.report_link(used, false);
-  EXPECT_TRUE(wait_for([&] { return broker.backup_active(); }));
+  EXPECT_TRUE(wait_for_broker(broker, [&] { return broker.backup_active(); }));
   const auto stats = controller->stats();
   EXPECT_EQ(stats.link_failures_handled, 1);
 
   // Repair: normal allocations are re-broadcast.
   broker.report_link(used, true);
-  EXPECT_TRUE(wait_for([&] { return !broker.backup_active(); }));
+  EXPECT_TRUE(
+      wait_for_broker(broker, [&] { return !broker.backup_active(); }));
   broker.stop();
 }
 
@@ -164,7 +192,8 @@ TEST_F(SystemFixture, EnforcerShapesToUpdatedRates) {
   broker.start();
   UserClient user(controller->port());
   ASSERT_TRUE(user.submit(make_demand(1, 0, 200.0, 0.99)));
-  ASSERT_TRUE(wait_for([&] { return broker.enforced_total(1, 0) > 150.0; }));
+  ASSERT_TRUE(wait_for_broker(
+      broker, [&] { return broker.enforced_total(1, 0) > 150.0; }));
 
   // Find the loaded tunnel and hammer it: the admitted volume over one
   // second must approximate the enforced rate.
@@ -206,10 +235,10 @@ TEST_F(SystemFixture, MultipleBrokersReceiveUpdates) {
   b2.start();
   UserClient user(controller->port());
   ASSERT_TRUE(user.submit(make_demand(1, 5, 150.0, 0.95)));
-  EXPECT_TRUE(wait_for([&] {
-    return b1.enforced_total(1, 5) > 100.0 &&
-           b2.enforced_total(1, 5) > 100.0;
-  }));
+  EXPECT_TRUE(wait_for_broker(
+      b1, [&] { return b1.enforced_total(1, 5) > 100.0; }));
+  EXPECT_TRUE(wait_for_broker(
+      b2, [&] { return b2.enforced_total(1, 5) > 100.0; }));
   b1.stop();
   b2.stop();
 }

@@ -21,6 +21,12 @@
 //                   derived arithmetic stay double; mixing float silently
 //                   halves the mantissa and breaks the availability
 //                   guarantee's tolerance analysis.
+//   cold-solve      src/core: a solve_lp / solve_milp call inside a loop
+//                   must pass a warm-start (an argument mentioning
+//                   warm/basis) — re-solves in a loop are exactly where a
+//                   reusable basis pays (DESIGN.md "Solver performance").
+//                   Deliberate cold solves carry a `// cold-start: <reason>`
+//                   comment on the call or just above it.
 //
 // Escape hatch: a line containing `bate-lint: allow(<rule>)` disables the
 // named rule for that line (or, on a function's opening line, for the
@@ -232,6 +238,76 @@ void check_solver_double(const fs::path& file,
   }
 }
 
+// --- Rule: cold-solve -------------------------------------------------------
+
+/// src/core .cpp files: flags solve_lp / solve_milp calls inside a loop
+/// body that pass no warm-start. Heuristic tier: a call "passes a
+/// warm-start" when the call text (the line plus up to three continuation
+/// lines) mentions a warm/basis identifier; a loop is a `for`/`while` whose
+/// brace body is still open. Allowlisted by a `// cold-start: <reason>`
+/// comment on the call line or one of the four raw lines above it (so the
+/// reason can be a short comment block).
+void check_cold_solve(const fs::path& file,
+                      const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw) {
+  int depth = 0;
+  bool pending_loop = false;   // saw for/while, waiting for its `{`
+  std::vector<int> loop_depths;  // brace depth of each open loop body
+
+  auto call_is_allowed = [&](std::size_t i) {
+    for (std::size_t back = 0; back <= 4 && back <= i; ++back) {
+      if (raw[i - back].find("cold-start:") != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (!loop_depths.empty()) {
+      for (const char* call : {"solve_lp(", "solve_milp("}) {
+        if (line.find(call) == std::string::npos) continue;
+        std::string text = line;
+        for (std::size_t j = i + 1; j < code.size() && j <= i + 3; ++j) {
+          text += code[j];
+        }
+        const bool warm = text.find("warm") != std::string::npos ||
+                          text.find("Warm") != std::string::npos ||
+                          text.find("basis") != std::string::npos ||
+                          text.find("Basis") != std::string::npos;
+        if (!warm && !call_is_allowed(i)) {
+          report(file, static_cast<int>(i + 1), "cold-solve",
+                 std::string(call) +
+                     "...) inside a loop discards the previous iteration's "
+                     "basis; pass a WarmStart or annotate `// cold-start: "
+                     "<reason>`");
+        }
+      }
+    }
+    if (contains_token(line, "for") || contains_token(line, "while")) {
+      pending_loop = true;
+    }
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+      } else if (c == '}') {
+        while (!loop_depths.empty() && loop_depths.back() >= depth) {
+          loop_depths.pop_back();
+        }
+        --depth;
+      }
+    }
+    // `for (...) stmt;` without braces: the pending loop dies at the `;`.
+    if (pending_loop && line.find(';') != std::string::npos &&
+        line.find('{') == std::string::npos) {
+      pending_loop = false;
+    }
+  }
+}
+
 // --- Rule: guarded-field ----------------------------------------------------
 
 struct GuardedField {
@@ -409,6 +485,9 @@ int main(int argc, char** argv) {
       check_naked_new(rel, code_lines, raw_lines);
       if (rel.string().rfind("src/solver", 0) == 0) {
         check_solver_double(rel, code_lines, raw_lines);
+      }
+      if (source && rel.string().rfind("src/core", 0) == 0) {
+        check_cold_solve(rel, code_lines, raw_lines);
       }
       if (source && (rel.string().rfind("src/system", 0) == 0 ||
                      rel.string().rfind("src/net", 0) == 0 ||

@@ -5,8 +5,9 @@
 #   2. asan-ubsan  AddressSanitizer + UndefinedBehaviorSanitizer, -Werror
 #   3. tsan        ThreadSanitizer over the concurrency-sensitive suites
 #   4. lint        bate_lint (always) + clang-tidy (when installed)
-#   5. bench-smoke bench_solver with a tiny rep count; validates the emitted
-#                  BENCH json against the schema (tools/bench_report.h)
+#   5. bench-smoke bench_solver + bench_milp with a tiny rep count;
+#                  validates the emitted BENCH json against the schema
+#                  (tools/bench_report.h)
 #
 # Every leg uses the CMakePresets.json presets, so a CI runner and a
 # developer shell run the identical configuration. Legs can be selected:
@@ -59,12 +60,16 @@ for leg in "${legs[@]}"; do
       fi
       ;;
     bench-smoke)
-      banner "bench-smoke (bench_solver --reps 1 + schema validation)"
+      banner "bench-smoke (bench_solver + bench_milp --reps 1 + schema validation)"
       cmake --preset dev
-      cmake --build --preset dev -j "$(nproc)" --target bench_solver
+      cmake --build --preset dev -j "$(nproc)" --target bench_solver bench_milp
       smoke_json=$(mktemp /tmp/BENCH_solver_smoke.XXXXXX.json)
       "build/dev/bench/bench_solver" --reps 1 --out "$smoke_json"
       "build/dev/bench/bench_solver" --validate "$smoke_json"
+      rm -f "$smoke_json"
+      smoke_json=$(mktemp /tmp/BENCH_milp_smoke.XXXXXX.json)
+      "build/dev/bench/bench_milp" --reps 1 --out "$smoke_json"
+      "build/dev/bench/bench_milp" --validate "$smoke_json"
       rm -f "$smoke_json"
       ;;
     *)
