@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "solver/presolve.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -406,18 +407,10 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
   return out;
 }
 
-}  // namespace
-
-Solution solve_milp(const Model& model, const BranchBoundOptions& options,
-                    WarmStart* root_warm, BranchBoundStats* stats) {
-  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
-  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
-                  "branch_bound: integer_tol outside (0, 0.5)");
-  BranchBoundStats local;
-  BranchBoundStats& st = stats != nullptr ? *stats : local;
-  st = BranchBoundStats{};
-  if (!model.has_integers()) return solve_lp(model, options.lp, root_warm);
-
+/// The branch & bound search itself, on whatever model it is given (the
+/// presolved reduction or, when presolve is off, the original).
+Solution run_search(const Model& model, const BranchBoundOptions& options,
+                    WarmStart* root_warm, BranchBoundStats& st) {
   Search s{model,
            options,
            model.sense() == Sense::kMaximize,
@@ -436,6 +429,84 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options,
   }
   return pool != nullptr ? run_parallel(s, std::move(root), root_warm, st, *pool)
                          : run_serial(s, std::move(root), root_warm, st);
+}
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const BranchBoundOptions& options,
+                    WarmStart* root_warm, BranchBoundStats* stats) {
+  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
+  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
+                  "branch_bound: integer_tol outside (0, 0.5)");
+  BranchBoundStats local;
+  BranchBoundStats& st = stats != nullptr ? *stats : local;
+  st = BranchBoundStats{};
+  if (!model.has_integers()) return solve_lp(model, options.lp, root_warm);
+
+  // Presolve once at the root (MILP mode: integer bounds rounded inward,
+  // continuous-only reductions skipped) and search the reduced model; the
+  // per-node bound deltas compose on top of the reduction because branching
+  // only ever touches integer columns that survived it. Nodes solve with
+  // presolve off — the root reduction already covers them.
+  if (!options.lp.presolve || options.lp.reference_mode) {
+    return run_search(model, options, root_warm, st);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  PresolveOptions popt;
+  popt.for_milp = true;
+  PresolveResult pre = presolve_model(model, popt);
+  const long pus = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  if (pre.infeasible) {
+    Solution sol;
+    sol.status = SolveStatus::kInfeasible;
+    sol.x.resize(static_cast<std::size_t>(model.variable_count()));
+    for (int j = 0; j < model.variable_count(); ++j) {
+      sol.x[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    }
+    sol.rows_removed = pre.stats.rows_removed;
+    sol.cols_removed = pre.stats.cols_removed;
+    sol.presolve_us = pus;
+    if (root_warm) {
+      // Same contract as solve_lp: the handle keeps a full-shape basis even
+      // when presolve settles the verdict before the engine runs.
+      root_warm->used = false;
+      root_warm->basis = slack_basis(model);
+    }
+    return sol;
+  }
+  BranchBoundOptions inner = options;
+  inner.lp.presolve = false;
+  if (pre.post.trivial()) {
+    Solution sol = run_search(model, inner, root_warm, st);
+    sol.presolve_us = pus;
+    return sol;
+  }
+  WarmStart reduced_warm;
+  WarmStart* rw = nullptr;
+  if (root_warm) {
+    root_warm->used = false;
+    if (!root_warm->basis.empty() && root_warm->basis.compatible_with(model)) {
+      reduced_warm.basis = pre.post.to_reduced(root_warm->basis);
+    }
+    rw = &reduced_warm;
+  }
+  // Search even when every integer column was fixed by the reduction: the
+  // root node still counts in the stats contract (nodes_created >= 1 with
+  // bound_deltas_allocated == nodes_created - 1), and an integer-free root
+  // relaxation is immediately integer-feasible anyway.
+  Solution red = run_search(pre.reduced, inner, rw, st);
+  red.duals.clear();  // branch & bound returns no duals (Solution contract)
+  Solution sol = pre.post.expand(model, red);
+  sol.rows_removed = pre.stats.rows_removed;
+  sol.cols_removed = pre.stats.cols_removed;
+  sol.presolve_us = pus;
+  if (root_warm) {
+    root_warm->used = rw->used;
+    root_warm->basis = pre.post.to_full(rw->basis, red.x);
+  }
+  return sol;
 }
 
 }  // namespace bate

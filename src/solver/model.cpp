@@ -1,7 +1,7 @@
 #include "solver/model.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 namespace bate {
@@ -27,20 +27,25 @@ void Model::set_integer(int var) {
 }
 
 void Model::add_constraint(std::vector<Term> terms, Relation rel, double rhs) {
-  // Accumulate duplicates and validate indices.
-  std::map<int, double> acc;
+  // Validate indices, then sort + merge duplicates in place and move the
+  // vector into the row — the builders call this once per row in tight
+  // loops, and the former std::map accumulator allocated a node per term.
   for (const Term& t : terms) {
     if (t.var < 0 || t.var >= variable_count()) {
       throw std::out_of_range("Model: constraint references unknown variable");
     }
-    acc[t.var] += t.coef;
   }
-  std::vector<Term> merged;
-  merged.reserve(acc.size());
-  for (const auto& [var, coef] : acc) {
-    if (coef != 0.0) merged.push_back({var, coef});
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms.size();) {
+    const int var = terms[i].var;
+    double coef = 0.0;
+    for (; i < terms.size() && terms[i].var == var; ++i) coef += terms[i].coef;
+    if (coef != 0.0) terms[out++] = {var, coef};
   }
-  constraints_.push_back({std::move(merged), rel, rhs});
+  terms.resize(out);
+  constraints_.push_back({std::move(terms), rel, rhs});
 }
 
 bool Model::has_integers() const {
@@ -51,17 +56,20 @@ bool Model::has_integers() const {
 }
 
 double Model::row_activity(int row, const std::vector<double>& x) const {
-  const Constraint& c = constraints_.at(static_cast<std::size_t>(row));
+  BATE_DCHECK(row >= 0 && row < constraint_count());
+  BATE_DCHECK(x.size() >= variables_.size());
+  const Constraint& c = constraints_[static_cast<std::size_t>(row)];
   double a = 0.0;
-  for (const Term& t : c.terms) a += t.coef * x.at(static_cast<std::size_t>(t.var));
+  for (const Term& t : c.terms) a += t.coef * x[static_cast<std::size_t>(t.var)];
   return a;
 }
 
 double Model::objective_value(const std::vector<double>& x) const {
+  BATE_DCHECK(x.size() >= variables_.size());
   double obj = 0.0;
   for (int i = 0; i < variable_count(); ++i) {
     obj += variables_[static_cast<std::size_t>(i)].objective *
-           x.at(static_cast<std::size_t>(i));
+           x[static_cast<std::size_t>(i)];
   }
   return obj;
 }

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
+
 namespace bate {
 
 inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -59,12 +61,20 @@ class Model {
 
   int variable_count() const { return static_cast<int>(variables_.size()); }
   int constraint_count() const { return static_cast<int>(constraints_.size()); }
+  // Hot-path accessors: the solver and the model builders index these in
+  // inner loops, so bounds are a debug-build contract (BATE_DCHECK), not a
+  // per-call branch + throw.
   const Variable& variable(int i) const {
-    return variables_.at(static_cast<std::size_t>(i));
+    BATE_DCHECK(i >= 0 && i < variable_count());
+    return variables_[static_cast<std::size_t>(i)];
   }
-  Variable& variable(int i) { return variables_.at(static_cast<std::size_t>(i)); }
+  Variable& variable(int i) {
+    BATE_DCHECK(i >= 0 && i < variable_count());
+    return variables_[static_cast<std::size_t>(i)];
+  }
   const Constraint& constraint(int i) const {
-    return constraints_.at(static_cast<std::size_t>(i));
+    BATE_DCHECK(i >= 0 && i < constraint_count());
+    return constraints_[static_cast<std::size_t>(i)];
   }
   const std::vector<Variable>& variables() const { return variables_; }
   const std::vector<Constraint>& constraints() const { return constraints_; }
@@ -102,6 +112,12 @@ struct Solution {
   long pivots = 0;
   /// Branch & bound nodes whose relaxation was solved (0 for plain LPs).
   long nodes = 0;
+  /// Presolve work counters (solver/presolve.h): rows/columns removed from
+  /// the model before the simplex saw it, and the time the reduction took.
+  /// All zero when presolve was off, trivial, or in reference mode.
+  int rows_removed = 0;
+  int cols_removed = 0;
+  long presolve_us = 0;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,11 +1,13 @@
 #include "solver/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "solver/presolve.h"
 #include "util/check.h"
 
 namespace bate {
@@ -852,14 +854,9 @@ class SimplexEngine {
   bool gave_up_ = false;
 };
 
-}  // namespace
-
-Solution solve_lp(const Model& model, const SimplexOptions& options,
-                  WarmStart* warm) {
-  validate_model(model);
-  BATE_ASSERT_MSG(options.iteration_limit > 0 && options.tol > 0.0 &&
-                      options.pivot_tol > 0.0,
-                  "simplex: nonsensical options");
+/// The simplex proper, after presolve (or directly when presolve is off).
+Solution solve_lp_core(const Model& model, const SimplexOptions& options,
+                       WarmStart* warm) {
   if (warm) warm->used = false;
   if (model.constraint_count() == 0) {
     // Pure bound problem: each variable sits at its best bound.
@@ -901,6 +898,71 @@ Solution solve_lp(const Model& model, const SimplexOptions& options,
   SimplexEngine engine(model, options);
   Solution sol = engine.run();
   if (warm) warm->basis = engine.export_basis();
+  return sol;
+}
+
+}  // namespace
+
+Solution solve_lp(const Model& model, const SimplexOptions& options,
+                  WarmStart* warm) {
+  validate_model(model);
+  BATE_ASSERT_MSG(options.iteration_limit > 0 && options.tol > 0.0 &&
+                      options.pivot_tol > 0.0,
+                  "simplex: nonsensical options");
+  // Reference mode bypasses presolve the same way it bypasses pricing and
+  // warm starts: it is the pre-overhaul baseline, byte for byte.
+  if (!options.presolve || options.reference_mode) {
+    return solve_lp_core(model, options, warm);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  PresolveResult pre = presolve_model(model);
+  const long pus = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  if (pre.infeasible) {
+    Solution sol;
+    sol.status = SolveStatus::kInfeasible;
+    sol.x.resize(static_cast<std::size_t>(model.variable_count()));
+    for (int j = 0; j < model.variable_count(); ++j) {
+      sol.x[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    }
+    sol.rows_removed = pre.stats.rows_removed;
+    sol.cols_removed = pre.stats.cols_removed;
+    sol.presolve_us = pus;
+    if (warm) {
+      // The handle must hold a full-shape basis after every solve (the
+      // engine exports one even for infeasible models); with no engine run,
+      // hand back the cold-start slack basis.
+      warm->used = false;
+      warm->basis = slack_basis(model);
+    }
+    return sol;
+  }
+  if (pre.post.trivial()) {
+    Solution sol = solve_lp_core(model, options, warm);
+    sol.presolve_us = pus;
+    return sol;
+  }
+  // Warm bases live in full-model space (the external contract is
+  // unchanged); translate through the reduction both ways.
+  WarmStart reduced_warm;
+  WarmStart* rw = nullptr;
+  if (warm) {
+    warm->used = false;
+    if (!warm->basis.empty() && warm->basis.compatible_with(model)) {
+      reduced_warm.basis = pre.post.to_reduced(warm->basis);
+    }
+    rw = &reduced_warm;
+  }
+  const Solution red = solve_lp_core(pre.reduced, options, rw);
+  Solution sol = pre.post.expand(model, red);
+  sol.rows_removed = pre.stats.rows_removed;
+  sol.cols_removed = pre.stats.cols_removed;
+  sol.presolve_us = pus;
+  if (warm) {
+    warm->used = rw->used;
+    warm->basis = pre.post.to_full(rw->basis, red.x);
+  }
   return sol;
 }
 

@@ -95,6 +95,11 @@ struct SimplexOptions {
   /// a refactorization every iteration. Orders of magnitude slower; only for
   /// tests and the bench_solver before/after comparison.
   bool reference_mode = false;
+  /// Shrink the model with solver/presolve.h before solving and map the
+  /// solution (primal, duals, basis) back afterwards. `reference_mode`
+  /// ignores it, the same contract as pricing and warm starts. Branch &
+  /// bound presolves once at the root and searches the reduced model.
+  bool presolve = true;
 };
 
 /// Solves the LP (integrality markers are ignored). Throws

@@ -14,9 +14,11 @@
 #include <random>
 
 #include "core/admission.h"
+#include "core/recovery.h"
 #include "core/scheduling.h"
 #include "routing/tunnels.h"
 #include "solver/branch_bound.h"
+#include "solver/presolve.h"
 #include "solver/simplex.h"
 #include "topology/catalog.h"
 #include "util/thread_pool.h"
@@ -389,6 +391,257 @@ TEST(SimplexEquivalence, SolutionCarriesWorkCounters) {
   EXPECT_GT(sol.iterations, 0);
   EXPECT_GT(sol.pivots, 0);
   EXPECT_LE(sol.pivots, sol.iterations);
+}
+
+// --- Presolve: reductions must be invisible in every result --------------
+
+/// Verifies the recovered duals certify optimality of `sol` on the FULL
+/// model: row duals sign-valid for their relation, reduced costs sign-valid
+/// for the bound they price, and the dual objective (y'b plus bound
+/// contributions of the reduced costs) equal to the primal optimum. This is
+/// strong duality checked directly — a presolved solve has to reconstruct
+/// duals for rows the simplex never saw, and this catches any wrong
+/// reconstruction.
+void expect_strong_duality(const Model& model, const Solution& sol,
+                           const std::string& what) {
+  const int n = model.variable_count();
+  const int m = model.constraint_count();
+  ASSERT_EQ(sol.duals.size(), static_cast<std::size_t>(m)) << what;
+  const bool maximize = model.sense() == Sense::kMaximize;
+
+  // Work in min sense (flip objective and duals together for max models).
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        maximize ? -sol.duals[static_cast<std::size_t>(i)]
+                 : sol.duals[static_cast<std::size_t>(i)];
+    switch (model.constraint(i).relation) {
+      case Relation::kLessEqual:
+        EXPECT_LE(y[static_cast<std::size_t>(i)], 1e-6)
+            << what << " row " << i;
+        break;
+      case Relation::kGreaterEqual:
+        EXPECT_GE(y[static_cast<std::size_t>(i)], -1e-6)
+            << what << " row " << i;
+        break;
+      case Relation::kEqual:
+        break;  // any sign
+    }
+  }
+  std::vector<double> d(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double c = model.variable(j).objective;
+    d[static_cast<std::size_t>(j)] = maximize ? -c : c;
+  }
+  double dual_obj = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = model.constraint(i);
+    dual_obj += y[static_cast<std::size_t>(i)] * c.rhs;
+    for (const Term& t : c.terms) {
+      d[static_cast<std::size_t>(t.var)] -=
+          y[static_cast<std::size_t>(i)] * t.coef;
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = model.variable(j);
+    const double dj = d[static_cast<std::size_t>(j)];
+    if (dj > 0.0) {
+      dual_obj += dj * v.lower;  // lower bounds are finite by contract
+    } else if (dj < 0.0) {
+      if (v.upper == kInfinity) {
+        // A strictly negative reduced cost on an unbounded column would
+        // mean the certificate is broken (beyond simplex tolerance noise).
+        EXPECT_LE(-dj, 1e-6) << what << " var " << j;
+      } else {
+        dual_obj += dj * v.upper;
+      }
+    }
+  }
+  const double prim = maximize ? -sol.objective : sol.objective;
+  EXPECT_NEAR(dual_obj, prim, 1e-5 * (1.0 + std::abs(prim))) << what;
+}
+
+void expect_presolve_equivalent(const Model& model, const std::string& what) {
+  const Solution ref = reference_solve(model);
+  const Solution fast = solve_lp(model);  // presolve on by default
+  ASSERT_EQ(fast.status, ref.status) << what;
+  if (ref.status != SolveStatus::kOptimal) return;
+  const double denom = std::max(1.0, std::abs(ref.objective));
+  EXPECT_LE(std::abs(fast.objective - ref.objective) / denom, kRelTol) << what;
+  // The expanded primal point must be feasible for the FULL model, not just
+  // the reduction the simplex saw.
+  EXPECT_TRUE(model.feasible(fast.x, 1e-6)) << what;
+  expect_strong_duality(model, fast, what);
+}
+
+class PresolveEquivalenceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalenceRandom, MatchesReferenceWithValidDuals) {
+  // The same 200 seeded LPs as the fast-path equivalence suite, but now
+  // also checking full-model primal feasibility and the recovered dual
+  // certificate on every optimal instance.
+  const int seed = GetParam();
+  for (int k = 0; k < 10; ++k) {
+    const std::uint64_t s =
+        9000u + static_cast<std::uint64_t>(seed) * 10u +
+        static_cast<std::uint64_t>(k);
+    expect_presolve_equivalent(random_lp(s),
+                               "presolve random_lp seed " + std::to_string(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalenceRandom,
+                         ::testing::Range(0, 20));
+
+TEST(PresolveEquivalence, NonDefaultOptionsMatchReference) {
+  // Geometric-mean scaling and LP-mode lower-bound lifting are off by
+  // default (presolve.h explains the measurements); this keeps both code
+  // paths — and their postsolve transfers — under the same equivalence
+  // bar as the default configuration.
+  PresolveOptions popt;
+  popt.scale = true;
+  popt.tighten_lower = true;
+  for (std::uint64_t s = 9600; s < 9660; ++s) {
+    const std::string what =
+        "presolve all-options random_lp seed " + std::to_string(s);
+    const Model model = random_lp(s);
+    const Solution ref = reference_solve(model);
+    const auto pre = presolve_model(model, popt);
+    Solution fast;
+    if (pre.infeasible) {
+      fast.status = SolveStatus::kInfeasible;
+    } else {
+      SimplexOptions off;
+      off.presolve = false;
+      fast = pre.post.expand(model, solve_lp(pre.reduced, off));
+    }
+    ASSERT_EQ(fast.status, ref.status) << what;
+    if (ref.status != SolveStatus::kOptimal) continue;
+    const double denom = std::max(1.0, std::abs(ref.objective));
+    EXPECT_LE(std::abs(fast.objective - ref.objective) / denom, kRelTol)
+        << what;
+    EXPECT_TRUE(model.feasible(fast.x, 1e-6)) << what;
+    expect_strong_duality(model, fast, what);
+  }
+}
+
+TEST(PresolveEquivalence, BuilderModels) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 3);
+  TrafficScheduler sched(topo, catalog);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto demands = small_demands(catalog, seed);
+    expect_presolve_equivalent(sched.build_schedule_model(demands),
+                               "presolve schedule seed " +
+                                   std::to_string(seed));
+    expect_presolve_equivalent(build_admission_model(sched, demands),
+                               "presolve admission seed " +
+                                   std::to_string(seed));
+    const std::vector<LinkId> failed = {0};
+    expect_presolve_equivalent(
+        build_recovery_model(topo, catalog, demands, failed),
+        "presolve recovery seed " + std::to_string(seed));
+  }
+}
+
+TEST(PresolveEquivalence, AllVariablesFixed) {
+  // Presolve substitutes every variable; no simplex runs at all.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.add_variable(2.0, 2.0, 3.0);
+  m.add_variable(-1.0, -1.0, 5.0);
+  m.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
+  const Solution sol = solve_lp(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.iterations, 0);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-12);
+  ASSERT_EQ(sol.x.size(), 2u);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-12);
+  EXPECT_NEAR(sol.x[1], -1.0, 1e-12);
+  expect_strong_duality(m, sol, "all-fixed");
+  expect_presolve_equivalent(m, "all-fixed vs reference");
+}
+
+TEST(PresolveEquivalence, EmptyConstraintRows) {
+  // A termless row is satisfied or violated by its rhs alone; presolve
+  // drops the satisfied one and proves the violated one infeasible.
+  Model ok;
+  ok.add_variable(0.0, 5.0, 1.0);
+  ok.add_constraint({}, Relation::kLessEqual, 1.0);
+  ok.add_constraint({{0, 1.0}}, Relation::kGreaterEqual, 2.0);
+  expect_presolve_equivalent(ok, "empty satisfied row");
+
+  Model bad;
+  bad.add_variable(0.0, 5.0, 1.0);
+  bad.add_constraint({}, Relation::kLessEqual, -1.0);
+  const Solution sol = solve_lp(bad);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  expect_presolve_equivalent(bad, "empty violated row");
+}
+
+TEST(PresolveEquivalence, FreeSlackColumnAbsorbsRow) {
+  // A zero-cost unbounded column alone in one >= row acts as a free
+  // surplus: the row is dropped and postsolve reconstructs the column's
+  // value from the row it absorbed.
+  Model m;
+  m.add_variable(0.0, kInfinity, 1.0);   // x0, minimized
+  m.add_variable(0.0, kInfinity, 0.0);   // s, free slack
+  m.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 2.0);
+  const Solution sol = solve_lp(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+  ASSERT_EQ(sol.x.size(), 2u);
+  // x0 = 0 is optimal; the reconstructed s must make the row feasible.
+  EXPECT_GE(sol.x[0] + sol.x[1], 2.0 - 1e-9);
+  expect_presolve_equivalent(m, "free slack");
+}
+
+TEST(PresolveEquivalence, InfeasibleByPropagation) {
+  // Bound propagation proves the row unsatisfiable; the verdict arrives
+  // with zero simplex iterations.
+  Model m;
+  m.add_variable(0.0, 1.0, 1.0);
+  m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 5.0);
+  const Solution sol = solve_lp(m);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(sol.iterations, 0);
+  expect_presolve_equivalent(m, "infeasible by propagation");
+}
+
+TEST(PresolveEquivalence, MilpVerdictsMatchPresolveOff) {
+  for (int k = 0; k < 50; ++k) {
+    const std::uint64_t s = 33000u + static_cast<std::uint64_t>(k);
+    const Model m = random_milp(s);
+    BranchBoundOptions off;
+    off.lp.presolve = false;
+    const Solution a = solve_milp(m, {});
+    const Solution b = solve_milp(m, off);
+    ASSERT_EQ(a.status, b.status) << "seed " << s;
+    if (a.status != SolveStatus::kOptimal) continue;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << s;
+    EXPECT_TRUE(m.feasible(a.x, 1e-6)) << "seed " << s;
+  }
+}
+
+TEST(PresolveEquivalence, SolutionCarriesPresolveCounters) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 3);
+  TrafficScheduler sched(topo, catalog);
+  const Model model = sched.build_schedule_model(small_demands(catalog, 21));
+
+  const Solution on = solve_lp(model);
+  ASSERT_EQ(on.status, SolveStatus::kOptimal);
+  EXPECT_GT(on.rows_removed, 0);
+  EXPECT_GT(on.cols_removed, 0);
+  EXPECT_GE(on.presolve_us, 0);
+
+  SimplexOptions off_opt;
+  off_opt.presolve = false;
+  const Solution off = solve_lp(model, off_opt);
+  EXPECT_EQ(off.rows_removed, 0);
+  EXPECT_EQ(off.cols_removed, 0);
+  EXPECT_EQ(off.presolve_us, 0);
 }
 
 }  // namespace

@@ -21,6 +21,12 @@
 //                   derived arithmetic stay double; mixing float silently
 //                   halves the mantissa and breaks the availability
 //                   guarantee's tolerance analysis.
+//   header-contract src/solver headers open with a contract comment (the
+//                   `//` block stating what the component guarantees and
+//                   under which tolerances) and `#pragma once` immediately
+//                   follows it. The solver is the subsystem where the
+//                   contracts carry numerical-tolerance arguments the code
+//                   cannot express; a header without one is unreviewable.
 //   cold-solve      src/core: a solve_lp / solve_milp call inside a loop
 //                   must pass a warm-start (an argument mentioning
 //                   warm/basis) — re-solves in a loop are exactly where a
@@ -235,6 +241,31 @@ void check_solver_double(const fs::path& file,
              "solver arithmetic must stay double (simplex tolerance "
              "analysis assumes a 52-bit mantissa)");
     }
+  }
+}
+
+// --- Rule: header-contract --------------------------------------------------
+
+/// src/solver headers: the file opens with a `//` contract-comment block and
+/// `#pragma once` is the first non-comment line after it.
+void check_header_contract(const fs::path& file,
+                           const std::vector<std::string>& raw) {
+  std::size_t i = 0;
+  while (i < raw.size() &&
+         raw[i].find_first_not_of(" \t") == std::string::npos) {
+    ++i;
+  }
+  if (i >= raw.size() || raw[i].rfind("//", 0) != 0) {
+    report(file, 1, "header-contract",
+           "src/solver header must open with a contract comment "
+           "(what the component guarantees, under which tolerances)");
+    return;
+  }
+  while (i < raw.size() && raw[i].rfind("//", 0) == 0) ++i;
+  if (i >= raw.size() || raw[i].find("#pragma once") == std::string::npos) {
+    report(file, static_cast<int>(i + 1), "header-contract",
+           "#pragma once must immediately follow the opening contract "
+           "comment");
   }
 }
 
@@ -485,6 +516,7 @@ int main(int argc, char** argv) {
       check_naked_new(rel, code_lines, raw_lines);
       if (rel.string().rfind("src/solver", 0) == 0) {
         check_solver_double(rel, code_lines, raw_lines);
+        if (header) check_header_contract(rel, raw_lines);
       }
       if (source && rel.string().rfind("src/core", 0) == 0) {
         check_cold_solve(rel, code_lines, raw_lines);

@@ -1,5 +1,6 @@
 #include "bench_report.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -215,7 +216,7 @@ void write_bench_json(const BenchReport& report, const std::string& path) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": " << quote(report.bench) << ",\n";
-  out << "  \"schema_version\": 1,\n";
+  out << "  \"schema_version\": 2,\n";
   out << "  \"cases\": [";
   for (std::size_t i = 0; i < report.cases.size(); ++i) {
     const BenchCase& c = report.cases[i];
@@ -259,8 +260,9 @@ std::string validate_bench_json(const std::string& path) {
     return "missing or empty string field 'bench'";
   }
   const JsonValue* ver = root.find("schema_version");
-  if (!ver || ver->kind != JsonValue::Kind::kNumber || ver->number != 1.0) {
-    return "missing field 'schema_version' or version != 1";
+  if (!ver || ver->kind != JsonValue::Kind::kNumber ||
+      (ver->number != 1.0 && ver->number != 2.0)) {
+    return "missing field 'schema_version' or version not in {1, 2}";
   }
   const JsonValue* cases = root.find("cases");
   if (!cases || cases->kind != JsonValue::Kind::kArray) {
@@ -287,6 +289,80 @@ std::string validate_bench_json(const std::string& path) {
     }
   }
   return "";
+}
+
+namespace {
+
+/// (case name, median_ms) pairs of a validated BENCH file, in file order.
+std::string load_medians(
+    const std::string& path,
+    std::vector<std::pair<std::string, double>>* out) {
+  const std::string err = validate_bench_json(path);
+  if (!err.empty()) return path + ": " + err;
+  std::ifstream f(path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const JsonValue root = JsonParser(buf.str()).parse();  // validated above
+  for (const JsonValue& c : root.find("cases")->array) {
+    const JsonValue* median = c.find("metrics")->find("median_ms");
+    if (median != nullptr) {
+      out->emplace_back(c.find("name")->str, median->number);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+BenchCompareResult compare_bench_json(const std::string& old_path,
+                                      const std::string& new_path,
+                                      double max_regress) {
+  BenchCompareResult res;
+  std::vector<std::pair<std::string, double>> old_cases;
+  std::vector<std::pair<std::string, double>> new_cases;
+  std::string err = load_medians(old_path, &old_cases);
+  if (err.empty()) err = load_medians(new_path, &new_cases);
+  if (!err.empty()) {
+    res.report = err;
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "  case                       old_ms     new_ms      ratio\n";
+  std::vector<double> ratios;
+  for (const auto& [name, new_ms] : new_cases) {
+    for (const auto& [old_name, old_ms] : old_cases) {
+      if (old_name != name) continue;
+      // A sub-resolution old timing cannot anchor a ratio; list it as
+      // informational only.
+      char line[160];
+      if (old_ms > 1e-6) {
+        const double ratio = new_ms / old_ms;
+        ratios.push_back(ratio);
+        std::snprintf(line, sizeof(line), "  %-24s %9.3f  %9.3f  %8.2fx\n",
+                      name.c_str(), old_ms, new_ms, ratio);
+      } else {
+        std::snprintf(line, sizeof(line), "  %-24s %9.3f  %9.3f         -\n",
+                      name.c_str(), old_ms, new_ms);
+      }
+      out << line;
+      break;
+    }
+  }
+  if (ratios.empty()) {
+    res.report = "no case with a comparable median_ms appears in both files";
+    return res;
+  }
+  std::sort(ratios.begin(), ratios.end());
+  res.median_ratio = ratios[ratios.size() / 2];
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "  median ratio %.2fx over %zu shared cases (limit %.2fx)\n",
+                res.median_ratio, ratios.size(), 1.0 + max_regress);
+  out << summary;
+  res.ok = res.median_ratio <= 1.0 + max_regress;
+  res.report = out.str();
+  return res;
 }
 
 }  // namespace bate

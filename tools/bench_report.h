@@ -6,7 +6,7 @@
 //
 //   {
 //     "bench": "solver",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "cases": [
 //       {"name": "testbed6_d12",
 //        "metrics": {"median_ms": 0.41, "p95_ms": 0.47, ...}},
@@ -14,9 +14,16 @@
 //     ]
 //   }
 //
+// Schema history: v2 (presolve PR) added the presolve metrics
+// (rows_removed_pct, cols_removed_pct, presolve_us, nopresolve_median_ms,
+// speedup_vs_nopresolve) to the solver bench; the container shape is
+// unchanged, so the validator accepts v1 files too and the version field is
+// informational for downstream diffing.
+//
 // validate_bench_json re-parses an emitted file with a minimal hand-rolled
-// JSON reader (no third-party deps) and checks exactly that shape; the CI
-// bench-smoke leg (tools/ci.sh) runs it on every push.
+// JSON reader (no third-party deps) and checks exactly that shape;
+// compare_bench_json diffs two reports and flags perf regressions. The CI
+// bench-smoke leg (tools/ci.sh) runs both on every push.
 #pragma once
 
 #include <string>
@@ -40,8 +47,30 @@ struct BenchReport {
 /// cannot be written or a metric value is not finite.
 void write_bench_json(const BenchReport& report, const std::string& path);
 
-/// Parses `path` and checks the BENCH schema above. Returns an empty string
-/// on success, else a one-line description of the first violation.
+/// Parses `path` and checks the BENCH schema above (version 1 or 2).
+/// Returns an empty string on success, else a one-line description of the
+/// first violation.
 std::string validate_bench_json(const std::string& path);
+
+/// Outcome of comparing two BENCH reports (see compare_bench_json).
+struct BenchCompareResult {
+  /// False when either file is invalid, the reports share no comparable
+  /// cases, or the median slowdown exceeds the allowed regression.
+  bool ok = false;
+  /// Median over shared cases of new_median_ms / old_median_ms (1.0 = no
+  /// change, 1.2 = 20% slower). 0 when no cases were comparable.
+  double median_ratio = 0.0;
+  /// Human-readable per-case table plus a pass/fail summary line.
+  std::string report;
+};
+
+/// Compares the `median_ms` metric of every case present in both files and
+/// fails when the MEDIAN per-case slowdown exceeds `max_regress` (0.2 means
+/// "fail beyond 20% slower"). The median — not the max — is the gate so one
+/// noisy case on a loaded machine cannot fail CI, while a real across-the-
+/// board regression still does.
+BenchCompareResult compare_bench_json(const std::string& old_path,
+                                      const std::string& new_path,
+                                      double max_regress);
 
 }  // namespace bate

@@ -1,0 +1,71 @@
+// CLI front end for tools/bench_report.h: validate a BENCH_*.json file or
+// diff two of them for perf regressions.
+//
+// Usage:
+//   bench_report --validate FILE
+//   bench_report --compare OLD.json NEW.json [--max-regress X]
+//
+// --compare exits 1 when the median per-case `median_ms` slowdown of NEW
+// over OLD exceeds the allowed regression (default 0.2 = 20%); the CI
+// bench-smoke leg runs it against the committed baseline on every push.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_report.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_report --validate FILE\n"
+               "       bench_report --compare OLD.json NEW.json "
+               "[--max-regress X]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  if (std::strcmp(argv[1], "--validate") == 0) {
+    if (argc != 3) return usage();
+    const std::string err = bate::validate_bench_json(argv[2]);
+    if (!err.empty()) {
+      std::fprintf(stderr, "bench_report: %s: INVALID: %s\n", argv[2],
+                   err.c_str());
+      return 1;
+    }
+    std::printf("bench_report: %s: schema OK\n", argv[2]);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "--compare") == 0) {
+    if (argc < 4) return usage();
+    const std::string old_path = argv[2];
+    const std::string new_path = argv[3];
+    double max_regress = 0.2;
+    for (int a = 4; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--max-regress") == 0 && a + 1 < argc) {
+        max_regress = std::atof(argv[++a]);
+        if (max_regress < 0.0) return usage();
+      } else {
+        return usage();
+      }
+    }
+    const bate::BenchCompareResult res =
+        bate::compare_bench_json(old_path, new_path, max_regress);
+    std::printf("bench_report: %s -> %s\n%s", old_path.c_str(),
+                new_path.c_str(), res.report.c_str());
+    if (!res.ok) {
+      std::fprintf(stderr, "bench_report: REGRESSION (or unreadable input)\n");
+      return 1;
+    }
+    std::printf("bench_report: OK\n");
+    return 0;
+  }
+
+  return usage();
+}

@@ -62,10 +62,19 @@ for leg in "${legs[@]}"; do
     bench-smoke)
       banner "bench-smoke (bench_solver + bench_milp --reps 1 + schema validation)"
       cmake --preset dev
-      cmake --build --preset dev -j "$(nproc)" --target bench_solver bench_milp
+      cmake --build --preset dev -j "$(nproc)" --target bench_solver bench_milp bench_report_tool
       smoke_json=$(mktemp /tmp/BENCH_solver_smoke.XXXXXX.json)
       "build/dev/bench/bench_solver" --reps 1 --out "$smoke_json"
       "build/dev/bench/bench_solver" --validate "$smoke_json"
+      if [ -f "$ROOT/BENCH_solver.json" ]; then
+        # Regression gate against the committed baseline. The threshold is
+        # deliberately loose (3.0 = 4x slower): a --reps 1 run on a loaded
+        # CI box is noisy, and the gate only needs to catch order-of-
+        # magnitude perf mistakes; the committed BENCH files carry the real
+        # trajectory.
+        "build/dev/tools/bench_report" --compare "$ROOT/BENCH_solver.json" \
+          "$smoke_json" --max-regress 3.0
+      fi
       rm -f "$smoke_json"
       smoke_json=$(mktemp /tmp/BENCH_milp_smoke.XXXXXX.json)
       "build/dev/bench/bench_milp" --reps 1 --out "$smoke_json"
