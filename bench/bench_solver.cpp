@@ -5,6 +5,7 @@
 //
 // Usage:
 //   bench_solver [--reps N] [--out BENCH_solver.json] [--validate FILE]
+//                [--trace FILE] [--obs-overhead]
 //
 // --validate parses FILE against the BENCH schema and exits (0 valid, 1
 // not); the CI bench-smoke leg uses it on the file a tiny --reps run just
@@ -12,12 +13,22 @@
 // (full pricing + refactorization every iteration — the pre-overhaul
 // behaviour) and `reps` times with the default fast path; the two objectives
 // must agree to 1e-6 relative or the bench aborts.
+//
+// --trace FILE dumps the spans the bench run recorded as Chrome trace_event
+// JSON (open in chrome://tracing or https://ui.perfetto.dev).
+//
+// --obs-overhead runs an interleaved in-process A/B on one representative
+// scheduling instance — metrics enabled vs obs::set_enabled(false), the
+// runtime equivalent of BATE_OBS_OFF=1 — and exits nonzero when the
+// enabled median regresses more than 3% (the DESIGN.md Sec 9 budget; CI
+// gates on it in the bench-smoke leg).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +37,8 @@
 #include "core/admission.h"
 #include "core/recovery.h"
 #include "core/scheduling.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "solver/simplex.h"
 #include "workload/traffic_matrix.h"
@@ -115,16 +128,76 @@ double quantile(std::vector<double> v, double q) {
   return v[std::min(idx, v.size() - 1)];
 }
 
+double time_solve_ms(const Model& model, const SimplexOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Solution sol = solve_lp(model, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (sol.status != SolveStatus::kOptimal) std::abort();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// The obs-overhead gate: interleaved A/B solves of one representative
+/// scheduling instance with metrics on vs off, so clock drift and cache
+/// state hit both arms equally. Fails (exit 1) when the enabled median
+/// exceeds the disabled median by more than 3%.
+int run_obs_overhead(int reps) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  SchedulerConfig cfg;
+  cfg.max_failures = 2;
+  TrafficScheduler sched(topo, catalog, cfg);
+  const auto demands = seeded_demands(catalog, topo, 48, 4242);
+  const Model model = sched.build_schedule_model(demands);
+
+  const SimplexOptions fast;
+  // Warm both arms before sampling.
+  obs::set_enabled(true);
+  time_solve_ms(model, fast);
+  obs::set_enabled(false);
+  time_solve_ms(model, fast);
+
+  std::vector<double> on_ms;
+  std::vector<double> off_ms;
+  for (int r = 0; r < reps; ++r) {
+    obs::set_enabled(true);
+    on_ms.push_back(time_solve_ms(model, fast));
+    obs::set_enabled(false);
+    off_ms.push_back(time_solve_ms(model, fast));
+  }
+  obs::set_enabled(true);
+
+  const double on_median = quantile(on_ms, 0.5);
+  const double off_median = quantile(off_ms, 0.5);
+  const double ratio = off_median > 0.0 ? on_median / off_median : 1.0;
+  std::printf(
+      "obs-overhead: enabled %.3f ms, disabled %.3f ms, ratio %.4fx "
+      "(limit 1.03x, %d reps each)\n",
+      on_median, off_median, ratio, reps);
+  if (ratio > 1.03) {
+    std::fprintf(stderr,
+                 "bench_solver: obs overhead %.1f%% exceeds the 3%% budget\n",
+                 (ratio - 1.0) * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int reps = 7;
+  bool obs_overhead = false;
   std::string out_path = "BENCH_solver.json";
+  std::string trace_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
       reps = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--obs-overhead") == 0) {
+      obs_overhead = true;
     } else if (std::strcmp(argv[a], "--validate") == 0 && a + 1 < argc) {
       const std::string err = validate_bench_json(argv[a + 1]);
       if (!err.empty()) {
@@ -137,11 +210,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_solver [--reps N] [--out FILE] "
-                   "[--validate FILE]\n");
+                   "[--validate FILE] [--trace FILE] [--obs-overhead]\n");
       return 2;
     }
   }
   if (reps < 1) reps = 1;
+  if (obs_overhead) return run_obs_overhead(std::max(reps, 9));
 
   auto instances = build_instances();
   BenchReport report;
@@ -252,6 +326,15 @@ int main(int argc, char** argv) {
     report.cases.push_back(std::move(c));
   }
 
+  // Schema v3: embed the registry view of one representative scheduling
+  // solve (the first instance, re-solved against a freshly reset registry so
+  // the snapshot covers exactly one solve, not the whole bench run).
+  if (!instances.empty() && obs::enabled()) {
+    obs::Registry::global().reset();
+    solve_lp(instances.front().model, SimplexOptions{});
+    report.obs_json = obs::Registry::global().dump("json");
+  }
+
   write_bench_json(report, out_path);
   const std::string err = validate_bench_json(out_path);
   if (!err.empty()) {
@@ -261,5 +344,16 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu cases)\n", out_path.c_str(),
               report.cases.size());
+
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path, std::ios::trunc);
+    f << obs::Tracer::global().chrome_json();
+    if (!f.good()) {
+      std::fprintf(stderr, "bench_solver: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -1,11 +1,13 @@
 #include "core/admission.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace bate {
@@ -486,11 +488,50 @@ bool AdmissionController::try_fixed(const Demand& demand) {
   return true;
 }
 
+namespace {
+
+const char* strategy_name(AdmissionStrategy s) {
+  switch (s) {
+    case AdmissionStrategy::kFixed: return "fixed";
+    case AdmissionStrategy::kBate: return "bate";
+    case AdmissionStrategy::kOptimal: return "optimal";
+  }
+  return "unknown";
+}
+
+/// One registry flush per admission decision: per-strategy accept/reject,
+/// conjecture-step outcomes, and the decision latency histogram.
+void record_admission(AdmissionStrategy strategy,
+                      const AdmissionOutcome& outcome, std::int64_t us) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Histogram& decision_us =
+      reg.histogram("bate_admission_decision_us");
+  reg.counter(std::string("bate_admission_") + strategy_name(strategy) +
+              (outcome.admitted ? "_accepted_total" : "_rejected_total"))
+      .inc();
+  if (outcome.via_conjecture) {
+    static obs::Counter& conjecture =
+        reg.counter("bate_admission_conjecture_accepted_total");
+    conjecture.inc();
+  } else if (strategy == AdmissionStrategy::kBate && !outcome.admitted) {
+    // A kBate rejection means the conjecture step itself said no (the fixed
+    // step alone never rejects under kBate).
+    static obs::Counter& conjecture_no =
+        reg.counter("bate_admission_conjecture_rejected_total");
+    conjecture_no.inc();
+  }
+  decision_us.record(us);
+}
+
+}  // namespace
+
 AdmissionOutcome AdmissionController::offer(const Demand& demand) {
   validate_demand(scheduler_->catalog(), demand);
   BATE_DCHECK_MSG(admitted_.size() == allocations_.size(),
                   "admission: admitted/allocation desync");
-  const auto start = std::chrono::steady_clock::now();
+  BATE_TRACE_SPAN("admission.offer");
+  const std::int64_t start_us = obs::now_us();
   AdmissionOutcome outcome;
 
   switch (strategy_) {
@@ -547,9 +588,9 @@ AdmissionOutcome AdmissionController::offer(const Demand& demand) {
     }
   }
 
-  outcome.decision_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const std::int64_t elapsed_us = obs::now_us() - start_us;
+  outcome.decision_seconds = static_cast<double>(elapsed_us) * 1e-6;
+  record_admission(strategy_, outcome, elapsed_us);
   return outcome;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/pricing.h"
 #include "core/scheduling.h"
 #include "solver/model.h"
@@ -299,8 +301,37 @@ RecoveryResult recover_greedy(const Topology& topo,
   return result;
 }
 
+namespace {
+
+/// Backup-plan cache outcome (obs: bate_recovery_*). A hit means a failure
+/// lookup found a precomputed plan (exact or single-link fallback).
+void record_plan_lookup(bool hit) {
+  if (!obs::enabled()) return;
+  static obs::Counter& hits =
+      obs::Registry::global().counter("bate_recovery_plan_hits_total");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("bate_recovery_plan_misses_total");
+  (hit ? hits : misses).inc();
+}
+
+void record_precompute(std::size_t plan_count, std::int64_t us) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Counter& rounds = reg.counter("bate_recovery_precompute_total");
+  static obs::Counter& plans =
+      reg.counter("bate_recovery_plans_computed_total");
+  static obs::Histogram& hist = reg.histogram("bate_recovery_precompute_us");
+  rounds.inc();
+  plans.inc(static_cast<std::int64_t>(plan_count));
+  hist.record(us);
+}
+
+}  // namespace
+
 void BackupPlanner::precompute(std::span<const Demand> demands,
                                std::span<const Allocation> current) {
+  BATE_TRACE_SPAN("recovery.precompute");
+  const std::int64_t t0 = obs::now_us();
   BATE_ASSERT_MSG(current.size() == demands.size(),
                   "recovery: allocation set does not match demand set");
   validate_recovery_inputs(*topo_, *catalog_, demands, {});
@@ -324,7 +355,10 @@ void BackupPlanner::precompute(std::span<const Demand> demands,
     plans_.emplace(failed, make_plan(failed));
   }
 
-  if (concurrent_pairs_ <= 0) return;
+  if (concurrent_pairs_ <= 0) {
+    record_precompute(plans_.size(), obs::now_us() - t0);
+    return;
+  }
   // Concurrent-failure extension: plan for the most probable loaded pairs.
   std::vector<std::pair<double, std::vector<LinkId>>> pairs;
   for (std::size_t a = 0; a < loaded.size(); ++a) {
@@ -342,11 +376,14 @@ void BackupPlanner::precompute(std::span<const Demand> demands,
     plans_.emplace(pairs[static_cast<std::size_t>(i)].second,
                    make_plan(pairs[static_cast<std::size_t>(i)].second));
   }
+  record_precompute(plans_.size(), obs::now_us() - t0);
 }
 
 const RecoveryResult* BackupPlanner::plan(LinkId link) const {
   const auto it = plans_.find(std::vector<LinkId>{link});
-  return it == plans_.end() ? nullptr : &it->second;
+  const RecoveryResult* r = it == plans_.end() ? nullptr : &it->second;
+  record_plan_lookup(r != nullptr);
+  return r;
 }
 
 const RecoveryResult* BackupPlanner::plan_for(
@@ -355,7 +392,10 @@ const RecoveryResult* BackupPlanner::plan_for(
   std::vector<LinkId> key(failed.begin(), failed.end());
   std::sort(key.begin(), key.end());
   const auto exact = plans_.find(key);
-  if (exact != plans_.end()) return &exact->second;
+  if (exact != plans_.end()) {
+    record_plan_lookup(true);
+    return &exact->second;
+  }
   // Fall back to the single-link plan of the most failure-prone member.
   LinkId worst = key.front();
   for (LinkId e : key) {

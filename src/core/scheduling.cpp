@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/branch_bound.h"
 #include "solver/model.h"
 #include "util/check.h"
@@ -12,6 +14,33 @@
 namespace bate {
 
 namespace {
+
+/// One registry flush per scheduling round (obs: bate_scheduler_*).
+/// Warm-start hit/miss reads WarmStart::used, which solve_lp just set.
+void record_schedule_round(const Model& model, long demand_count,
+                           long scenario_count, const WarmStart* warm,
+                           std::int64_t round_us) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Counter& rounds = reg.counter("bate_scheduler_rounds_total");
+  static obs::Counter& warm_hits =
+      reg.counter("bate_scheduler_warm_hits_total");
+  static obs::Counter& warm_misses =
+      reg.counter("bate_scheduler_warm_misses_total");
+  static obs::Histogram& round_hist =
+      reg.histogram("bate_scheduler_round_us");
+  static obs::Gauge& demands = reg.gauge("bate_scheduler_demands");
+  static obs::Gauge& scenarios = reg.gauge("bate_scheduler_scenarios");
+  static obs::Gauge& rows = reg.gauge("bate_scheduler_lp_rows");
+  static obs::Gauge& cols = reg.gauge("bate_scheduler_lp_cols");
+  rounds.inc();
+  if (warm != nullptr) (warm->used ? warm_hits : warm_misses).inc();
+  round_hist.record(round_us);
+  demands.set(static_cast<double>(demand_count));
+  scenarios.set(static_cast<double>(scenario_count));
+  rows.set(static_cast<double>(model.constraint_count()));
+  cols.set(static_cast<double>(model.variable_count()));
+}
 
 /// Pattern distribution for an arbitrary tunnel list under the requested
 /// model. The exact distribution enumerates 2^|union| link states; when the
@@ -266,11 +295,26 @@ Model TrafficScheduler::build_schedule_model_impl(
 ScheduleResult TrafficScheduler::schedule(
     std::span<const Demand> demands, std::span<const double> capacity_override,
     ScheduleBasisCache* basis) const {
+  BATE_TRACE_SPAN("scheduler.schedule");
+  const std::int64_t round_t0 = obs::now_us();
   std::vector<std::pair<int, int>> layout;
-  const Model model =
-      build_schedule_model_impl(demands, capacity_override, &layout);
+  const Model model = [&] {
+    BATE_TRACE_SPAN("scheduler.build_model");
+    return build_schedule_model_impl(demands, capacity_override, &layout);
+  }();
   const Solution sol =
       solve_lp(model, cfg_.lp, basis != nullptr ? &basis->lp : nullptr);
+  // Scenario count: every variable that is not a tunnel-rate g is a
+  // per-(demand, pattern) credit B — the number of availability scenarios
+  // the LP priced this round.
+  long tunnel_vars = 0;
+  for (const auto& [first_var, tunnel_count] : layout) {
+    tunnel_vars += tunnel_count;
+  }
+  record_schedule_round(model, static_cast<long>(demands.size()),
+                        model.variable_count() - tunnel_vars,
+                        basis != nullptr ? &basis->lp : nullptr,
+                        obs::now_us() - round_t0);
 
   ScheduleResult result;
   result.status = sol.status;

@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bate::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  // Read BATE_OBS_OFF exactly once, on first use, so the switch is settled
+  // before any metric is touched.
+  static std::atomic<bool> flag([] {
+    const char* v = std::getenv("BATE_OBS_OFF");
+    return !(v != nullptr && v[0] == '1' && v[1] == '\0');
+  }());
+  return flag;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::int64_t now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+unsigned Counter::shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+int Histogram::bucket_index(std::int64_t v) noexcept {
+  if (v < kSub) return static_cast<int>(v);
+  const int e = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+  if (e > kMaxExp) return kBuckets - 1;
+  const int sub = static_cast<int>((v >> (e - 2)) & (kSub - 1));
+  return kSub + (e - 2) * kSub + sub;
+}
+
+std::int64_t Histogram::bucket_upper(int i) noexcept {
+  if (i < kSub) return i + 1;
+  const int octave = (i - kSub) / kSub;
+  const int sub = (i - kSub) % kSub;
+  const int e = octave + 2;
+  return (std::int64_t{1} << e) + (sub + 1) * (std::int64_t{1} << (e - 2));
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    append_int(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    append_double(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& b : h.buckets) {
+      out += name + "_bucket{le=\"";
+      if (b.infinite) {
+        out += "+Inf";
+      } else {
+        append_int(out, b.upper);
+      }
+      out += "\"} ";
+      append_int(out, b.cumulative);
+      out += "\n";
+    }
+    out += name + "_sum ";
+    append_int(out, h.sum);
+    out += "\n";
+    out += name + "_count ";
+    append_int(out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_int(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_double(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":";
+    append_int(out, h.count);
+    out += ",\"sum\":";
+    append_int(out, h.sum);
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& b : h.buckets) {
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "{\"le\":";
+      if (b.infinite) {
+        out += "\"+Inf\"";
+      } else {
+        append_int(out, b.upper);
+      }
+      out += ",\"cumulative\":";
+      append_int(out, b.cumulative);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.sum = h->sum();
+    std::int64_t cum = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::int64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      cum += n;
+      hs.buckets.push_back({Histogram::bucket_upper(i),
+                            i == Histogram::kBuckets - 1, cum});
+    }
+    // Prometheus requires the +Inf bucket and h_count == cumulative(+Inf);
+    // derive both from the bucket walk so the snapshot is self-consistent
+    // even while writers race.
+    hs.count = cum;
+    if (cum > 0 && (hs.buckets.empty() || !hs.buckets.back().infinite)) {
+      hs.buckets.push_back({0, true, cum});
+    }
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+std::string Registry::dump(std::string_view format) const {
+  const MetricsSnapshot snap = snapshot();
+  if (format == "json") return snap.to_json();
+  return snap.to_prometheus();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace bate::obs

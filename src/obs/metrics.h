@@ -1,0 +1,215 @@
+// Low-overhead metrics registry: monotonic counters, gauges, and fixed-
+// bucket log-linear histograms, exposed as Prometheus text or JSON.
+//
+// Contract (DESIGN.md Sec 9):
+//  * Increments are wait-free and never touch a registry lock. Counters
+//    stripe across cache-line-padded shards indexed by a thread-local slot,
+//    so solver worker threads and the epoll thread never contend on the
+//    same line; aggregation happens lazily at snapshot() time.
+//  * Metric handles returned by Registry::counter()/gauge()/histogram()
+//    are valid for the registry's lifetime; call sites cache them in a
+//    function-local static so the name lookup (which does lock) runs once.
+//  * Names follow bate_<layer>_<name>{_total|_us}: _total for counters,
+//    _us for microsecond histograms. snapshot() emits names sorted, so
+//    exposition output is deterministic for golden tests.
+//  * The whole subsystem is disabled by BATE_OBS_OFF=1 in the environment
+//    (or set_enabled(false)): increments become cheap early-outs and
+//    snapshots observe frozen values. The ci.sh obs-overhead gate compares
+//    bench_solver medians across this switch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bate::obs {
+
+/// Global on/off switch. Initialised once from BATE_OBS_OFF (=1 disables)
+/// on first use; set_enabled overrides it (benches toggle it for A/B).
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic steady-clock microseconds. The single sanctioned timing source
+/// for src/solver / src/core hot paths (bate_lint `timing` rule).
+std::int64_t now_us() noexcept;
+
+/// Monotonically increasing counter. inc() is a relaxed fetch_add on one of
+/// kShards cache-line-padded cells picked by a thread-local slot.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::int64_t n = 1) noexcept {
+    if (!enabled()) return;
+    cells_[shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Lazy aggregation: sums the shards. Safe to call concurrently with
+  /// inc(); the result is some value between the sums before and after.
+  std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr unsigned kShards = 8;  // power of two
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  static unsigned shard() noexcept;
+  std::array<Cell, kShards> cells_;
+};
+
+/// Last-write-wins floating-point gauge (queue depths, fan-out latency).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) noexcept {
+    if (!enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to v if v is larger (peak tracking).
+  void max_of(double v) noexcept {
+    if (!enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket log-linear histogram over non-negative integer samples
+/// (microseconds by convention). Buckets 0..3 are linear with upper bounds
+/// 1,2,3,4; above that each power-of-two octave splits into 4 linear
+/// sub-buckets (relative error <= 25%), up to 2^31us (~36 min); the last
+/// bucket is the overflow (+Inf). Bucket boundaries are a pure function of
+/// the index — nothing is allocated or configured at record() time.
+class Histogram {
+ public:
+  static constexpr int kSub = 4;  // sub-buckets per octave, power of two
+  static constexpr int kMaxExp = 31;
+  static constexpr int kBuckets = kSub + (kMaxExp - 1) * kSub;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    if (v < 0) v = 0;
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket holding v (v >= 0). Exposed for the bucket-
+  /// boundary unit tests.
+  static int bucket_index(std::int64_t v) noexcept;
+  /// Exclusive upper bound of bucket i; the final bucket reports the
+  /// largest representable bound and is treated as +Inf by exposition.
+  static std::int64_t bucket_upper(int i) noexcept;
+
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bucket_count(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  struct Bucket {
+    std::int64_t upper = 0;  // exclusive; infinite == true for the +Inf one
+    bool infinite = false;
+    std::int64_t cumulative = 0;
+  };
+  /// Non-empty buckets in ascending order, cumulative counts, always
+  /// terminated by the +Inf bucket when count > 0.
+  std::vector<Bucket> buckets;
+};
+
+/// Point-in-time copy of every metric, names sorted. Taken under the
+/// registry lock but without stopping writers (counters may keep moving;
+/// each value is internally consistent).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Prometheus text exposition (# TYPE lines, _bucket{le=...} series).
+  std::string to_prometheus() const;
+  /// JSON object {"counters":{},"gauges":{},"histograms":{}}.
+  std::string to_json() const;
+};
+
+/// Name -> metric map. Instantiable for tests; production code uses
+/// Registry::global(). Lookup locks; the returned references are stable
+/// for the registry's lifetime, so cache them.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  /// snapshot() rendered as "prometheus" (default) or "json".
+  std::string dump(std::string_view format = "prometheus") const;
+  /// Zeroes every registered metric (bench/test isolation). Handles stay
+  /// valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+      counters_;  // GUARDED_BY(mu_)
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+      gauges_;  // GUARDED_BY(mu_)
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;  // GUARDED_BY(mu_)
+};
+
+}  // namespace bate::obs

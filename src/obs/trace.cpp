@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace bate::obs {
+
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+  if (n < 2) return 2;
+  return std::bit_ceil(n);
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
+    : cap_(round_pow2(capacity)),
+      tid_(tid),
+      slots_(std::make_unique<Slot[]>(cap_)) {}
+
+void TraceRing::push(const char* name, std::int64_t ts_us,
+                     std::int64_t dur_us) noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  Slot& s = slots_[h & (cap_ - 1)];
+  // Null the name first so a concurrent reader skips the slot instead of
+  // pairing the old name with the new timestamps.
+  s.name.store(nullptr, std::memory_order_relaxed);
+  s.ts_us.store(ts_us, std::memory_order_relaxed);
+  s.dur_us.store(dur_us, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_release);
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceEventCopy> TraceRing::events() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(h, cap_);
+  std::vector<TraceEventCopy> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = h - n; i < h; ++i) {
+    const Slot& s = slots_[i & (cap_ - 1)];
+    const char* name = s.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;  // mid-rewrite by a wrapping writer
+    out.push_back({name, s.ts_us.load(std::memory_order_relaxed),
+                   s.dur_us.load(std::memory_order_relaxed), tid_});
+  }
+  return out;
+}
+
+void TraceRing::clear() noexcept {
+  // Intended for quiescent rings (tests / between capture windows); a
+  // concurrent writer only costs dropped events, never a crash.
+  for (std::size_t i = 0; i < cap_; ++i) {
+    slots_[i].name.store(nullptr, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_release);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+TraceRing& Tracer::thread_ring() {
+  // Per-thread cache of this thread's ring. Tracer is a singleton, so the
+  // thread_local cannot alias rings of a different instance.
+  thread_local TraceRing* ring = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<TraceRing>(
+        TraceRing::kDefaultCapacity, static_cast<std::uint32_t>(rings_.size())));
+    return rings_.back().get();
+  }();
+  return *ring;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEventCopy>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEventCopy& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"bate\",\"ph\":\"X\",\"ts\":";
+    append_i64(out, e.ts_us);
+    out += ",\"dur\":";
+    append_i64(out, e.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    append_i64(out, e.tid);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  std::vector<TraceEventCopy> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      auto ev = ring->events();
+      all.insert(all.end(), ev.begin(), ev.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEventCopy& a, const TraceEventCopy& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return chrome_trace_json(all);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) ring->clear();
+}
+
+std::size_t Tracer::ring_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace bate::obs

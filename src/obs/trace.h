@@ -1,0 +1,140 @@
+// Scoped tracing spans recorded into lock-free per-thread ring buffers,
+// exportable as Chrome trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Contract (DESIGN.md Sec 9):
+//  * BATE_TRACE_SPAN("name") never allocates on the hot path: the span
+//    holds a string-literal pointer and two int64s; closing it writes one
+//    slot of a preallocated ring. The only allocation is the ring itself,
+//    created once per thread on its first span and kept for the process
+//    lifetime (rings are never freed, so export after a thread exits is
+//    safe).
+//  * Each ring is single-writer (its owning thread); the exporter reads
+//    slots with relaxed atomics, so a concurrent export sees a torn event
+//    at worst (a wrapping writer reusing the slot), never a data race.
+//  * Rings wrap: a thread that records more than capacity() spans keeps the
+//    newest ones. total() keeps counting so tests can observe the drop.
+//  * Everything is disabled (spans become no-ops) when obs::enabled() is
+//    false (BATE_OBS_OFF=1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bate::obs {
+
+/// One completed span, as copied out of a ring by the exporter.
+struct TraceEventCopy {
+  const char* name = nullptr;  // string literal supplied to the span
+  std::int64_t ts_us = 0;      // start, obs::now_us() clock
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;  // small ring id, not the OS thread id
+};
+
+/// Fixed-capacity single-writer ring of completed spans. push() is the
+/// only writer and must stay on the owning thread; events()/total() may
+/// run anywhere.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  // power of two
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity,
+                     std::uint32_t tid = 0);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void push(const char* name, std::int64_t ts_us,
+            std::int64_t dur_us) noexcept;
+
+  /// Events pushed over the ring's lifetime (>= events().size()).
+  std::uint64_t total() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const noexcept { return cap_; }
+  std::uint32_t tid() const noexcept { return tid_; }
+
+  /// Copies the retained events oldest-first. Concurrency-safe against the
+  /// writer (see header comment); skips slots whose name is still null.
+  std::vector<TraceEventCopy> events() const;
+
+  /// Forgets all retained events (head keeps counting from 0 again).
+  void clear() noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::int64_t> ts_us{0};
+    std::atomic<std::int64_t> dur_us{0};
+  };
+  std::size_t cap_;
+  std::uint32_t tid_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Owns one ring per thread that ever recorded a span. Singleton; rings
+/// live for the process lifetime.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// The calling thread's ring, created and registered on first use.
+  TraceRing& thread_ring();
+
+  /// All retained events from every ring as Chrome trace_event JSON:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...},...]}.
+  std::string chrome_json() const;
+
+  /// Drops retained events from every ring (rings stay registered).
+  void clear();
+
+  /// Rings registered so far (== distinct threads that traced).
+  std::size_t ring_count() const;
+
+ private:
+  Tracer() = default;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;  // GUARDED_BY(mu_)
+};
+
+/// Renders a flat event list as Chrome trace JSON (exposed for tests and
+/// for exporting a single ring).
+std::string chrome_trace_json(const std::vector<TraceEventCopy>& events);
+
+/// RAII span: captures now_us() at construction, records into the calling
+/// thread's ring at destruction. `name` MUST be a string literal (or
+/// otherwise outlive every export).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (enabled()) {
+      name_ = name;
+      start_ = now_us();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      Tracer::global().thread_ring().push(name_, start_, now_us() - start_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace bate::obs
+
+#define BATE_OBS_CONCAT_INNER(a, b) a##b
+#define BATE_OBS_CONCAT(a, b) BATE_OBS_CONCAT_INNER(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define BATE_TRACE_SPAN(name) \
+  ::bate::obs::Span BATE_OBS_CONCAT(bate_trace_span_, __LINE__)(name)

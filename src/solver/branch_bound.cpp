@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/presolve.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -69,14 +71,13 @@ struct Search {
   const BranchBoundOptions& opt;
   bool maximize;
   std::vector<int> int_vars;
-  std::chrono::steady_clock::time_point start;
+  std::int64_t start_us;  // obs::now_us() when the search began
 
   double to_min(double v) const { return maximize ? -v : v; }
   bool out_of_time() const {
     if (opt.time_limit_seconds <= 0.0) return false;
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-               .count() > opt.time_limit_seconds;
+    return static_cast<double>(obs::now_us() - start_us) * 1e-6 >
+           opt.time_limit_seconds;
   }
 };
 
@@ -226,6 +227,7 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
   OpenQueue open;
   open.push(std::move(root));
   st.nodes_created = 1;
+  st.open_peak = 1;
 
   Model work = s.model;  // mutated bounds per node, restored afterwards
   long popped = 0;
@@ -236,7 +238,10 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
   while (!open.empty()) {
     const auto node = open.top();
     open.pop();
-    if (node->lp_bound >= incumbent_min - s.opt.gap_tol) continue;  // pruned
+    if (node->lp_bound >= incumbent_min - s.opt.gap_tol) {  // pruned
+      ++st.nodes_pruned;
+      continue;
+    }
     if (++popped > s.opt.node_limit || s.out_of_time()) {
       budget_hit = true;
       break;
@@ -267,6 +272,7 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
         incumbent_min = e.bound_min;
         incumbent = std::move(e.relax);
         incumbent.status = SolveStatus::kOptimal;
+        ++st.incumbent_updates;
       }
       if (s.opt.stop_at_first_incumbent) break;
       continue;
@@ -274,6 +280,7 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
     st.nodes_created += static_cast<long>(e.children.size());
     st.bound_deltas_allocated += e.deltas;
     for (auto& c : e.children) open.push(std::move(c));
+    st.open_peak = std::max(st.open_peak, static_cast<long>(open.size()));
   }
 
   if (budget_hit) {
@@ -314,6 +321,7 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
   sh.incumbent.status = SolveStatus::kInfeasible;
   sh.open.push(std::move(root));
   st.nodes_created = 1;
+  st.open_peak = 1;
 
   const int workers = pool.thread_count() + 1;  // caller participates
   pool.parallel_for(workers, [&](int) {
@@ -331,7 +339,10 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
       if (sh.stop || sh.open.empty()) return;  // empty implies inflight == 0
       auto node = sh.open.top();
       sh.open.pop();
-      if (node->lp_bound >= sh.incumbent_min - s.opt.gap_tol) continue;
+      if (node->lp_bound >= sh.incumbent_min - s.opt.gap_tol) {
+        ++st.nodes_pruned;
+        continue;
+      }
       if (++sh.popped > s.opt.node_limit || s.out_of_time()) {
         sh.budget_hit = true;
         sh.stop = true;
@@ -380,12 +391,15 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
               sh.incumbent_min = e.bound_min;
               sh.incumbent = std::move(e.relax);
               sh.incumbent.status = SolveStatus::kOptimal;
+              ++st.incumbent_updates;
             }
             if (s.opt.stop_at_first_incumbent) sh.stop = true;
           } else {
             st.nodes_created += static_cast<long>(e.children.size());
             st.bound_deltas_allocated += e.deltas;
             for (auto& c : e.children) sh.open.push(std::move(c));
+            st.open_peak =
+                std::max(st.open_peak, static_cast<long>(sh.open.size()));
           }
           break;
       }
@@ -415,7 +429,7 @@ Solution run_search(const Model& model, const BranchBoundOptions& options,
            options,
            model.sense() == Sense::kMaximize,
            {},
-           std::chrono::steady_clock::now()};
+           obs::now_us()};
   for (int j = 0; j < model.variable_count(); ++j) {
     if (model.variable(j).integer) s.int_vars.push_back(j);
   }
@@ -431,16 +445,32 @@ Solution run_search(const Model& model, const BranchBoundOptions& options,
                          : run_serial(s, std::move(root), root_warm, st);
 }
 
-}  // namespace
+/// One registry flush per MILP solve; the node loops only bump the plain
+/// BranchBoundStats fields (serial, or under the queue lock in parallel).
+void record_milp_solve(const BranchBoundStats& st, std::int64_t total_us) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Counter& solves = reg.counter("bate_bnb_solves_total");
+  static obs::Counter& created = reg.counter("bate_bnb_nodes_created_total");
+  static obs::Counter& solved = reg.counter("bate_bnb_nodes_solved_total");
+  static obs::Counter& pruned = reg.counter("bate_bnb_nodes_pruned_total");
+  static obs::Counter& incumbents =
+      reg.counter("bate_bnb_incumbent_updates_total");
+  static obs::Counter& warm = reg.counter("bate_bnb_warm_started_nodes_total");
+  static obs::Gauge& open_peak = reg.gauge("bate_bnb_open_peak");
+  static obs::Histogram& solve_us = reg.histogram("bate_bnb_solve_us");
+  solves.inc();
+  created.inc(st.nodes_created);
+  solved.inc(st.nodes_solved);
+  pruned.inc(st.nodes_pruned);
+  incumbents.inc(st.incumbent_updates);
+  warm.inc(st.warm_started_nodes);
+  open_peak.max_of(static_cast<double>(st.open_peak));
+  solve_us.record(total_us);
+}
 
-Solution solve_milp(const Model& model, const BranchBoundOptions& options,
-                    WarmStart* root_warm, BranchBoundStats* stats) {
-  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
-  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
-                  "branch_bound: integer_tol outside (0, 0.5)");
-  BranchBoundStats local;
-  BranchBoundStats& st = stats != nullptr ? *stats : local;
-  st = BranchBoundStats{};
+Solution solve_milp_impl(const Model& model, const BranchBoundOptions& options,
+                         WarmStart* root_warm, BranchBoundStats& st) {
   if (!model.has_integers()) return solve_lp(model, options.lp, root_warm);
 
   // Presolve once at the root (MILP mode: integer bounds rounded inward,
@@ -451,13 +481,14 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options,
   if (!options.lp.presolve || options.lp.reference_mode) {
     return run_search(model, options, root_warm, st);
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t t0 = obs::now_us();
   PresolveOptions popt;
   popt.for_milp = true;
-  PresolveResult pre = presolve_model(model, popt);
-  const long pus = std::chrono::duration_cast<std::chrono::microseconds>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
+  PresolveResult pre = [&] {
+    BATE_TRACE_SPAN("solver.presolve");
+    return presolve_model(model, popt);
+  }();
+  const long pus = static_cast<long>(obs::now_us() - t0);
   if (pre.infeasible) {
     Solution sol;
     sol.status = SolveStatus::kInfeasible;
@@ -506,6 +537,23 @@ Solution solve_milp(const Model& model, const BranchBoundOptions& options,
     root_warm->used = rw->used;
     root_warm->basis = pre.post.to_full(rw->basis, red.x);
   }
+  return sol;
+}
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const BranchBoundOptions& options,
+                    WarmStart* root_warm, BranchBoundStats* stats) {
+  BATE_ASSERT_MSG(options.node_limit > 0, "branch_bound: node_limit <= 0");
+  BATE_ASSERT_MSG(options.integer_tol > 0.0 && options.integer_tol < 0.5,
+                  "branch_bound: integer_tol outside (0, 0.5)");
+  BATE_TRACE_SPAN("solver.solve_milp");
+  BranchBoundStats local;
+  BranchBoundStats& st = stats != nullptr ? *stats : local;
+  st = BranchBoundStats{};
+  const std::int64_t t0 = obs::now_us();
+  Solution sol = solve_milp_impl(model, options, root_warm, st);
+  record_milp_solve(st, obs::now_us() - t0);
   return sol;
 }
 

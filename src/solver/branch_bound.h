@@ -57,6 +57,12 @@ struct BranchBoundStats {
   long bound_deltas_allocated = 0;
   long warm_started_nodes = 0;  // relaxations that accepted a warm basis
   int max_depth = 0;
+  /// Observability counters (obs registry: bate_bnb_*): popped nodes
+  /// discarded by the incumbent bound, accepted incumbent improvements,
+  /// and the deepest open-queue depth seen during the search.
+  long nodes_pruned = 0;
+  long incumbent_updates = 0;
+  long open_peak = 0;
 };
 
 /// Solves the MILP. Returns kIterationLimit when the node budget is

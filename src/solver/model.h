@@ -110,6 +110,11 @@ struct Solution {
   /// basis-changing pivots. Accumulated across nodes for MILP solves.
   long iterations = 0;
   long pivots = 0;
+  /// Basis refactorizations (eta-file rebuilds) and partial-pricing window
+  /// resets (exact reduced-cost recomputations). Zero in reference mode,
+  /// which refactorizes every iteration by design.
+  long refactorizations = 0;
+  long pricing_resets = 0;
   /// Branch & bound nodes whose relaxation was solved (0 for plain LPs).
   long nodes = 0;
   /// Presolve work counters (solver/presolve.h): rows/columns removed from

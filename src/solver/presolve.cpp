@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace bate {
@@ -328,6 +329,7 @@ class Presolver {
     if (opt_.for_milp) a.row = -1;
     post_.actions_.push_back(a);
     ++stats_.bounds_tightened;
+    ++stats_.tightens;
     bound_changed(j);
   }
 
@@ -475,11 +477,16 @@ class Presolver {
           if (std::abs(rhs) > m) infeasible_ = true;
           break;
       }
-      if (!infeasible_) drop_row(i, true);
+      if (!infeasible_) {
+        drop_row(i, true);
+        ++stats_.redundant_rows;
+      }
       return;
     }
     if (row_len_[idx(i)] == 1) {
+      const int dropped_before = stats_.rows_removed;
       singleton_row(i);
+      if (stats_.rows_removed != dropped_before) ++stats_.singleton_rows;
       return;
     }
     ActBound mn, mx;
@@ -493,6 +500,7 @@ class Presolver {
           infeasible_ = true;
         } else if (mx.inf == 0 && mx.finite <= rhs + rm) {
           drop_row(i, true);
+          ++stats_.redundant_rows;
           dropped = true;
         }
         break;
@@ -501,6 +509,7 @@ class Presolver {
           infeasible_ = true;
         } else if (mn.inf == 0 && mn.finite >= rhs - rm) {
           drop_row(i, true);
+          ++stats_.redundant_rows;
           dropped = true;
         }
         break;
@@ -511,6 +520,7 @@ class Presolver {
         } else if (mn.inf == 0 && mx.inf == 0 && mx.finite <= rhs + rm &&
                    mn.finite >= rhs - rm) {
           drop_row(i, true);
+          ++stats_.redundant_rows;
           dropped = true;
         }
         break;
@@ -533,6 +543,7 @@ class Presolver {
       if (!var_alive_[idx(j)]) continue;
       if (hi_[idx(j)] - lo_[idx(j)] <= 0.0) {
         fix_var(j, lo_[idx(j)], Postsolve::Act::kFixVar, -1, 0.0);
+        ++stats_.fixed_vars;
       }
     }
   }
@@ -634,6 +645,7 @@ class Presolver {
         if (r_le ? bound <= rhs_[idx(r)] + rm
                  : bound >= rhs_[idx(r)] - rm) {
           drop_row(r, true);
+          ++stats_.dominated_rows;
           return;
         }
       }
@@ -675,8 +687,10 @@ class Presolver {
       }
       if (can_lo) {
         fix_var(j, lo_[idx(j)], Postsolve::Act::kFixVar, -1, 0.0);
+        ++stats_.dual_fixed_vars;
       } else if (can_hi) {
         fix_var(j, hi_[idx(j)], Postsolve::Act::kFixVar, -1, 0.0);
+        ++stats_.dual_fixed_vars;
       }
     }
   }
@@ -718,6 +732,7 @@ class Presolver {
       post_.fixed_value_[idx(j)] = lo_[idx(j)];  // overwritten by postsolve
       post_.fixed_status_[idx(j)] = VarStatus::kAtLower;
       ++stats_.cols_removed;
+      ++stats_.free_slack_cols;
     }
   }
 
@@ -848,6 +863,49 @@ void Presolver::finalize(PresolveResult& out) {
   out.stats = stats_;
 }
 
+namespace {
+
+/// One registry flush per presolve run (never inside the rule loops).
+void record_presolve(const PresolveStats& s, bool infeasible) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Counter& runs = reg.counter("bate_presolve_runs_total");
+  static obs::Counter& passes = reg.counter("bate_presolve_passes_total");
+  static obs::Counter& rows = reg.counter("bate_presolve_rows_removed_total");
+  static obs::Counter& cols = reg.counter("bate_presolve_cols_removed_total");
+  static obs::Counter& bounds =
+      reg.counter("bate_presolve_bounds_tightened_total");
+  static obs::Counter& redundant =
+      reg.counter("bate_presolve_redundant_rows_total");
+  static obs::Counter& singleton =
+      reg.counter("bate_presolve_singleton_rows_total");
+  static obs::Counter& dominated =
+      reg.counter("bate_presolve_dominated_rows_total");
+  static obs::Counter& fixed = reg.counter("bate_presolve_fixed_vars_total");
+  static obs::Counter& dual_fixed =
+      reg.counter("bate_presolve_dual_fixed_vars_total");
+  static obs::Counter& free_slack =
+      reg.counter("bate_presolve_free_slack_cols_total");
+  static obs::Counter& tightens = reg.counter("bate_presolve_tightens_total");
+  static obs::Counter& infeas =
+      reg.counter("bate_presolve_infeasible_total");
+  runs.inc();
+  passes.inc(s.passes);
+  rows.inc(s.rows_removed);
+  cols.inc(s.cols_removed);
+  bounds.inc(s.bounds_tightened);
+  redundant.inc(s.redundant_rows);
+  singleton.inc(s.singleton_rows);
+  dominated.inc(s.dominated_rows);
+  fixed.inc(s.fixed_vars);
+  dual_fixed.inc(s.dual_fixed_vars);
+  free_slack.inc(s.free_slack_cols);
+  tightens.inc(s.tightens);
+  if (infeasible) infeas.inc();
+}
+
+}  // namespace
+
 PresolveResult presolve_model(const Model& model,
                               const PresolveOptions& options) {
   PresolveResult out;
@@ -855,9 +913,11 @@ PresolveResult presolve_model(const Model& model,
   if (!p.run()) {
     out.infeasible = true;
     out.stats = p.stats();
+    record_presolve(out.stats, /*infeasible=*/true);
     return out;
   }
   p.finalize(out);
+  record_presolve(out.stats, /*infeasible=*/false);
   return out;
 }
 

@@ -76,6 +76,19 @@ struct PresolveStats {
   int cols_removed = 0;
   int bounds_tightened = 0;
   int passes = 0;
+  /// Per-rule reduction counts (sub-breakdown of the totals above; exposed
+  /// through the obs registry as bate_presolve_<rule>_total). redundant_rows
+  /// covers empty rows and rows implied by activity bounds; singleton_rows
+  /// counts rows folded into a variable bound or fixing their variable;
+  /// tightens counts constraint-propagation bound hits only (singleton
+  /// folds count toward bounds_tightened but not here).
+  int redundant_rows = 0;
+  int singleton_rows = 0;
+  int dominated_rows = 0;
+  int fixed_vars = 0;
+  int dual_fixed_vars = 0;
+  int free_slack_cols = 0;
+  int tightens = 0;
 };
 
 /// The record that maps a reduced-model solution back to the original

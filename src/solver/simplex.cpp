@@ -1,12 +1,13 @@
 #include "solver/simplex.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/presolve.h"
 #include "util/check.h"
 
@@ -455,6 +456,7 @@ class SimplexEngine {
   /// (|pivot| below tolerance — drift, not a property of a valid basis) is
   /// evicted and its row handed back to the slack.
   void refactorize() {
+    ++refactorizations_;
     etas_.clear();
     eta_terms_.clear();
     base_diag_.assign(sz(m_), 1.0);
@@ -698,6 +700,7 @@ class SimplexEngine {
         // The cached reduced costs priced out; confirm against exact ones
         // before declaring optimality.
         if (d_exact_) return SolveStatus::kOptimal;
+        ++pricing_resets_;
         recompute_reduced_costs();
         enter = price(bland, enter_dir);
         if (enter < 0) return SolveStatus::kOptimal;
@@ -790,6 +793,10 @@ class SimplexEngine {
     sol.status = status;
     sol.iterations = iterations_;
     sol.pivots = pivots_;
+    // Reference mode refactorizes every iteration by design; reporting
+    // that would drown the fast-path signal.
+    sol.refactorizations = opt_.reference_mode ? 0 : refactorizations_;
+    sol.pricing_resets = pricing_resets_;
     sol.x.assign(sz(nstruct_), 0.0);
     for (int j = 0; j < nstruct_; ++j) sol.x[sz(j)] = x_[sz(j)];
     double obj = 0.0;
@@ -850,6 +857,8 @@ class SimplexEngine {
 
   long iterations_ = 0;
   long pivots_ = 0;
+  long refactorizations_ = 0;
+  long pricing_resets_ = 0;
   bool warm_ok_ = false;
   bool gave_up_ = false;
 };
@@ -857,6 +866,7 @@ class SimplexEngine {
 /// The simplex proper, after presolve (or directly when presolve is off).
 Solution solve_lp_core(const Model& model, const SimplexOptions& options,
                        WarmStart* warm) {
+  BATE_TRACE_SPAN("solver.simplex");
   if (warm) warm->used = false;
   if (model.constraint_count() == 0) {
     // Pure bound problem: each variable sits at its best bound.
@@ -901,10 +911,33 @@ Solution solve_lp_core(const Model& model, const SimplexOptions& options,
   return sol;
 }
 
-}  // namespace
+/// One registry flush per completed solve — hot loops only bump engine-
+/// local counters, so enabling metrics costs a handful of relaxed atomic
+/// adds per solve_lp call (DESIGN.md Sec 9 overhead budget).
+void record_lp_solve(const Solution& sol, std::int64_t total_us) {
+  if (!obs::enabled()) return;
+  static obs::Counter& solves =
+      obs::Registry::global().counter("bate_solver_solves_total");
+  static obs::Counter& iterations =
+      obs::Registry::global().counter("bate_solver_iterations_total");
+  static obs::Counter& pivots =
+      obs::Registry::global().counter("bate_solver_pivots_total");
+  static obs::Counter& refactorizations =
+      obs::Registry::global().counter("bate_solver_refactorizations_total");
+  static obs::Counter& pricing_resets =
+      obs::Registry::global().counter("bate_solver_pricing_resets_total");
+  static obs::Histogram& solve_us =
+      obs::Registry::global().histogram("bate_solver_solve_us");
+  solves.inc();
+  iterations.inc(sol.iterations);
+  pivots.inc(sol.pivots);
+  refactorizations.inc(sol.refactorizations);
+  pricing_resets.inc(sol.pricing_resets);
+  solve_us.record(total_us);
+}
 
-Solution solve_lp(const Model& model, const SimplexOptions& options,
-                  WarmStart* warm) {
+Solution solve_lp_impl(const Model& model, const SimplexOptions& options,
+                       WarmStart* warm) {
   validate_model(model);
   BATE_ASSERT_MSG(options.iteration_limit > 0 && options.tol > 0.0 &&
                       options.pivot_tol > 0.0,
@@ -914,11 +947,12 @@ Solution solve_lp(const Model& model, const SimplexOptions& options,
   if (!options.presolve || options.reference_mode) {
     return solve_lp_core(model, options, warm);
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  PresolveResult pre = presolve_model(model);
-  const long pus = std::chrono::duration_cast<std::chrono::microseconds>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
+  const std::int64_t t0 = obs::now_us();
+  PresolveResult pre = [&] {
+    BATE_TRACE_SPAN("solver.presolve");
+    return presolve_model(model);
+  }();
+  const long pus = static_cast<long>(obs::now_us() - t0);
   if (pre.infeasible) {
     Solution sol;
     sol.status = SolveStatus::kInfeasible;
@@ -955,7 +989,10 @@ Solution solve_lp(const Model& model, const SimplexOptions& options,
     rw = &reduced_warm;
   }
   const Solution red = solve_lp_core(pre.reduced, options, rw);
-  Solution sol = pre.post.expand(model, red);
+  Solution sol = [&] {
+    BATE_TRACE_SPAN("solver.postsolve");
+    return pre.post.expand(model, red);
+  }();
   sol.rows_removed = pre.stats.rows_removed;
   sol.cols_removed = pre.stats.cols_removed;
   sol.presolve_us = pus;
@@ -963,6 +1000,17 @@ Solution solve_lp(const Model& model, const SimplexOptions& options,
     warm->used = rw->used;
     warm->basis = pre.post.to_full(rw->basis, red.x);
   }
+  return sol;
+}
+
+}  // namespace
+
+Solution solve_lp(const Model& model, const SimplexOptions& options,
+                  WarmStart* warm) {
+  BATE_TRACE_SPAN("solver.solve_lp");
+  const std::int64_t t0 = obs::now_us();
+  Solution sol = solve_lp_impl(model, options, warm);
+  record_lp_solve(sol, obs::now_us() - t0);
   return sol;
 }
 

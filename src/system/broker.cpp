@@ -3,10 +3,37 @@
 #include <array>
 #include <chrono>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/log.h"
 
 namespace bate {
+
+namespace {
+
+struct BrokerMetrics {
+  obs::Counter& frames_in;
+  obs::Counter& bytes_in;
+  obs::Counter& updates;
+  obs::Counter& backup_updates;
+  obs::Counter& link_reports;
+  obs::Counter& dropped_reports;
+
+  static BrokerMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static BrokerMetrics m{
+        reg.counter("bate_broker_frames_in_total"),
+        reg.counter("bate_broker_bytes_in_total"),
+        reg.counter("bate_broker_allocation_updates_total"),
+        reg.counter("bate_broker_backup_updates_total"),
+        reg.counter("bate_broker_link_reports_total"),
+        reg.counter("bate_broker_dropped_reports_total"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Broker::Broker(int dc_id, std::uint16_t controller_port)
     : dc_(dc_id), port_(controller_port) {}
@@ -58,16 +85,23 @@ void Broker::receive_loop() {  // bate-lint: allow(guarded-field)
       break;
     }
     if (n <= 0) break;  // peer closed or socket shut down
+    if (obs::enabled()) BrokerMetrics::get().bytes_in.inc(n);
     reader.feed({buf.data(), static_cast<std::size_t>(n)});
     while (auto frame = reader.next()) {
+      if (obs::enabled()) BrokerMetrics::get().frames_in.inc();
       Message msg;
       try {
         msg = decode_message(*frame);
       } catch (const std::exception& e) {
-        log_warn("broker", std::string("bad message: ") + e.what());
+        BATE_LOG(kWarn, "broker") << "bad message: " << e.what();
         continue;
       }
       if (const auto* update = std::get_if<AllocationUpdateMsg>(&msg)) {
+        if (obs::enabled()) {
+          auto& m = BrokerMetrics::get();
+          m.updates.inc();
+          if (update->backup) m.backup_updates.inc();
+        }
         {
           std::lock_guard<std::mutex> lock(mu_);
           rates_[{update->id, update->pair}] = update->tunnel_mbps;
@@ -125,15 +159,18 @@ void Broker::report_link(LinkId link, bool up) {
   const auto framed = encode_frame(encode_message(LinkStatusMsg{link, up}));
   std::lock_guard<std::mutex> lock(write_mu_);
   if (!running_) {
-    log_warn("broker", "dropping link report: broker stopped");
+    if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
+    BATE_LOG(kWarn, "broker") << "dropping link report: broker stopped";
     return;
   }
   try {
     socket_.write_all(framed);
+    if (obs::enabled()) BrokerMetrics::get().link_reports.inc();
   } catch (const std::system_error& e) {
     // Controller went away (EPIPE/ECONNRESET); the agent keeps running and
     // the report is dropped, matching the paper's fail-static stance.
-    log_warn("broker", std::string("dropping link report: ") + e.what());
+    if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
+    BATE_LOG(kWarn, "broker") << "dropping link report: " << e.what();
   }
 }
 

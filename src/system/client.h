@@ -6,6 +6,7 @@
 #include <array>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "net/framing.h"
 #include "net/socket.h"
@@ -36,6 +37,19 @@ class UserClient {
 
   void withdraw(DemandId id) {
     socket_.write_all(encode_frame(encode_message(WithdrawDemandMsg{id})));
+  }
+
+  /// Scrapes the controller's metrics registry and blocks for the reply.
+  /// `format` is "prometheus" (default) or "json"; returns the rendered
+  /// exposition text.
+  std::string stats(const std::string& format = "prometheus") {
+    socket_.write_all(encode_frame(encode_message(StatsRequestMsg{format})));
+    while (true) {
+      const Message msg = read_message();
+      if (const auto* reply = std::get_if<StatsReplyMsg>(&msg)) {
+        return reply->body;
+      }
+    }
   }
 
  private:

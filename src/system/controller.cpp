@@ -2,17 +2,63 @@
 
 #include <array>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/log.h"
 
 namespace bate {
+
+namespace {
+
+// Stats-backing counters increment unconditionally (the stats() accessor is
+// functional, not diagnostic); the net-layer instrumentation below them is
+// gated on obs::enabled(). Handles resolve once — registry lookups lock.
+struct ControllerMetrics {
+  obs::Counter& offered;
+  obs::Counter& admitted;
+  obs::Counter& failures;
+  obs::Counter& updates;
+  obs::Counter& frames_in;
+  obs::Counter& frames_out;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& decode_errors;
+  obs::Gauge& peers;
+  obs::Histogram& fanout_us;
+
+  static ControllerMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static ControllerMetrics m{
+        reg.counter("bate_controller_demands_offered_total"),
+        reg.counter("bate_controller_demands_admitted_total"),
+        reg.counter("bate_controller_link_failures_total"),
+        reg.counter("bate_controller_allocation_updates_total"),
+        reg.counter("bate_controller_frames_in_total"),
+        reg.counter("bate_controller_frames_out_total"),
+        reg.counter("bate_controller_bytes_in_total"),
+        reg.counter("bate_controller_bytes_out_total"),
+        reg.counter("bate_controller_decode_errors_total"),
+        reg.gauge("bate_controller_peers"),
+        reg.histogram("bate_controller_fanout_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Controller::Controller(const Topology& topo, const TunnelCatalog& catalog,
                        SchedulerConfig scheduler_cfg,
                        AdmissionStrategy admission)
     : scheduler_(topo, catalog, scheduler_cfg),
       admission_(scheduler_, admission),
-      planner_(topo, catalog) {}
+      planner_(topo, catalog) {
+  auto& m = ControllerMetrics::get();
+  base_offered_ = m.offered.value();
+  base_admitted_ = m.admitted.value();
+  base_failures_ = m.failures.value();
+  base_updates_ = m.updates.value();
+}
 
 Controller::~Controller() { stop(); }
 
@@ -25,7 +71,7 @@ void Controller::start() {
   // of the loop thread's first run_once (net/event_loop.h contract).
   loop_.add_reader(listener_->fd(), [this] { on_accept(); });
   thread_ = std::thread([this] { loop_.run(20); });
-  log_info("controller", "listening on port " + std::to_string(port_));
+  BATE_LOG(kInfo, "controller") << "listening on port " << port_;
 }
 
 void Controller::stop() {
@@ -46,6 +92,9 @@ void Controller::on_accept() {
     const int fd = sock->fd();
     peers_.emplace(fd, Peer{std::move(*sock), FrameReader{}, "", -1});
     loop_.add_reader(fd, [this, fd] { on_peer_readable(fd); });
+  }
+  if (obs::enabled()) {
+    ControllerMetrics::get().peers.set(static_cast<double>(peers_.size()));
   }
 }
 
@@ -69,30 +118,41 @@ void Controller::on_peer_readable(int fd) {
       break;
     }
     if (n < 0) break;  // would block
+    if (obs::enabled()) ControllerMetrics::get().bytes_in.inc(n);
     peer.reader.feed({buf.data(), static_cast<std::size_t>(n)});
   }
   while (auto frame = peer.reader.next()) {
+    if (obs::enabled()) ControllerMetrics::get().frames_in.inc();
     try {
       handle_message(peer, decode_message(*frame));
     } catch (const std::exception& e) {
-      log_warn("controller", std::string("bad message: ") + e.what());
+      if (obs::enabled()) ControllerMetrics::get().decode_errors.inc();
+      BATE_LOG(kWarn, "controller") << "bad message: " << e.what();
     }
   }
   if (closed) {
     loop_.remove(fd);
     peers_.erase(fd);
+    if (obs::enabled()) {
+      ControllerMetrics::get().peers.set(static_cast<double>(peers_.size()));
+    }
   }
 }
 
 void Controller::send_to(Peer& peer, const Message& msg) {
   const auto framed = encode_frame(encode_message(msg));
+  if (obs::enabled()) {
+    auto& m = ControllerMetrics::get();
+    m.frames_out.inc();
+    m.bytes_out.inc(static_cast<std::int64_t>(framed.size()));
+  }
   try {
     // Frames are small; a blocking send on a nonblocking socket can still
     // short-write under pressure, which write_all treats as EAGAIN error —
     // acceptable for the control channel sizes used here.
     peer.socket.write_all(framed);
   } catch (const std::system_error& e) {
-    log_warn("controller", std::string("send failed: ") + e.what());
+    BATE_LOG(kWarn, "controller") << "send failed: " << e.what();
   }
 }
 
@@ -115,11 +175,9 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
   }
   if (const auto* submit = std::get_if<SubmitDemandMsg>(&msg)) {
     const AdmissionOutcome outcome = admission_.offer(submit->demand);
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.demands_offered;
-      stats_.demands_admitted += outcome.admitted ? 1 : 0;
-    }
+    auto& m = ControllerMetrics::get();
+    m.offered.inc();
+    if (outcome.admitted) m.admitted.inc();
     send_to(peer, AdmissionReplyMsg{submit->demand.id, outcome.admitted});
     if (outcome.admitted) {
       run_scheduling_round();
@@ -135,14 +193,17 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
   }
   if (const auto* status = std::get_if<LinkStatusMsg>(&msg)) {
     if (!status->up) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.link_failures_handled;
-      }
+      ControllerMetrics::get().failures.inc();
       broadcast_allocations(true, planner_.plan(status->link));
     } else {
       broadcast_allocations(false, nullptr);
     }
+    return;
+  }
+  if (const auto* req = std::get_if<StatsRequestMsg>(&msg)) {
+    const std::string format =
+        req->format.empty() ? "prometheus" : req->format;
+    send_to(peer, StatsReplyMsg{format, obs::Registry::global().dump(format)});
     return;
   }
 }
@@ -170,12 +231,12 @@ int Controller::send_allocations_to(Peer& peer, bool backup,
 void Controller::send_allocation_snapshot(Peer& peer) {
   const int sent = send_allocations_to(peer, false, admission_.admitted(),
                                        admission_.allocations());
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.allocation_updates_sent += sent;
+  ControllerMetrics::get().updates.inc(sent);
 }
 
 void Controller::broadcast_allocations(bool backup,
                                        const RecoveryResult* plan) {
+  const std::int64_t t0 = obs::now_us();
   const auto& demands =
       (backup && plan != nullptr) ? planner_.demands() : admission_.admitted();
   const auto& allocs = (backup && plan != nullptr)
@@ -186,13 +247,21 @@ void Controller::broadcast_allocations(bool backup,
     if (peer.role != "broker") continue;
     sent += send_allocations_to(peer, backup, demands, allocs);
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.allocation_updates_sent += sent;
+  auto& m = ControllerMetrics::get();
+  m.updates.inc(sent);
+  if (obs::enabled() && sent > 0) m.fanout_us.record(obs::now_us() - t0);
 }
 
 ControllerStats Controller::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  auto& m = ControllerMetrics::get();
+  ControllerStats s;
+  s.demands_offered = static_cast<int>(m.offered.value() - base_offered_);
+  s.demands_admitted = static_cast<int>(m.admitted.value() - base_admitted_);
+  s.link_failures_handled =
+      static_cast<int>(m.failures.value() - base_failures_);
+  s.allocation_updates_sent =
+      static_cast<int>(m.updates.value() - base_updates_);
+  return s;
 }
 
 }  // namespace bate

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 
@@ -26,6 +25,9 @@
 
 namespace bate {
 
+/// Snapshot view over the process-wide metrics registry (src/obs), scoped
+/// to this controller instance: the constructor records the registry's
+/// counter values and stats() reports the growth since then.
 struct ControllerStats {
   int demands_offered = 0;
   int demands_admitted = 0;
@@ -85,8 +87,12 @@ class Controller {
   std::thread thread_;
   std::uint16_t port_ = 0;  // written by start() before the thread exists
 
-  mutable std::mutex stats_mu_;
-  ControllerStats stats_;  // GUARDED_BY(stats_mu_)
+  // Registry counter values at construction; stats() subtracts these so the
+  // accessor stays per-instance even though the registry is process-wide.
+  std::int64_t base_offered_ = 0;
+  std::int64_t base_admitted_ = 0;
+  std::int64_t base_failures_ = 0;
+  std::int64_t base_updates_ = 0;
 };
 
 }  // namespace bate

@@ -81,6 +81,13 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.u8(static_cast<std::uint8_t>(MsgType::kLinkStatus));
           w.i32(m.link);
           w.u8(m.up ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+          w.str(m.format);
+        } else if constexpr (std::is_same_v<T, StatsReplyMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
+          w.str(m.format);
+          w.str(m.body);
         }
       },
       msg);
@@ -125,6 +132,17 @@ Message decode_message(std::span<const std::uint8_t> payload) {
       LinkStatusMsg m;
       m.link = r.i32();
       m.up = r.u8() != 0;
+      return m;
+    }
+    case MsgType::kStatsRequest: {
+      StatsRequestMsg m;
+      m.format = r.str();
+      return m;
+    }
+    case MsgType::kStatsReply: {
+      StatsReplyMsg m;
+      m.format = r.str();
+      m.body = r.str();
       return m;
     }
   }

@@ -21,6 +21,8 @@ enum class MsgType : std::uint8_t {
   kAllocationUpdate = 4, // controller -> broker: per-demand tunnel rates
   kWithdrawDemand = 5,   // user -> controller: demand ended
   kLinkStatus = 6,       // broker -> controller: link up/down
+  kStatsRequest = 7,     // any peer -> controller: scrape the obs registry
+  kStatsReply = 8,       // controller -> peer: rendered snapshot
 };
 
 struct HelloMsg {
@@ -55,9 +57,21 @@ struct LinkStatusMsg {
   bool up = true;
 };
 
+/// Scrapes the controller's metrics registry (src/obs). `format` selects
+/// the exposition: "prometheus" (default when empty) or "json".
+struct StatsRequestMsg {
+  std::string format;
+};
+
+/// The rendered registry snapshot. `format` echoes the request.
+struct StatsReplyMsg {
+  std::string format;
+  std::string body;
+};
+
 using Message = std::variant<HelloMsg, SubmitDemandMsg, AdmissionReplyMsg,
                              AllocationUpdateMsg, WithdrawDemandMsg,
-                             LinkStatusMsg>;
+                             LinkStatusMsg, StatsRequestMsg, StatsReplyMsg>;
 
 /// Encodes a message payload (not yet framed).
 std::vector<std::uint8_t> encode_message(const Message& msg);

@@ -1,0 +1,278 @@
+// Unit tests for the observability subsystem (src/obs): metric semantics,
+// log-linear histogram bucket boundaries, snapshot consistency under
+// concurrent writers (the tsan preset runs every Obs* suite), trace-ring
+// wraparound, and golden checks of both exposition formats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bate::obs {
+namespace {
+
+TEST(ObsCounter, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(5);
+  EXPECT_EQ(c.value(), 6);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kIncs);
+}
+
+TEST(ObsGauge, SetAddMax) {
+  Gauge g;
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.max_of(2.0);  // lower: no-op
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.max_of(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // The linear head: one bucket per value 0..3, upper bounds 1..4.
+  for (std::int64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_upper(static_cast<int>(v)), v + 1);
+  }
+  // First octave [4,8): 4 sub-buckets of width 1.
+  EXPECT_EQ(Histogram::bucket_index(4), 4);
+  EXPECT_EQ(Histogram::bucket_index(7), 7);
+  EXPECT_EQ(Histogram::bucket_upper(4), 5);
+  EXPECT_EQ(Histogram::bucket_upper(7), 8);
+  // Octave [8,16): width-2 sub-buckets.
+  EXPECT_EQ(Histogram::bucket_index(8), 8);
+  EXPECT_EQ(Histogram::bucket_index(9), 8);
+  EXPECT_EQ(Histogram::bucket_upper(8), 10);
+
+  // Invariants over a broad sample: every value lands in exactly the
+  // bucket whose half-open range [upper(i-1), upper(i)) contains it, and
+  // the index is monotone in the value.
+  int prev_idx = -1;
+  for (std::int64_t v = 0; v < 100000; v = v < 64 ? v + 1 : v + v / 7) {
+    const int idx = Histogram::bucket_index(v);
+    ASSERT_GE(idx, prev_idx) << "v=" << v;
+    ASSERT_LT(v, Histogram::bucket_upper(idx)) << "v=" << v;
+    if (idx > 0) {
+      ASSERT_GE(v, Histogram::bucket_upper(idx - 1)) << "v=" << v;
+    }
+    prev_idx = idx;
+  }
+  // Relative error of the bucket bound stays within one sub-bucket (25%).
+  for (std::int64_t v = 4; v < (std::int64_t{1} << 40); v *= 3) {
+    const int idx = Histogram::bucket_index(v);
+    if (idx == Histogram::kBuckets - 1) break;  // overflow bucket
+    const double upper = static_cast<double>(Histogram::bucket_upper(idx));
+    EXPECT_LE(upper / static_cast<double>(v), 1.25) << "v=" << v;
+  }
+  // Out-of-range samples: negatives clamp to 0, huge values overflow into
+  // the last (+Inf) bucket.
+  Histogram h;
+  h.record(-7);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  h.record(std::int64_t{1} << 45);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 1);
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(ObsHistogram, RecordAndAccessors) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum(), 10);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(0)), 1);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(5)), 2);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+}
+
+TEST(ObsRegistry, SnapshotWhileIncrementing) {
+  // Writers hammer a counter and a histogram while the main thread takes
+  // snapshots: every snapshot must be internally consistent (histogram
+  // count equals the +Inf cumulative, cumulative counts non-decreasing),
+  // and the final totals exact. Doubles as the tsan gate for the registry.
+  Registry reg;
+  Counter& c = reg.counter("bate_test_obs_ops_total");
+  Histogram& h = reg.histogram("bate_test_obs_lat_us");
+  constexpr int kThreads = 4;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIncs; ++i) {
+        c.inc();
+        h.record(i & 1023);
+      }
+    });
+  }
+  for (int probe = 0; probe < 50; ++probe) {
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const HistogramSnapshot& hs = snap.histograms[0].second;
+    std::int64_t prev = 0;
+    for (const auto& b : hs.buckets) {
+      ASSERT_GE(b.cumulative, prev);
+      prev = b.cumulative;
+    }
+    if (!hs.buckets.empty()) {
+      ASSERT_TRUE(hs.buckets.back().infinite);
+      ASSERT_EQ(hs.count, hs.buckets.back().cumulative);
+    }
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kIncs);
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kIncs);
+}
+
+TEST(ObsRegistry, HandlesAreStableAndShared) {
+  Registry reg;
+  Counter& a = reg.counter("bate_test_obs_x_total");
+  Counter& b = reg.counter("bate_test_obs_x_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3);
+  reg.reset();
+  EXPECT_EQ(a.value(), 0);
+}
+
+TEST(ObsRegistry, PrometheusGolden) {
+  Registry reg;
+  reg.counter("bate_test_ops_total").inc(3);
+  reg.gauge("bate_test_depth").set(2.5);
+  Histogram& h = reg.histogram("bate_test_lat_us");
+  h.record(0);  // bucket le="1"
+  h.record(5);  // bucket le="6"
+  const std::string expected =
+      "# TYPE bate_test_ops_total counter\n"
+      "bate_test_ops_total 3\n"
+      "# TYPE bate_test_depth gauge\n"
+      "bate_test_depth 2.5\n"
+      "# TYPE bate_test_lat_us histogram\n"
+      "bate_test_lat_us_bucket{le=\"1\"} 1\n"
+      "bate_test_lat_us_bucket{le=\"6\"} 2\n"
+      "bate_test_lat_us_bucket{le=\"+Inf\"} 2\n"
+      "bate_test_lat_us_sum 5\n"
+      "bate_test_lat_us_count 2\n";
+  EXPECT_EQ(reg.dump("prometheus"), expected);
+}
+
+TEST(ObsRegistry, JsonGolden) {
+  Registry reg;
+  reg.counter("bate_test_ops_total").inc(3);
+  reg.gauge("bate_test_depth").set(2.5);
+  Histogram& h = reg.histogram("bate_test_lat_us");
+  h.record(0);
+  h.record(5);
+  const std::string expected =
+      "{\"counters\":{\"bate_test_ops_total\":3},"
+      "\"gauges\":{\"bate_test_depth\":2.5},"
+      "\"histograms\":{\"bate_test_lat_us\":{\"count\":2,\"sum\":5,"
+      "\"buckets\":[{\"le\":1,\"cumulative\":1},"
+      "{\"le\":6,\"cumulative\":2},"
+      "{\"le\":\"+Inf\",\"cumulative\":2}]}}}";
+  EXPECT_EQ(reg.dump("json"), expected);
+}
+
+TEST(ObsTraceRing, RecordsAndWraps) {
+  TraceRing ring(8, 42);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    ring.push("obs_test.wrap", 100 + i, 1);
+  }
+  EXPECT_EQ(ring.total(), 20u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and only the newest 8 survive: ts 112..119.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_us, 112 + static_cast<std::int64_t>(i));
+    EXPECT_EQ(events[i].tid, 42u);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.events().empty());
+}
+
+TEST(ObsTraceRing, CapacityRoundsToPowerOfTwo) {
+  TraceRing ring(5, 0);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(ObsTrace, ChromeJsonGolden) {
+  const std::vector<TraceEventCopy> events = {
+      {"solver.presolve", 10, 5, 0},
+      {"solver.simplex", 16, 40, 0},
+  };
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"solver.presolve\",\"cat\":\"bate\",\"ph\":\"X\","
+      "\"ts\":10,\"dur\":5,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"solver.simplex\",\"cat\":\"bate\",\"ph\":\"X\","
+      "\"ts\":16,\"dur\":40,\"pid\":1,\"tid\":0}"
+      "]}";
+  EXPECT_EQ(chrome_trace_json(events), expected);
+}
+
+TEST(ObsTrace, SpansLandInThreadRings) {
+  const std::uint64_t before = Tracer::global().thread_ring().total();
+  {
+    BATE_TRACE_SPAN("obs_test.outer");
+    BATE_TRACE_SPAN("obs_test.inner");
+  }
+  EXPECT_EQ(Tracer::global().thread_ring().total(), before + 2);
+  // A second thread gets its own ring; its span must appear in the global
+  // export alongside ours.
+  std::thread([] { BATE_TRACE_SPAN("obs_test.worker"); }).join();
+  const std::string json = Tracer::global().chrome_json();
+  EXPECT_NE(json.find("obs_test.outer"), std::string::npos);
+  EXPECT_NE(json.find("obs_test.worker"), std::string::npos);
+  EXPECT_GE(Tracer::global().ring_count(), 2u);
+}
+
+TEST(ObsEnabled, DisableMakesMetricsNoOps) {
+  ASSERT_TRUE(enabled()) << "tests assume BATE_OBS_OFF is not set";
+  Counter c;
+  Histogram h;
+  Gauge g;
+  set_enabled(false);
+  c.inc();
+  h.record(7);
+  g.set(1.0);
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  c.inc();
+  EXPECT_EQ(c.value(), 1);
+}
+
+}  // namespace
+}  // namespace bate::obs

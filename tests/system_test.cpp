@@ -72,12 +72,20 @@ TEST(Protocol, RoundTripsEveryMessageType) {
       AllocationUpdateMsg{7, 2, {10.0, 20.5, 0.0}, true},
       WithdrawDemandMsg{9},
       LinkStatusMsg{5, false},
+      StatsRequestMsg{"json"},
+      StatsReplyMsg{"prometheus", "# TYPE x counter\nx 1\n"},
   };
   for (const Message& msg : msgs) {
     const auto payload = encode_message(msg);
     const Message back = decode_message(payload);
     EXPECT_EQ(back.index(), msg.index());
   }
+
+  const Message reply = decode_message(
+      encode_message(StatsReplyMsg{"json", "{\"counters\":{}}"}));
+  const auto& sr = std::get<StatsReplyMsg>(reply);
+  EXPECT_EQ(sr.format, "json");
+  EXPECT_EQ(sr.body, "{\"counters\":{}}");
 
   const Message back = decode_message(encode_message(SubmitDemandMsg{d}));
   const auto& sd = std::get<SubmitDemandMsg>(back);
@@ -210,6 +218,32 @@ TEST_F(SystemFixture, EnforcerShapesToUpdatedRates) {
   EXPECT_NEAR(admitted, rates[tunnel], rates[tunnel] * 0.25);
   // Unknown rows drop everything.
   EXPECT_DOUBLE_EQ(broker.shape(42, 0, 0, 10.0), 0.0);
+  broker.stop();
+}
+
+TEST_F(SystemFixture, StatsRequestReturnsRegistrySnapshot) {
+  // Scrape over TCP while a broker is connected: the reply must carry the
+  // solver, scheduler, and net-layer metrics populated by the admitted
+  // demand's scheduling round.
+  Broker broker(0, controller->port());
+  broker.start();
+  UserClient user(controller->port());
+  ASSERT_TRUE(user.submit(make_demand(1, 0, 200.0, 0.99)));
+  ASSERT_TRUE(wait_for_broker(
+      broker, [&] { return broker.enforced_total(1, 0) > 0.0; }));
+
+  const std::string prom = user.stats();
+  EXPECT_NE(prom.find("bate_solver_solves_total"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("bate_scheduler_rounds_total"), std::string::npos);
+  EXPECT_NE(prom.find("bate_controller_frames_in_total"), std::string::npos);
+  EXPECT_NE(prom.find("bate_controller_demands_offered_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE bate_solver_solve_us histogram"),
+            std::string::npos);
+
+  const std::string json = user.stats("json");
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("bate_scheduler_rounds_total"), std::string::npos);
   broker.stop();
 }
 

@@ -33,6 +33,12 @@
 //                   reusable basis pays (DESIGN.md "Solver performance").
 //                   Deliberate cold solves carry a `// cold-start: <reason>`
 //                   comment on the call or just above it.
+//   timing          src/solver + src/core: no std::chrono::steady_clock
+//                   outside the src/obs wrappers — hot-path timing flows
+//                   through obs::now_us() so the obs-overhead gate accounts
+//                   for every clock read (DESIGN.md Sec 9). Deliberate
+//                   direct reads carry `// timing: <reason>` on the line or
+//                   just above it.
 //
 // Escape hatch: a line containing `bate-lint: allow(<rule>)` disables the
 // named rule for that line (or, on a function's opening line, for the
@@ -339,6 +345,31 @@ void check_cold_solve(const fs::path& file,
   }
 }
 
+// --- Rule: timing -----------------------------------------------------------
+
+/// src/solver + src/core: hot-path timing goes through obs::now_us() — one
+/// sanctioned clock, visible to the obs-overhead gate. A deliberate direct
+/// steady_clock read carries `// timing: <reason>` on the line or one of
+/// the two raw lines above it.
+void check_timing(const fs::path& file, const std::vector<std::string>& code,
+                  const std::vector<std::string>& raw) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].find("steady_clock") == std::string::npos) continue;
+    bool annotated = false;
+    for (std::size_t back = 0; back <= 2 && back <= i; ++back) {
+      if (raw[i - back].find("timing:") != std::string::npos) {
+        annotated = true;
+        break;
+      }
+    }
+    if (!annotated && !line_allows(raw[i], "timing")) {
+      report(file, static_cast<int>(i + 1), "timing",
+             "steady_clock in solver/core; time through obs::now_us() or "
+             "annotate `// timing: <reason>`");
+    }
+  }
+}
+
 // --- Rule: guarded-field ----------------------------------------------------
 
 struct GuardedField {
@@ -520,6 +551,10 @@ int main(int argc, char** argv) {
       }
       if (source && rel.string().rfind("src/core", 0) == 0) {
         check_cold_solve(rel, code_lines, raw_lines);
+      }
+      if (rel.string().rfind("src/solver", 0) == 0 ||
+          rel.string().rfind("src/core", 0) == 0) {
+        check_timing(rel, code_lines, raw_lines);
       }
       if (source && (rel.string().rfind("src/system", 0) == 0 ||
                      rel.string().rfind("src/net", 0) == 0 ||

@@ -216,7 +216,7 @@ void write_bench_json(const BenchReport& report, const std::string& path) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": " << quote(report.bench) << ",\n";
-  out << "  \"schema_version\": 2,\n";
+  out << "  \"schema_version\": 3,\n";
   out << "  \"cases\": [";
   for (std::size_t i = 0; i < report.cases.size(); ++i) {
     const BenchCase& c = report.cases[i];
@@ -232,8 +232,13 @@ void write_bench_json(const BenchReport& report, const std::string& path) {
     }
     out << "}}";
   }
-  out << (report.cases.empty() ? "]\n" : "\n  ]\n");
-  out << "}\n";
+  out << (report.cases.empty() ? "]" : "\n  ]");
+  if (!report.obs_json.empty()) {
+    // Embedded verbatim; validate_bench_json re-parses the whole file, so
+    // a malformed snapshot fails loudly rather than silently.
+    out << ",\n  \"obs\": " << report.obs_json;
+  }
+  out << "\n}\n";
 
   std::ofstream f(path, std::ios::trunc);
   if (!f) throw std::runtime_error("bench_report: cannot open " + path);
@@ -261,8 +266,12 @@ std::string validate_bench_json(const std::string& path) {
   }
   const JsonValue* ver = root.find("schema_version");
   if (!ver || ver->kind != JsonValue::Kind::kNumber ||
-      (ver->number != 1.0 && ver->number != 2.0)) {
-    return "missing field 'schema_version' or version not in {1, 2}";
+      (ver->number != 1.0 && ver->number != 2.0 && ver->number != 3.0)) {
+    return "missing field 'schema_version' or version not in {1, 2, 3}";
+  }
+  const JsonValue* obs = root.find("obs");
+  if (obs != nullptr && obs->kind != JsonValue::Kind::kObject) {
+    return "'obs' is present but not an object";
   }
   const JsonValue* cases = root.find("cases");
   if (!cases || cases->kind != JsonValue::Kind::kArray) {

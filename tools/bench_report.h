@@ -16,9 +16,12 @@
 //
 // Schema history: v2 (presolve PR) added the presolve metrics
 // (rows_removed_pct, cols_removed_pct, presolve_us, nopresolve_median_ms,
-// speedup_vs_nopresolve) to the solver bench; the container shape is
-// unchanged, so the validator accepts v1 files too and the version field is
-// informational for downstream diffing.
+// speedup_vs_nopresolve) to the solver bench; v3 (observability PR) added
+// the optional top-level "obs" object — the src/obs registry snapshot of
+// one representative solve, in the metrics JSON exposition. Both changes
+// are additive: the container shape is unchanged, the validator accepts
+// v1/v2 files, and the version field is informational for downstream
+// diffing.
 //
 // validate_bench_json re-parses an emitted file with a minimal hand-rolled
 // JSON reader (no third-party deps) and checks exactly that shape;
@@ -41,13 +44,17 @@ struct BenchCase {
 struct BenchReport {
   std::string bench;  // e.g. "solver"
   std::vector<BenchCase> cases;
+  /// Optional (v3): the obs registry snapshot of one representative solve,
+  /// as produced by obs::Registry::dump("json"). Embedded verbatim as the
+  /// top-level "obs" object when non-empty.
+  std::string obs_json;
 };
 
 /// Serializes the report to `path`. Throws std::runtime_error when the file
 /// cannot be written or a metric value is not finite.
 void write_bench_json(const BenchReport& report, const std::string& path);
 
-/// Parses `path` and checks the BENCH schema above (version 1 or 2).
+/// Parses `path` and checks the BENCH schema above (version 1, 2 or 3).
 /// Returns an empty string on success, else a one-line description of the
 /// first violation.
 std::string validate_bench_json(const std::string& path);

@@ -7,7 +7,9 @@
 #   4. lint        bate_lint (always) + clang-tidy (when installed)
 #   5. bench-smoke bench_solver + bench_milp with a tiny rep count;
 #                  validates the emitted BENCH json against the schema
-#                  (tools/bench_report.h)
+#                  (tools/bench_report.h), then runs the obs-overhead gate
+#                  (bench_solver --obs-overhead: metrics enabled must stay
+#                  within 3% of the BATE_OBS_OFF=1 median, DESIGN.md Sec 9)
 #
 # Every leg uses the CMakePresets.json presets, so a CI runner and a
 # developer shell run the identical configuration. Legs can be selected:
@@ -80,6 +82,8 @@ for leg in "${legs[@]}"; do
       "build/dev/bench/bench_milp" --reps 1 --out "$smoke_json"
       "build/dev/bench/bench_milp" --validate "$smoke_json"
       rm -f "$smoke_json"
+      banner "obs-overhead gate (metrics on vs off, 3% budget)"
+      "build/dev/bench/bench_solver" --obs-overhead
       ;;
     *)
       echo "ci.sh: unknown leg '$leg' (plain|asan-ubsan|tsan|lint|bench-smoke)" >&2
