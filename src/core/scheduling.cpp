@@ -131,7 +131,7 @@ std::shared_ptr<const DemandPatterns> TrafficScheduler::demand_patterns(
   key.reserve(demand.pairs.size());
   for (const PairDemand& pd : demand.pairs) key.push_back(pd.pair);
   {
-    std::lock_guard<std::mutex> lock(joint_mu_);
+    MutexLock lock(joint_mu_);
     const auto it = joint_cache_.find(key);
     if (it != joint_cache_.end()) return it->second;
   }
@@ -141,7 +141,7 @@ std::shared_ptr<const DemandPatterns> TrafficScheduler::demand_patterns(
   auto dp = std::make_shared<DemandPatterns>();
   const auto joint = joint_tunnels(*catalog_, demand, dp->ranges);
   dp->dist = make_patterns(*topo_, joint, cfg_.exact, cfg_.max_failures);
-  std::lock_guard<std::mutex> lock(joint_mu_);
+  MutexLock lock(joint_mu_);
   return joint_cache_.emplace(std::move(key), std::move(dp)).first->second;
 }
 

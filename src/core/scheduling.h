@@ -17,7 +17,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "scenario/pattern.h"
 #include "solver/simplex.h"
 #include "topology/graph.h"
+#include "util/mutex.h"
 #include "workload/demand.h"
 
 namespace bate {
@@ -162,9 +162,9 @@ class TrafficScheduler {
   /// constructor.
   std::vector<std::shared_ptr<const DemandPatterns>> single_patterns_;
   /// Joint distributions for multi-pair demands, built on first use.
-  mutable std::mutex joint_mu_;
+  mutable Mutex joint_mu_{LockRank::kScheduler, "scheduler joint cache"};
   mutable std::map<std::vector<int>, std::shared_ptr<const DemandPatterns>>
-      joint_cache_;  // GUARDED_BY(joint_mu_)
+      joint_cache_ BATE_GUARDED_BY(joint_mu_);
 };
 
 /// Total bandwidth an allocation places on each link (indexed by LinkId).

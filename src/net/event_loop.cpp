@@ -99,7 +99,7 @@ void EventLoop::apply(PendingOp op) {
 void EventLoop::drain_pending() {
   std::vector<PendingOp> ops;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     ops.swap(pending_);
   }
   for (PendingOp& op : ops) {
@@ -117,7 +117,7 @@ void EventLoop::add_reader(int fd, Callback on_readable) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     pending_.push_back(PendingOp{fd, true, std::move(on_readable)});
   }
   wake();
@@ -129,7 +129,7 @@ void EventLoop::remove(int fd) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     // Cancel any queued add for the same fd first: the pair must not
     // reorder into (remove, stale add).
     std::erase_if(pending_, [fd](const PendingOp& op) { return op.fd == fd; });

@@ -20,9 +20,10 @@
 #include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace bate {
 
@@ -76,8 +77,8 @@ class EventLoop {
   std::atomic<std::thread::id> loop_thread_{};
   std::atomic<bool> stopped_{false};
 
-  std::mutex pending_mu_;
-  std::vector<PendingOp> pending_;  // GUARDED_BY(pending_mu_)
+  Mutex pending_mu_{LockRank::kEventLoop, "event loop pending"};
+  std::vector<PendingOp> pending_ BATE_GUARDED_BY(pending_mu_);
 };
 
 }  // namespace bate

@@ -13,7 +13,9 @@ std::atomic<bool>& enabled_flag() {
   // Read BATE_OBS_OFF exactly once, on first use, so the switch is settled
   // before any metric is touched.
   static std::atomic<bool> flag([] {
-    const char* v = std::getenv("BATE_OBS_OFF");
+    // Guarded by the magic-static initialisation (runs exactly once);
+    // nothing in the process calls setenv.
+    const char* v = std::getenv("BATE_OBS_OFF");  // NOLINT(concurrency-mt-unsafe)
     return !(v != nullptr && v[0] == '1' && v[1] == '\0');
   }());
   return flag;
@@ -166,7 +168,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -176,7 +178,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -185,7 +187,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -196,7 +198,9 @@ Histogram& Registry::histogram(std::string_view name) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared lock: a snapshot only reads the maps (metric values are
+  // atomics), so concurrent snapshots — the stats RPC and a test — overlap.
+  ReaderMutexLock lock(mu_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
     snap.counters.emplace_back(name, c->value());
@@ -236,7 +240,7 @@ std::string Registry::dump(std::string_view format) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace bate::obs {
 
@@ -203,13 +204,16 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>>
-      counters_;  // GUARDED_BY(mu_)
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
-      gauges_;  // GUARDED_BY(mu_)
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-      histograms_;  // GUARDED_BY(mu_)
+  // kObsRegistry is the bottom of the lock hierarchy: metric registration
+  // (the function-local-static handle lookups) may run under any other
+  // subsystem lock.
+  mutable Mutex mu_{LockRank::kObsRegistry, "metrics registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      BATE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      BATE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      BATE_GUARDED_BY(mu_);
 };
 
 }  // namespace bate::obs

@@ -79,7 +79,7 @@ TraceRing& Tracer::thread_ring() {
   // Per-thread cache of this thread's ring. Tracer is a singleton, so the
   // thread_local cannot alias rings of a different instance.
   thread_local TraceRing* ring = [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings_.push_back(std::make_unique<TraceRing>(
         TraceRing::kDefaultCapacity, static_cast<std::uint32_t>(rings_.size())));
     return rings_.back().get();
@@ -110,7 +110,7 @@ std::string chrome_trace_json(const std::vector<TraceEventCopy>& events) {
 std::string Tracer::chrome_json() const {
   std::vector<TraceEventCopy> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     for (const auto& ring : rings_) {
       auto ev = ring->events();
       all.insert(all.end(), ev.begin(), ev.end());
@@ -124,12 +124,12 @@ std::string Tracer::chrome_json() const {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& ring : rings_) ring->clear();
 }
 
 std::size_t Tracer::ring_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return rings_.size();
 }
 

@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace bate::obs {
 
@@ -99,8 +99,8 @@ class Tracer {
 
  private:
   Tracer() = default;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<TraceRing>> rings_;  // GUARDED_BY(mu_)
+  mutable Mutex mu_{LockRank::kObsRegistry, "tracer"};
+  std::vector<std::unique_ptr<TraceRing>> rings_ BATE_GUARDED_BY(mu_);
 };
 
 /// Renders a flat event list as Chrome trace JSON (exposed for tests and

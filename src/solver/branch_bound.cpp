@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -14,6 +12,7 @@
 #include "obs/trace.h"
 #include "solver/presolve.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace bate {
@@ -304,19 +303,19 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
   // idle workers know whether more work can still appear; while waiting
   // they drain unrelated pool tasks via run_one() instead of sleeping.
   struct SharedState {
-    std::mutex mu;
-    std::condition_variable cv;
-    OpenQueue open;              // GUARDED_BY(mu)
-    int inflight = 0;            // GUARDED_BY(mu)
-    long popped = 0;             // GUARDED_BY(mu)
-    bool stop = false;           // GUARDED_BY(mu)
-    bool budget_hit = false;     // GUARDED_BY(mu)
-    bool unbounded = false;      // GUARDED_BY(mu)
-    Solution unbounded_sol;      // GUARDED_BY(mu)
-    double incumbent_min = kInfinity;  // GUARDED_BY(mu)
-    Solution incumbent;          // GUARDED_BY(mu)
-    long iters = 0;              // GUARDED_BY(mu)
-    long pivots = 0;             // GUARDED_BY(mu)
+    Mutex mu{LockRank::kSolver, "bnb shared"};
+    CondVar cv;
+    OpenQueue open BATE_GUARDED_BY(mu);
+    int inflight BATE_GUARDED_BY(mu) = 0;
+    long popped BATE_GUARDED_BY(mu) = 0;
+    bool stop BATE_GUARDED_BY(mu) = false;
+    bool budget_hit BATE_GUARDED_BY(mu) = false;
+    bool unbounded BATE_GUARDED_BY(mu) = false;
+    Solution unbounded_sol BATE_GUARDED_BY(mu);
+    double incumbent_min BATE_GUARDED_BY(mu) = kInfinity;
+    Solution incumbent BATE_GUARDED_BY(mu);
+    long iters BATE_GUARDED_BY(mu) = 0;
+    long pivots BATE_GUARDED_BY(mu) = 0;
   } sh;
   sh.incumbent.status = SolveStatus::kInfeasible;
   sh.open.push(std::move(root));
@@ -326,14 +325,14 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
   const int workers = pool.thread_count() + 1;  // caller participates
   pool.parallel_for(workers, [&](int) {
     Model work = s.model;
-    std::unique_lock<std::mutex> lk(sh.mu);
+    MutexLock lk(sh.mu);
     for (;;) {
       while (!sh.stop && sh.open.empty() && sh.inflight > 0) {
         lk.unlock();
         const bool ran = pool.run_one();
         lk.lock();
         if (!ran && !sh.stop && sh.open.empty() && sh.inflight > 0) {
-          sh.cv.wait_for(lk, std::chrono::microseconds(200));
+          sh.cv.wait_for(sh.mu, std::chrono::microseconds(200));
         }
       }
       if (sh.stop || sh.open.empty()) return;  // empty implies inflight == 0

@@ -42,11 +42,11 @@ Broker::~Broker() { stop(); }
 
 void Broker::start() {
   BATE_ASSERT_MSG(!thread_.joinable(), "broker started twice");
-  socket_ = connect_tcp(port_);
-  socket_.set_nodelay(true);
   const auto hello = encode_frame(encode_message(HelloMsg{"broker", dc_}));
   {
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
+    socket_ = connect_tcp(port_);
+    socket_.set_nodelay(true);
     socket_.write_all(hello);
   }
   running_ = true;
@@ -58,7 +58,7 @@ void Broker::stop() {
   {
     // Under write_mu_ so no report_link write can interleave with the
     // shutdown; writers observing running_ == false drop their frame.
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     running_ = false;
     // shutdown() (not close()) wakes the receive thread blocked in recv.
     socket_.shutdown();
@@ -67,14 +67,15 @@ void Broker::stop() {
   // Close only after join: the receive loop can no longer touch the fd, and
   // report_link sees running_ == false, so nobody can race the close (or a
   // kernel reuse of the fd number).
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   socket_.close();
 }
 
-// Reader side of socket_ deliberately takes no lock: stop() shuts the socket
-// down under write_mu_ and joins this thread before close(), so the fd stays
-// valid for the loop's whole lifetime.
-void Broker::receive_loop() {  // bate-lint: allow(guarded-field)
+// Reader side of socket_ deliberately takes no lock (the function is outside
+// the thread-safety analysis, declared so in broker.h): stop() shuts the
+// socket down under write_mu_ and joins this thread before close(), so the
+// fd stays valid for the loop's whole lifetime.
+void Broker::receive_loop() {
   FrameReader reader;
   std::array<std::uint8_t, 4096> buf{};
   while (running_) {
@@ -102,21 +103,25 @@ void Broker::receive_loop() {  // bate-lint: allow(guarded-field)
           m.updates.inc();
           if (update->backup) m.backup_updates.inc();
         }
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          rates_[{update->id, update->pair}] = update->tunnel_mbps;
-          enforcer_.update(update->id, update->pair, update->tunnel_mbps);
-          backup_active_ = update->backup;
-          ++updates_;
-        }
-        cv_.notify_all();
+        apply_update(*update);
       }
     }
   }
 }
 
+void Broker::apply_update(const AllocationUpdateMsg& update) {
+  {
+    MutexLock lock(mu_);
+    rates_[{update.id, update.pair}] = update.tunnel_mbps;
+    enforcer_.update(update.id, update.pair, update.tunnel_mbps);
+    backup_active_ = update.backup;
+    ++updates_;
+  }
+  cv_.notify_all();
+}
+
 std::vector<double> Broker::enforced_rates(DemandId id, int pair) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = rates_.find({id, pair});
   return it == rates_.end() ? std::vector<double>{} : it->second;
 }
@@ -128,36 +133,40 @@ double Broker::enforced_total(DemandId id, int pair) const {
 }
 
 int Broker::updates_received() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return updates_;
 }
 
 int Broker::wait_updates_past(int count, int timeout_ms) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-               [&] { return updates_ > count; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(mu_);
+  // wait_until returns false once the deadline passed; spurious wakeups
+  // loop back to recheck the predicate.
+  while (updates_ <= count && cv_.wait_until(mu_, deadline)) {
+  }
   return updates_;
 }
 
 bool Broker::backup_active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return backup_active_;
 }
 
 double Broker::shape(DemandId id, int pair, std::size_t tunnel,
                      double megabits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return enforcer_.shape(id, pair, tunnel, megabits);
 }
 
 void Broker::advance_enforcer(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enforcer_.advance(seconds);
 }
 
 void Broker::report_link(LinkId link, bool up) {
   const auto framed = encode_frame(encode_message(LinkStatusMsg{link, up}));
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   if (!running_) {
     if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
     BATE_LOG(kWarn, "broker") << "dropping link report: broker stopped";

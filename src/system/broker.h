@@ -4,10 +4,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +13,7 @@
 #include "net/socket.h"
 #include "system/protocol.h"
 #include "system/rate_limiter.h"
+#include "util/mutex.h"
 
 namespace bate {
 
@@ -58,7 +57,12 @@ class Broker {
   int dc() const { return dc_; }
 
  private:
-  void receive_loop();
+  /// Receive-thread body. Reads socket_ without write_mu_ by design (see
+  /// the stop() ordering proof below), so the analysis is off for it; all
+  /// state mutation is delegated to apply_update().
+  void receive_loop() BATE_NO_THREAD_SAFETY_ANALYSIS;
+  /// Applies one allocation update to the enforcer view (takes mu_).
+  void apply_update(const AllocationUpdateMsg& update) BATE_EXCLUDES(mu_);
 
   int dc_;
   std::uint16_t port_;
@@ -68,16 +72,18 @@ class Broker {
   // Socket lifetime/ordering (stop()): writers take write_mu_ and check
   // running_ so no send can race the shutdown+close sequence; the receive
   // thread only reads, and shutdown() (under write_mu_) unblocks it before
-  // join, after which close() is single-threaded.
-  mutable std::mutex write_mu_;
-  Socket socket_;  // writes GUARDED_BY(write_mu_)
+  // join, after which close() is single-threaded. write_mu_ and mu_ share
+  // rank kBroker: they are never held together.
+  mutable Mutex write_mu_{LockRank::kBroker, "broker write"};
+  Socket socket_ BATE_GUARDED_BY(write_mu_);  // reader side: see receive_loop
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;  // signalled per update, waits on mu_
-  BandwidthEnforcer enforcer_;                                // GUARDED_BY(mu_)
-  std::map<std::pair<DemandId, int>, std::vector<double>> rates_;  // GUARDED_BY(mu_)
-  int updates_ = 0;              // GUARDED_BY(mu_)
-  bool backup_active_ = false;   // GUARDED_BY(mu_)
+  mutable Mutex mu_{LockRank::kBroker, "broker state"};
+  mutable CondVar cv_;  // signalled per update, waits on mu_
+  BandwidthEnforcer enforcer_ BATE_GUARDED_BY(mu_);
+  std::map<std::pair<DemandId, int>, std::vector<double>> rates_
+      BATE_GUARDED_BY(mu_);
+  int updates_ BATE_GUARDED_BY(mu_) = 0;
+  bool backup_active_ BATE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bate

@@ -6,7 +6,11 @@
 // learner roles with explicit messages — so the protocol is deterministic
 // and unit-testable under arbitrary message loss, duplication and
 // reordering. ElectionInstance composes the three roles for one replica;
-// a harness (or a transport) moves the messages.
+// a harness (or a transport) moves the messages. The state machines are
+// intentionally lock-free and single-threaded: a transport that drives an
+// instance from multiple threads must wrap it in a bate::Mutex at
+// LockRank::kController (util/mutex.h; DESIGN.md Sec 8.5), never a raw
+// std primitive (bate_lint raw-mutex).
 #pragma once
 
 #include <cstdint>

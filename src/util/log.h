@@ -22,9 +22,10 @@
 #include <cstdlib>
 #include <ctime>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/mutex.h"
 
 #if defined(__linux__)
 #include <sys/syscall.h>
@@ -54,7 +55,7 @@ class Logger {
     if (level < this->level()) return;
     char stamp[40];
     format_timestamp(stamp, sizeof stamp);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::cerr << stamp << " [" << name(level) << "] " << component
               << " tid=" << thread_id() << ": " << message << '\n';
   }
@@ -63,7 +64,9 @@ class Logger {
   Logger() : level_(level_from_env()) {}
 
   static LogLevel level_from_env() {
-    const char* v = std::getenv("BATE_LOG_LEVEL");
+    // Runs once inside the Logger singleton constructor, before any second
+    // thread can exist in the logger's lifetime; nothing calls setenv.
+    const char* v = std::getenv("BATE_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
     if (v == nullptr) return LogLevel::kWarn;
     std::string s;
     for (const char* p = v; *p != '\0'; ++p) {
@@ -108,7 +111,10 @@ class Logger {
   }
 
   std::atomic<LogLevel> level_;
-  std::mutex mu_;
+  // kLogger ranks just above kObsRegistry: check-failure handlers log while
+  // holding almost any subsystem lock, so the sink must be near the bottom
+  // of the hierarchy.
+  Mutex mu_{LockRank::kLogger, "logger"};
 };
 
 /// Builds one log line in a stream and emits it on destruction. Only

@@ -1,0 +1,96 @@
+#include "util/mutex.h"
+
+#include <cstdio>
+#include <string>
+
+#include "util/check.h"
+
+namespace bate::lock_rank {
+
+#if !defined(BATE_MUTEX_NO_RANK_CHECKS)
+
+namespace {
+
+// Held-lock stack. A fixed trivially-destructible array, NOT a vector: the
+// checker must stay usable during thread/process teardown (static
+// destructors — e.g. ThreadPool::shared() joining its workers — run after
+// non-trivial thread_local destructors would already have fired).
+constexpr int kMaxHeld = 16;
+
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+thread_local Held tl_held[kMaxHeld];
+thread_local int tl_depth = 0;
+
+// Once a violation is detected the stack is no longer trustworthy and the
+// failure handler itself takes locks (the logger's), so checking stops on
+// this thread. check_failed aborts, making this permanent-off moot except
+// for custom handlers installed by death tests.
+thread_local bool tl_off = false;
+
+}  // namespace
+
+void note_acquire(const void* mu, int rank, const char* name, bool blocking) {
+  if (tl_off) return;
+  int min_rank = 0;
+  const char* min_name = nullptr;
+  for (int i = 0; i < tl_depth; ++i) {
+    if (tl_held[i].mu == mu) {
+      tl_off = true;
+      check_failed(__FILE__, __LINE__, "lock_rank: double acquire",
+                   std::string("mutex \"") + name +
+                       "\" is already held by this thread (non-recursive)");
+    }
+    if (min_name == nullptr || tl_held[i].rank < min_rank) {
+      min_rank = tl_held[i].rank;
+      min_name = tl_held[i].name;
+    }
+  }
+  if (blocking && min_name != nullptr && rank >= min_rank) {
+    tl_off = true;
+    char msg[256];
+    std::snprintf(msg, sizeof msg,
+                  "lock rank violation: acquiring \"%s\" (rank %d) while "
+                  "holding \"%s\" (rank %d); the hierarchy in util/mutex.h "
+                  "requires strictly descending acquisition",
+                  name, rank, min_name, min_rank);
+    check_failed(__FILE__, __LINE__, "lock_rank: out-of-order acquisition",
+                 msg);
+  }
+  if (tl_depth >= kMaxHeld) {
+    tl_off = true;
+    check_failed(__FILE__, __LINE__, "lock_rank: held-lock stack overflow",
+                 std::string("more than 16 locks held while acquiring \"") +
+                     name + "\"");
+  }
+  tl_held[tl_depth++] = Held{mu, rank, name};
+}
+
+void note_release(const void* mu) {
+  if (tl_off) return;
+  for (int i = tl_depth - 1; i >= 0; --i) {
+    if (tl_held[i].mu != mu) continue;
+    for (int j = i; j + 1 < tl_depth; ++j) tl_held[j] = tl_held[j + 1];
+    --tl_depth;
+    return;
+  }
+  // Releasing a lock the checker never saw acquired: tolerated (a custom
+  // failure handler in a death test may have survived a violation, leaving
+  // the stack out of sync on that thread).
+}
+
+int held_depth() { return tl_depth; }
+
+#else  // BATE_MUTEX_NO_RANK_CHECKS
+
+void note_acquire(const void*, int, const char*, bool) {}
+void note_release(const void*) {}
+int held_depth() { return 0; }
+
+#endif
+
+}  // namespace bate::lock_rank

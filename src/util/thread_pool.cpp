@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -44,14 +44,14 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   std::size_t q;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     BATE_ASSERT_MSG(!stopping_, "thread_pool: submit after shutdown");
     q = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    MutexLock lock(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -63,7 +63,7 @@ bool ThreadPool::try_pop(int self, std::function<void()>& task) {
   // Own queue first, back (LIFO): most recently pushed work is cache-warm.
   {
     Queue& q = *queues_[me];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -74,7 +74,7 @@ bool ThreadPool::try_pop(int self, std::function<void()>& task) {
   // thieves spread out instead of all hammering queue 0.
   for (std::size_t off = 1; off < n; ++off) {
     Queue& q = *queues_[(me + off) % n];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -90,7 +90,7 @@ int ThreadPool::current_worker() const {
 
 bool ThreadPool::run_one() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pending_ == 0) return false;
     --pending_;
   }
@@ -98,7 +98,7 @@ bool ThreadPool::run_one() {
   const int self = current_worker();
   if (!try_pop(self >= 0 ? self : 0, task)) {
     // Lost the race to a worker; return the claim.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
     return false;
   }
@@ -112,8 +112,8 @@ void ThreadPool::worker_loop(int self) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return pending_ > 0 || stopping_; });
+      MutexLock lock(mu_);
+      while (pending_ == 0 && !stopping_) cv_.wait(mu_);
       if (pending_ == 0 && stopping_) return;
       // Claim optimistically; if another worker raced us to the actual
       // task, try_pop fails and we go back to sleep without a claim.
@@ -122,7 +122,7 @@ void ThreadPool::worker_loop(int self) {
     }
     if (!try_pop(self, task)) {
       // Lost the race; return the claim.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++pending_;
       continue;
     }
@@ -144,8 +144,8 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& body) {
     std::atomic<int> done{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;  // written once, guarded by `failed` CAS
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu{LockRank::kThreadPool, "parallel_for done"};
+    CondVar done_cv;
     int n = 0;
     const std::function<void(int)>* body = nullptr;
   };
@@ -170,7 +170,7 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& body) {
       // Skipped-after-failure indices still count: done must reach n.
       const int finished = 1 + state->done.fetch_add(1);
       if (finished == state->n) {
-        std::lock_guard<std::mutex> lock(state->done_mu);
+        MutexLock lock(state->done_mu);
         state->done_cv.notify_all();
       }
     }
@@ -184,8 +184,8 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& body) {
   // The caller drains too, then waits for stragglers mid-index.
   run_chunk();
   {
-    std::unique_lock<std::mutex> lock(state->done_mu);
-    state->done_cv.wait(lock, [&] { return state->done.load() >= state->n; });
+    MutexLock lock(state->done_mu);
+    while (state->done.load() < state->n) state->done_cv.wait(state->done_mu);
   }
   if (state->failed.load()) std::rethrow_exception(state->error);
 }

@@ -18,13 +18,13 @@
 //    remaining indices are skipped (claimed but not executed).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace bate {
 
@@ -65,9 +65,12 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+  // Pool lock and per-worker queue locks share rank kThreadPool: they are
+  // never nested (submit/try_pop take them strictly in sequence), and tasks
+  // themselves run with no pool lock held.
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;  // GUARDED_BY(mu)
+    Mutex mu{LockRank::kThreadPool, "pool queue"};
+    std::deque<std::function<void()>> tasks BATE_GUARDED_BY(mu);
   };
 
   void worker_loop(int self);
@@ -76,11 +79,13 @@ class ThreadPool {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int pending_ = 0;     // queued-but-unclaimed tasks  GUARDED_BY(mu_)
-  bool stopping_ = false;  // GUARDED_BY(mu_)
-  std::size_t next_queue_ = 0;  // round-robin submit cursor  GUARDED_BY(mu_)
+  Mutex mu_{LockRank::kThreadPool, "pool"};
+  CondVar cv_;
+  // queued-but-unclaimed tasks
+  int pending_ BATE_GUARDED_BY(mu_) = 0;
+  bool stopping_ BATE_GUARDED_BY(mu_) = false;
+  // round-robin submit cursor
+  std::size_t next_queue_ BATE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bate

@@ -1,0 +1,190 @@
+// Capability-annotated mutex wrappers (util/mutex.h): the runtime lock-rank
+// checker turns ordering violations and double acquires into deterministic
+// aborts (observed here as gtest death tests), try_lock stays exempt, the
+// held stack survives MutexLock relock cycles and is per-thread, shared
+// locks overlap, and CondVar wait/notify keeps the checker bookkeeping
+// exact. The suite runs under the tsan preset (CMakePresets.json filter) so
+// the wrapper itself is TSan-validated.
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace bate {
+namespace {
+
+TEST(LockRank, InOrderAcquisitionIsClean) {
+  Mutex high(LockRank::kBroker, "high");
+  Mutex low(LockRank::kObsRegistry, "low");
+  MutexLock outer(high);
+  MutexLock inner(low);  // descending rank: allowed
+  SUCCEED();
+}
+
+TEST(LockRank, HeldDepthTracksScopes) {
+  EXPECT_EQ(lock_rank::held_depth(), 0);
+  Mutex high(LockRank::kController, "high");
+  Mutex mid(LockRank::kEventLoop, "mid");
+  {
+    MutexLock a(high);
+    EXPECT_EQ(lock_rank::held_depth(), 1);
+    {
+      MutexLock b(mid);
+      EXPECT_EQ(lock_rank::held_depth(), 2);
+    }
+    EXPECT_EQ(lock_rank::held_depth(), 1);
+  }
+  EXPECT_EQ(lock_rank::held_depth(), 0);
+}
+
+TEST(LockRank, TryLockIsExemptFromOrdering) {
+  Mutex low(LockRank::kObsRegistry, "low");
+  Mutex high(LockRank::kBroker, "high");
+  MutexLock lock(low);
+  // Ascending order would abort for a blocking lock(); try_lock cannot
+  // deadlock and is allowed through (and still joins the held stack).
+  ASSERT_TRUE(high.try_lock());
+  EXPECT_EQ(lock_rank::held_depth(), 2);
+  high.unlock();
+  EXPECT_EQ(lock_rank::held_depth(), 1);
+}
+
+TEST(LockRank, FailedTryLockLeavesNoTrace) {
+  Mutex mu(LockRank::kSolver, "contended");
+  MutexLock lock(mu);
+  std::thread t([&] {
+    EXPECT_FALSE(mu.try_lock());
+    EXPECT_EQ(lock_rank::held_depth(), 0);
+  });
+  t.join();
+}
+
+TEST(LockRank, RelockKeepsStackExact) {
+  Mutex mu(LockRank::kSolver, "relock");
+  MutexLock lock(mu);
+  EXPECT_EQ(lock_rank::held_depth(), 1);
+  lock.unlock();
+  EXPECT_EQ(lock_rank::held_depth(), 0);
+  lock.lock();
+  EXPECT_EQ(lock_rank::held_depth(), 1);
+}
+
+TEST(LockRank, ThreadsHaveIndependentStacks) {
+  // Two threads each holding their own same-rank lock is not a violation:
+  // the held stack is thread-local.
+  Mutex a(LockRank::kBroker, "a");
+  Mutex b(LockRank::kBroker, "b");
+  std::atomic<int> in{0};
+  std::thread ta([&] {
+    MutexLock lock(a);
+    ++in;
+    while (in.load() < 2) std::this_thread::yield();
+  });
+  std::thread tb([&] {
+    MutexLock lock(b);
+    ++in;
+    while (in.load() < 2) std::this_thread::yield();
+  });
+  ta.join();
+  tb.join();
+}
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(LockRank::kObsRegistry, "registry-like");
+  Mutex high(LockRank::kBroker, "broker-like");
+  EXPECT_DEATH(
+      {
+        MutexLock a(low);
+        MutexLock b(high);  // ascending rank
+      },
+      "lock rank violation");
+}
+
+TEST(LockRankDeathTest, EqualRankAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Equal ranks may never nest: equality is reserved for locks proven
+  // disjoint (broker write_mu_/mu_, pool/queue).
+  Mutex a(LockRank::kThreadPool, "pool-a");
+  Mutex b(LockRank::kThreadPool, "pool-b");
+  EXPECT_DEATH(
+      {
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "lock rank violation");
+}
+
+TEST(LockRankDeathTest, DoubleAcquireAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu(LockRank::kSolver, "twice");
+  EXPECT_DEATH(
+      {
+        MutexLock a(mu);
+        mu.lock();  // same mutex, same thread: non-recursive
+      },
+      "double acquire");
+}
+
+TEST(Mutex, SharedReadersOverlap) {
+  Mutex mu(LockRank::kScheduler, "snapshot");
+  std::atomic<int> readers{0};
+  auto reader = [&] {
+    ReaderMutexLock lock(mu);
+    ++readers;
+    // Both readers must be inside the lock at once; an exclusive
+    // implementation would deadlock this spin.
+    while (readers.load() < 2) std::this_thread::yield();
+  };
+  std::thread a(reader);
+  std::thread b(reader);
+  a.join();
+  b.join();
+  EXPECT_EQ(readers.load(), 2);
+}
+
+TEST(CondVar, WaitNotifySmoke) {
+  Mutex mu(LockRank::kSolver, "cv");
+  CondVar cv;
+  bool ready = false;  // guarded by mu
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    EXPECT_TRUE(ready);
+    // The wait reacquired through Mutex::lock, so the checker still sees
+    // exactly one held lock.
+    EXPECT_EQ(lock_rank::held_depth(), 1);
+  }
+  producer.join();
+}
+
+TEST(CondVar, WaitForTimesOut) {
+  Mutex mu(LockRank::kSolver, "cv-timeout");
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.wait_for(mu, std::chrono::milliseconds(5)));
+  EXPECT_EQ(lock_rank::held_depth(), 1);
+}
+
+TEST(CondVar, WaitUntilDeadlinePasses) {
+  Mutex mu(LockRank::kSolver, "cv-deadline");
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  while (cv.wait_until(mu, deadline)) {
+    // Spurious wakeups loop until the deadline definitely passed.
+  }
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+}  // namespace
+}  // namespace bate

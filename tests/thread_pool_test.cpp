@@ -5,12 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace bate {
@@ -105,11 +105,11 @@ TEST(ThreadPool, CurrentWorkerIdentity) {
   ThreadPool pool(3);
   // The external (calling) thread is not a worker.
   EXPECT_EQ(pool.current_worker(), -1);
-  std::mutex mu;
+  Mutex mu{LockRank::kSolver, "test seen"};
   std::set<int> seen;
   pool.parallel_for(64, [&](int) {
     const int w = pool.current_worker();
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     seen.insert(w);
   });
   // Indices ran either on the caller (-1) or on workers [0, 3).

@@ -1,0 +1,27 @@
+// Negative-compile probe for the Clang Thread Safety Analysis wiring
+// (tests/CMakeLists.txt try_compile): reads a BATE_GUARDED_BY field without
+// holding its mutex. Under clang with -Werror=thread-safety this file MUST
+// fail to compile; if it ever compiles, the annotation plumbing in
+// util/mutex.h has gone dead (e.g. a macro eaten by an #ifdef) and the
+// tier-1 ctest bate_tsa_negative_compile fails loudly.
+//
+// Never added to any real target.
+#include "util/mutex.h"
+
+namespace {
+
+struct Guarded {
+  bate::Mutex mu{bate::LockRank::kSolver, "tsa probe"};
+  int value BATE_GUARDED_BY(mu) = 0;
+};
+
+int unguarded_read(Guarded& g) {
+  return g.value;  // no lock held: thread-safety error under clang
+}
+
+}  // namespace
+
+int tsa_negative_entry() {
+  Guarded g;
+  return unguarded_read(g);
+}

@@ -1,0 +1,27 @@
+// Positive-compile companion to tsa_negative.cpp: the same guarded access
+// done correctly (MutexLock scope). Compiling this first proves the
+// try_compile harness itself works — include paths, flags, C++ standard —
+// so a tsa_negative.cpp failure can only mean the TSA diagnostic fired,
+// not that the harness is broken.
+//
+// Never added to any real target.
+#include "util/mutex.h"
+
+namespace {
+
+struct Guarded {
+  bate::Mutex mu{bate::LockRank::kSolver, "tsa probe"};
+  int value BATE_GUARDED_BY(mu) = 0;
+};
+
+int guarded_read(Guarded& g) {
+  bate::MutexLock lock(g.mu);
+  return g.value;
+}
+
+}  // namespace
+
+int tsa_positive_entry() {
+  Guarded g;
+  return guarded_read(g);
+}

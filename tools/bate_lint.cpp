@@ -12,11 +12,13 @@
 //   no-naked-new    no `new` expressions; ownership is RAII-only
 //                   (make_unique/containers). A leak in the controller's
 //                   event loop accumulates forever.
-//   guarded-field   src/system + src/net: a field annotated
-//                   `// GUARDED_BY(mu)` in a header may only be mentioned
-//                   in .cpp functions that also take a lock on `mu`
-//                   (lock_guard / scoped_lock / unique_lock). Heuristic
-//                   tier: function granularity, comment/string stripped.
+//   raw-mutex       no std::mutex / std::lock_guard / std::condition_
+//                   variable (or friends) outside src/util/mutex.h: all
+//                   locking flows through the capability-annotated
+//                   bate::Mutex so Clang Thread Safety Analysis and the
+//                   lock-rank checker see every acquisition. Superseded the
+//                   old comment-driven `guarded-field` heuristic when the
+//                   annotations became real attributes (DESIGN.md Sec 8).
 //   solver-double   no `float` in src/solver: the simplex tableau and all
 //                   derived arithmetic stay double; mixing float silently
 //                   halves the mantissa and breaks the availability
@@ -41,8 +43,8 @@
 //                   just above it.
 //
 // Escape hatch: a line containing `bate-lint: allow(<rule>)` disables the
-// named rule for that line (or, on a function's opening line, for the
-// guarded-field scan of that function).
+// named rule for that line (src/util/mutex.h uses allow(raw-mutex) on the
+// two std primitives it wraps).
 //
 // Usage: bate_lint <repo_root>   (exit 0 = clean, 1 = findings, 2 = usage)
 
@@ -51,9 +53,6 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <regex>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -370,120 +369,34 @@ void check_timing(const fs::path& file, const std::vector<std::string>& code,
   }
 }
 
-// --- Rule: guarded-field ----------------------------------------------------
+// --- Rule: raw-mutex --------------------------------------------------------
 
-struct GuardedField {
-  std::string field;
-  std::string mutex;
-  std::string declared_in;
-};
-
-/// Parses `// GUARDED_BY(mu)` annotations from a header. The annotated
-/// field is the first identifier-like token of the declaration on that line.
-std::vector<GuardedField> parse_guarded_fields(const fs::path& header,
-                                               const std::string& raw) {
-  std::vector<GuardedField> fields;
-  static const std::regex kAnnot(R"(GUARDED_BY\(([A-Za-z_][A-Za-z0-9_]*)\))");
-  static const std::regex kDecl(R"(([A-Za-z_][A-Za-z0-9_]*)\s*(=[^;]*)?;)");
-  const auto lines = split_lines(raw);
-  for (const auto& line : lines) {
-    std::smatch annot;
-    if (!std::regex_search(line, annot, kAnnot)) continue;
-    // Field name: last identifier before the `;` (e.g. `int updates_ = 0;`
-    // or `std::map<...> rates_;`).
-    const std::string decl = line.substr(0, line.find("//"));
-    std::smatch best;
-    std::string field;
-    auto begin = std::sregex_iterator(decl.begin(), decl.end(), kDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) field = (*it)[1];
-    if (field.empty()) continue;
-    fields.push_back({field, annot[1], header.string()});
-  }
-  return fields;
-}
-
-/// Function-granularity scan of a .cpp: every function body mentioning a
-/// guarded field must also take a lock naming its mutex. Heuristic: a
-/// function starts at an unnested line containing '(' (and not starting
-/// with namespace/struct/class/enum/using); its body spans the balanced
-/// braces that follow.
-void check_guarded_fields(const fs::path& file,
-                          const std::vector<GuardedField>& fields,
-                          const std::string& code, const std::string& raw) {
-  if (fields.empty()) return;
-  const auto code_lines = split_lines(code);
-  const auto raw_lines = split_lines(raw);
-
-  int depth = 0;
-  int fn_start = -1;   // line where the current function signature begins
-  int fn_depth = 0;    // brace depth at which the function body opened
-  std::string body;    // accumulated body text of the current function
-
-  auto flush_function = [&](int end_line) {
-    if (fn_start < 0) return;
-    const bool has_lock = (body.find("lock_guard") != std::string::npos ||
-                           body.find("scoped_lock") != std::string::npos ||
-                           body.find("unique_lock") != std::string::npos);
-    for (const GuardedField& gf : fields) {
-      if (!contains_token(body, gf.field)) continue;
-      const bool locks_right_mutex =
-          has_lock && contains_token(body, gf.mutex);
-      if (locks_right_mutex) continue;
-      if (line_allows(raw_lines[static_cast<std::size_t>(fn_start)],
-                      "guarded-field")) {
-        continue;
-      }
-      report(file, fn_start + 1, "guarded-field",
-             "function touches " + gf.field + " (GUARDED_BY " + gf.mutex +
-                 " in " + gf.declared_in + ") without locking it");
-    }
-    (void)end_line;
-    fn_start = -1;
-    body.clear();
+/// Everywhere except src/util/mutex.h: no raw standard-library mutexes,
+/// locks, or condition variables. bate::Mutex / MutexLock / CondVar carry
+/// the Clang Thread Safety Analysis attributes and the runtime lock-rank
+/// checker; a raw std::mutex is invisible to both.
+void check_raw_mutex(const fs::path& file, const std::vector<std::string>& code,
+                     const std::vector<std::string>& raw) {
+  static const char* kBanned[] = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",    "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any",
+      "std::lock_guard",      "std::unique_lock",
+      "std::scoped_lock",     "std::shared_lock",
   };
-
-  for (std::size_t i = 0; i < code_lines.size(); ++i) {
-    const std::string& line = code_lines[i];
-    if (fn_start >= 0) body += line + "\n";
-
-    // Detect a function signature before counting this line's braces.
-    if (fn_start < 0 && depth <= 2) {  // namespaces nest at most twice here
-      std::string trimmed = line;
-      trimmed.erase(0, trimmed.find_first_not_of(" \t"));
-      const bool looks_decl =
-          !trimmed.empty() && trimmed.find('(') != std::string::npos &&
-          trimmed.rfind("namespace", 0) == std::string::npos &&
-          trimmed.rfind("using", 0) == std::string::npos &&
-          trimmed.rfind("#", 0) == std::string::npos &&
-          trimmed.rfind("struct", 0) == std::string::npos &&
-          trimmed.rfind("class", 0) == std::string::npos &&
-          trimmed.rfind("enum", 0) == std::string::npos;
-      if (looks_decl) {
-        fn_start = static_cast<int>(i);
-        fn_depth = depth;
-        body = line + "\n";
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (contains_token(code[i], token) &&
+          !line_allows(raw[i], "raw-mutex")) {
+        report(file, static_cast<int>(i + 1), "raw-mutex",
+               std::string(token) +
+                   " bypasses thread-safety analysis and the lock-rank "
+                   "checker; use bate::Mutex / MutexLock / CondVar "
+                   "(util/mutex.h)");
       }
-    }
-
-    for (const char c : line) {
-      if (c == '{') {
-        ++depth;
-      } else if (c == '}') {
-        --depth;
-        if (fn_start >= 0 && depth <= fn_depth) {
-          flush_function(static_cast<int>(i));
-        }
-      }
-    }
-    // A declaration without a body (prototype) ends at `;` at fn_depth.
-    if (fn_start >= 0 && depth == fn_depth &&
-        line.find(';') != std::string::npos &&
-        line.find('{') == std::string::npos && body.find('{') == std::string::npos) {
-      fn_start = -1;
-      body.clear();
     }
   }
-  flush_function(static_cast<int>(code_lines.size()) - 1);
 }
 
 // --- Driver -----------------------------------------------------------------
@@ -507,24 +420,6 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> kTrees = {"src", "tests", "tools", "bench",
                                            "examples"};
-
-  // Pass 1: collect GUARDED_BY annotations from src/system, src/net and
-  // src/util headers, keyed by the .cpp that implements them (same stem).
-  std::map<std::string, std::vector<GuardedField>> guarded_by_stem;
-  for (const char* dir : {"src/system", "src/net", "src/util"}) {
-    if (!fs::exists(root / dir)) continue;
-    for (const auto& entry : fs::directory_iterator(root / dir)) {
-      if (!entry.is_regular_file() || !has_extension(entry.path(), ".h")) {
-        continue;
-      }
-      const std::string raw = read_file(entry.path());
-      auto fields = parse_guarded_fields(
-          fs::relative(entry.path(), root), raw);
-      if (!fields.empty()) {
-        guarded_by_stem[entry.path().stem().string()] = std::move(fields);
-      }
-    }
-  }
 
   for (const std::string& tree : kTrees) {
     const fs::path base = root / tree;
@@ -556,13 +451,8 @@ int main(int argc, char** argv) {
           rel.string().rfind("src/core", 0) == 0) {
         check_timing(rel, code_lines, raw_lines);
       }
-      if (source && (rel.string().rfind("src/system", 0) == 0 ||
-                     rel.string().rfind("src/net", 0) == 0 ||
-                     rel.string().rfind("src/util", 0) == 0)) {
-        const auto it = guarded_by_stem.find(path.stem().string());
-        if (it != guarded_by_stem.end()) {
-          check_guarded_fields(rel, it->second, code, raw);
-        }
+      if (rel != fs::path("src/util/mutex.h")) {
+        check_raw_mutex(rel, code_lines, raw_lines);
       }
     }
   }

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Five-way verification matrix (DESIGN.md Sec 8 "Verification"):
+# Six-way verification matrix (DESIGN.md Sec 8 "Verification"):
 #
 #   1. plain       RelWithDebInfo build + full ctest (tier-1)
 #   2. asan-ubsan  AddressSanitizer + UndefinedBehaviorSanitizer, -Werror
 #   3. tsan        ThreadSanitizer over the concurrency-sensitive suites
-#   4. lint        bate_lint (always) + clang-tidy (when installed)
-#   5. bench-smoke bench_solver + bench_milp with a tiny rep count;
+#   4. tsa         clang -Werror=thread-safety over the util/mutex.h
+#                  capability annotations + the negative-compile ctest;
+#                  skipped (with a notice) when clang++ is not installed —
+#                  GCC has no thread-safety analysis
+#   5. lint        bate_lint (always) + clang-tidy (when installed)
+#   6. bench-smoke bench_solver + bench_milp with a tiny rep count;
 #                  validates the emitted BENCH json against the schema
 #                  (tools/bench_report.h), then runs the obs-overhead gate
 #                  (bench_solver --obs-overhead: metrics enabled must stay
@@ -13,8 +17,8 @@
 #
 # Every leg uses the CMakePresets.json presets, so a CI runner and a
 # developer shell run the identical configuration. Legs can be selected:
-#   tools/ci.sh            # all five
-#   tools/ci.sh plain tsan # just those
+#   tools/ci.sh            # all six
+#   tools/ci.sh plain tsa  # just those
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,7 +26,7 @@ ROOT=$PWD
 
 legs=("$@")
 if [ ${#legs[@]} -eq 0 ]; then
-  legs=(plain asan-ubsan tsan lint bench-smoke)
+  legs=(plain asan-ubsan tsan tsa lint bench-smoke)
 fi
 
 banner() { printf '\n=== ci.sh: %s ===\n' "$*"; }
@@ -47,6 +51,15 @@ for leg in "${legs[@]}"; do
     tsan)
       banner "ThreadSanitizer (concurrency suites)"
       run_preset tsan
+      ;;
+    tsa)
+      if command -v clang++ >/dev/null 2>&1; then
+        banner "Thread Safety Analysis (clang -Werror=thread-safety)"
+        run_preset tsa
+      else
+        echo "ci.sh: clang++ not installed; skipping the tsa leg (GCC has" \
+             "no thread-safety analysis)" >&2
+      fi
       ;;
     lint)
       banner "bate_lint"
@@ -86,7 +99,7 @@ for leg in "${legs[@]}"; do
       "build/dev/bench/bench_solver" --obs-overhead
       ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (plain|asan-ubsan|tsan|lint|bench-smoke)" >&2
+      echo "ci.sh: unknown leg '$leg' (plain|asan-ubsan|tsan|tsa|lint|bench-smoke)" >&2
       exit 2
       ;;
   esac
