@@ -282,6 +282,20 @@ int main(int argc, char** argv) {
     const Timed warm = run_config(inst.model, warm_opt, reps);
     const Timed par = run_config(inst.model, par_opt, reps);
 
+    // Optimality certificate. Stop-at-first instances exit at the first
+    // incumbent by design, which says nothing about optimality — so they
+    // get one extra run-to-optimality configuration under the same node
+    // budget, and proven_optimal / mip_gap report THAT run. Instances
+    // already solved to optimality certify themselves from the warm run.
+    Timed prove;
+    const bool has_prove = inst.stop_at_first;
+    if (has_prove) {
+      BranchBoundOptions prove_opt = warm_opt;
+      prove_opt.stop_at_first_incumbent = false;
+      prove = run_config(inst.model, prove_opt, reps);
+    }
+    const Timed& cert = has_prove ? prove : warm;
+
     for (const auto* t : {&warm, &par}) {
       const Solution& baseline = inst.run_reference ? ref_sol : cold.sol;
       if (!agree(t->sol, baseline, inst.stop_at_first) ||
@@ -315,9 +329,14 @@ int main(int argc, char** argv) {
 
     BenchCase c;
     c.name = inst.name;
+    int int_cols = 0;
+    for (const Variable& v : inst.model.variables()) {
+      if (v.integer) ++int_cols;
+    }
     c.metrics = {
         {"rows", static_cast<double>(inst.model.constraint_count())},
         {"cols", static_cast<double>(inst.model.variable_count())},
+        {"int_cols", static_cast<double>(int_cols)},
         {"node_limit", static_cast<double>(inst.node_limit)},
         {"nodes", static_cast<double>(warm.stats.nodes_solved)},
         {"warm_started_nodes",
@@ -337,7 +356,23 @@ int main(int argc, char** argv) {
         {"rows_removed", static_cast<double>(warm.sol.rows_removed)},
         {"cols_removed", static_cast<double>(warm.sol.cols_removed)},
         {"presolve_us", static_cast<double>(warm.sol.presolve_us)},
+        // Optimality certificate (schema v4): did the search close the tree
+        // within the node limit, and how far the best bound was from the
+        // incumbent if not. Plus the cut / branching work that got it there.
+        {"proven_optimal", cert.stats.proven ? 1.0 : 0.0},
+        {"mip_gap", cert.stats.mip_gap},
+        {"dual_pivots", static_cast<double>(warm.sol.dual_pivots)},
+        {"gomory_cuts", static_cast<double>(warm.stats.gomory_cuts)},
+        {"cover_cuts", static_cast<double>(warm.stats.cover_cuts)},
+        {"cut_rounds", static_cast<double>(warm.stats.cut_rounds)},
+        {"strong_branch_solves",
+         static_cast<double>(warm.stats.strong_branch_solves)},
     };
+    if (has_prove) {
+      c.metrics.push_back(
+          {"prove_nodes", static_cast<double>(prove.stats.nodes_solved)});
+      c.metrics.push_back({"prove_median_ms", prove.median_ms});
+    }
     if (inst.run_reference) c.metrics.push_back({"reference_ms", ref_ms});
     report.cases.push_back(std::move(c));
   }

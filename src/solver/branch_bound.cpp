@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "solver/cuts.h"
 #include "solver/presolve.h"
 #include "util/check.h"
 #include "util/mutex.h"
@@ -40,6 +41,11 @@ struct Node {
   std::uint64_t tie = 0;              // deterministic order tie-break key
   double lower = 0.0;                 // the delta: var's bounds at this node
   double upper = 0.0;
+  /// Signed pseudo-cost step of the branch that created this node: +f for
+  /// the down child, -(1 - f) for the up child (f = parent fractionality of
+  /// `var`). The observed bound degradation divided by |pc_step| is this
+  /// branch's per-unit pseudo-cost sample; the sign encodes the direction.
+  double pc_step = 0.0;
   int var = -1;                       // -1: root (no delta)
   int depth = 0;
 };
@@ -64,6 +70,32 @@ using OpenQueue =
     std::priority_queue<std::shared_ptr<const Node>,
                         std::vector<std::shared_ptr<const Node>>, NodeOrder>;
 
+/// Root pseudo-cost tables, frozen before the tree search starts (strong
+/// branching fills them; `fallback` covers never-probed variables). During
+/// the search they are refined per node with the observations along that
+/// node's own ancestor chain — never with cross-tree state — so a branching
+/// decision is a pure function of tree position and the serial and parallel
+/// drivers grow identical trees.
+struct PseudoCosts {
+  bool active = false;
+  double fallback = 1.0;            // per-unit degradation when unobserved
+  std::vector<double> down_sum, up_sum;
+  std::vector<int> down_n, up_n;
+
+  void init(int vars) {
+    active = true;
+    down_sum.assign(static_cast<std::size_t>(vars), 0.0);
+    up_sum.assign(static_cast<std::size_t>(vars), 0.0);
+    down_n.assign(static_cast<std::size_t>(vars), 0);
+    up_n.assign(static_cast<std::size_t>(vars), 0);
+  }
+  void observe(int var, bool down, double per_unit) {
+    const auto j = static_cast<std::size_t>(var);
+    (down ? down_sum : up_sum)[j] += per_unit;
+    ++(down ? down_n : up_n)[j];
+  }
+};
+
 /// Immutable per-search context shared by the serial and parallel drivers.
 struct Search {
   const Model& model;
@@ -71,6 +103,13 @@ struct Search {
   bool maximize;
   std::vector<int> int_vars;
   std::int64_t start_us;  // obs::now_us() when the search began
+  PseudoCosts pc;
+  /// Root relaxation already solved by prepare_root on the search model
+  /// (final cut rows and probe-proven bounds included), with work counters
+  /// zeroed (the prep pass accounts its own LP work). Non-null only when
+  /// the tree warm-starts: the root expansion adopts it instead of
+  /// re-solving from the very basis that produced it.
+  const Solution* root_relax = nullptr;
 
   double to_min(double v) const { return maximize ? -v : v; }
   bool out_of_time() const {
@@ -87,9 +126,212 @@ struct Expansion {
   double bound_min = kInfinity;
   bool warm_used = false;
   bool integer_feasible = false;
+  bool pc_branched = false;  // branching variable chosen by pseudo-cost score
   long deltas = 0;
   std::vector<std::shared_ptr<const Node>> children;
 };
+
+/// What the root preparation pass (cuts + strong branching) hands the tree
+/// search: the final root basis on the (possibly cut-augmented) model, and
+/// the LP work it spent, folded into the returned solution's totals.
+struct RootPrep {
+  Basis basis;
+  /// The final root relaxation on the prepared model (kOptimal only when
+  /// the root solved cleanly); `basis` is exactly its final basis.
+  Solution relax;
+  long iters = 0;
+  long pivots = 0;
+  long dual_pivots = 0;
+};
+
+/// Runs the root cut-and-resolve loop and strong branching on `work` (the
+/// search's private model copy — cut rows are appended to it, and bounds
+/// proven impossible by a one-sided infeasible probe are tightened in
+/// place). `root_warm`, when set, seeds the first root solve and receives
+/// that solve's basis back immediately — before any cut row lands — so the
+/// caller's handle keeps the pre-cut shape its postsolve mapping expects.
+RootPrep prepare_root(Model& work, const BranchBoundOptions& opt,
+                      const std::vector<int>& int_vars, bool maximize,
+                      WarmStart* root_warm, BranchBoundStats& st,
+                      PseudoCosts& pc) {
+  BATE_TRACE_SPAN("solver.bnb_root_prep");
+  RootPrep prep;
+  const auto to_min = [maximize](double v) { return maximize ? -v : v; };
+
+  WarmStart root_basis;  // warm-start handle chained through every re-solve
+  if (root_warm != nullptr && !root_warm->basis.empty() &&
+      root_warm->basis.compatible_with(work)) {
+    root_basis.basis = root_warm->basis;
+  }
+  Solution relax = solve_lp(work, opt.lp, &root_basis);
+  prep.iters += relax.iterations;
+  prep.pivots += relax.pivots;
+  prep.dual_pivots += relax.dual_pivots;
+  if (root_warm != nullptr) {
+    root_warm->basis = root_basis.basis;
+    root_warm->used = root_basis.used;
+  }
+  if (relax.status != SolveStatus::kOptimal) {
+    // Infeasible / unbounded / limit roots: nothing to cut or probe. The
+    // driver's root node re-solves and reports the verdict as before.
+    prep.basis = std::move(root_basis.basis);
+    prep.relax = std::move(relax);
+    return prep;
+  }
+
+  const auto fractionality = [&](int j) {
+    const double v = relax.x[static_cast<std::size_t>(j)];
+    return std::abs(v - std::round(v));
+  };
+  const auto has_fractional = [&] {
+    for (int j : int_vars) {
+      if (fractionality(j) > opt.integer_tol) return true;
+    }
+    return false;
+  };
+
+  const double integer_share =
+      work.variable_count() > 0
+          ? static_cast<double>(int_vars.size()) /
+                static_cast<double>(work.variable_count())
+          : 0.0;
+  if (opt.root_cuts && work.constraint_count() > 0 &&
+      integer_share >= opt.min_cut_integer_share) {
+    CutOptions copt;
+    copt.integer_tol = opt.integer_tol;
+    CutPool cut_pool(opt.max_cuts, copt.min_violation, 0.95);
+    double bound_min = to_min(relax.objective);
+    for (int round = 0; round < opt.max_cut_rounds; ++round) {
+      if (!has_fractional()) break;  // integral root: cuts have no target
+      long gomory = 0;
+      long cover = 0;
+      for (Cut& cut : separate_gomory(work, root_basis.basis, relax.x, copt)) {
+        if (cut_pool.add(std::move(cut))) ++gomory;
+      }
+      for (Cut& cut : separate_cover(work, relax.x, copt)) {
+        if (cut_pool.add(std::move(cut))) ++cover;
+      }
+      std::vector<Cut> fresh = cut_pool.drain();
+      if (fresh.empty()) break;
+      // Append the accepted rows and extend the basis with their slacks
+      // basic: the new slacks are negative at the separating point (the cut
+      // is violated there), so the re-solve below is exactly the
+      // primal-infeasible / dual-feasible case the dual simplex serves.
+      for (const Cut& cut : fresh) {
+        work.add_constraint(cut.terms, cut.relation, cut.rhs);
+        const int row = work.constraint_count() - 1;
+        root_basis.basis.basic.push_back(work.variable_count() + row);
+        root_basis.basis.status.push_back(VarStatus::kBasic);
+        root_basis.basis.constraint_count = work.constraint_count();
+      }
+      st.gomory_cuts += gomory;
+      st.cover_cuts += cover;
+      ++st.cut_rounds;
+      relax = solve_lp(work, opt.lp, &root_basis);
+      prep.iters += relax.iterations;
+      prep.pivots += relax.pivots;
+      prep.dual_pivots += relax.dual_pivots;
+      if (relax.status != SolveStatus::kOptimal) break;
+      // Tail-off: a round that barely moved the bound predicts the next
+      // one won't either, and its rows tax every node re-solve below.
+      const double new_bound = to_min(relax.objective);
+      const double gain = new_bound - bound_min;
+      bound_min = new_bound;
+      if (gain <
+          opt.min_cut_improvement * std::max(1.0, std::abs(bound_min))) {
+        break;
+      }
+    }
+  }
+
+  if (opt.pseudo_cost_branching && relax.status == SolveStatus::kOptimal) {
+    pc.init(work.variable_count());
+    // Probe the most fractional candidates with one warm child solve per
+    // direction; a one-sided infeasible probe proves the complementary
+    // bound for every feasible point and tightens the root in place.
+    std::vector<int> candidates;
+    for (int j : int_vars) {
+      if (fractionality(j) > opt.integer_tol) candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      const double fa = fractionality(a);
+      const double fb = fractionality(b);
+      if (fa != fb) return fa > fb;
+      return a < b;
+    });
+    if (static_cast<int>(candidates.size()) > opt.strong_branch_candidates) {
+      candidates.resize(static_cast<std::size_t>(opt.strong_branch_candidates));
+    }
+    const double root_min = to_min(relax.objective);
+    bool bounds_fixed = false;
+    double obs_sum = 0.0;
+    long obs_n = 0;
+    for (int j : candidates) {
+      Variable& var = work.variable(j);
+      const double v = relax.x[static_cast<std::size_t>(j)];
+      const double f = v - std::floor(v);
+      const double saved_lower = var.lower;
+      const double saved_upper = var.upper;
+      // A side whose rounded bound crosses the variable's own bound is
+      // vacuously infeasible (same guard as the child construction in
+      // expand); never hand the LP a crossed bound pair.
+      bool down_infeasible = std::floor(v) < saved_lower - 1e-12;
+      bool up_infeasible = std::ceil(v) > saved_upper + 1e-12;
+      for (const bool down : {true, false}) {
+        if (down ? down_infeasible : up_infeasible) continue;
+        if (down) {
+          var.upper = std::floor(v);
+        } else {
+          var.lower = std::ceil(v);
+        }
+        WarmStart probe_warm;
+        probe_warm.basis = root_basis.basis;
+        const Solution child = solve_lp(work, opt.lp, &probe_warm);
+        var.lower = saved_lower;
+        var.upper = saved_upper;
+        ++st.strong_branch_solves;
+        prep.iters += child.iterations;
+        prep.pivots += child.pivots;
+        prep.dual_pivots += child.dual_pivots;
+        const double step = down ? f : 1.0 - f;
+        if (child.status == SolveStatus::kOptimal) {
+          const double per_unit = std::max(0.0, to_min(child.objective) -
+                                                    root_min) /
+                                  std::max(step, 1e-6);
+          pc.observe(j, down, per_unit);
+          obs_sum += per_unit;
+          ++obs_n;
+        } else if (child.status == SolveStatus::kInfeasible) {
+          (down ? down_infeasible : up_infeasible) = true;
+        }
+      }
+      // Exactly one side impossible: every feasible point satisfies the
+      // other side's bound, and that bound cannot cross (the surviving
+      // side's guard held). A doubly-infeasible variable gets no fix and
+      // leaves the search to certify infeasibility.
+      if (down_infeasible && !up_infeasible) {
+        var.lower = std::ceil(v);
+        bounds_fixed = true;
+      } else if (up_infeasible && !down_infeasible) {
+        var.upper = std::floor(v);
+        bounds_fixed = true;
+      }
+    }
+    if (obs_n > 0) {
+      pc.fallback = std::max(1e-3, obs_sum / static_cast<double>(obs_n));
+    }
+    if (bounds_fixed) {
+      relax = solve_lp(work, opt.lp, &root_basis);
+      prep.iters += relax.iterations;
+      prep.pivots += relax.pivots;
+      prep.dual_pivots += relax.dual_pivots;
+    }
+  }
+
+  prep.basis = std::move(root_basis.basis);
+  prep.relax = std::move(relax);
+  return prep;
+}
 
 /// Deterministic incumbent acceptance: a strictly better objective wins;
 /// equal objectives break ties lexicographically on x, so the final
@@ -136,8 +378,17 @@ Expansion expand(const Search& s, Model& work,
   }
   const bool track_basis =
       s.opt.warm_start_nodes || (is_root && root_warm != nullptr);
-  out.relax = solve_lp(work, s.opt.lp, track_basis ? &ws : nullptr);
-  out.warm_used = ws.used;
+  if (is_root && s.root_relax != nullptr && node->warm != nullptr) {
+    // prepare_root already solved this exact model from this exact basis;
+    // re-solving would install the optimal basis only to price it and
+    // conclude it is optimal. Adopt the prep result (ws.basis already holds
+    // the root basis for the children).
+    out.relax = *s.root_relax;
+    out.warm_used = true;
+  } else {
+    out.relax = solve_lp(work, s.opt.lp, track_basis ? &ws : nullptr);
+    out.warm_used = ws.used;
+  }
 
   for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
     work.variable(it->first).lower = it->second.first;
@@ -155,15 +406,65 @@ Expansion expand(const Search& s, Model& work,
   out.bound_min = s.to_min(out.relax.objective);
   if (out.bound_min >= incumbent_min - s.opt.gap_tol) return out;  // pruned
 
-  // Most fractional integer variable.
   int branch_var = -1;
-  double best_frac = s.opt.integer_tol;
-  for (int j : s.int_vars) {
-    const double v = out.relax.x[static_cast<std::size_t>(j)];
-    const double frac = std::abs(v - std::round(v));
-    if (frac > best_frac) {
-      best_frac = frac;
-      branch_var = j;
+  if (s.pc.active) {
+    // Pseudo-cost selection: the frozen root tables refined with the
+    // observed per-unit degradations along this node's own ancestor chain
+    // (child realized bound minus parent bound over |pc_step|). Chain-local
+    // by design — the choice is a pure function of tree position, so the
+    // serial and parallel drivers branch identically.
+    struct ChainObs {
+      int var;
+      bool down;
+      double per_unit;
+    };
+    std::vector<ChainObs> chain_obs;
+    chain_obs.reserve(chain.size());
+    double realized = out.bound_min;
+    for (const Node* p : chain) {  // node first, then ancestors
+      if (p->pc_step != 0.0 && std::isfinite(realized) &&
+          std::isfinite(p->lp_bound)) {
+        chain_obs.push_back({p->var, p->pc_step > 0.0,
+                             std::max(0.0, realized - p->lp_bound) /
+                                 std::abs(p->pc_step)});
+      }
+      realized = p->lp_bound;
+    }
+    const auto estimate = [&](int j, bool down) {
+      const auto idx = static_cast<std::size_t>(j);
+      double sum = down ? s.pc.down_sum[idx] : s.pc.up_sum[idx];
+      int n = down ? s.pc.down_n[idx] : s.pc.up_n[idx];
+      for (const ChainObs& o : chain_obs) {
+        if (o.var == j && o.down == down) {
+          sum += o.per_unit;
+          ++n;
+        }
+      }
+      return n > 0 ? sum / n : s.pc.fallback;
+    };
+    double best_score = -1.0;
+    for (int j : s.int_vars) {
+      const double v = out.relax.x[static_cast<std::size_t>(j)];
+      const double f = v - std::floor(v);
+      if (std::min(f, 1.0 - f) <= s.opt.integer_tol) continue;
+      const double score = std::max(1e-6, estimate(j, true) * f) *
+                           std::max(1e-6, estimate(j, false) * (1.0 - f));
+      if (score > best_score) {  // ties keep the smallest variable index
+        best_score = score;
+        branch_var = j;
+      }
+    }
+    out.pc_branched = branch_var >= 0;
+  } else {
+    // Most fractional integer variable.
+    double best_frac = s.opt.integer_tol;
+    for (int j : s.int_vars) {
+      const double v = out.relax.x[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = j;
+      }
     }
   }
 
@@ -199,7 +500,9 @@ Expansion expand(const Search& s, Model& work,
     child_basis = std::make_shared<const Basis>(std::move(ws.basis));
   }
   const double v = out.relax.x[static_cast<std::size_t>(branch_var)];
-  auto make_child = [&](double clo, double chi, std::uint64_t salt) {
+  const double branch_frac = v - std::floor(v);
+  auto make_child = [&](double clo, double chi, std::uint64_t salt,
+                        double pc_step) {
     auto child = std::make_shared<Node>();
     child->parent = node;
     child->warm = child_basis;
@@ -208,13 +511,37 @@ Expansion expand(const Search& s, Model& work,
     child->var = branch_var;
     child->lower = clo;
     child->upper = chi;
+    child->pc_step = pc_step;
     child->depth = node->depth + 1;
     ++out.deltas;
     out.children.push_back(std::move(child));
   };
-  if (std::floor(v) >= lo - 1e-12) make_child(lo, std::floor(v), 0x2545f491ull);
-  if (std::ceil(v) <= hi + 1e-12) make_child(std::ceil(v), hi, 0x9d2c5681ull);
+  if (std::floor(v) >= lo - 1e-12) {
+    make_child(lo, std::floor(v), 0x2545f491ull, branch_frac);
+  }
+  if (std::ceil(v) <= hi + 1e-12) {
+    make_child(std::ceil(v), hi, 0x9d2c5681ull, -(1.0 - branch_frac));
+  }
   return out;
+}
+
+/// Final bound accounting shared by both drivers. `lost_bound_min` is the
+/// weakest (smallest, minimization sense) bound of any subtree the search
+/// did not close — kInfinity when the tree was fully explored, which is
+/// exactly when the verdict is proven.
+void finish_bound_stats(const Search& s, BranchBoundStats& st,
+                        double lost_bound_min, double incumbent_min) {
+  st.proven = lost_bound_min == kInfinity;
+  const double bound_min = std::min(lost_bound_min, incumbent_min);
+  st.best_bound = s.maximize ? -bound_min : bound_min;
+  if (st.proven) {
+    st.mip_gap = 0.0;
+  } else if (incumbent_min < kInfinity) {
+    st.mip_gap =
+        (incumbent_min - bound_min) / std::max(1.0, std::abs(incumbent_min));
+  } else {
+    st.mip_gap = 1.0;
+  }
 }
 
 Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
@@ -232,7 +559,11 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
   long popped = 0;
   long iters = 0;
   long pivots = 0;
+  long dual_pivots = 0;
   bool budget_hit = false;
+  // Weakest bound whose subtree the search failed to close (budget break,
+  // LP iteration limit, early stop); kInfinity while the tree stays tight.
+  double lost_bound_min = kInfinity;
 
   while (!open.empty()) {
     const auto node = open.top();
@@ -243,15 +574,18 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
     }
     if (++popped > s.opt.node_limit || s.out_of_time()) {
       budget_hit = true;
+      lost_bound_min = std::min(lost_bound_min, node->lp_bound);
       break;
     }
 
     Expansion e = expand(s, work, node, incumbent_min, root_warm);
     ++st.nodes_solved;
     if (e.warm_used) ++st.warm_started_nodes;
+    if (e.pc_branched) ++st.pseudo_cost_branches;
     st.max_depth = std::max(st.max_depth, node->depth);
     iters += e.relax.iterations;
     pivots += e.relax.pivots;
+    dual_pivots += e.relax.dual_pivots;
 
     if (e.relax.status == SolveStatus::kInfeasible) continue;
     if (e.relax.status == SolveStatus::kUnbounded) {
@@ -259,11 +593,15 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
       // report it directly (our models never hit this in practice).
       e.relax.iterations = iters;
       e.relax.pivots = pivots;
+      e.relax.dual_pivots = dual_pivots;
       e.relax.nodes = st.nodes_solved;
+      st.proven = true;
+      st.mip_gap = 0.0;
       return e.relax;
     }
     if (e.relax.status == SolveStatus::kIterationLimit) {
       budget_hit = true;
+      lost_bound_min = std::min(lost_bound_min, node->lp_bound);
       continue;
     }
     if (e.integer_feasible) {
@@ -288,8 +626,13 @@ Solution run_serial(const Search& s, std::shared_ptr<const Node> root,
     // infeasibility was established within the budget (x empty).
     incumbent.status = SolveStatus::kIterationLimit;
   }
+  if (!open.empty()) {
+    lost_bound_min = std::min(lost_bound_min, open.top()->lp_bound);
+  }
+  finish_bound_stats(s, st, lost_bound_min, incumbent_min);
   incumbent.iterations = iters;
   incumbent.pivots = pivots;
+  incumbent.dual_pivots = dual_pivots;
   incumbent.nodes = st.nodes_solved;
   return incumbent;
 }
@@ -316,6 +659,8 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
     Solution incumbent BATE_GUARDED_BY(mu);
     long iters BATE_GUARDED_BY(mu) = 0;
     long pivots BATE_GUARDED_BY(mu) = 0;
+    long dual_pivots BATE_GUARDED_BY(mu) = 0;
+    double lost_bound_min BATE_GUARDED_BY(mu) = kInfinity;
   } sh;
   sh.incumbent.status = SolveStatus::kInfeasible;
   sh.open.push(std::move(root));
@@ -344,6 +689,7 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
       }
       if (++sh.popped > s.opt.node_limit || s.out_of_time()) {
         sh.budget_hit = true;
+        sh.lost_bound_min = std::min(sh.lost_bound_min, node->lp_bound);
         sh.stop = true;
         sh.cv.notify_all();
         return;
@@ -369,9 +715,11 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
       --sh.inflight;
       ++st.nodes_solved;
       if (e.warm_used) ++st.warm_started_nodes;
+      if (e.pc_branched) ++st.pseudo_cost_branches;
       st.max_depth = std::max(st.max_depth, node->depth);
       sh.iters += e.relax.iterations;
       sh.pivots += e.relax.pivots;
+      sh.dual_pivots += e.relax.dual_pivots;
       switch (e.relax.status) {
         case SolveStatus::kInfeasible:
           break;
@@ -382,6 +730,7 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
           break;
         case SolveStatus::kIterationLimit:
           sh.budget_hit = true;
+          sh.lost_bound_min = std::min(sh.lost_bound_min, node->lp_bound);
           break;
         case SolveStatus::kOptimal:
           if (e.integer_feasible) {
@@ -410,12 +759,20 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
   Solution out;
   if (sh.unbounded) {
     out = std::move(sh.unbounded_sol);
+    st.proven = true;
+    st.mip_gap = 0.0;
   } else {
     out = std::move(sh.incumbent);
     if (sh.budget_hit) out.status = SolveStatus::kIterationLimit;
+    if (!sh.open.empty()) {
+      sh.lost_bound_min =
+          std::min(sh.lost_bound_min, sh.open.top()->lp_bound);
+    }
+    finish_bound_stats(s, st, sh.lost_bound_min, sh.incumbent_min);
   }
   out.iterations = sh.iters;
   out.pivots = sh.pivots;
+  out.dual_pivots = sh.dual_pivots;
   out.nodes = st.nodes_solved;
   return out;
 }
@@ -424,24 +781,74 @@ Solution run_parallel(const Search& s, std::shared_ptr<const Node> root,
 /// presolved reduction or, when presolve is off, the original).
 Solution run_search(const Model& model, const BranchBoundOptions& options,
                     WarmStart* root_warm, BranchBoundStats& st) {
-  Search s{model,
-           options,
-           model.sense() == Sense::kMaximize,
-           {},
-           obs::now_us()};
+  const bool maximize = model.sense() == Sense::kMaximize;
+  std::vector<int> int_vars;
   for (int j = 0; j < model.variable_count(); ++j) {
-    if (model.variable(j).integer) s.int_vars.push_back(j);
+    if (model.variable(j).integer) int_vars.push_back(j);
   }
 
   auto root = std::make_shared<Node>();
   root->tie = mix64(options.tie_break_seed ^ 0x6a09e667f3bcc908ull);
 
+  // Root preparation: cuts and strong branching run on a private augmented
+  // copy (the search then explores that copy — children inherit the cut
+  // rows through their re-solves). Reference mode keeps the plain
+  // relaxation tree as the oracle.
+  const bool prep_on = !options.lp.reference_mode && !int_vars.empty() &&
+                       (options.root_cuts || options.pseudo_cost_branching);
+  Model augmented;
+  const Model* search_model = &model;
+  PseudoCosts pc;
+  RootPrep prep;
+  WarmStart* driver_warm = root_warm;
+  if (prep_on) {
+    augmented = model;
+    prep = prepare_root(augmented, options, int_vars, maximize, root_warm, st,
+                        pc);
+    search_model = &augmented;
+    // The caller's handle already received the pre-cut root basis inside
+    // prepare_root; the tree itself restarts from the post-cut basis held
+    // by the root node, so the drivers must not touch the handle again.
+    driver_warm = nullptr;
+    if (!prep.basis.empty()) {
+      root->warm = std::make_shared<const Basis>(std::move(prep.basis));
+    }
+  }
+
+  Search s{*search_model, options,    maximize,
+           std::move(int_vars),       obs::now_us(), std::move(pc)};
+  if (prep_on && options.warm_start_nodes &&
+      prep.relax.status == SolveStatus::kOptimal) {
+    // Hand the already-solved root relaxation to the drivers. Work counters
+    // are zeroed — the prep pass's totals are folded into `sol` below, and
+    // the adopted copy must not count them twice. The cold configuration
+    // (warm_start_nodes off) keeps re-solving the root from scratch: its
+    // whole point is measuring cold per-node solves.
+    prep.relax.iterations = prep.relax.pivots = prep.relax.dual_pivots = 0;
+    prep.relax.refactorizations = prep.relax.pricing_resets = 0;
+    prep.relax.nodes = 0;
+    prep.relax.rows_removed = prep.relax.cols_removed = 0;
+    prep.relax.presolve_us = 0;
+    s.root_relax = &prep.relax;
+  }
+
   ThreadPool* pool = options.pool;
   if (pool != nullptr && pool->current_worker() >= 0) {
     pool = nullptr;  // already inside the pool: serial fallback (no nesting)
   }
-  return pool != nullptr ? run_parallel(s, std::move(root), root_warm, st, *pool)
-                         : run_serial(s, std::move(root), root_warm, st);
+  if (pool != nullptr &&
+      search_model->constraint_count() < options.parallel_min_rows) {
+    pool = nullptr;  // small tree: the queue lock costs more than it buys
+  }
+  st.used_parallel = pool != nullptr;
+  Solution sol =
+      pool != nullptr
+          ? run_parallel(s, std::move(root), driver_warm, st, *pool)
+          : run_serial(s, std::move(root), driver_warm, st);
+  sol.iterations += prep.iters;
+  sol.pivots += prep.pivots;
+  sol.dual_pivots += prep.dual_pivots;
+  return sol;
 }
 
 /// One registry flush per MILP solve; the node loops only bump the plain
@@ -456,6 +863,13 @@ void record_milp_solve(const BranchBoundStats& st, std::int64_t total_us) {
   static obs::Counter& incumbents =
       reg.counter("bate_bnb_incumbent_updates_total");
   static obs::Counter& warm = reg.counter("bate_bnb_warm_started_nodes_total");
+  static obs::Counter& gomory = reg.counter("bate_bnb_gomory_cuts_total");
+  static obs::Counter& cover = reg.counter("bate_bnb_cover_cuts_total");
+  static obs::Counter& cut_rounds = reg.counter("bate_bnb_cut_rounds_total");
+  static obs::Counter& strong =
+      reg.counter("bate_bnb_strong_branch_solves_total");
+  static obs::Counter& pc_branches =
+      reg.counter("bate_bnb_pseudo_cost_branches_total");
   static obs::Gauge& open_peak = reg.gauge("bate_bnb_open_peak");
   static obs::Histogram& solve_us = reg.histogram("bate_bnb_solve_us");
   solves.inc();
@@ -464,13 +878,26 @@ void record_milp_solve(const BranchBoundStats& st, std::int64_t total_us) {
   pruned.inc(st.nodes_pruned);
   incumbents.inc(st.incumbent_updates);
   warm.inc(st.warm_started_nodes);
+  gomory.inc(st.gomory_cuts);
+  cover.inc(st.cover_cuts);
+  cut_rounds.inc(st.cut_rounds);
+  strong.inc(st.strong_branch_solves);
+  pc_branches.inc(st.pseudo_cost_branches);
   open_peak.max_of(static_cast<double>(st.open_peak));
   solve_us.record(total_us);
 }
 
 Solution solve_milp_impl(const Model& model, const BranchBoundOptions& options,
                          WarmStart* root_warm, BranchBoundStats& st) {
-  if (!model.has_integers()) return solve_lp(model, options.lp, root_warm);
+  if (!model.has_integers()) {
+    Solution sol = solve_lp(model, options.lp, root_warm);
+    st.proven = sol.status == SolveStatus::kOptimal ||
+                sol.status == SolveStatus::kInfeasible ||
+                sol.status == SolveStatus::kUnbounded;
+    st.best_bound = sol.objective;
+    st.mip_gap = st.proven ? 0.0 : 1.0;
+    return sol;
+  }
 
   // Presolve once at the root (MILP mode: integer bounds rounded inward,
   // continuous-only reductions skipped) and search the reduced model; the
@@ -489,6 +916,8 @@ Solution solve_milp_impl(const Model& model, const BranchBoundOptions& options,
   }();
   const long pus = static_cast<long>(obs::now_us() - t0);
   if (pre.infeasible) {
+    st.proven = true;
+    st.mip_gap = 0.0;
     Solution sol;
     sol.status = SolveStatus::kInfeasible;
     sol.x.resize(static_cast<std::size_t>(model.variable_count()));
@@ -528,7 +957,20 @@ Solution solve_milp_impl(const Model& model, const BranchBoundOptions& options,
   // relaxation is immediately integer-feasible anyway.
   Solution red = run_search(pre.reduced, inner, rw, st);
   red.duals.clear();  // branch & bound returns no duals (Solution contract)
+  // The search proved its bound on the reduced model; shift it by the
+  // removed variables' objective contribution, the same translation expand
+  // applies to the objective itself. The relative gap is unchanged only up
+  // to the offset, so recompute it against the full-model incumbent.
+  st.best_bound += pre.post.objective_offset();
   Solution sol = pre.post.expand(model, red);
+  if (!st.proven && sol.status != SolveStatus::kInfeasible &&
+      !sol.x.empty() && std::isfinite(sol.objective)) {
+    const double inc_min =
+        model.sense() == Sense::kMaximize ? -sol.objective : sol.objective;
+    const double bb_min =
+        model.sense() == Sense::kMaximize ? -st.best_bound : st.best_bound;
+    st.mip_gap = (inc_min - bb_min) / std::max(1.0, std::abs(inc_min));
+  }
   sol.rows_removed = pre.stats.rows_removed;
   sol.cols_removed = pre.stats.cols_removed;
   sol.presolve_us = pus;

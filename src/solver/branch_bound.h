@@ -1,7 +1,17 @@
 // Branch & bound for the 0-1 MILPs of the paper: optimal admission control
 // (Appendix A) and optimal failure recovery (Sec 3.4). LP relaxations are
-// solved with the simplex of simplex.h; branching is most-fractional with
-// best-bound node selection.
+// solved with the simplex of simplex.h; node selection is best-bound.
+//
+// Before the tree search starts, a root preparation pass (DESIGN.md Sec 5.3)
+// tightens the relaxation with Gomory mixed-integer and knapsack cover cuts
+// (solver/cuts.h) in a bounded cut-and-resolve loop — each round's accepted
+// rows are appended to the search model, so every child inherits them — and
+// initializes pseudo-costs by strong-branching the most fractional root
+// candidates. Branching is then pseudo-cost driven (product score of the
+// estimated per-unit bound degradations, refined along each node's ancestor
+// chain from observed child bounds); most-fractional remains the fallback
+// when pseudo-costs are disabled. The whole pass is skipped in
+// `lp.reference_mode`, which stays the plain-relaxation oracle.
 //
 // Each open node holds one bound delta against its parent (the full bound
 // set of a node is its chain to the root) and a shared handle on the
@@ -44,6 +54,37 @@ struct BranchBoundOptions {
   /// keeps the serial search. A call from inside a pool worker falls back
   /// to serial (nested parallel_for could deadlock — see thread_pool.h).
   ThreadPool* pool = nullptr;
+  /// Models with fewer rows than this stay serial even with `pool` set: on
+  /// small trees the queue lock and per-worker model copies cost more than
+  /// the parallelism returns (the recovery MILPs' parallel_speedup_vs_cold
+  /// sat below 1.0 before this cutoff). Set to 0 to force the parallel
+  /// driver regardless of size (tests pinning serial/parallel equivalence).
+  int parallel_min_rows = 64;
+  /// Root cut-and-resolve loop (Gomory + cover, solver/cuts.h). Ignored in
+  /// reference mode.
+  bool root_cuts = true;
+  int max_cut_rounds = 8;   // separation rounds at the root
+  int max_cuts = 64;        // total cut rows accepted across all rounds
+  /// Tail-off guard: stop the cut loop when a round improves the root
+  /// bound by less than this (relative to max(1, |bound|)). Rounds that
+  /// barely move the bound still pay for their rows in EVERY node re-solve
+  /// below the root, so cutting deep into the tail is a net loss (the
+  /// recovery MILPs regressed 2.5x in warm latency before this guard).
+  double min_cut_improvement = 1e-4;
+  /// Structural gate: skip the cut loop entirely when integer columns make
+  /// up less than this fraction of the (presolved) model. GMI cuts derived
+  /// from rows dominated by continuous columns carry almost no rounding
+  /// strength, and cover cuts need all-binary rows; on the recovery MILPs
+  /// (~0.32 integer share) the cut loop moved the root bound but grew the
+  /// tree and taxed every re-solve, while the admission MILPs (~0.78) are
+  /// where the order-of-magnitude node drops come from (EXPERIMENTS.md).
+  double min_cut_integer_share = 0.5;
+  /// Pseudo-cost branching, initialized by strong branching at the root.
+  /// Off falls back to most-fractional selection. Ignored in reference mode.
+  bool pseudo_cost_branching = true;
+  /// Fractional root candidates probed by strong branching (two warm child
+  /// LPs each) to seed the pseudo-cost tables.
+  int strong_branch_candidates = 4;
   SimplexOptions lp;
 };
 
@@ -63,6 +104,27 @@ struct BranchBoundStats {
   long nodes_pruned = 0;
   long incumbent_updates = 0;
   long open_peak = 0;
+  /// Root preparation counters: accepted cut rows by family, separation
+  /// rounds that added at least one row, and LP solves spent probing strong
+  /// branching candidates.
+  long gomory_cuts = 0;
+  long cover_cuts = 0;
+  long cut_rounds = 0;
+  long strong_branch_solves = 0;
+  /// Nodes whose branching variable was chosen by pseudo-cost score (the
+  /// remainder used the most-fractional fallback).
+  long pseudo_cost_branches = 0;
+  /// Whether the parallel driver actually ran (pool set, not nested, and
+  /// the model cleared `parallel_min_rows`).
+  bool used_parallel = false;
+  /// Bound accounting: `proven` is true when the search closed the tree
+  /// (every node explored or pruned — the verdict is exact, not budget
+  /// limited). `best_bound` is the strongest proven bound on the optimum in
+  /// the model's own sense; `mip_gap` is the relative incumbent/bound gap
+  /// (0 when proven, 1 when no incumbent was found).
+  bool proven = false;
+  double best_bound = 0.0;
+  double mip_gap = 1.0;
 };
 
 /// Solves the MILP. Returns kIterationLimit when the node budget is

@@ -110,6 +110,10 @@ struct Solution {
   /// basis-changing pivots. Accumulated across nodes for MILP solves.
   long iterations = 0;
   long pivots = 0;
+  /// Pivots taken by the dual simplex (warm restarts whose basis was primal-
+  /// infeasible but dual-feasible — the branch & bound child case). A subset
+  /// of `pivots`; zero for cold solves and in reference mode.
+  long dual_pivots = 0;
   /// Basis refactorizations (eta-file rebuilds) and partial-pricing window
   /// resets (exact reduced-cost recomputations). Zero in reference mode,
   /// which refactorizes every iteration by design.

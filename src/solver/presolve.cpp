@@ -947,6 +947,7 @@ Solution Postsolve::expand(const Model& original,
   out.status = reduced.status;
   out.iterations = reduced.iterations;
   out.pivots = reduced.pivots;
+  out.dual_pivots = reduced.dual_pivots;
   out.nodes = reduced.nodes;
   const std::size_t n = static_cast<std::size_t>(orig_vars_);
   const std::size_t m = static_cast<std::size_t>(orig_rows_);

@@ -123,6 +123,10 @@ class Postsolve {
 
   int original_vars() const { return orig_vars_; }
   int original_rows() const { return orig_rows_; }
+  /// Model-sense objective contribution of the removed variables: a value
+  /// or bound proven on the reduced model translates to the full model by
+  /// adding this (exactly what `expand` does to the objective).
+  double objective_offset() const { return obj_offset_; }
 
  private:
   friend class Presolver;

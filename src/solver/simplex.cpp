@@ -100,8 +100,39 @@ class SimplexEngine {
     return finish(iterate());
   }
 
-  /// Warm path: no artificial columns. Primal infeasibility of the restarted
-  /// basis is repaired by a composite Phase 1 — each round relaxes the
+  /// Warm path: no artificial columns. Dispatch on what the restarted basis
+  /// actually is:
+  ///
+  ///  * primal feasible — straight to the primal Phase 2 (the PR 3 path);
+  ///  * primal infeasible but DUAL feasible (the branch & bound child case:
+  ///    the parent's optimal basis with one bound tightened keeps its
+  ///    reduced-cost signs) — dual simplex pivots (dual_iterate) restore
+  ///    primal feasibility while preserving dual feasibility, then the
+  ///    primal loop confirms optimality against exact reduced costs;
+  ///  * otherwise, or when the dual loop stalls — the composite-bound
+  ///    Phase 1 repair (run_warm_composite), which is sound from any basis.
+  ///
+  /// The dual loop never declares a verdict on its own: "no entering
+  /// column" (a dual-unboundedness certificate under exact arithmetic) and
+  /// degenerate stalls both hand over to the composite repair, whose
+  /// infeasibility argument does not depend on cached reduced costs.
+  Solution run_warm() {
+    set_phase2_objective();
+    if (primal_feasible()) return finish(iterate());
+    if (dual_feasible()) {
+      switch (dual_iterate()) {
+        case DualResult::kPrimalFeasible:
+          return finish(iterate());
+        case DualResult::kIterationLimit:
+          return finish(SolveStatus::kIterationLimit);
+        case DualResult::kStall:
+          break;  // fall through to the composite repair
+      }
+    }
+    return run_warm_composite();
+  }
+
+  /// Composite-bound Phase 1 repair — each round relaxes the
   /// violated bound of every out-of-range basic variable to its current
   /// value, prices a +/-1 cost on it to drive it back inside, re-solves, and
   /// snaps variables that re-entered their true range. Soundness of the
@@ -111,7 +142,7 @@ class SimplexEngine {
   /// violates — so such a composite *optimum* proves the true region empty.
   /// A composite phase that diverges (unbounded ray, or more rounds than
   /// rows) sets gave_up(); the caller re-solves cold, which is always sound.
-  Solution run_warm() {
+  Solution run_warm_composite() {
     struct Shift {
       int col;
       double lo, hi;  // true bounds, restored after the round
@@ -674,6 +705,214 @@ class SimplexEngine {
     iters_since_recompute_ = 0;
   }
 
+  // --- Dual simplex ----------------------------------------------------------
+
+  /// Basic values all inside their bounds (tolerance opt_.tol)?
+  bool primal_feasible() const {
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[sz(r)];
+      if (x_[sz(b)] < lower_[sz(b)] - opt_.tol ||
+          x_[sz(b)] > upper_[sz(b)] + opt_.tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Nonbasic reduced-cost signs all optimal (at-lower d >= -tol, at-upper
+  /// d <= tol)? Requires exact reduced costs (set_phase2_objective). Fixed
+  /// columns (lower == upper) are dual-feasible at any sign.
+  bool dual_feasible() const {
+    for (int j = 0; j < ncols_; ++j) {
+      if (in_basis_[sz(j)]) continue;
+      if (lower_[sz(j)] == upper_[sz(j)]) continue;
+      const double d = d_[sz(j)];
+      if (at_upper_[sz(j)]) {
+        if (d > opt_.tol) return false;
+      } else if (d < -opt_.tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  enum class DualResult { kPrimalFeasible, kIterationLimit, kStall };
+
+  /// Dual simplex loop: while some basic variable violates a bound, choose
+  /// the most-violating row as the leaving row, form its pivot row
+  /// alpha = e_r^T B^-1 A sparsely (one BTRAN + the row-wise adjacency, the
+  /// same machinery as the primal reduced-cost update), and run the
+  /// bounded-variable dual ratio test: among nonbasic columns whose feasible
+  /// movement (up from lower, down from upper) drives the leaving variable
+  /// toward its violated bound, enter the one minimizing |d_j / alpha_j| —
+  /// the largest dual step that keeps every reduced-cost sign valid. Each
+  /// pivot appends one eta factor; reduced costs update from the same alpha
+  /// row (d' = d - mu * alpha, mu = d_q / alpha_q, which also leaves the
+  /// leaving column at its correct new reduced cost -mu).
+  ///
+  /// Returns kPrimalFeasible when no basic bound violation remains (the
+  /// caller confirms optimality through the primal loop's exact-recompute
+  /// path), kStall on a tiny pivot, a no-entering-column row, or a long
+  /// degenerate run (the caller falls back to the composite repair — always
+  /// sound, so the dual loop never has to certify infeasibility itself).
+  DualResult dual_iterate() {
+    Term unit;
+    int degenerate_run = 0;
+    auto reset_alpha = [&] {
+      for (const int j : alpha_touched_) {
+        alpha_[sz(j)] = 0.0;
+        alpha_seen_[sz(j)] = 0;
+      }
+    };
+    while (iterations_ < opt_.iteration_limit) {
+      ++iterations_;
+      ++iters_since_recompute_;
+      if (pivots_since_refactor_ >= opt_.recompute_every) {
+        refactorize();
+      } else if (iters_since_recompute_ >= opt_.recompute_every) {
+        recompute_basics();
+      }
+
+      // Leaving row: most-violating basic (Dantzig-style dual pricing).
+      int r = -1;
+      double viol = opt_.tol;
+      bool below = false;
+      for (int i = 0; i < m_; ++i) {
+        const int b = basis_[sz(i)];
+        const double lo_gap = lower_[sz(b)] - x_[sz(b)];
+        if (lo_gap > viol) {
+          viol = lo_gap;
+          r = i;
+          below = true;
+          continue;
+        }
+        if (upper_[sz(b)] != kInfinity) {
+          const double hi_gap = x_[sz(b)] - upper_[sz(b)];
+          if (hi_gap > viol) {
+            viol = hi_gap;
+            r = i;
+            below = false;
+          }
+        }
+      }
+      if (r < 0) return DualResult::kPrimalFeasible;
+
+      // Pivot row of the leaving row: alpha_j = e_r^T B^-1 A_j, formed
+      // sparsely from the row-wise adjacency (the warm path never has
+      // artificial columns, so structural + slack coverage is complete).
+      std::fill(rho_.begin(), rho_.end(), 0.0);
+      rho_[sz(r)] = 1.0;
+      btran(rho_);
+      alpha_touched_.clear();
+      auto touch = [&](int j, double v) {
+        if (!alpha_seen_[sz(j)]) {
+          alpha_seen_[sz(j)] = 1;
+          alpha_touched_.push_back(j);
+        }
+        alpha_[sz(j)] += v;
+      };
+      for (int i = 0; i < m_; ++i) {
+        const double rv = rho_[sz(i)];
+        if (rv == 0.0) continue;
+        for (const Term& t : rows_[sz(i)]) touch(t.var, rv * t.coef);
+        touch(nstruct_ + i, rv);  // slack column e_i
+      }
+
+      // Bounded dual ratio test. The leaving variable must travel `delta`
+      // to reach its violated bound; a nonbasic j moving in its feasible
+      // direction changes it at rate `eff` per unit, so only sign-matching
+      // columns are eligible, and among them the smallest |d_j / alpha_j|
+      // bounds the dual step that keeps every reduced cost sign-valid.
+      const int leave = basis_[sz(r)];
+      const double target = below ? lower_[sz(leave)] : upper_[sz(leave)];
+      const double delta = target - x_[sz(leave)];
+      int q = -1;
+      double best_ratio = kInfinity;
+      double best_alpha = 0.0;
+      for (const int j : alpha_touched_) {
+        if (in_basis_[sz(j)]) continue;
+        if (lower_[sz(j)] == upper_[sz(j)]) continue;  // fixed: cannot move
+        const double a = alpha_[sz(j)];
+        if (std::abs(a) <= opt_.pivot_tol) continue;
+        const double eff = at_upper_[sz(j)] ? a : -a;
+        if ((delta > 0.0 && eff <= 0.0) || (delta < 0.0 && eff >= 0.0)) {
+          continue;
+        }
+        const double ratio = std::abs(d_[sz(j)]) / std::abs(a);
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 &&
+             std::abs(a) > std::abs(best_alpha))) {
+          best_ratio = ratio;
+          best_alpha = a;
+          q = j;
+        }
+      }
+      if (q < 0) {
+        // Dual unbounded under exact arithmetic = primal infeasible; with
+        // cached reduced costs it may also be drift. Hand over either way.
+        reset_alpha();
+        return DualResult::kStall;
+      }
+
+      // FTRAN the entering column for the basis update and primal step.
+      std::fill(w_.begin(), w_.end(), 0.0);
+      for (const Term& t : column(q, unit)) w_[sz(t.var)] = t.coef;
+      ftran(w_);
+      const double pivot = w_[sz(r)];
+      if (std::abs(pivot) <= opt_.pivot_tol) {
+        reset_alpha();
+        if (pivots_since_refactor_ > 0) {
+          refactorize();  // retry the row on a fresh factorization
+          continue;
+        }
+        return DualResult::kStall;
+      }
+
+      // Reduced-cost update from the alpha row already in hand (the dual
+      // twin of update_reduced_costs; the leaving column is touched with
+      // alpha_leave = 1, landing on its new reduced cost -mu).
+      const double mu = d_[sz(q)] / pivot;
+      for (const int j : alpha_touched_) {
+        d_[sz(j)] -= mu * alpha_[sz(j)];
+        alpha_[sz(j)] = 0.0;
+        alpha_seen_[sz(j)] = 0;
+      }
+      d_[sz(q)] = 0.0;
+      d_exact_ = false;
+
+      // Primal step: the leaving variable lands exactly on its violated
+      // bound; the entering variable absorbs the movement. An entering
+      // value beyond its own far bound is just primal infeasibility for a
+      // later dual iteration — dual feasibility is what the loop maintains.
+      const double dt = -delta / pivot;
+      for (int i = 0; i < m_; ++i) {
+        x_[sz(basis_[sz(i)])] -= dt * w_[sz(i)];
+      }
+      x_[sz(leave)] = target;
+      at_upper_[sz(leave)] = below ? 0 : 1;
+      in_basis_[sz(leave)] = 0;
+      x_[sz(q)] += dt;
+      in_basis_[sz(q)] = 1;
+      at_upper_[sz(q)] = 0;
+      basis_[sz(r)] = q;
+      append_eta(r, w_);
+      ++pivots_;
+      ++dual_pivots_;
+      ++pivots_since_refactor_;
+
+      // Anti-cycling: a long run of zero-length dual steps could cycle;
+      // the composite repair (Bland-guarded primal) takes over instead.
+      degenerate_run =
+          (best_ratio <= opt_.tol && std::abs(dt) <= opt_.tol)
+              ? degenerate_run + 1
+              : 0;
+      if (degenerate_run >= opt_.degenerate_switch) return DualResult::kStall;
+    }
+    return DualResult::kIterationLimit;
+  }
+
+  // --- Primal main loop ------------------------------------------------------
+
   SolveStatus iterate() {
     int degenerate_run = 0;
     Term unit;
@@ -793,6 +1032,7 @@ class SimplexEngine {
     sol.status = status;
     sol.iterations = iterations_;
     sol.pivots = pivots_;
+    sol.dual_pivots = dual_pivots_;
     // Reference mode refactorizes every iteration by design; reporting
     // that would drown the fast-path signal.
     sol.refactorizations = opt_.reference_mode ? 0 : refactorizations_;
@@ -857,6 +1097,7 @@ class SimplexEngine {
 
   long iterations_ = 0;
   long pivots_ = 0;
+  long dual_pivots_ = 0;
   long refactorizations_ = 0;
   long pricing_resets_ = 0;
   bool warm_ok_ = false;
@@ -922,6 +1163,8 @@ void record_lp_solve(const Solution& sol, std::int64_t total_us) {
       obs::Registry::global().counter("bate_solver_iterations_total");
   static obs::Counter& pivots =
       obs::Registry::global().counter("bate_solver_pivots_total");
+  static obs::Counter& dual_pivots =
+      obs::Registry::global().counter("bate_solver_dual_pivots_total");
   static obs::Counter& refactorizations =
       obs::Registry::global().counter("bate_solver_refactorizations_total");
   static obs::Counter& pricing_resets =
@@ -931,6 +1174,7 @@ void record_lp_solve(const Solution& sol, std::int64_t total_us) {
   solves.inc();
   iterations.inc(sol.iterations);
   pivots.inc(sol.pivots);
+  dual_pivots.inc(sol.dual_pivots);
   refactorizations.inc(sol.refactorizations);
   pricing_resets.inc(sol.pricing_resets);
   solve_us.record(total_us);

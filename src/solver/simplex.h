@@ -25,10 +25,20 @@
 //    sustained degeneracy (with exact reduced costs, preserving the
 //    anti-cycling guarantee).
 //
-// `reference_mode` disables all three optimizations — full Dantzig pricing
-// over freshly computed reduced costs plus a refactorization every
-// iteration — and is the debug/equivalence baseline the tests compare
-// against (tests/simplex_equivalence_test.cpp).
+// Warm restarts (the WarmStart handle below) dispatch on the restarted
+// basis: primal-feasible bases go straight to the primal Phase 2; a basis
+// that is primal-infeasible but dual-feasible — the branch & bound child
+// case, the parent's optimal basis with one bound changed — is re-solved
+// with bounded-variable dual simplex pivots on the same eta file (leaving
+// row = most-violating basic, entering column by the dual ratio test
+// min |d_j / alpha_j| over sign-eligible columns); anything else, or a
+// stalled dual loop, falls back to the composite-bound Phase-1 repair.
+//
+// `reference_mode` disables all of these optimizations — full Dantzig
+// pricing over freshly computed reduced costs plus a refactorization every
+// iteration, no presolve, no warm or dual restarts — and is the
+// debug/equivalence baseline the tests compare against
+// (tests/simplex_equivalence_test.cpp).
 #pragma once
 
 #include <vector>

@@ -1,0 +1,242 @@
+// Property tests for the root cutting planes (solver/cuts.h): on seeded
+// random knapsack and admission-style instances, no Gomory or cover cut may
+// ever cut off an integer-feasible point — checked by full enumeration on
+// pure-binary instances and against the reference-mode branch & bound
+// optimum on mixed ones — and the full solver with cuts and pseudo-cost
+// branching enabled must reproduce the reference verdicts exactly.
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/branch_bound.h"
+#include "solver/cuts.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace bate {
+namespace {
+
+/// Random knapsack / admission-style MILP: binary items, mostly <= capacity
+/// rows with positive weights (the admission availability knapsack), plus
+/// occasional mixed-sign and >= / = rows to exercise cover complementing
+/// and both canonical directions. `continuous` adds fractional columns so
+/// Gomory separation sees genuinely mixed rows.
+Model random_instance(std::uint64_t seed, bool continuous) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> nbin_d(4, continuous ? 8 : 10);
+  std::uniform_real_distribution<double> coef_d(0.5, 5.0);
+  std::uniform_real_distribution<double> unit_d(0.0, 1.0);
+
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int nb = nbin_d(rng);
+  for (int j = 0; j < nb; ++j) m.add_binary(coef_d(rng));
+  int n = nb;
+  if (continuous) {
+    const int nc = 1 + static_cast<int>(rng() % 3);
+    for (int j = 0; j < nc; ++j) {
+      m.add_variable(0.0, coef_d(rng), 0.3 * coef_d(rng));
+    }
+    n += nc;
+  }
+  const int rows = 1 + static_cast<int>(rng() % 4);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (unit_d(rng) < 0.75) {
+        double c = coef_d(rng);
+        if (unit_d(rng) < 0.15) c = -c;  // exercise complementing
+        terms.push_back({j, c});
+      }
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const double roll = unit_d(rng);
+    const Relation rel = roll < 0.8    ? Relation::kLessEqual
+                         : roll < 0.95 ? Relation::kGreaterEqual
+                                       : Relation::kEqual;
+    m.add_constraint(std::move(terms), rel, coef_d(rng) * n / 2.5);
+  }
+  return m;
+}
+
+double cut_activity(const Cut& cut, const std::vector<double>& x) {
+  double act = 0.0;
+  for (const Term& t : cut.terms) {
+    act += t.coef * x[static_cast<std::size_t>(t.var)];
+  }
+  return act;
+}
+
+bool cut_satisfied(const Cut& cut, const std::vector<double>& x, double tol) {
+  const double act = cut_activity(cut, x);
+  return cut.relation == Relation::kLessEqual ? act <= cut.rhs + tol
+                                              : act >= cut.rhs - tol;
+}
+
+/// Separates both families at the relaxation optimum of `m` (presolve off,
+/// so the basis matches the model shape) and returns them; empty when the
+/// relaxation is already integral or not optimal.
+std::vector<Cut> separate_at_root(const Model& m) {
+  SimplexOptions lp;
+  lp.presolve = false;
+  WarmStart root_basis;
+  const Solution relax = solve_lp(m, lp, &root_basis);
+  if (relax.status != SolveStatus::kOptimal) return {};
+  std::vector<Cut> cuts = separate_gomory(m, root_basis.basis, relax.x);
+  std::vector<Cut> cover = separate_cover(m, relax.x);
+  cuts.insert(cuts.end(), cover.begin(), cover.end());
+  // Every emitted cut must actually be violated at the separating point by
+  // the violation it reports (positive, beyond the filter floor).
+  for (const Cut& cut : cuts) {
+    EXPECT_GE(cut.violation, 1e-4);
+    EXPECT_FALSE(cut_satisfied(cut, relax.x, 1e-9));
+  }
+  return cuts;
+}
+
+TEST(CutsProperty, NeverCutAnyIntegerPointOnBinaryInstances) {
+  // Full enumeration: every 0/1 assignment that satisfies the model must
+  // survive every cut. 60 seeded instances, up to 2^10 points each.
+  long points_checked = 0;
+  long cuts_checked = 0;
+  for (std::uint64_t seed = 5000; seed < 5060; ++seed) {
+    const Model m = random_instance(seed, /*continuous=*/false);
+    const std::vector<Cut> cuts = separate_at_root(m);
+    if (cuts.empty()) continue;
+    cuts_checked += static_cast<long>(cuts.size());
+    const int n = m.variable_count();
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      for (int j = 0; j < n; ++j) {
+        x[static_cast<std::size_t>(j)] = (mask >> j) & 1ull ? 1.0 : 0.0;
+      }
+      if (!m.feasible(x, 1e-9)) continue;
+      ++points_checked;
+      for (const Cut& cut : cuts) {
+        ASSERT_TRUE(cut_satisfied(cut, x, 1e-6))
+            << "seed " << seed << " mask " << mask << " cut rhs " << cut.rhs;
+      }
+    }
+  }
+  // The suite must actually exercise the property, not vacuously pass.
+  EXPECT_GT(points_checked, 1000);
+  EXPECT_GT(cuts_checked, 30);
+}
+
+TEST(CutsProperty, ReferenceOptimumSurvivesCutsOnMixedInstances) {
+  // Mixed binary/continuous instances: the reference-mode branch & bound
+  // optimum is integer-feasible, so every cut must keep it.
+  int optima_checked = 0;
+  for (std::uint64_t seed = 6000; seed < 6060; ++seed) {
+    const Model m = random_instance(seed, /*continuous=*/true);
+    BranchBoundOptions ref;
+    ref.lp.reference_mode = true;
+    const Solution best = solve_milp(m, ref);
+    if (best.status != SolveStatus::kOptimal) continue;
+    for (const Cut& cut : separate_at_root(m)) {
+      ASSERT_TRUE(cut_satisfied(cut, best.x, 1e-6)) << "seed " << seed;
+    }
+    ++optima_checked;
+  }
+  EXPECT_GT(optima_checked, 40);
+}
+
+TEST(CutsProperty, SolverWithCutsMatchesReferenceVerdicts) {
+  // End to end: default options (cuts + pseudo-cost branching + dual warm
+  // restarts) against the reference oracle on both suites — verdicts always
+  // identical, objectives equal on optimal instances.
+  for (std::uint64_t seed = 5000; seed < 5060; ++seed) {
+    for (const bool continuous : {false, true}) {
+      const Model m = random_instance(seed + (continuous ? 1000 : 0),
+                                      continuous);
+      BranchBoundOptions ref;
+      ref.lp.reference_mode = true;
+      BranchBoundOptions opt;  // defaults: root cuts + pseudo-costs on
+      const Solution want = solve_milp(m, ref);
+      BranchBoundStats st;
+      const Solution got = solve_milp(m, opt, nullptr, &st);
+      ASSERT_EQ(got.status, want.status)
+          << "seed " << seed << " continuous " << continuous;
+      if (want.status == SolveStatus::kOptimal) {
+        EXPECT_NEAR(got.objective, want.objective, 1e-6)
+            << "seed " << seed << " continuous " << continuous;
+        EXPECT_TRUE(st.proven);
+        EXPECT_EQ(st.mip_gap, 0.0);
+        EXPECT_NEAR(st.best_bound, want.objective, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(CutPool, FiltersViolationParallelismAndCapacity) {
+  CutPool pool(/*capacity=*/3, /*min_violation=*/1e-3,
+               /*max_parallelism=*/0.95);
+
+  Cut weak;
+  weak.terms = {{0, 1.0}, {1, 1.0}};
+  weak.relation = Relation::kLessEqual;
+  weak.rhs = 1.0;
+  weak.violation = 1e-5;
+  EXPECT_FALSE(pool.add(weak));  // below the violation floor
+
+  Cut a = weak;
+  a.violation = 0.3;
+  EXPECT_TRUE(pool.add(a));
+
+  Cut parallel = a;  // same direction, scaled: normalized dot is 1
+  parallel.terms = {{0, 2.0}, {1, 2.0}};
+  parallel.rhs = 2.0;
+  EXPECT_FALSE(pool.add(parallel));
+
+  Cut b;
+  b.terms = {{0, 1.0}, {1, -1.0}};  // orthogonal to a
+  b.relation = Relation::kLessEqual;
+  b.rhs = 0.5;
+  b.violation = 0.2;
+  EXPECT_TRUE(pool.add(b));
+
+  Cut c;
+  c.terms = {{2, 1.0}};
+  c.relation = Relation::kGreaterEqual;
+  c.rhs = 0.25;
+  c.violation = 0.1;
+  EXPECT_TRUE(pool.add(c));
+
+  Cut d;
+  d.terms = {{3, 1.0}};
+  d.relation = Relation::kLessEqual;
+  d.rhs = 0.5;
+  d.violation = 0.4;
+  EXPECT_FALSE(pool.add(d));  // capacity reached
+  EXPECT_EQ(pool.cuts().size(), 3u);
+}
+
+TEST(CutPool, DrainHandsOutEachCutOnce) {
+  CutPool pool(8, 1e-4, 0.95);
+  Cut a;
+  a.terms = {{0, 1.0}};
+  a.relation = Relation::kLessEqual;
+  a.rhs = 0.5;
+  a.violation = 0.5;
+  ASSERT_TRUE(pool.add(a));
+  EXPECT_EQ(pool.drain().size(), 1u);
+  EXPECT_TRUE(pool.drain().empty());  // nothing new since the last drain
+
+  Cut b;
+  b.terms = {{1, 1.0}};
+  b.relation = Relation::kLessEqual;
+  b.rhs = 0.5;
+  b.violation = 0.5;
+  ASSERT_TRUE(pool.add(b));
+  const std::vector<Cut> fresh = pool.drain();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh.front().terms.front().var, 1);
+  EXPECT_EQ(pool.cuts().size(), 2u);  // all accepted cuts stay visible
+}
+
+}  // namespace
+}  // namespace bate

@@ -272,6 +272,50 @@ Model random_milp(std::uint64_t seed) {
   return m;
 }
 
+TEST(SimplexWarmStart, DualSimplexServesBoundTightenedResolves) {
+  // The branch & bound child pattern: the parent's optimal basis with one
+  // variable bound tightened past its LP value is primal-infeasible but
+  // dual-feasible. The dual simplex must take those restarts (dual_pivots
+  // engages across the suite) and land on exactly the reference answer.
+  SimplexOptions opt;
+  opt.presolve = false;  // keep the child model the same shape as the parent
+  long dual_pivots = 0;
+  int tightened = 0;
+  for (std::uint64_t seed = 9300; seed < 9340; ++seed) {
+    const Model model = random_milp(seed);  // bounded feasible relaxations
+    WarmStart warm;
+    const Solution relax = solve_lp(model, opt, &warm);
+    if (relax.status != SolveStatus::kOptimal) continue;
+
+    int var = -1;
+    double slack = 0.05;  // headroom above the lower bound needed to tighten
+    for (int j = 0; j < model.variable_count(); ++j) {
+      const double room =
+          relax.x[static_cast<std::size_t>(j)] - model.variable(j).lower;
+      if (room > slack) {
+        slack = room;
+        var = j;
+      }
+    }
+    if (var < 0) continue;
+    Model child = model;
+    child.variable(var).upper =
+        relax.x[static_cast<std::size_t>(var)] - 0.5 * slack;  // cuts off x*
+    ++tightened;
+
+    const Solution hot = solve_lp(child, opt, &warm);
+    EXPECT_TRUE(warm.used) << "seed " << seed;
+    dual_pivots += hot.dual_pivots;
+    EXPECT_LE(hot.dual_pivots, hot.pivots) << "seed " << seed;
+    expect_matches_reference(hot, child,
+                             "dual-restart seed " + std::to_string(seed));
+  }
+  // The suite must actually exercise the dual path, not fall back to the
+  // composite repair everywhere.
+  ASSERT_GT(tightened, 10);
+  EXPECT_GT(dual_pivots, 0);
+}
+
 TEST(BranchBound, WarmStartedNodesMatchColdAndReference) {
   long warm_nodes = 0;
   for (int k = 0; k < 100; ++k) {
@@ -346,9 +390,13 @@ TEST(BranchBoundParallel, MatchesSerialOnSeededSuite) {
     BranchBoundOptions serial_opt;
     BranchBoundOptions par_opt;
     par_opt.pool = &pool;
+    par_opt.parallel_min_rows = 0;  // force the parallel driver: these
+                                    // instances sit below the serial cutoff
 
+    BranchBoundStats par_st;
     const Solution a = solve_milp(m, serial_opt);
-    const Solution b = solve_milp(m, par_opt);
+    const Solution b = solve_milp(m, par_opt, nullptr, &par_st);
+    EXPECT_TRUE(par_st.used_parallel) << "seed " << s;
     ASSERT_EQ(a.status, SolveStatus::kOptimal) << "seed " << s;
     ASSERT_EQ(b.status, SolveStatus::kOptimal) << "seed " << s;
     EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << s;
@@ -372,6 +420,8 @@ TEST(BranchBoundParallel, NestedCallFallsBackToSerial) {
   pool.parallel_for(4, [&](int) {
     BranchBoundOptions opt;
     opt.pool = &pool;
+    opt.parallel_min_rows = 0;  // the nested-call guard, not the size
+                                // cutoff, must be what keeps this serial
     const Solution got = solve_milp(m, opt);
     if (got.status == SolveStatus::kOptimal &&
         std::abs(got.objective - want.objective) < 1e-6) {

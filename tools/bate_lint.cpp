@@ -29,10 +29,12 @@
 //                   follows it. The solver is the subsystem where the
 //                   contracts carry numerical-tolerance arguments the code
 //                   cannot express; a header without one is unreviewable.
-//   cold-solve      src/core: a solve_lp / solve_milp call inside a loop
-//                   must pass a warm-start (an argument mentioning
-//                   warm/basis) — re-solves in a loop are exactly where a
-//                   reusable basis pays (DESIGN.md "Solver performance").
+//   cold-solve      src/core + src/solver: a solve_lp / solve_milp call
+//                   inside a loop must pass a warm-start (an argument
+//                   mentioning warm/basis) — re-solves in a loop are exactly
+//                   where a reusable basis pays (DESIGN.md "Solver
+//                   performance"); the cut-and-resolve and strong-branching
+//                   loops in the solver itself are held to the same rule.
 //                   Deliberate cold solves carry a `// cold-start: <reason>`
 //                   comment on the call or just above it.
 //   timing          src/solver + src/core: no std::chrono::steady_clock
@@ -276,8 +278,8 @@ void check_header_contract(const fs::path& file,
 
 // --- Rule: cold-solve -------------------------------------------------------
 
-/// src/core .cpp files: flags solve_lp / solve_milp calls inside a loop
-/// body that pass no warm-start. Heuristic tier: a call "passes a
+/// src/core + src/solver .cpp files: flags solve_lp / solve_milp calls
+/// inside a loop body that pass no warm-start. Heuristic tier: a call "passes a
 /// warm-start" when the call text (the line plus up to three continuation
 /// lines) mentions a warm/basis identifier; a loop is a `for`/`while` whose
 /// brace body is still open. Allowlisted by a `// cold-start: <reason>`
@@ -444,7 +446,8 @@ int main(int argc, char** argv) {
         check_solver_double(rel, code_lines, raw_lines);
         if (header) check_header_contract(rel, raw_lines);
       }
-      if (source && rel.string().rfind("src/core", 0) == 0) {
+      if (source && (rel.string().rfind("src/core", 0) == 0 ||
+                     rel.string().rfind("src/solver", 0) == 0)) {
         check_cold_solve(rel, code_lines, raw_lines);
       }
       if (rel.string().rfind("src/solver", 0) == 0 ||

@@ -216,7 +216,7 @@ void write_bench_json(const BenchReport& report, const std::string& path) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": " << quote(report.bench) << ",\n";
-  out << "  \"schema_version\": 3,\n";
+  out << "  \"schema_version\": 4,\n";
   out << "  \"cases\": [";
   for (std::size_t i = 0; i < report.cases.size(); ++i) {
     const BenchCase& c = report.cases[i];
@@ -266,8 +266,9 @@ std::string validate_bench_json(const std::string& path) {
   }
   const JsonValue* ver = root.find("schema_version");
   if (!ver || ver->kind != JsonValue::Kind::kNumber ||
-      (ver->number != 1.0 && ver->number != 2.0 && ver->number != 3.0)) {
-    return "missing field 'schema_version' or version not in {1, 2, 3}";
+      (ver->number != 1.0 && ver->number != 2.0 && ver->number != 3.0 &&
+       ver->number != 4.0)) {
+    return "missing field 'schema_version' or version not in {1, 2, 3, 4}";
   }
   const JsonValue* obs = root.find("obs");
   if (obs != nullptr && obs->kind != JsonValue::Kind::kObject) {
@@ -302,9 +303,11 @@ std::string validate_bench_json(const std::string& path) {
 
 namespace {
 
-/// (case name, median_ms) pairs of a validated BENCH file, in file order.
-std::string load_medians(
-    const std::string& path,
+/// (case name, metric value) pairs of a validated BENCH file, in file
+/// order; cases without the metric are skipped (schema drift between the
+/// two sides of a compare is not an error, just fewer shared cases).
+std::string load_metric(
+    const std::string& path, const std::string& metric,
     std::vector<std::pair<std::string, double>>* out) {
   const std::string err = validate_bench_json(path);
   if (!err.empty()) return path + ": " + err;
@@ -313,9 +316,9 @@ std::string load_medians(
   buf << f.rdbuf();
   const JsonValue root = JsonParser(buf.str()).parse();  // validated above
   for (const JsonValue& c : root.find("cases")->array) {
-    const JsonValue* median = c.find("metrics")->find("median_ms");
-    if (median != nullptr) {
-      out->emplace_back(c.find("name")->str, median->number);
+    const JsonValue* value = c.find("metrics")->find(metric);
+    if (value != nullptr) {
+      out->emplace_back(c.find("name")->str, value->number);
     }
   }
   return "";
@@ -325,41 +328,44 @@ std::string load_medians(
 
 BenchCompareResult compare_bench_json(const std::string& old_path,
                                       const std::string& new_path,
-                                      double max_regress) {
+                                      double max_regress,
+                                      const std::string& metric) {
   BenchCompareResult res;
   std::vector<std::pair<std::string, double>> old_cases;
   std::vector<std::pair<std::string, double>> new_cases;
-  std::string err = load_medians(old_path, &old_cases);
-  if (err.empty()) err = load_medians(new_path, &new_cases);
+  std::string err = load_metric(old_path, metric, &old_cases);
+  if (err.empty()) err = load_metric(new_path, metric, &new_cases);
   if (!err.empty()) {
     res.report = err;
     return res;
   }
 
   std::ostringstream out;
-  out << "  case                       old_ms     new_ms      ratio\n";
+  out << "  metric: " << metric << "\n";
+  out << "  case                       old        new         ratio\n";
   std::vector<double> ratios;
-  for (const auto& [name, new_ms] : new_cases) {
-    for (const auto& [old_name, old_ms] : old_cases) {
+  for (const auto& [name, new_val] : new_cases) {
+    for (const auto& [old_name, old_val] : old_cases) {
       if (old_name != name) continue;
-      // A sub-resolution old timing cannot anchor a ratio; list it as
+      // A sub-resolution old value cannot anchor a ratio; list it as
       // informational only.
       char line[160];
-      if (old_ms > 1e-6) {
-        const double ratio = new_ms / old_ms;
+      if (old_val > 1e-6) {
+        const double ratio = new_val / old_val;
         ratios.push_back(ratio);
         std::snprintf(line, sizeof(line), "  %-24s %9.3f  %9.3f  %8.2fx\n",
-                      name.c_str(), old_ms, new_ms, ratio);
+                      name.c_str(), old_val, new_val, ratio);
       } else {
         std::snprintf(line, sizeof(line), "  %-24s %9.3f  %9.3f         -\n",
-                      name.c_str(), old_ms, new_ms);
+                      name.c_str(), old_val, new_val);
       }
       out << line;
       break;
     }
   }
   if (ratios.empty()) {
-    res.report = "no case with a comparable median_ms appears in both files";
+    res.report =
+        "no case with a comparable '" + metric + "' appears in both files";
     return res;
   }
   std::sort(ratios.begin(), ratios.end());

@@ -18,10 +18,12 @@
 // (rows_removed_pct, cols_removed_pct, presolve_us, nopresolve_median_ms,
 // speedup_vs_nopresolve) to the solver bench; v3 (observability PR) added
 // the optional top-level "obs" object — the src/obs registry snapshot of
-// one representative solve, in the metrics JSON exposition. Both changes
-// are additive: the container shape is unchanged, the validator accepts
-// v1/v2 files, and the version field is informational for downstream
-// diffing.
+// one representative solve, in the metrics JSON exposition; v4 (cuts PR)
+// added the MILP optimality metrics (proven_optimal, mip_gap, dual_pivots,
+// gomory_cuts, cover_cuts, cut_rounds, strong_branch_solves) to the milp
+// bench. All changes are additive: the container shape is unchanged, the
+// validator accepts v1-v3 files, and the version field is informational
+// for downstream diffing.
 //
 // validate_bench_json re-parses an emitted file with a minimal hand-rolled
 // JSON reader (no third-party deps) and checks exactly that shape;
@@ -54,7 +56,7 @@ struct BenchReport {
 /// cannot be written or a metric value is not finite.
 void write_bench_json(const BenchReport& report, const std::string& path);
 
-/// Parses `path` and checks the BENCH schema above (version 1, 2 or 3).
+/// Parses `path` and checks the BENCH schema above (version 1 through 4).
 /// Returns an empty string on success, else a one-line description of the
 /// first violation.
 std::string validate_bench_json(const std::string& path);
@@ -64,20 +66,22 @@ struct BenchCompareResult {
   /// False when either file is invalid, the reports share no comparable
   /// cases, or the median slowdown exceeds the allowed regression.
   bool ok = false;
-  /// Median over shared cases of new_median_ms / old_median_ms (1.0 = no
-  /// change, 1.2 = 20% slower). 0 when no cases were comparable.
+  /// Median over shared cases of new_value / old_value (1.0 = no change,
+  /// 1.2 = 20% worse). 0 when no cases were comparable.
   double median_ratio = 0.0;
   /// Human-readable per-case table plus a pass/fail summary line.
   std::string report;
 };
 
-/// Compares the `median_ms` metric of every case present in both files and
-/// fails when the MEDIAN per-case slowdown exceeds `max_regress` (0.2 means
-/// "fail beyond 20% slower"). The median — not the max — is the gate so one
-/// noisy case on a loaded machine cannot fail CI, while a real across-the-
-/// board regression still does.
+/// Compares one metric (default `median_ms`) of every case present in both
+/// files and fails when the MEDIAN per-case growth exceeds `max_regress`
+/// (0.2 means "fail beyond 20% worse"). The median — not the max — is the
+/// gate so one noisy case on a loaded machine cannot fail CI, while a real
+/// across-the-board regression still does. Works for any higher-is-worse
+/// metric: the milp bench gates `nodes` as well as `warm_median_ms`.
 BenchCompareResult compare_bench_json(const std::string& old_path,
                                       const std::string& new_path,
-                                      double max_regress);
+                                      double max_regress,
+                                      const std::string& metric = "median_ms");
 
 }  // namespace bate

@@ -4,10 +4,13 @@
 // Usage:
 //   bench_report --validate FILE
 //   bench_report --compare OLD.json NEW.json [--max-regress X]
+//                [--metric NAME]
 //
-// --compare exits 1 when the median per-case `median_ms` slowdown of NEW
-// over OLD exceeds the allowed regression (default 0.2 = 20%); the CI
-// bench-smoke leg runs it against the committed baseline on every push.
+// --compare exits 1 when the median per-case growth of NEW over OLD in the
+// chosen metric (default `median_ms`) exceeds the allowed regression
+// (default 0.2 = 20%); the CI bench-smoke leg runs it against the committed
+// baselines on every push — timing metrics for the solver bench, `nodes`
+// and `warm_median_ms` for the MILP bench.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +24,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_report --validate FILE\n"
                "       bench_report --compare OLD.json NEW.json "
-               "[--max-regress X]\n");
+               "[--max-regress X] [--metric NAME]\n");
   return 2;
 }
 
@@ -47,16 +50,20 @@ int main(int argc, char** argv) {
     const std::string old_path = argv[2];
     const std::string new_path = argv[3];
     double max_regress = 0.2;
+    std::string metric = "median_ms";
     for (int a = 4; a < argc; ++a) {
       if (std::strcmp(argv[a], "--max-regress") == 0 && a + 1 < argc) {
         max_regress = std::atof(argv[++a]);
         if (max_regress < 0.0) return usage();
+      } else if (std::strcmp(argv[a], "--metric") == 0 && a + 1 < argc) {
+        metric = argv[++a];
+        if (metric.empty()) return usage();
       } else {
         return usage();
       }
     }
     const bate::BenchCompareResult res =
-        bate::compare_bench_json(old_path, new_path, max_regress);
+        bate::compare_bench_json(old_path, new_path, max_regress, metric);
     std::printf("bench_report: %s -> %s\n%s", old_path.c_str(),
                 new_path.c_str(), res.report.c_str());
     if (!res.ok) {

@@ -11,7 +11,10 @@
 #   5. lint        bate_lint (always) + clang-tidy (when installed)
 #   6. bench-smoke bench_solver + bench_milp with a tiny rep count;
 #                  validates the emitted BENCH json against the schema
-#                  (tools/bench_report.h), then runs the obs-overhead gate
+#                  (tools/bench_report.h), diffs both against the committed
+#                  baselines (timing for the solver bench; node counts and
+#                  warm timing for the MILP bench), then runs the
+#                  obs-overhead gate
 #                  (bench_solver --obs-overhead: metrics enabled must stay
 #                  within 3% of the BATE_OBS_OFF=1 median, DESIGN.md Sec 9)
 #
@@ -94,6 +97,17 @@ for leg in "${legs[@]}"; do
       smoke_json=$(mktemp /tmp/BENCH_milp_smoke.XXXXXX.json)
       "build/dev/bench/bench_milp" --reps 1 --out "$smoke_json"
       "build/dev/bench/bench_milp" --validate "$smoke_json"
+      if [ -f "$ROOT/BENCH_milp.json" ]; then
+        # Search-quality gate: node counts are deterministic, so the median
+        # per-case growth over the committed baseline is a tight 0.5 (fail
+        # beyond 1.5x more nodes) — a branching or cut regression shows up
+        # here long before it shows up in wall time. The timing gate mirrors
+        # the solver bench's loose 3.0 for --reps 1 noise on a loaded box.
+        "build/dev/tools/bench_report" --compare "$ROOT/BENCH_milp.json" \
+          "$smoke_json" --metric nodes --max-regress 0.5
+        "build/dev/tools/bench_report" --compare "$ROOT/BENCH_milp.json" \
+          "$smoke_json" --metric warm_median_ms --max-regress 3.0
+      fi
       rm -f "$smoke_json"
       banner "obs-overhead gate (metrics on vs off, 3% budget)"
       "build/dev/bench/bench_solver" --obs-overhead
