@@ -63,20 +63,13 @@ struct Instance {
   bool run_reference = false;  // solve once in reference mode and compare
 };
 
+using bench::quantile;
+
+/// This bench's workload density (see bench::seeded_demands).
 std::vector<Demand> seeded_demands(const TunnelCatalog& catalog,
                                    const Topology& topo, int count,
                                    std::uint64_t seed) {
-  WorkloadConfig wl;
-  wl.arrival_rate_per_min = 2.0;
-  wl.mean_duration_min = 10.0;
-  wl.horizon_min = 60.0;
-  wl.matrices = generate_traffic_matrices(topo, 5);
-  wl.tm_scale_down = 20.0;
-  wl.availability_targets = {0.95, 0.99, 0.999};
-  wl.seed = seed;
-  auto demands = steady_state_snapshot(catalog, wl, 30.0);
-  if (static_cast<int>(demands.size()) > count) demands.resize(count);
-  return demands;
+  return bench::seeded_demands(catalog, topo, count, seed, 2.0, 10.0);
 }
 
 /// The `count` most loaded links (by total tunnel-membership demand), i.e.
@@ -174,13 +167,6 @@ std::vector<Instance> build_instances() {
     out.push_back(std::move(inst));
   }
   return out;
-}
-
-double quantile(std::vector<double> v, double q) {
-  std::sort(v.begin(), v.end());
-  const std::size_t idx = static_cast<std::size_t>(
-      q * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
 }
 
 struct Timed {

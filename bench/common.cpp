@@ -1,6 +1,34 @@
 #include "common.h"
 
+#include <algorithm>
+
+#include "workload/traffic_matrix.h"
+
 namespace bench {
+
+std::vector<Demand> seeded_demands(const TunnelCatalog& catalog,
+                                   const Topology& topo, int count,
+                                   std::uint64_t seed, double arrival_per_min,
+                                   double mean_duration_min) {
+  WorkloadConfig wl;
+  wl.arrival_rate_per_min = arrival_per_min;
+  wl.mean_duration_min = mean_duration_min;
+  wl.horizon_min = 60.0;
+  wl.matrices = generate_traffic_matrices(topo, 5);
+  wl.tm_scale_down = 20.0;
+  wl.availability_targets = {0.95, 0.99, 0.999};
+  wl.seed = seed;
+  auto demands = steady_state_snapshot(catalog, wl, 30.0);
+  if (static_cast<int>(demands.size()) > count) demands.resize(count);
+  return demands;
+}
+
+double quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
 
 std::unique_ptr<Env> Env::make(Topology t, int tunnels_per_pair,
                                SchedulerConfig cfg, double teavar_beta) {

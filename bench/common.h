@@ -67,4 +67,18 @@ SimMetrics run_policy_reps(const Env& env, const SimPolicy& policy,
 /// Convenience: append all fields of `extra` into `into`.
 void merge_metrics(SimMetrics& into, const SimMetrics& extra);
 
+/// Steady-state demand snapshot on a pinned seed, shared by the solver and
+/// MILP microbenches so their fixed instance sets stay bit-identical across
+/// refactors. `arrival_per_min` / `mean_duration_min` set the workload
+/// density: bench_solver pins 8.0/20.0 (paper-scale LP snapshots),
+/// bench_milp pins 2.0/10.0 (smaller MILPs that still branch).
+std::vector<Demand> seeded_demands(const TunnelCatalog& catalog,
+                                   const Topology& topo, int count,
+                                   std::uint64_t seed, double arrival_per_min,
+                                   double mean_duration_min);
+
+/// Nearest-rank quantile of a timing sample (takes a copy; callers keep
+/// their raw vectors).
+double quantile(std::vector<double> v, double q);
+
 }  // namespace bench

@@ -174,6 +174,109 @@ Model build_recovery_model(const Topology& topo, const TunnelCatalog& catalog,
                                    nullptr, nullptr);
 }
 
+RecoveryTemplate build_recovery_template(const Topology& topo,
+                                         const TunnelCatalog& catalog,
+                                         std::span<const Demand> demands) {
+  validate_recovery_inputs(topo, catalog, demands, {});
+  // Identical structure to build_recovery_model_impl with an empty failure
+  // set: every tunnel survives, so every tunnel gets a g variable and every
+  // used link gets a capacity row. Failure sets are later expressed as
+  // bound deltas fixing dead-tunnel g to zero, which yields the same
+  // optimum as rebuilding the reduced per-failure model.
+  RecoveryTemplate tmpl;
+  std::vector<std::vector<RecoveryPairVars>> gvars;
+  tmpl.model = build_recovery_model_impl(topo, catalog, demands, {}, &gvars,
+                                         &tmpl.yvar);
+  tmpl.gvar.resize(gvars.size());
+  for (std::size_t i = 0; i < gvars.size(); ++i) {
+    tmpl.gvar[i].resize(gvars[i].size());
+    for (std::size_t p = 0; p < gvars[i].size(); ++p) {
+      tmpl.gvar[i][p] = std::move(gvars[i][p].var);
+    }
+  }
+  return tmpl;
+}
+
+InstanceDelta recovery_failure_delta(const RecoveryTemplate& tmpl,
+                                     const TunnelCatalog& catalog,
+                                     std::span<const Demand> demands,
+                                     std::span<const LinkId> failed_links) {
+  BATE_ASSERT_MSG(tmpl.gvar.size() == demands.size(),
+                  "recovery: template does not match demand set");
+  InstanceDelta delta;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      const auto& tunnels = catalog.tunnels(d.pairs[p].pair);
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        if (tunnel_survives(tunnels[t], failed_links)) continue;
+        delta.bounds.push_back({tmpl.gvar[i][p][t], 0.0, 0.0});
+      }
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+/// Shared extraction for the batched and fallback paths: maps a solution in
+/// template space (g per tunnel, y per demand) to a RecoveryResult.
+RecoveryResult recovery_result_from(const RecoveryTemplate& tmpl,
+                                    const TunnelCatalog& catalog,
+                                    std::span<const Demand> demands,
+                                    const Solution& sol) {
+  RecoveryResult result;
+  result.solved = sol.status == SolveStatus::kOptimal ||
+                  (sol.status == SolveStatus::kIterationLimit &&
+                   !sol.x.empty());
+  if (!result.solved) return result;
+  result.alloc.reserve(demands.size());
+  result.full_profit.resize(demands.size(), 0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const Demand& d = demands[i];
+    Allocation alloc = empty_allocation(catalog, d);
+    for (std::size_t p = 0; p < d.pairs.size(); ++p) {
+      for (std::size_t t = 0; t < tmpl.gvar[i][p].size(); ++t) {
+        const int v = tmpl.gvar[i][p][t];
+        alloc[p][t] =
+            std::max(0.0, sol.x[static_cast<std::size_t>(v)]) * d.pairs[p].mbps;
+      }
+    }
+    result.alloc.push_back(std::move(alloc));
+    result.full_profit[i] =
+        sol.x[static_cast<std::size_t>(tmpl.yvar[i])] > 0.5 ? 1 : 0;
+  }
+  result.profit = total_profit(demands, result.full_profit);
+  return result;
+}
+
+/// True when the LP relaxation already sits on an integral y vertex — that
+/// solution is then optimal for the MILP itself (the relaxation bound is
+/// attained), so the batched path can keep it without branch & bound.
+bool relaxation_integral(const RecoveryTemplate& tmpl, const Solution& sol) {
+  if (sol.status != SolveStatus::kOptimal) return false;
+  for (const int y : tmpl.yvar) {
+    const double v = sol.x[static_cast<std::size_t>(y)];
+    if (std::abs(v - std::round(v)) > 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RecoveryResult recover_with_template(const RecoveryTemplate& tmpl,
+                                     const TunnelCatalog& catalog,
+                                     std::span<const Demand> demands,
+                                     std::span<const LinkId> failed_links,
+                                     const BranchBoundOptions& options,
+                                     WarmStart* warm) {
+  const InstanceDelta delta =
+      recovery_failure_delta(tmpl, catalog, demands, failed_links);
+  const Model inst = apply_delta(tmpl.model, delta);
+  const Solution sol = solve_milp(inst, options, warm);
+  return recovery_result_from(tmpl, catalog, demands, sol);
+}
+
 RecoveryResult recover_optimal(const Topology& topo,
                                const TunnelCatalog& catalog,
                                std::span<const Demand> demands,
@@ -337,44 +440,88 @@ void BackupPlanner::precompute(std::span<const Demand> demands,
   validate_recovery_inputs(*topo_, *catalog_, demands, {});
   demands_.assign(demands.begin(), demands.end());
   plans_.clear();  // bases_ survives: it chains rounds (see header)
-  auto make_plan = [&](const std::vector<LinkId>& failed) {
-    if (!optimal_) {
-      return recover_greedy(*topo_, *catalog_, demands_, failed);
-    }
-    // cold-start: the *first* round for a failure set has no basis yet;
-    // every later round warm-starts from bases_[failed].
-    return recover_optimal(*topo_, *catalog_, demands_, failed,
-                           optimal_options_, &bases_[failed]);
-  };
+
+  // Collect the round's failure sets first: the loaded single links, then
+  // the most probable loaded pairs — so the optimal path can hand the whole
+  // round to the batched backend at once.
   const auto usage = link_usage(*topo_, *catalog_, demands, current);
   std::vector<LinkId> loaded;
+  std::vector<std::vector<LinkId>> failure_sets;
   for (LinkId e = 0; e < topo_->link_count(); ++e) {
     if (usage[static_cast<std::size_t>(e)] <= 1e-9) continue;  // unaffected
     loaded.push_back(e);
-    const std::vector<LinkId> failed{e};
-    plans_.emplace(failed, make_plan(failed));
+    failure_sets.push_back({e});
+  }
+  if (concurrent_pairs_ > 0) {
+    std::vector<std::pair<double, std::vector<LinkId>>> pairs;
+    for (std::size_t a = 0; a < loaded.size(); ++a) {
+      for (std::size_t b = a + 1; b < loaded.size(); ++b) {
+        pairs.push_back({topo_->link(loaded[a]).failure_prob *
+                             topo_->link(loaded[b]).failure_prob,
+                         {loaded[a], loaded[b]}});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    const int count = std::min<int>(concurrent_pairs_,
+                                    static_cast<int>(pairs.size()));
+    for (int i = 0; i < count; ++i) {
+      failure_sets.push_back(std::move(pairs[static_cast<std::size_t>(i)].second));
+    }
   }
 
-  if (concurrent_pairs_ <= 0) {
+  if (!optimal_) {
+    // Algorithm 2 is combinatorial — there is no LP to batch. One greedy
+    // pass per failure set.
+    for (const auto& failed : failure_sets) {
+      plans_.emplace(failed, recover_greedy(*topo_, *catalog_, demands_,
+                                            failed));
+    }
     record_precompute(plans_.size(), obs::now_us() - t0);
     return;
   }
-  // Concurrent-failure extension: plan for the most probable loaded pairs.
-  std::vector<std::pair<double, std::vector<LinkId>>> pairs;
-  for (std::size_t a = 0; a < loaded.size(); ++a) {
-    for (std::size_t b = a + 1; b < loaded.size(); ++b) {
-      pairs.push_back({topo_->link(loaded[a]).failure_prob *
-                           topo_->link(loaded[b]).failure_prob,
-                       {loaded[a], loaded[b]}});
+
+  // Optimal plans share one build-once template; each failure set is a
+  // bound delta against it (the satellite refactor both paths lean on).
+  const RecoveryTemplate tmpl =
+      build_recovery_template(*topo_, *catalog_, demands_);
+  std::vector<const std::vector<LinkId>*> pending;
+  if (optimal_options_.lp.backend == SolveBackend::kBatched) {
+    // Batch the whole round's LP relaxations through the lockstep backend.
+    // A relaxation that lands on an integral y vertex IS the MILP optimum
+    // (the bound is attained), so those failure sets finish without branch
+    // & bound; fractional roots fall through to the exact MILP below.
+    std::vector<InstanceDelta> deltas;
+    deltas.reserve(failure_sets.size());
+    for (const auto& failed : failure_sets) {
+      deltas.push_back(
+          recovery_failure_delta(tmpl, *catalog_, demands_, failed));
     }
+    const std::vector<Solution> roots =
+        solve_lp_batch(tmpl.model, deltas, optimal_options_.lp);
+    for (std::size_t i = 0; i < failure_sets.size(); ++i) {
+      if (relaxation_integral(tmpl, roots[i])) {
+        plans_.emplace(failure_sets[i],
+                       recovery_result_from(tmpl, *catalog_, demands_,
+                                            roots[i]));
+      } else {
+        pending.push_back(&failure_sets[i]);
+      }
+    }
+  } else {
+    for (const auto& failed : failure_sets) pending.push_back(&failed);
   }
-  std::sort(pairs.begin(), pairs.end(),
-            [](const auto& x, const auto& y) { return x.first > y.first; });
-  const int count = std::min<int>(concurrent_pairs_,
-                                  static_cast<int>(pairs.size()));
-  for (int i = 0; i < count; ++i) {
-    plans_.emplace(pairs[static_cast<std::size_t>(i)].second,
-                   make_plan(pairs[static_cast<std::size_t>(i)].second));
+
+  // serial: branch & bound trees are per-failure-set (each set fixes a
+  // different tunnel pattern, and an incumbent from one set proves nothing
+  // about another), so MILP fallbacks cannot share lockstep lanes; the
+  // batched pass above already retired every integral-root set.
+  // cold-start: the *first* round for a failure set has no basis yet; every
+  // later round warm-starts from bases_[failed].
+  for (const std::vector<LinkId>* failed : pending) {
+    plans_.emplace(*failed,
+                   recover_with_template(tmpl, *catalog_, demands_, *failed,
+                                         optimal_options_, &bases_[*failed]));
   }
   record_precompute(plans_.size(), obs::now_us() - t0);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "routing/tunnels.h"
+#include "solver/batch.h"
 #include "solver/branch_bound.h"
 #include "topology/graph.h"
 #include "workload/demand.h"
@@ -54,6 +55,46 @@ RecoveryResult recover_optimal(const Topology& topo,
 Model build_recovery_model(const Topology& topo, const TunnelCatalog& catalog,
                            std::span<const Demand> demands,
                            std::span<const LinkId> failed_links);
+
+/// Build-once form of the recovery MILP (12) for a fixed demand set: g
+/// variables for EVERY tunnel (not just survivors) and capacity rows for
+/// every used link at full capacity. A concrete failure set is expressed as
+/// an InstanceDelta (recovery_failure_delta) that fixes the g of each dead
+/// tunnel to zero; the failed links' capacity rows then only contain fixed
+/// columns and drop out in presolve. The optimum is identical to the
+/// per-failure model build_recovery_model produces — BackupPlanner used to
+/// rebuild that model from scratch for every failure set, and both its
+/// batched and MILP-fallback paths now share this template instead.
+struct RecoveryTemplate {
+  Model model;
+  /// gvar[demand][pair position][tunnel] = variable index.
+  std::vector<std::vector<std::vector<int>>> gvar;
+  /// Binary y per demand (objective refund_fraction * charge).
+  std::vector<int> yvar;
+};
+
+RecoveryTemplate build_recovery_template(const Topology& topo,
+                                         const TunnelCatalog& catalog,
+                                         std::span<const Demand> demands);
+
+/// The delta expressing `failed_links` against the template: one bound edit
+/// per tunnel that crosses a failed link, fixing its g to [0, 0].
+InstanceDelta recovery_failure_delta(const RecoveryTemplate& tmpl,
+                                     const TunnelCatalog& catalog,
+                                     std::span<const Demand> demands,
+                                     std::span<const LinkId> failed_links);
+
+/// Optimal recovery through the template: applies the failure delta and
+/// solves the MILP (same optimum as recover_optimal, without rebuilding the
+/// model). `warm` chains the root basis across calls exactly like
+/// recover_optimal — and because every failure set shares the template's
+/// shape, a cached basis stays compatible across sets and rounds.
+RecoveryResult recover_with_template(const RecoveryTemplate& tmpl,
+                                     const TunnelCatalog& catalog,
+                                     std::span<const Demand> demands,
+                                     std::span<const LinkId> failed_links,
+                                     const BranchBoundOptions& options = {},
+                                     WarmStart* warm = nullptr);
 
 /// Algorithm 2: greedy 2-approximation. Demands are served whole in
 /// descending profit density g_d / sum_k b^k_d; a single large demand can

@@ -111,6 +111,85 @@ TrafficScheduler::TrafficScheduler(const Topology& topo,
     dp->ranges = {{0, dp->dist.tunnel_count}};
     single_patterns_[static_cast<std::size_t>(k)] = std::move(dp);
   }
+  // Per-(pair, pattern) scenario LPs: one batch per pair over the pool,
+  // batched or serial per cfg_.lp.backend. Feeds the hard-repair screen.
+  capability_ =
+      precompute_pattern_capabilities(topo, catalog, lp_patterns_, cfg_.lp);
+}
+
+const std::vector<double>& TrafficScheduler::pattern_capability(
+    int pair) const {
+  return capability_.at(static_cast<std::size_t>(pair));
+}
+
+std::vector<std::vector<double>> precompute_pattern_capabilities(
+    const Topology& topo, const TunnelCatalog& catalog,
+    std::span<const PatternDistribution> dists, const SimplexOptions& lp,
+    BatchStats* stats) {
+  BATE_ASSERT_MSG(dists.size() == static_cast<std::size_t>(catalog.pair_count()),
+                  "capability: distribution set does not match catalog");
+  const int pairs = catalog.pair_count();
+  std::vector<std::vector<double>> capability(static_cast<std::size_t>(pairs));
+  std::vector<BatchStats> pair_stats(static_cast<std::size_t>(pairs));
+  ThreadPool::shared().parallel_for(pairs, [&](int k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    const auto& tunnels = catalog.tunnels(k);
+    const PatternDistribution& dist = dists[sk];
+    auto& cap = capability[sk];
+    cap.assign(dist.prob.size(), -1.0);
+    if (cap.empty()) return;
+    cap[0] = 0.0;  // all tunnels down: nothing deliverable
+    // A tunnel without links would make the flow LP unbounded; leave the
+    // pair's capabilities unknown rather than fabricate a bound.
+    for (const Tunnel& t : tunnels) {
+      if (t.links.empty()) return;
+    }
+
+    // Template: maximize total flow over ALL tunnels subject to full link
+    // capacities; pattern S is a bound delta fixing the down tunnels to 0.
+    Model tmpl;
+    tmpl.set_sense(Sense::kMaximize);
+    for (std::size_t t = 0; t < tunnels.size(); ++t) {
+      tmpl.add_variable(0.0, kInfinity, 1.0);
+    }
+    for (const LinkId e : tunnel_link_union(tunnels)) {
+      std::vector<Term> row;
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        if (tunnels[t].uses(e)) row.push_back({static_cast<int>(t), 1.0});
+      }
+      tmpl.add_constraint(std::move(row), Relation::kLessEqual,
+                          std::max(0.0, topo.link(e).capacity));
+    }
+
+    std::vector<PatternMask> masks;
+    std::vector<InstanceDelta> deltas;
+    const auto patterns = static_cast<PatternMask>(dist.prob.size());
+    for (PatternMask s = 1; s < patterns; ++s) {
+      if (dist.prob[s] <= 0.0) continue;
+      masks.push_back(s);
+      InstanceDelta delta;
+      for (std::size_t t = 0; t < tunnels.size(); ++t) {
+        if (!((s >> t) & 1u)) {
+          delta.bounds.push_back({static_cast<int>(t), 0.0, 0.0});
+        }
+      }
+      deltas.push_back(std::move(delta));
+    }
+    const std::vector<Solution> sols =
+        solve_lp_batch(tmpl, deltas, lp, &pair_stats[sk]);
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      // Each instance maximizes a bounded flow over a nonempty feasible
+      // region (zero flow), so non-optimal statuses cannot occur; keep the
+      // entry unknown if a solver limit ever produces one anyway.
+      if (sols[i].status == SolveStatus::kOptimal) {
+        cap[masks[i]] = std::max(0.0, sols[i].objective);
+      }
+    }
+  });
+  if (stats) {
+    for (const BatchStats& s : pair_stats) stats->merge(s);
+  }
+  return capability;
 }
 
 const PatternDistribution& TrafficScheduler::lp_patterns(int pair) const {
@@ -418,6 +497,36 @@ void TrafficScheduler::repair_hard_availability(
       continue;
     }
 
+    // Capability screen: the precomputed per-(pair, pattern) scenario LPs
+    // upper-bound the hard availability ANY allocation can reach (pattern S
+    // counts only if every pair could be made whole with the full network
+    // to itself). Below the target, the repair MILP is provably infeasible
+    // — skip the solve, keeping the LP allocation exactly as the infeasible
+    // MILP would have.
+    {
+      double best_possible = 0.0;
+      const auto patterns = static_cast<PatternMask>(dp->dist.prob.size());
+      for (PatternMask s = 1; s < patterns; ++s) {
+        if (dp->dist.prob[s] <= 0.0) continue;
+        bool can = true;
+        for (std::size_t p = 0; p < d.pairs.size() && can; ++p) {
+          const auto& cap =
+              capability_[static_cast<std::size_t>(d.pairs[p].pair)];
+          const int tn = dp->ranges[p].second - dp->ranges[p].first;
+          const PatternMask local =
+              (s >> dp->ranges[p].first) &
+              ((PatternMask{1} << tn) - 1u);
+          if (local >= cap.size()) continue;  // pattern space mismatch
+          const double f = cap[local];
+          // -1 = not computed (zero-probability under the pair's own
+          // distribution): no conclusion from this pair.
+          if (f >= 0.0 && f + 1e-6 < d.pairs[p].mbps) can = false;
+        }
+        if (can) best_possible += dp->dist.prob[s];
+      }
+      if (best_possible + 1e-9 < d.availability_target) continue;
+    }
+
     // Residual excluding this demand's own allocation.
     apply_usage(d, result.alloc[i], -1.0);
 
@@ -481,6 +590,10 @@ void TrafficScheduler::repair_hard_availability(
 
     BranchBoundOptions bnb;
     bnb.node_limit = 4000;
+    // serial: the per-demand repair MILPs have distinct shapes (each
+    // demand's own pattern set and residual rows), so they cannot share a
+    // batch template; the capability screen above already skips the
+    // provably infeasible ones.
     // cold-start: each demand builds a differently-shaped MILP (its own
     // pattern set), so no basis survives between loop iterations. Nodes
     // inside the solve still warm-start from their parents.

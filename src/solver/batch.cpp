@@ -1,0 +1,907 @@
+#include "solver/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace bate {
+
+namespace {
+
+std::size_t sz(long v) { return static_cast<std::size_t>(v); }
+
+void check_delta(const Model& base, const InstanceDelta& delta) {
+  for (const BoundDelta& b : delta.bounds) {
+    if (b.var < 0 || b.var >= base.variable_count()) {
+      throw std::invalid_argument("batch: bound delta variable out of range");
+    }
+    // Same contract as Model::add_variable / solve_lp: finite lower bound,
+    // lower <= upper (NaN fails both comparisons and is rejected too).
+    if (!std::isfinite(b.lower) || !(b.lower <= b.upper)) {
+      throw std::invalid_argument("batch: bound delta with invalid bounds");
+    }
+  }
+  for (const RhsDelta& r : delta.rhs) {
+    if (r.row < 0 || r.row >= base.constraint_count()) {
+      throw std::invalid_argument("batch: rhs delta row out of range");
+    }
+    if (!std::isfinite(r.rhs)) {
+      throw std::invalid_argument("batch: rhs delta with non-finite rhs");
+    }
+  }
+  for (const CostDelta& c : delta.costs) {
+    if (c.var < 0 || c.var >= base.variable_count()) {
+      throw std::invalid_argument("batch: cost delta variable out of range");
+    }
+    if (!std::isfinite(c.objective)) {
+      throw std::invalid_argument("batch: cost delta with non-finite cost");
+    }
+  }
+}
+
+/// One nonzero of a structural column after row normalization.
+struct ColEntry {
+  int row;
+  double coef;
+};
+
+/// The shared symbolic pattern of the batch: everything that depends only
+/// on the template's coefficients, built once and read by every lane. Rows
+/// are normalized exactly like the sparse engine: >= rows are negated to
+/// <=, every row gets a slack with bounds [0, inf) (or [0, 0] for =).
+struct BatchPattern {
+  int n = 0;      // structural columns
+  int m = 0;      // rows
+  int ncols = 0;  // n + m (structural then one slack per row)
+  bool maximize = false;
+  std::vector<int> col_start;  // CSC over structural columns, size n + 1
+  std::vector<ColEntry> col_entries;
+  std::vector<double> row_flip;  // +1 (<=, =) or -1 (>=)
+  // Template numeric state in internal form (minimization costs, flipped
+  // rhs); lanes copy these slabs and then apply their deltas.
+  std::vector<double> tlower, tupper;  // size ncols
+  std::vector<double> tcost;           // size ncols (slack costs are 0)
+  std::vector<double> trhs;            // size m
+
+  explicit BatchPattern(const Model& tmpl) {
+    n = tmpl.variable_count();
+    m = tmpl.constraint_count();
+    ncols = n + m;
+    maximize = tmpl.sense() == Sense::kMaximize;
+
+    tlower.assign(sz(ncols), 0.0);
+    tupper.assign(sz(ncols), kInfinity);
+    tcost.assign(sz(ncols), 0.0);
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = tmpl.variable(j);
+      if (!std::isfinite(v.lower)) {
+        throw std::invalid_argument(
+            "batch: variable lower bound must be finite");
+      }
+      tlower[sz(j)] = v.lower;
+      tupper[sz(j)] = v.upper;
+      tcost[sz(j)] = maximize ? -v.objective : v.objective;
+    }
+
+    row_flip.assign(sz(m), 1.0);
+    trhs.assign(sz(m), 0.0);
+    std::vector<int> col_count(sz(n), 0);
+    for (int r = 0; r < m; ++r) {
+      const Constraint& c = tmpl.constraint(r);
+      if (c.relation == Relation::kGreaterEqual) row_flip[sz(r)] = -1.0;
+      trhs[sz(r)] = c.rhs * row_flip[sz(r)];
+      if (c.relation == Relation::kEqual) tupper[sz(n + r)] = 0.0;
+      for (const Term& t : c.terms) ++col_count[sz(t.var)];
+    }
+    col_start.assign(sz(n + 1), 0);
+    for (int j = 0; j < n; ++j) {
+      col_start[sz(j + 1)] = col_start[sz(j)] + col_count[sz(j)];
+    }
+    col_entries.resize(sz(col_start[sz(n)]));
+    std::vector<int> fill(col_start.begin(), col_start.end() - 1);
+    for (int r = 0; r < m; ++r) {
+      const Constraint& c = tmpl.constraint(r);
+      for (const Term& t : c.terms) {
+        col_entries[sz(fill[sz(t.var)]++)] = {r, t.coef * row_flip[sz(r)]};
+      }
+    }
+  }
+};
+
+enum class LaneState : unsigned char { kRunning, kOptimal, kFallback };
+
+/// Lockstep dense bounded-variable simplex over a batch of lanes.
+///
+/// All per-lane numeric state lives in instance-major arenas: lane l's
+/// bounds / costs / rhs / primal values / basis inverse occupy one
+/// contiguous slab each, so the two hot loops — the FTRAN accumulation
+/// against B^-1 rows and the rank-1 B^-1 pivot update — are unit-stride
+/// axpys over that slab and auto-vectorize. The driver advances every live
+/// lane one pivot per sweep; finished lanes retire from the active set.
+class BatchEngine {
+ public:
+  /// `hot`, when non-null, is a basis of the template (normally its optimal
+  /// one) that every lane starts from instead of the slack basis — valid
+  /// whenever the deltas never edit costs, because bound and rhs edits
+  /// preserve dual feasibility. The shared factorization is built once.
+  BatchEngine(const Model& tmpl, std::span<const InstanceDelta> deltas,
+              const SimplexOptions& opt, const Basis* hot = nullptr)
+      : pat_(tmpl), opt_(opt), lanes_(static_cast<int>(deltas.size())) {
+    const int L = lanes_;
+    const std::size_t cols = sz(pat_.ncols);
+    lower_.resize(sz(L) * cols);
+    upper_.resize(sz(L) * cols);
+    cost_.resize(sz(L) * cols);
+    x_.resize(sz(L) * cols);
+    status_.resize(sz(L) * cols);
+    rhs_.resize(sz(L) * sz(pat_.m));
+    binv_.resize(sz(L) * sz(pat_.m) * sz(pat_.m));
+    basis_.resize(sz(L) * sz(pat_.m));
+    lane_.resize(sz(L));
+    w_.assign(sz(pat_.m), 0.0);
+    y_.assign(sz(pat_.m), 0.0);
+    scratch_.resize(sz(pat_.m) * 2 * sz(pat_.m));
+    // Far above the typical path length of a small dense LP; a lane that
+    // needs more than this has stalled and solve_lp is the cheaper answer.
+    lane_limit_ = std::min<long>(opt_.iteration_limit,
+                                 30L * (pat_.m + pat_.n) + 300);
+    rebuild_every_ = std::clamp(opt_.recompute_every, 32, 256);
+    for (int l = 0; l < L; ++l) load(l, deltas[sz(l)], hot);
+    if (hot != nullptr) hot_init();
+  }
+
+  void run() {
+    std::vector<int> active;
+    for (int l = 0; l < lanes_; ++l) {
+      if (lane_[sz(l)].state == LaneState::kRunning) active.push_back(l);
+    }
+    while (!active.empty()) {
+      for (std::size_t i = 0; i < active.size();) {
+        if (step(active[i]) == LaneState::kRunning) {
+          ++i;
+        } else {
+          active[i] = active.back();
+          active.pop_back();
+        }
+      }
+    }
+  }
+
+  bool optimal(int l) const { return lane_[sz(l)].state == LaneState::kOptimal; }
+  /// True when the lane made at least one basis change, so its final basis
+  /// is worth handing to solve_lp as a warm start.
+  bool has_basis(int l) const { return lane_[sz(l)].pivots > 0; }
+  long iterations(int l) const { return lane_[sz(l)].iters; }
+
+  Solution take_solution(int l) { return std::move(lane_[sz(l)].solution); }
+
+  Basis export_basis(int l) const {
+    Basis b;
+    b.structural_count = pat_.n;
+    b.constraint_count = pat_.m;
+    const int* bas = &basis_[sz(l) * sz(pat_.m)];
+    b.basic.assign(bas, bas + pat_.m);
+    const VarStatus* st = &status_[sz(l) * sz(pat_.ncols)];
+    b.status.assign(st, st + pat_.ncols);
+    return b;
+  }
+
+ private:
+  struct LaneCtl {
+    LaneState state = LaneState::kRunning;
+    long iters = 0;
+    long pivots = 0;
+    int degen_streak = 0;
+    bool bland = false;
+    int until_rebuild = 0;
+    Solution solution;
+  };
+
+  double* slab(std::vector<double>& v, int l, int stride) {
+    return &v[sz(l) * sz(stride)];
+  }
+
+  void load(int l, const InstanceDelta& delta, const Basis* hot) {
+    const int nc = pat_.ncols;
+    double* lo = slab(lower_, l, nc);
+    double* up = slab(upper_, l, nc);
+    double* co = slab(cost_, l, nc);
+    double* xx = slab(x_, l, nc);
+    double* rh = slab(rhs_, l, pat_.m);
+    VarStatus* st = &status_[sz(l) * sz(nc)];
+    std::copy(pat_.tlower.begin(), pat_.tlower.end(), lo);
+    std::copy(pat_.tupper.begin(), pat_.tupper.end(), up);
+    std::copy(pat_.tcost.begin(), pat_.tcost.end(), co);
+    std::copy(pat_.trhs.begin(), pat_.trhs.end(), rh);
+    for (const BoundDelta& b : delta.bounds) {
+      lo[b.var] = b.lower;
+      up[b.var] = b.upper;
+    }
+    for (const RhsDelta& r : delta.rhs) {
+      rh[r.row] = r.rhs * pat_.row_flip[sz(r.row)];
+    }
+    for (const CostDelta& c : delta.costs) {
+      co[c.var] = pat_.maximize ? -c.objective : c.objective;
+    }
+    if (hot != nullptr) {
+      // Hot start: install the shared basis's statuses with this lane's
+      // bounds (deltas already applied above, so a nonbasic column lands on
+      // its *new* bound). Basic values and the shared factorization are
+      // filled in by hot_init().
+      for (int j = 0; j < nc; ++j) {
+        st[j] = hot->status[sz(j)];
+        if (st[j] == VarStatus::kBasic) continue;
+        if (st[j] == VarStatus::kAtUpper && up[j] == kInfinity) {
+          st[j] = VarStatus::kAtLower;  // bound delta opened the box upward
+        }
+        xx[j] = st[j] == VarStatus::kAtUpper ? up[j] : lo[j];
+      }
+      int* hb = &basis_[sz(l) * sz(pat_.m)];
+      for (int r = 0; r < pat_.m; ++r) hb[r] = hot->basic[sz(r)];
+      return;
+    }
+
+    // Slack basis: structural columns at their lower bound, one slack basic
+    // per row, B = I.
+    for (int j = 0; j < pat_.n; ++j) {
+      st[j] = VarStatus::kAtLower;
+      xx[j] = lo[j];
+    }
+    int* bas = &basis_[sz(l) * sz(pat_.m)];
+    double* binv = &binv_[sz(l) * sz(pat_.m) * sz(pat_.m)];
+    std::fill(binv, binv + sz(pat_.m) * sz(pat_.m), 0.0);
+    for (int r = 0; r < pat_.m; ++r) {
+      bas[r] = pat_.n + r;
+      st[pat_.n + r] = VarStatus::kBasic;
+      binv[sz(r) * sz(pat_.m) + sz(r)] = 1.0;
+    }
+    lane_[sz(l)].until_rebuild = rebuild_every_;
+    recompute_basics(l);
+    // No Phase 1 in the dense engine: a primal-infeasible slack basis
+    // (negative slack on a <= row, nonzero slack on an = row) goes straight
+    // to the solve_lp fallback, which has the full repair machinery.
+    for (int r = 0; r < pat_.m; ++r) {
+      const double s = xx[pat_.n + r];
+      const double tol = opt_.tol * (1.0 + std::abs(rh[r]));
+      if (s < lo[pat_.n + r] - tol || s > up[pat_.n + r] + tol) {
+        lane_[sz(l)].state = LaneState::kFallback;
+        return;
+      }
+    }
+  }
+
+  /// Shared hot-start factorization: every lane begins at the same basis,
+  /// so B^-1 is built once (lane 0) and copied into the other slabs; each
+  /// lane then refreshes its basic values against its own bounds and rhs.
+  /// Lanes come out dual feasible but possibly primal infeasible — step()'s
+  /// dual-repair phase drives the violations out. A singular hot basis
+  /// (impossible for a basis the sparse engine just certified, but defend
+  /// anyway) sends every lane to the fallback.
+  void hot_init() {
+    if (lanes_ == 0) return;
+    if (!rebuild(0)) {
+      for (int l = 0; l < lanes_; ++l) {
+        lane_[sz(l)].state = LaneState::kFallback;
+      }
+      return;
+    }
+    const std::size_t bs = sz(pat_.m) * sz(pat_.m);
+    for (int l = 1; l < lanes_; ++l) {
+      std::copy(binv_.begin(), binv_.begin() + static_cast<std::ptrdiff_t>(bs),
+                binv_.begin() + static_cast<std::ptrdiff_t>(sz(l) * bs));
+      lane_[sz(l)].until_rebuild = rebuild_every_;
+      recompute_basics(l);
+    }
+  }
+
+  /// Rebuilds B^-1 from the basis columns (Gauss-Jordan with partial
+  /// pivoting) and refreshes the basic values — the dense analogue of the
+  /// sparse engine's reinversion, bounding numerical drift.
+  bool rebuild(int l) {
+    const int m = pat_.m;
+    if (m == 0) return true;
+    double* aug = scratch_.data();  // m x 2m: [B | I] row-reduced in place
+    std::fill(aug, aug + sz(m) * 2 * sz(m), 0.0);
+    const int* bas = &basis_[sz(l) * sz(m)];
+    for (int i = 0; i < m; ++i) {
+      const int b = bas[i];
+      if (b >= pat_.n) {
+        aug[sz(b - pat_.n) * 2 * sz(m) + sz(i)] = 1.0;
+      } else {
+        for (int e = pat_.col_start[sz(b)]; e < pat_.col_start[sz(b) + 1];
+             ++e) {
+          aug[sz(pat_.col_entries[sz(e)].row) * 2 * sz(m) + sz(i)] =
+              pat_.col_entries[sz(e)].coef;
+        }
+      }
+      aug[sz(i) * 2 * sz(m) + sz(m + i)] = 1.0;
+    }
+    const std::size_t w = 2 * sz(m);
+    for (int c = 0; c < m; ++c) {
+      int piv = c;
+      for (int r = c + 1; r < m; ++r) {
+        if (std::abs(aug[sz(r) * w + sz(c)]) >
+            std::abs(aug[sz(piv) * w + sz(c)])) {
+          piv = r;
+        }
+      }
+      if (std::abs(aug[sz(piv) * w + sz(c)]) < 1e-11) return false;
+      if (piv != c) {
+        std::swap_ranges(aug + sz(piv) * w, aug + (sz(piv) + 1) * w,
+                         aug + sz(c) * w);
+      }
+      const double inv = 1.0 / aug[sz(c) * w + sz(c)];
+      for (std::size_t k = 0; k < w; ++k) aug[sz(c) * w + k] *= inv;
+      for (int r = 0; r < m; ++r) {
+        if (r == c) continue;
+        const double f = aug[sz(r) * w + sz(c)];
+        if (f == 0.0) continue;
+        double* dst = aug + sz(r) * w;
+        const double* src = aug + sz(c) * w;
+        for (std::size_t k = 0; k < w; ++k) dst[k] -= f * src[k];
+      }
+    }
+    double* binv = &binv_[sz(l) * sz(m) * sz(m)];
+    for (int r = 0; r < m; ++r) {
+      std::copy(aug + sz(r) * w + sz(m), aug + sz(r) * w + w,
+                binv + sz(r) * sz(m));
+    }
+    recompute_basics(l);
+    lane_[sz(l)].until_rebuild = rebuild_every_;
+    return true;
+  }
+
+  /// x_B = B^-1 (b - N x_N) with the nonbasic columns at their stored
+  /// bound values.
+  void recompute_basics(int l) {
+    const int m = pat_.m;
+    const int nc = pat_.ncols;
+    double* xx = slab(x_, l, nc);
+    const double* rh = slab(rhs_, l, m);
+    const VarStatus* st = &status_[sz(l) * sz(nc)];
+    y_.assign(sz(m), 0.0);  // reuse as the residual workspace
+    for (int r = 0; r < m; ++r) y_[sz(r)] = rh[r];
+    for (int j = 0; j < pat_.n; ++j) {
+      if (st[j] == VarStatus::kBasic || xx[j] == 0.0) continue;
+      for (int e = pat_.col_start[sz(j)]; e < pat_.col_start[sz(j) + 1]; ++e) {
+        y_[sz(pat_.col_entries[sz(e)].row)] -=
+            pat_.col_entries[sz(e)].coef * xx[j];
+      }
+    }
+    for (int r = 0; r < m; ++r) {
+      if (st[pat_.n + r] != VarStatus::kBasic && xx[pat_.n + r] != 0.0) {
+        y_[sz(r)] -= xx[pat_.n + r];
+      }
+    }
+    const double* binv = &binv_[sz(l) * sz(m) * sz(m)];
+    const int* bas = &basis_[sz(l) * sz(m)];
+    for (int i = 0; i < m; ++i) {
+      double v = 0.0;
+      const double* row = binv + sz(i) * sz(m);
+      for (int k = 0; k < m; ++k) v += row[k] * y_[sz(k)];
+      xx[bas[i]] = v;
+    }
+  }
+
+  /// Reduced cost of one column against the dual workspace y_.
+  double reduced_cost(const double* co, int j) const {
+    double d = co[j];
+    if (j >= pat_.n) {
+      d -= y_[sz(j - pat_.n)];
+    } else {
+      for (int e = pat_.col_start[sz(j)]; e < pat_.col_start[sz(j) + 1]; ++e) {
+        d -= y_[sz(pat_.col_entries[sz(e)].row)] *
+             pat_.col_entries[sz(e)].coef;
+      }
+    }
+    return d;
+  }
+
+  LaneState fail(int l) {
+    lane_[sz(l)].state = LaneState::kFallback;
+    return LaneState::kFallback;
+  }
+
+  /// FTRAN into w_: w = B^-1 a_j (column j of the flipped constraint
+  /// matrix; slack columns are unit vectors, so they read straight out of
+  /// B^-1).
+  void ftran(const double* binv, int j) {
+    const int m = pat_.m;
+    if (j >= pat_.n) {
+      for (int i = 0; i < m; ++i) {
+        w_[sz(i)] = binv[sz(i) * sz(m) + sz(j - pat_.n)];
+      }
+      return;
+    }
+    for (int i = 0; i < m; ++i) {
+      double v = 0.0;
+      const double* row = binv + sz(i) * sz(m);
+      for (int e = pat_.col_start[sz(j)]; e < pat_.col_start[sz(j) + 1];
+           ++e) {
+        v += pat_.col_entries[sz(e)].coef * row[pat_.col_entries[sz(e)].row];
+      }
+      w_[sz(i)] = v;
+    }
+  }
+
+  /// Rank-1 B^-1 update after `enter`'s column (already FTRANed into w_)
+  /// replaces the basic column of row `leave`: the pivot row is scaled by
+  /// 1/pivot and eliminated from every other row — contiguous axpys over
+  /// the lane's slab.
+  void pivot_update(double* binv, int leave) {
+    const int m = pat_.m;
+    const double inv = 1.0 / w_[sz(leave)];
+    double* prow = binv + sz(leave) * sz(m);
+    for (int k = 0; k < m; ++k) prow[k] *= inv;
+    for (int i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      const double f = w_[sz(i)];
+      if (f == 0.0) continue;
+      double* row = binv + sz(i) * sz(m);
+      for (int k = 0; k < m; ++k) row[k] -= f * prow[k];
+    }
+  }
+
+  /// One dual simplex pivot for lane l: the basic variable of row `r` sits
+  /// outside its box at distance |bound - value| in direction `vdir`
+  /// (+1: below lower, -1: above upper); it leaves at `bound` and the
+  /// entering column is chosen by the dual ratio test over the reduced
+  /// costs (computed against y_, which step() just refreshed), so dual
+  /// feasibility is preserved. No eligible column means a dual ray — the
+  /// instance is primal infeasible, a certificate verdict the lane hands to
+  /// the solve_lp fallback rather than certifying with dense arithmetic.
+  LaneState dual_step(int l, int r, double bound, double vdir) {
+    LaneCtl& ctl = lane_[sz(l)];
+    const int m = pat_.m;
+    const int nc = pat_.ncols;
+    double* lo = slab(lower_, l, nc);
+    double* up = slab(upper_, l, nc);
+    double* co = slab(cost_, l, nc);
+    double* xx = slab(x_, l, nc);
+    VarStatus* st = &status_[sz(l) * sz(nc)];
+    int* bas = &basis_[sz(l) * sz(m)];
+    double* binv = &binv_[sz(l) * sz(m) * sz(m)];
+    const double* rho = binv + sz(r) * sz(m);  // row r of B^-1, in place
+
+    int enter = -1;
+    double best_ratio = 0.0;
+    double best_alpha = 0.0;
+    for (int j = 0; j < nc; ++j) {
+      if (st[j] == VarStatus::kBasic || lo[j] == up[j]) continue;
+      // alpha_j = e_r^T B^-1 a_j.
+      double alpha;
+      if (j >= pat_.n) {
+        alpha = rho[j - pat_.n];
+      } else {
+        alpha = 0.0;
+        for (int e = pat_.col_start[sz(j)]; e < pat_.col_start[sz(j) + 1];
+             ++e) {
+          alpha += pat_.col_entries[sz(e)].coef * rho[pat_.col_entries[sz(e)].row];
+        }
+      }
+      // Entering from lower moves the leaving value by -t*alpha with t > 0;
+      // from upper with t < 0. Keep only columns that move it toward the
+      // violated bound.
+      double ratio;
+      if (st[j] == VarStatus::kAtLower && vdir * alpha < -opt_.pivot_tol) {
+        ratio = std::max(reduced_cost(co, j), 0.0) / -(vdir * alpha);
+      } else if (st[j] == VarStatus::kAtUpper &&
+                 vdir * alpha > opt_.pivot_tol) {
+        ratio = std::max(-reduced_cost(co, j), 0.0) / (vdir * alpha);
+      } else {
+        continue;
+      }
+      if (ctl.bland) {
+        enter = j;
+        best_alpha = alpha;
+        break;
+      }
+      if (enter < 0 || ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 &&
+           std::abs(alpha) > std::abs(best_alpha))) {
+        enter = j;
+        best_ratio = ratio;
+        best_alpha = alpha;
+      }
+    }
+    if (enter < 0) return fail(l);
+
+    ++ctl.iters;
+    if (ctl.iters >= lane_limit_) return fail(l);
+
+    ftran(binv, enter);
+    const double piv = w_[sz(r)];  // == alpha_enter up to roundoff
+    if (std::abs(piv) <= opt_.pivot_tol) return fail(l);
+    const int out = bas[r];
+    const double delta_out = bound - xx[out];
+    const double t = -delta_out / piv;
+    for (int i = 0; i < m; ++i) xx[bas[i]] -= t * w_[sz(i)];
+    xx[enter] = (st[enter] == VarStatus::kAtLower ? lo[enter] : up[enter]) + t;
+    xx[out] = bound;
+    st[out] = vdir > 0.0 ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    st[enter] = VarStatus::kBasic;
+    bas[r] = enter;
+    ++ctl.pivots;
+    pivot_update(binv, r);
+
+    // A dual pivot is degenerate when the dual objective stalls (entering
+    // reduced cost ~ 0); the primal step t is always bounded away from zero
+    // here because the leaving violation is. Bland mode sticks until the
+    // dual phase ends — the primal path clears it on real progress.
+    if (!ctl.bland) {
+      if (best_ratio <= opt_.tol) {
+        if (++ctl.degen_streak > opt_.degenerate_switch) ctl.bland = true;
+      } else {
+        ctl.degen_streak = 0;
+      }
+    }
+    return LaneState::kRunning;
+  }
+
+  LaneState step(int l) {
+    LaneCtl& ctl = lane_[sz(l)];
+    const int m = pat_.m;
+    const int nc = pat_.ncols;
+    if (--ctl.until_rebuild <= 0 && !rebuild(l)) return fail(l);
+    double* lo = slab(lower_, l, nc);
+    double* up = slab(upper_, l, nc);
+    double* co = slab(cost_, l, nc);
+    double* xx = slab(x_, l, nc);
+    VarStatus* st = &status_[sz(l) * sz(nc)];
+    int* bas = &basis_[sz(l) * sz(m)];
+    double* binv = &binv_[sz(l) * sz(m) * sz(m)];
+
+    // Duals of the current basis: y = c_B^T B^-1, accumulated row-wise so
+    // each nonzero basic cost streams one contiguous B^-1 row.
+    y_.assign(sz(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const double cb = co[bas[i]];
+      if (cb == 0.0) continue;
+      const double* row = binv + sz(i) * sz(m);
+      for (int k = 0; k < m; ++k) y_[sz(k)] += cb * row[k];
+    }
+
+    // Dual repair first: a hot-started lane is dual feasible by
+    // construction (the template's optimal basis, deltas touching only
+    // bounds and rhs), but its deltas can leave basic values outside their
+    // boxes. Drive the worst violation out with dual pivots; primal pricing
+    // below only runs once the lane is primal feasible. Slack-started lanes
+    // are primal feasible from load() and never enter this branch.
+    int vrow = -1;
+    double viol = 0.0;
+    double vbound = 0.0;
+    double vdir = 0.0;  // +1: below lower (must rise), -1: above upper
+    for (int i = 0; i < m; ++i) {
+      const int b = bas[i];
+      const double v = xx[b];
+      const double ftol = opt_.tol * (1.0 + std::abs(v));
+      if (v < lo[b] - ftol && lo[b] - v > viol) {
+        viol = lo[b] - v;
+        vrow = i;
+        vbound = lo[b];
+        vdir = 1.0;
+      } else if (up[b] != kInfinity && v > up[b] + ftol && v - up[b] > viol) {
+        viol = v - up[b];
+        vrow = i;
+        vbound = up[b];
+        vdir = -1.0;
+      }
+    }
+    if (vrow >= 0) return dual_step(l, vrow, vbound, vdir);
+
+    // Pricing: Dantzig over exact reduced costs; Bland (lowest eligible
+    // index) under sustained degeneracy for the anti-cycling guarantee.
+    int enter = -1;
+    double best = opt_.tol;
+    double dir = 0.0;
+    for (int j = 0; j < nc; ++j) {
+      if (st[j] == VarStatus::kBasic || lo[j] == up[j]) continue;
+      const double d = reduced_cost(co, j);
+      double score = 0.0, jdir = 0.0;
+      if (st[j] == VarStatus::kAtLower && d < -opt_.tol) {
+        score = -d;
+        jdir = 1.0;
+      } else if (st[j] == VarStatus::kAtUpper && d > opt_.tol) {
+        score = d;
+        jdir = -1.0;
+      } else {
+        continue;
+      }
+      if (ctl.bland) {
+        enter = j;
+        dir = jdir;
+        break;
+      }
+      if (score > best) {
+        best = score;
+        enter = j;
+        dir = jdir;
+      }
+    }
+    if (enter < 0) return verify_optimal(l);
+
+    ftran(binv, enter);
+
+    // Bounded ratio test: the entering column moves `t` toward its opposite
+    // bound; basic value i changes by -dir * t * w_i.
+    const double limit = up[enter] - lo[enter];  // may be +inf
+    double best_t = limit;
+    int leave = -1;
+    double leave_piv = 0.0;
+    bool leave_to_upper = false;
+    for (int i = 0; i < m; ++i) {
+      const double wi = dir * w_[sz(i)];
+      if (std::abs(wi) <= opt_.pivot_tol) continue;
+      const int b = bas[i];
+      double t;
+      bool to_upper;
+      if (wi > 0.0) {
+        t = (xx[b] - lo[b]) / wi;
+        to_upper = false;
+      } else {
+        if (up[b] == kInfinity) continue;
+        t = (xx[b] - up[b]) / wi;
+        to_upper = true;
+      }
+      if (t < 0.0) t = 0.0;
+      const bool better =
+          leave < 0 ? t < best_t
+                    : (t < best_t - 1e-12 ||
+                       (t < best_t + 1e-12 &&
+                        (ctl.bland ? b < bas[leave]
+                                   : std::abs(w_[sz(i)]) > std::abs(leave_piv))));
+      if (better) {
+        best_t = std::min(best_t, t);
+        leave = i;
+        leave_piv = w_[sz(i)];
+        leave_to_upper = to_upper;
+      }
+    }
+
+    if (leave < 0 && best_t == kInfinity) {
+      // Unbounded ray: a verdict that needs the certificate machinery, so
+      // hand the lane to solve_lp rather than trust dense arithmetic.
+      return fail(l);
+    }
+
+    ++ctl.iters;
+    if (ctl.iters >= lane_limit_) return fail(l);
+
+    if (leave < 0) {
+      // Bound flip: the entering column crosses to its other bound without
+      // a basis change.
+      for (int i = 0; i < m; ++i) xx[bas[i]] -= dir * limit * w_[sz(i)];
+      st[enter] = dir > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      xx[enter] = dir > 0.0 ? up[enter] : lo[enter];
+      ctl.degen_streak = 0;
+      return LaneState::kRunning;
+    }
+
+    const double t = best_t;
+    for (int i = 0; i < m; ++i) xx[bas[i]] -= dir * t * w_[sz(i)];
+    xx[enter] = (dir > 0.0 ? lo[enter] : up[enter]) + dir * t;
+    const int out = bas[leave];
+    xx[out] = leave_to_upper ? up[out] : lo[out];
+    st[out] = leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    st[enter] = VarStatus::kBasic;
+    bas[leave] = enter;
+    ++ctl.pivots;
+
+    if (std::abs(w_[sz(leave)]) <= opt_.pivot_tol) return fail(l);
+    pivot_update(binv, leave);
+
+    if (t <= 1e-10) {
+      if (++ctl.degen_streak > opt_.degenerate_switch) ctl.bland = true;
+    } else {
+      ctl.degen_streak = 0;
+      ctl.bland = false;
+    }
+    return LaneState::kRunning;
+  }
+
+  /// Pricing found no eligible column: verify the claimed optimum (primal
+  /// feasibility of bounds and rows at 1e-6) before trusting it; anything
+  /// off goes to the solve_lp fallback. y_ still holds the optimal duals.
+  LaneState verify_optimal(int l) {
+    const int m = pat_.m;
+    const int nc = pat_.ncols;
+    const double* lo = slab(lower_, l, nc);
+    const double* up = slab(upper_, l, nc);
+    const double* co = slab(cost_, l, nc);
+    const double* xx = slab(x_, l, nc);
+    const double* rh = slab(rhs_, l, m);
+    const double ftol = 1e-6;
+    for (int j = 0; j < nc; ++j) {
+      const double s = ftol * (1.0 + std::abs(xx[j]));
+      if (xx[j] < lo[j] - s || xx[j] > up[j] + s) return fail(l);
+    }
+    std::vector<double> act(sz(m), 0.0);
+    for (int j = 0; j < pat_.n; ++j) {
+      if (xx[j] == 0.0) continue;
+      for (int e = pat_.col_start[sz(j)]; e < pat_.col_start[sz(j) + 1]; ++e) {
+        act[sz(pat_.col_entries[sz(e)].row)] +=
+            pat_.col_entries[sz(e)].coef * xx[j];
+      }
+    }
+    for (int r = 0; r < m; ++r) {
+      if (std::abs(rh[r] - act[sz(r)] - xx[pat_.n + r]) >
+          ftol * (1.0 + std::abs(rh[r]))) {
+        return fail(l);
+      }
+    }
+
+    LaneCtl& ctl = lane_[sz(l)];
+    Solution& sol = ctl.solution;
+    sol.status = SolveStatus::kOptimal;
+    sol.iterations = ctl.iters;
+    sol.pivots = ctl.pivots;
+    sol.x.assign(xx, xx + pat_.n);
+    double obj = 0.0;
+    for (int j = 0; j < pat_.n; ++j) obj += co[j] * xx[j];
+    sol.objective = pat_.maximize ? -obj : obj;
+    sol.duals.assign(sz(m), 0.0);
+    for (int r = 0; r < m; ++r) {
+      sol.duals[sz(r)] =
+          y_[sz(r)] * pat_.row_flip[sz(r)] * (pat_.maximize ? -1.0 : 1.0);
+    }
+    ctl.state = LaneState::kOptimal;
+    return LaneState::kOptimal;
+  }
+
+  BatchPattern pat_;
+  SimplexOptions opt_;
+  int lanes_ = 0;
+  long lane_limit_ = 0;
+  int rebuild_every_ = 0;
+
+  // Instance-major SoA arenas: lane l's slab is [l * stride, (l+1) * stride).
+  std::vector<double> lower_, upper_, cost_, x_;
+  std::vector<double> rhs_;
+  std::vector<double> binv_;  // stride m*m, row-major within a lane
+  std::vector<int> basis_;
+  std::vector<VarStatus> status_;
+  std::vector<LaneCtl> lane_;
+  // Shared per-step workspaces (the engine itself is single-threaded; the
+  // call sites parallelize across batches, not within one).
+  std::vector<double> w_, y_, scratch_;
+};
+
+/// One registry flush per solve_lp_batch call (obs: bate_batch_*).
+void record_batch(const BatchStats& s, std::int64_t us) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Counter& solves = reg.counter("bate_batch_solves_total");
+  static obs::Counter& instances = reg.counter("bate_batch_instances_total");
+  static obs::Counter& lanes = reg.counter("bate_batch_lanes_total");
+  static obs::Counter& iters =
+      reg.counter("bate_batch_lockstep_iterations_total");
+  static obs::Counter& fallbacks = reg.counter("bate_batch_fallbacks_total");
+  static obs::Histogram& hist = reg.histogram("bate_batch_solve_us");
+  solves.inc();
+  instances.inc(s.instances);
+  lanes.inc(s.lanes);
+  iters.inc(s.lockstep_iterations);
+  fallbacks.inc(s.fallbacks);
+  hist.record(us);
+}
+
+}  // namespace
+
+Model apply_delta(const Model& base, const InstanceDelta& delta) {
+  check_delta(base, delta);
+  Model out = base;
+  for (const BoundDelta& b : delta.bounds) {
+    out.variable(b.var).lower = b.lower;
+    out.variable(b.var).upper = b.upper;
+  }
+  for (const CostDelta& c : delta.costs) {
+    out.variable(c.var).objective = c.objective;
+  }
+  if (!delta.rhs.empty()) {
+    // Constraint rhs has no mutable accessor; rebuild through the public
+    // surface only when a row actually changes.
+    Model rebuilt;
+    rebuilt.set_sense(out.sense());
+    for (int j = 0; j < out.variable_count(); ++j) {
+      const Variable& v = out.variable(j);
+      rebuilt.add_variable(v.lower, v.upper, v.objective, v.name);
+      if (v.integer) rebuilt.set_integer(j);
+    }
+    std::vector<double> rhs(static_cast<std::size_t>(out.constraint_count()));
+    for (int r = 0; r < out.constraint_count(); ++r) {
+      rhs[static_cast<std::size_t>(r)] = out.constraint(r).rhs;
+    }
+    for (const RhsDelta& d : delta.rhs) {
+      rhs[static_cast<std::size_t>(d.row)] = d.rhs;
+    }
+    for (int r = 0; r < out.constraint_count(); ++r) {
+      const Constraint& c = out.constraint(r);
+      rebuilt.add_constraint(c.terms, c.relation,
+                             rhs[static_cast<std::size_t>(r)]);
+    }
+    return rebuilt;
+  }
+  return out;
+}
+
+std::vector<Solution> solve_lp_batch(const Model& tmpl,
+                                     std::span<const InstanceDelta> deltas,
+                                     const SimplexOptions& options,
+                                     BatchStats* stats) {
+  BATE_TRACE_SPAN("solver.batch");
+  const std::int64_t t0 = obs::now_us();
+  BatchStats local;
+  local.instances = static_cast<long>(deltas.size());
+  std::vector<Solution> out;
+  out.reserve(deltas.size());
+  if (deltas.empty()) {
+    if (stats) stats->merge(local);
+    return out;
+  }
+
+  const bool serial = options.backend != SolveBackend::kBatched ||
+                      options.reference_mode;
+  if (serial) {
+    // The serial path: every instance through solve_lp. Also the baseline
+    // the bench gates the batched path against, so it must not quietly
+    // improve.
+    // cold-start: instances differ in arbitrary bound/rhs/cost deltas, so
+    // no basis relation holds between consecutive ones; chaining would also
+    // contaminate the serial baseline the batched path is measured against.
+    for (const InstanceDelta& d : deltas) {
+      out.push_back(solve_lp(apply_delta(tmpl, d), options));
+    }
+  } else {
+    for (const InstanceDelta& d : deltas) check_delta(tmpl, d);
+    // Hot start: when no delta edits costs, the template's optimal basis
+    // stays dual feasible for every instance (bound/rhs edits only move
+    // primal values), so the whole batch starts from it — one sparse
+    // template solve plus one shared factorization — and each lane runs a
+    // handful of dual-repair pivots instead of a full primal path from the
+    // slack basis. Cost-editing batches (or an infeasible / unbounded
+    // template) keep the slack start.
+    bool bounds_only = true;
+    for (const InstanceDelta& d : deltas) bounds_only &= d.costs.empty();
+    Basis hot;
+    const Basis* hotp = nullptr;
+    if (bounds_only) {
+      WarmStart tw;
+      const Solution tsol = solve_lp(tmpl, options, &tw);
+      if (tsol.status == SolveStatus::kOptimal && !tw.basis.empty() &&
+          tw.basis.compatible_with(tmpl)) {
+        hot = std::move(tw.basis);
+        hotp = &hot;
+      }
+    }
+    BatchEngine engine(tmpl, deltas, options, hotp);
+    engine.run();
+    local.lanes = static_cast<long>(deltas.size());
+    for (int l = 0; l < static_cast<int>(deltas.size()); ++l) {
+      local.lockstep_iterations += engine.iterations(l);
+      if (engine.optimal(l)) {
+        ++local.batched_optimal;
+        out.push_back(engine.take_solution(l));
+        continue;
+      }
+      // Fallback contract: stalls, infeasible starts and certificate
+      // verdicts are re-solved exactly, warm-started from the lane's last
+      // basis when it made progress.
+      ++local.fallbacks;
+      WarmStart warm;
+      if (engine.has_basis(l)) warm.basis = engine.export_basis(l);
+      out.push_back(solve_lp(apply_delta(tmpl, deltas[sz(l)]), options,
+                             warm.basis.empty() ? nullptr : &warm));
+    }
+  }
+
+  record_batch(local, obs::now_us() - t0);
+  if (stats) stats->merge(local);
+  return out;
+}
+
+}  // namespace bate

@@ -1,0 +1,116 @@
+// Batched lockstep LP backend for scenario-heavy solves.
+//
+// BATE's solver cost is dominated by many near-identical small LPs — one
+// per availability pattern in the scheduler's capability precompute, one
+// per failure set in BackupPlanner::precompute — not by one big LP. All of
+// those instances share a *template* Model and differ only in bound / rhs /
+// objective edits (a failed tunnel is a variable fixed to zero; a residual
+// capacity is an rhs change), never in constraint coefficients. That shape
+// lets a whole batch share one symbolic pattern: the constraint matrix,
+// its sparse column structure and the row normalization are built once,
+// and only the numeric per-instance state is replicated.
+//
+// solve_lp_batch takes the template plus per-instance deltas and solves
+// every instance. With SimplexOptions::backend == SolveBackend::kBatched
+// the instances run through a lockstep dense bounded-variable simplex:
+//
+//  * Layout is structure-of-arrays, instance-major: every lane (instance)
+//    owns contiguous slabs for bounds, costs, rhs, primal values and its
+//    dense basis inverse, so the hot inner loops (FTRAN against B^-1 rows,
+//    the rank-1 B^-1 pivot update) stream unit-stride memory and
+//    auto-vectorize.
+//  * The driver advances all live lanes one pivot per sweep (lockstep).
+//    Lanes that reach optimality retire from the lane set immediately, so
+//    the sweep narrows as the batch converges.
+//  * Exactness is preserved by a conservative fallback contract: any lane
+//    that stalls (iteration cap, degenerate Bland loop, singular rebuild),
+//    starts primal-infeasible (the dense engine has no Phase 1), or ends
+//    anywhere other than a verified optimum — including infeasible and
+//    unbounded verdicts, which need the certificate machinery — is
+//    re-solved with the ordinary solve_lp (presolve + warm start from the
+//    lane's last basis when one exists). Verified optima are checked for
+//    primal feasibility and dual sign before being trusted.
+//
+// With the default backend (or reference_mode) every instance goes through
+// solve_lp individually — that serial path is also the bench baseline the
+// batched path is gated against (tools/ci.sh bench-smoke). See DESIGN.md
+// Sec 5.4 for layout, lane retirement and the fallback contract.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace bate {
+
+/// Bound edit of one template variable; both bounds are replaced.
+struct BoundDelta {
+  int var = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Right-hand-side edit of one template constraint (relation unchanged).
+struct RhsDelta {
+  int row = -1;
+  double rhs = 0.0;
+};
+
+/// Objective-coefficient edit of one template variable.
+struct CostDelta {
+  int var = -1;
+  double objective = 0.0;
+};
+
+/// One instance of a batch: the template Model with these edits applied.
+/// Deltas never touch constraint coefficients — that is what lets the
+/// whole batch share one symbolic pattern.
+struct InstanceDelta {
+  std::vector<BoundDelta> bounds;
+  std::vector<RhsDelta> rhs;
+  std::vector<CostDelta> costs;
+};
+
+/// Materializes `base` with `delta` applied — the model the fallback path
+/// (and the equivalence tests) hand to solve_lp. Throws
+/// std::invalid_argument on out-of-range indices, a non-finite lower bound,
+/// or lower > upper, mirroring Model's own construction contract.
+Model apply_delta(const Model& base, const InstanceDelta& delta);
+
+/// Per-call batch accounting (also flushed to the obs registry as the
+/// bate_batch_* counters).
+struct BatchStats {
+  /// Instances handed to solve_lp_batch.
+  long instances = 0;
+  /// Instances that entered the lockstep dense engine (0 on the serial path).
+  long lanes = 0;
+  /// Total dense pivots + bound flips across all lanes.
+  long lockstep_iterations = 0;
+  /// Lanes retired at a verified dense optimum.
+  long batched_optimal = 0;
+  /// Instances re-solved by solve_lp (stall, infeasible start, certificate).
+  long fallbacks = 0;
+
+  void merge(const BatchStats& other) {
+    instances += other.instances;
+    lanes += other.lanes;
+    lockstep_iterations += other.lockstep_iterations;
+    batched_optimal += other.batched_optimal;
+    fallbacks += other.fallbacks;
+  }
+};
+
+/// Solves every instance (template + delta) and returns the solutions in
+/// delta order. Results are exact for every backend: the batched engine
+/// only keeps verified optima and routes everything else through solve_lp,
+/// so statuses and objectives match per-instance solve_lp up to solver
+/// tolerance. `options.backend` selects the engine; `reference_mode`
+/// forces the serial path.
+std::vector<Solution> solve_lp_batch(const Model& tmpl,
+                                     std::span<const InstanceDelta> deltas,
+                                     const SimplexOptions& options = {},
+                                     BatchStats* stats = nullptr);
+
+}  // namespace bate

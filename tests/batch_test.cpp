@@ -1,0 +1,351 @@
+// Equivalence and accounting for the batched lockstep LP backend
+// (src/solver/batch.h) against per-instance solve_lp.
+//
+// The batched engine's contract is exactness: every lane retires either at
+// a verified dense optimum or through the solve_lp fallback, so statuses
+// must match per-instance solve_lp bit-for-bit and objectives to 1e-6.
+// The random sweep covers both engine modes — bounds/rhs-only batches take
+// the hot-start dual-repair path (one template factorization shared by all
+// lanes), cost-edited batches take the slack-basis primal path — plus
+// infeasible and unbounded instances mixed into otherwise-optimal batches
+// (those verdicts need certificates and must route through the fallback).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/recovery.h"
+#include "core/scheduling.h"
+#include "obs/metrics.h"
+#include "scenario/pattern.h"
+#include "solver/batch.h"
+#include "solver/simplex.h"
+#include "topology/catalog.h"
+#include "workload/demand.h"
+
+namespace bate {
+namespace {
+
+constexpr double kRelTol = 1e-6;
+
+/// Random bounded template LP with a mix of row relations, bound shapes
+/// and senses (same family as simplex_equivalence_test).
+Model random_template(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> nvars_d(2, 10);
+  std::uniform_int_distribution<int> nrows_d(1, 12);
+  std::uniform_real_distribution<double> coef_d(-4.0, 4.0);
+  std::uniform_real_distribution<double> unit_d(0.0, 1.0);
+
+  Model m;
+  if (unit_d(rng) < 0.5) m.set_sense(Sense::kMaximize);
+  const int n = nvars_d(rng);
+  for (int j = 0; j < n; ++j) {
+    const double lo = unit_d(rng) < 0.3 ? coef_d(rng) * 0.5 : 0.0;
+    double hi = kInfinity;
+    if (unit_d(rng) < 0.6) hi = lo + std::abs(coef_d(rng)) * 3.0;
+    m.add_variable(std::min(lo, hi), hi, coef_d(rng));
+  }
+  const int rows = nrows_d(rng);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (unit_d(rng) < 0.5) terms.push_back({j, coef_d(rng)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const double roll = unit_d(rng);
+    const Relation rel = roll < 0.6    ? Relation::kLessEqual
+                         : roll < 0.85 ? Relation::kGreaterEqual
+                                       : Relation::kEqual;
+    m.add_constraint(std::move(terms), rel, coef_d(rng) * 2.0);
+  }
+  return m;
+}
+
+/// Random per-instance edit. Bound deltas fix variables or shrink their
+/// boxes (the scheduler/recovery shape: a failed tunnel is a variable fixed
+/// to zero), rhs deltas perturb capacities, and — only when `allow_costs`
+/// — cost deltas reprice variables, which disables the shared hot start.
+InstanceDelta random_delta(const Model& tmpl, std::mt19937_64& rng,
+                           bool allow_costs) {
+  std::uniform_real_distribution<double> unit_d(0.0, 1.0);
+  std::uniform_real_distribution<double> coef_d(-4.0, 4.0);
+  InstanceDelta d;
+  for (int j = 0; j < tmpl.variable_count(); ++j) {
+    const double roll = unit_d(rng);
+    if (roll < 0.15) {
+      d.bounds.push_back({j, 0.0, 0.0});  // failed-tunnel shape
+    } else if (roll < 0.35) {
+      const double lo = coef_d(rng) * 0.5;
+      const double hi =
+          unit_d(rng) < 0.7 ? lo + std::abs(coef_d(rng)) * 2.0 : kInfinity;
+      d.bounds.push_back({j, lo, hi});
+    }
+    if (allow_costs && unit_d(rng) < 0.25) {
+      d.costs.push_back({j, coef_d(rng)});
+    }
+  }
+  for (int r = 0; r < tmpl.constraint_count(); ++r) {
+    if (unit_d(rng) < 0.3) d.rhs.push_back({r, coef_d(rng) * 2.0});
+  }
+  return d;
+}
+
+/// Batched results must match per-instance solve_lp on status and, when
+/// optimal, objective to relative 1e-6.
+void expect_batch_equivalent(const Model& tmpl,
+                             const std::vector<InstanceDelta>& deltas,
+                             const std::string& what,
+                             BatchStats* stats = nullptr) {
+  SimplexOptions batched;
+  batched.backend = SolveBackend::kBatched;
+  const auto got = solve_lp_batch(tmpl, deltas, batched, stats);
+  ASSERT_EQ(got.size(), deltas.size()) << what;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Solution want = solve_lp(apply_delta(tmpl, deltas[i]));
+    ASSERT_EQ(got[i].status, want.status) << what << " instance " << i;
+    if (want.status == SolveStatus::kOptimal) {
+      const double denom = std::max(1.0, std::abs(want.objective));
+      EXPECT_LE(std::abs(got[i].objective - want.objective) / denom, kRelTol)
+          << what << " instance " << i;
+    }
+  }
+}
+
+class BatchEquivalenceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchEquivalenceRandom, BatchedMatchesSerial) {
+  const int shard = GetParam();
+  // 10 batches per ctest shard x 20 shards = 200 seeded template+delta
+  // batches, 8 instances each. Even shards are bounds/rhs-only (hot-start
+  // dual path); odd shards include cost deltas (slack-basis primal path).
+  const bool allow_costs = (shard % 2) == 1;
+  for (int k = 0; k < 10; ++k) {
+    const std::uint64_t s = 77000u + static_cast<std::uint64_t>(shard) * 10u +
+                            static_cast<std::uint64_t>(k);
+    const Model tmpl = random_template(s);
+    std::mt19937_64 rng(s ^ 0x9e3779b97f4a7c15ull);
+    std::vector<InstanceDelta> deltas;
+    for (int i = 0; i < 8; ++i) {
+      deltas.push_back(random_delta(tmpl, rng, allow_costs));
+    }
+    expect_batch_equivalent(tmpl, deltas, "batch seed " + std::to_string(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchEquivalenceRandom,
+                         ::testing::Range(0, 20));
+
+TEST(Batch, MixedVerdictsAndFallbackAccounting) {
+  // max x0 + x1  s.t.  x0 + x1 <= 4,  x0 in [0,3], x1 in [0,3].
+  Model tmpl;
+  tmpl.set_sense(Sense::kMaximize);
+  tmpl.add_variable(0.0, 3.0, 1.0);
+  tmpl.add_variable(0.0, 3.0, 1.0);
+  tmpl.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
+
+  std::vector<InstanceDelta> deltas(5);
+  // [0] untouched template: optimal at 4.
+  // [1] infeasible: both variables fixed to 3 but the row caps the sum at 4.
+  deltas[1].bounds = {{0, 3.0, 3.0}, {1, 3.0, 3.0}};
+  // [2] infeasible by rhs: x0 + x1 <= -1 with x >= 0.
+  deltas[2].rhs = {{0, -1.0}};
+  // [3] tightened rhs: optimal at 2.
+  deltas[3].rhs = {{0, 2.0}};
+  // [4] repriced (cost delta): minimize-direction flip on x1.
+  deltas[4].costs = {{1, -2.0}};
+
+  BatchStats stats;
+  expect_batch_equivalent(tmpl, deltas, "mixed verdicts", &stats);
+  EXPECT_EQ(stats.instances, 5);
+  EXPECT_EQ(stats.lanes, 5);
+  // Every lane retires exactly once, as a verified optimum or a fallback.
+  EXPECT_EQ(stats.batched_optimal + stats.fallbacks, stats.lanes);
+  // The two infeasible instances need certificates, which the dense engine
+  // never produces itself.
+  EXPECT_GE(stats.fallbacks, 2);
+}
+
+TEST(Batch, UnboundedRoutesThroughFallback) {
+  // max x0 with x0 free above: unbounded; sibling instance caps it.
+  Model tmpl;
+  tmpl.set_sense(Sense::kMaximize);
+  tmpl.add_variable(0.0, kInfinity, 1.0);
+  tmpl.add_variable(0.0, 5.0, 0.0);
+  tmpl.add_constraint({{1, 1.0}}, Relation::kLessEqual, 5.0);
+
+  std::vector<InstanceDelta> deltas(2);
+  deltas[1].bounds = {{0, 0.0, 7.0}};
+
+  BatchStats stats;
+  expect_batch_equivalent(tmpl, deltas, "unbounded", &stats);
+  EXPECT_GE(stats.fallbacks, 1);
+}
+
+TEST(Batch, SerialBackendBypassesLanes) {
+  const Model tmpl = random_template(4242);
+  std::mt19937_64 rng(4242);
+  std::vector<InstanceDelta> deltas;
+  for (int i = 0; i < 4; ++i) deltas.push_back(random_delta(tmpl, rng, true));
+
+  BatchStats stats;
+  SimplexOptions serial;  // default backend
+  const auto got = solve_lp_batch(tmpl, deltas, serial, &stats);
+  ASSERT_EQ(got.size(), deltas.size());
+  EXPECT_EQ(stats.instances, 4);
+  EXPECT_EQ(stats.lanes, 0);
+  EXPECT_EQ(stats.lockstep_iterations, 0);
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Solution want = solve_lp(apply_delta(tmpl, deltas[i]));
+    EXPECT_EQ(got[i].status, want.status);
+  }
+}
+
+TEST(Batch, ReferenceModeForcesSerialPath) {
+  const Model tmpl = random_template(999);
+  std::mt19937_64 rng(999);
+  std::vector<InstanceDelta> deltas = {random_delta(tmpl, rng, false),
+                                       random_delta(tmpl, rng, false)};
+  BatchStats stats;
+  SimplexOptions opt;
+  opt.backend = SolveBackend::kBatched;
+  opt.reference_mode = true;
+  solve_lp_batch(tmpl, deltas, opt, &stats);
+  EXPECT_EQ(stats.lanes, 0);
+}
+
+TEST(Batch, ObsCountersFlushPerSolve) {
+  auto& reg = obs::Registry::global();
+  const long i0 = reg.counter("bate_batch_instances_total").value();
+  const long s0 = reg.counter("bate_batch_solves_total").value();
+
+  const Model tmpl = random_template(31337);
+  std::mt19937_64 rng(31337);
+  std::vector<InstanceDelta> deltas = {random_delta(tmpl, rng, false),
+                                       random_delta(tmpl, rng, false),
+                                       random_delta(tmpl, rng, false)};
+  SimplexOptions batched;
+  batched.backend = SolveBackend::kBatched;
+  solve_lp_batch(tmpl, deltas, batched);
+
+  EXPECT_EQ(reg.counter("bate_batch_instances_total").value() - i0, 3);
+  EXPECT_EQ(reg.counter("bate_batch_solves_total").value() - s0, 1);
+}
+
+TEST(Batch, SchedulerCapabilityTableMatchesSerial) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+  std::vector<PatternDistribution> dists;
+  for (int p = 0; p < catalog.pair_count(); ++p) {
+    dists.push_back(pruned_patterns(topo, catalog.tunnels(p), 3));
+  }
+
+  const SimplexOptions serial_lp;
+  SimplexOptions batch_lp;
+  batch_lp.backend = SolveBackend::kBatched;
+  const auto want =
+      precompute_pattern_capabilities(topo, catalog, dists, serial_lp);
+  BatchStats stats;
+  const auto got =
+      precompute_pattern_capabilities(topo, catalog, dists, batch_lp, &stats);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t p = 0; p < want.size(); ++p) {
+    ASSERT_EQ(got[p].size(), want[p].size()) << "pair " << p;
+    for (std::size_t s = 0; s < want[p].size(); ++s) {
+      const double denom =
+          std::max({1.0, std::abs(want[p][s]), std::abs(got[p][s])});
+      EXPECT_LE(std::abs(want[p][s] - got[p][s]) / denom, kRelTol)
+          << "pair " << p << " pattern " << s;
+    }
+  }
+  EXPECT_GT(stats.lanes, 0);
+}
+
+TEST(Batch, BackupPlannerPlansMatchSerial) {
+  const Topology topo = testbed6();
+  const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
+
+  std::vector<Demand> demands;
+  for (int i = 0; i < 10; ++i) {
+    Demand d;
+    d.id = i;
+    d.pairs = {{i % catalog.pair_count(), 40.0 + 13.0 * (i % 4)}};
+    d.availability_target = 0.99;
+    d.charge = 10.0 + static_cast<double>(i);
+    d.refund_fraction = 0.2 + 0.15 * static_cast<double>(i % 5);
+    demands.push_back(std::move(d));
+  }
+  std::vector<Allocation> current;
+  for (const Demand& d : demands) {
+    Allocation a;
+    for (const auto& pr : d.pairs) {
+      const auto tunnels = catalog.tunnels(pr.pair);
+      a.emplace_back(tunnels.size(),
+                     pr.mbps / static_cast<double>(tunnels.size()));
+    }
+    current.push_back(std::move(a));
+  }
+
+  BackupPlanner sp(topo, catalog, 4);
+  sp.use_optimal_plans(BranchBoundOptions{});
+  sp.precompute(demands, current);
+
+  BranchBoundOptions batch_opt;
+  batch_opt.lp.backend = SolveBackend::kBatched;
+  BackupPlanner bp(topo, catalog, 4);
+  bp.use_optimal_plans(batch_opt);
+  bp.precompute(demands, current);
+
+  ASSERT_EQ(sp.plan_count(), bp.plan_count());
+  ASSERT_GT(sp.plan_count(), 0u);
+  for (LinkId e = 0; e < topo.link_count(); ++e) {
+    const RecoveryResult* a = sp.plan(e);
+    const RecoveryResult* b = bp.plan(e);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "link " << e;
+    if (a != nullptr) {
+      EXPECT_EQ(a->solved, b->solved) << "link " << e;
+      const double denom = std::max(1.0, std::abs(a->profit));
+      EXPECT_LE(std::abs(a->profit - b->profit) / denom, kRelTol)
+          << "link " << e;
+    }
+  }
+}
+
+TEST(Batch, ApplyDeltaValidatesIndices) {
+  Model tmpl;
+  tmpl.add_variable(0.0, 1.0, 1.0);
+  tmpl.add_constraint({{0, 1.0}}, Relation::kLessEqual, 1.0);
+
+  InstanceDelta bad_var;
+  bad_var.bounds = {{3, 0.0, 1.0}};
+  EXPECT_THROW(apply_delta(tmpl, bad_var), std::invalid_argument);
+
+  InstanceDelta bad_row;
+  bad_row.rhs = {{7, 1.0}};
+  EXPECT_THROW(apply_delta(tmpl, bad_row), std::invalid_argument);
+
+  InstanceDelta crossed;
+  crossed.bounds = {{0, 2.0, 1.0}};
+  EXPECT_THROW(apply_delta(tmpl, crossed), std::invalid_argument);
+}
+
+TEST(BatchStatsTest, MergeAccumulates) {
+  BatchStats a;
+  a.instances = 3;
+  a.lanes = 3;
+  a.lockstep_iterations = 17;
+  a.batched_optimal = 2;
+  a.fallbacks = 1;
+  BatchStats b = a;
+  b.merge(a);
+  EXPECT_EQ(b.instances, 6);
+  EXPECT_EQ(b.lanes, 6);
+  EXPECT_EQ(b.lockstep_iterations, 34);
+  EXPECT_EQ(b.batched_optimal, 4);
+  EXPECT_EQ(b.fallbacks, 2);
+}
+
+}  // namespace
+}  // namespace bate

@@ -380,4 +380,41 @@ BenchCompareResult compare_bench_json(const std::string& old_path,
   return res;
 }
 
+BenchMinResult check_bench_min(const std::string& path,
+                               const std::string& metric, double floor) {
+  BenchMinResult res;
+  std::vector<std::pair<std::string, double>> cases;
+  const std::string err = load_metric(path, metric, &cases);
+  if (!err.empty()) {
+    res.report = err;
+    return res;
+  }
+  if (cases.empty()) {
+    res.report = "no case carries metric '" + metric + "'";
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "  metric: " << metric << " (floor " << floor << ")\n";
+  bool all_above = true;
+  res.min_value = cases.front().second;
+  for (const auto& [name, value] : cases) {
+    res.min_value = std::min(res.min_value, value);
+    const bool above = value >= floor;
+    all_above = all_above && above;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-28s %9.3f  %s\n", name.c_str(),
+                  value, above ? "ok" : "BELOW FLOOR");
+    out << line;
+  }
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "  min %.3f over %zu cases (floor %.3f)\n", res.min_value,
+                cases.size(), floor);
+  out << summary;
+  res.ok = all_above;
+  res.report = out.str();
+  return res;
+}
+
 }  // namespace bate

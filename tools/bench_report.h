@@ -21,9 +21,12 @@
 // one representative solve, in the metrics JSON exposition; v4 (cuts PR)
 // added the MILP optimality metrics (proven_optimal, mip_gap, dual_pivots,
 // gomory_cuts, cover_cuts, cut_rounds, strong_branch_solves) to the milp
-// bench. All changes are additive: the container shape is unchanged, the
-// validator accepts v1-v3 files, and the version field is informational
-// for downstream diffing.
+// bench; the batched-backend PR added the solver bench's batch_* cases
+// (serial_median_ms, batch_median_ms, speedup_vs_serial, fallback_pct and
+// the lockstep iteration counters) under the same v4 container. All
+// changes are additive: the container shape is unchanged, the validator
+// accepts v1-v4 files, and the version field is informational for
+// downstream diffing.
 //
 // validate_bench_json re-parses an emitted file with a minimal hand-rolled
 // JSON reader (no third-party deps) and checks exactly that shape;
@@ -83,5 +86,26 @@ BenchCompareResult compare_bench_json(const std::string& old_path,
                                       const std::string& new_path,
                                       double max_regress,
                                       const std::string& metric = "median_ms");
+
+/// Outcome of gating one metric of a single report against a floor (see
+/// check_bench_min).
+struct BenchMinResult {
+  /// False when the file is invalid, no case carries the metric, or any
+  /// case falls below the floor.
+  bool ok = false;
+  /// Smallest value of the metric over the cases that carry it.
+  double min_value = 0.0;
+  /// Human-readable per-case table plus a pass/fail summary line.
+  std::string report;
+};
+
+/// Gates a single report: every case carrying `metric` must be >= `floor`.
+/// The dual of compare_bench_json for higher-is-BETTER metrics — the batch
+/// cases' `speedup_vs_serial` measures its serial baseline inside the same
+/// run, so there is no old/new pair to diff and the gate is an absolute
+/// floor (the CI bench-smoke leg uses a floor well under the committed
+/// steady-state speedup to absorb single-rep noise).
+BenchMinResult check_bench_min(const std::string& path,
+                               const std::string& metric, double floor);
 
 }  // namespace bate

@@ -5,12 +5,17 @@
 //   bench_report --validate FILE
 //   bench_report --compare OLD.json NEW.json [--max-regress X]
 //                [--metric NAME]
+//   bench_report --min FILE --metric NAME --floor X
 //
 // --compare exits 1 when the median per-case growth of NEW over OLD in the
 // chosen metric (default `median_ms`) exceeds the allowed regression
 // (default 0.2 = 20%); the CI bench-smoke leg runs it against the committed
 // baselines on every push — timing metrics for the solver bench, `nodes`
 // and `warm_median_ms` for the MILP bench.
+//
+// --min exits 1 when any case carrying the metric falls below the floor:
+// the higher-is-better gate for metrics whose baseline lives inside the
+// same run (the batch cases' `speedup_vs_serial`).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +29,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_report --validate FILE\n"
                "       bench_report --compare OLD.json NEW.json "
-               "[--max-regress X] [--metric NAME]\n");
+               "[--max-regress X] [--metric NAME]\n"
+               "       bench_report --min FILE --metric NAME --floor X\n");
   return 2;
 }
 
@@ -68,6 +74,36 @@ int main(int argc, char** argv) {
                 new_path.c_str(), res.report.c_str());
     if (!res.ok) {
       std::fprintf(stderr, "bench_report: REGRESSION (or unreadable input)\n");
+      return 1;
+    }
+    std::printf("bench_report: OK\n");
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "--min") == 0) {
+    if (argc < 3) return usage();
+    const std::string path = argv[2];
+    std::string metric;
+    double floor = 0.0;
+    bool have_floor = false;
+    for (int a = 3; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--metric") == 0 && a + 1 < argc) {
+        metric = argv[++a];
+        if (metric.empty()) return usage();
+      } else if (std::strcmp(argv[a], "--floor") == 0 && a + 1 < argc) {
+        floor = std::atof(argv[++a]);
+        have_floor = true;
+      } else {
+        return usage();
+      }
+    }
+    if (metric.empty() || !have_floor) return usage();
+    const bate::BenchMinResult res =
+        bate::check_bench_min(path, metric, floor);
+    std::printf("bench_report: %s\n%s", path.c_str(), res.report.c_str());
+    if (!res.ok) {
+      std::fprintf(stderr,
+                   "bench_report: BELOW FLOOR (or unreadable input)\n");
       return 1;
     }
     std::printf("bench_report: OK\n");
