@@ -54,6 +54,38 @@ bool optimal_admission_check(const TrafficScheduler& scheduler,
 Model build_admission_model(const TrafficScheduler& scheduler,
                             std::span<const Demand> demands);
 
+/// Batched variant of the Appendix-A model for the controller's tick loop:
+/// `committed` demands keep their hard rows (they were already admitted and
+/// must stay feasible), while every candidate j gets an admit binary a_j
+/// gating its bandwidth and availability rows. The objective rewards each
+/// admitted candidate far beyond any allocation cost — so the optimum is a
+/// maximum-cardinality admissible subset — with an FCFS-weighted tie-break
+/// favouring earlier arrivals among equal-cardinality subsets. The model is
+/// always feasible (all a_j = 0 recovers the committed-only model).
+/// `admit_vars`, when non-null, receives the a_j column indices in candidate
+/// order.
+Model build_batch_admission_model(const TrafficScheduler& scheduler,
+                                  std::span<const Demand> committed,
+                                  std::span<const Demand> candidates,
+                                  std::vector<int>* admit_vars = nullptr);
+
+/// Per-candidate verdicts of one batched admission MILP solve.
+struct BatchAdmissionVerdicts {
+  /// True when branch & bound proved optimality within budget; verdicts are
+  /// only meaningful then (callers fall back to the serial walk otherwise).
+  bool proven = false;
+  std::vector<bool> admit;  // one per candidate, in candidate order
+};
+
+/// Solves the batched admission MILP to optimality. `warm`, when non-null,
+/// chains the root basis across ticks (stale bases fall back to a cold
+/// solve inside the simplex, so reuse across differently-shaped batches is
+/// safe).
+BatchAdmissionVerdicts batch_admission_check(
+    const TrafficScheduler& scheduler, std::span<const Demand> committed,
+    std::span<const Demand> candidates, const BranchBoundOptions& options = {},
+    WarmStart* warm = nullptr);
+
 /// Greedy single-demand allocation against residual link capacities, the
 /// inner loop of Algorithm 1 (also used for temporary allocations). Returns
 /// nullopt when the residual capacity cannot carry the demand. `residual` is
@@ -86,6 +118,19 @@ struct AdmissionOutcome {
   double decision_seconds = 0.0;
 };
 
+/// Result of offering one controller tick's queue FCFS (offer_batch).
+struct BatchAdmissionOutcome {
+  /// One outcome per offered demand, in offer order.
+  std::vector<AdmissionOutcome> outcomes;
+  /// True when an admission path ran reschedule(), i.e. allocations of
+  /// previously admitted demands may have changed and a delta broadcast of
+  /// the new tail is not enough.
+  bool rescheduled = false;
+  /// admitted().size() before the batch: admitted()[first_new_index..] are
+  /// exactly this batch's admissions, in batch order.
+  std::size_t first_new_index = 0;
+};
+
 /// Stateful FCFS admission controller tracking the admitted set and its
 /// allocations; used by the simulator and the controller process.
 class AdmissionController {
@@ -95,6 +140,17 @@ class AdmissionController {
 
   /// Offers a new demand; admits or rejects per the strategy.
   AdmissionOutcome offer(const Demand& demand);
+  /// Offers a whole tick's queue FCFS. Per-demand verdicts equal a serial
+  /// offer() loop whenever the serial loop would admit every demand (and for
+  /// kFixed/kBate always — their batch path IS the serial walk, sharing one
+  /// incrementally maintained residual instead of recomputing it per offer,
+  /// which is what removes the O(admitted) term per decision). Under
+  /// kOptimal an all-or-nothing-free batched MILP (one admit binary per
+  /// demand) decides the whole queue in a single warm-started solve; when
+  /// the batch is not jointly feasible it picks the maximum-cardinality
+  /// FCFS-weighted subset, which may diverge from strict order-of-arrival
+  /// (DESIGN.md Sec 10).
+  BatchAdmissionOutcome offer_batch(std::span<const Demand> demands);
   /// Removes a departed demand.
   void remove(DemandId id);
   /// Periodic traffic scheduling over the admitted set (Sec 3.3). Returns
@@ -113,7 +169,18 @@ class AdmissionController {
   const TrafficScheduler& scheduler() const { return *scheduler_; }
 
  private:
-  bool try_fixed(const Demand& demand);
+  /// Serial admission walk for one demand against `residual`, which the
+  /// caller keeps equal to residual_capacity() (offer() seeds it fresh;
+  /// offer_batch() maintains it across the batch). Sets *rescheduled when a
+  /// path rebuilt allocations_ wholesale.
+  AdmissionOutcome offer_one(const Demand& demand,
+                             std::vector<double>& residual, bool* rescheduled);
+  bool try_fixed(const Demand& demand, std::vector<double>& residual);
+  /// kOptimal batch shortcut: one MILP over the whole queue. nullopt when
+  /// the solve was not proven within budget (caller falls back to the
+  /// serial walk).
+  std::optional<BatchAdmissionOutcome> offer_batch_optimal(
+      std::span<const Demand> demands);
 
   const TrafficScheduler* scheduler_;
   AdmissionStrategy strategy_;
@@ -122,6 +189,8 @@ class AdmissionController {
   std::vector<Allocation> allocations_;
   /// Basis chained across reschedule() calls (see ScheduleBasisCache).
   ScheduleBasisCache sched_basis_;
+  /// Root basis chained across offer_batch_optimal ticks.
+  WarmStart batch_warm_;
 };
 
 }  // namespace bate

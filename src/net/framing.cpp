@@ -19,6 +19,20 @@ std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
   return out;
 }
 
+void FrameBatch::add(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::length_error("FrameBatch: payload too large");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  buffer_.reserve(buffer_.size() + 4 + payload.size());
+  buffer_.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  buffer_.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+  buffer_.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+  buffer_.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  ++frames_;
+}
+
 void FrameReader::feed(std::span<const std::uint8_t> data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
   if (buffer_.size() >= 4) {

@@ -16,6 +16,30 @@ inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
 /// Serializes a payload into a framed buffer.
 std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload);
 
+/// Accumulates many framed payloads into one contiguous buffer so a
+/// pipelined sender (the controller's per-tick reply flush, UserClient's
+/// submit_many) hands the kernel a single write per flush instead of one
+/// per frame. The byte stream is identical to a sequence of encode_frame
+/// outputs; any FrameReader decodes it.
+class FrameBatch {
+ public:
+  /// Appends one framed payload. Throws std::length_error beyond
+  /// kMaxFrameBytes.
+  void add(std::span<const std::uint8_t> payload);
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::size_t frame_count() const { return frames_; }
+  bool empty() const { return frames_ == 0; }
+  void clear() {
+    buffer_.clear();
+    frames_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t frames_ = 0;
+};
+
 /// Incremental frame decoder: feed stream bytes, pop complete frames.
 class FrameReader {
  public:

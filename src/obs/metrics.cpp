@@ -78,6 +78,37 @@ void Histogram::reset() noexcept {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the wanted sample (1-based), then the first bucket whose
+  // cumulative count covers it.
+  const double rank = q * static_cast<double>(count);
+  std::int64_t prev_cum = 0;
+  std::int64_t prev_upper = 0;
+  for (const Bucket& b : buckets) {
+    if (static_cast<double>(b.cumulative) >= rank) {
+      if (b.infinite) return static_cast<double>(prev_upper);
+      // The snapshot holds only non-empty buckets, so prev_upper may sit
+      // far below this bucket; recover the true lower bound from the fixed
+      // layout instead of interpolating across the empty gap.
+      const int idx = Histogram::bucket_index(b.upper - 1);
+      const std::int64_t lower =
+          idx > 0 ? Histogram::bucket_upper(idx - 1) : 0;
+      const std::int64_t in_bucket = b.cumulative - prev_cum;
+      if (in_bucket <= 0) return static_cast<double>(b.upper);
+      const double frac = (rank - static_cast<double>(prev_cum)) /
+                          static_cast<double>(in_bucket);
+      return static_cast<double>(lower) +
+             frac * static_cast<double>(b.upper - lower);
+    }
+    prev_cum = b.cumulative;
+    prev_upper = b.upper;
+  }
+  return static_cast<double>(prev_upper);
+}
+
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
   for (const auto& [name, v] : counters) {

@@ -169,6 +169,13 @@ struct HistogramSnapshot {
   /// Non-empty buckets in ascending order, cumulative counts, always
   /// terminated by the +Inf bucket when count > 0.
   std::vector<Bucket> buckets;
+
+  /// Prometheus-style quantile estimate (q in [0,1]): finds the bucket
+  /// holding the q-th sample and interpolates linearly inside it, so the
+  /// error is bounded by the bucket width (<= 25% for the log-linear
+  /// layout). Returns 0 for an empty histogram; the +Inf bucket reports its
+  /// finite lower bound.
+  double quantile(double q) const;
 };
 
 /// Point-in-time copy of every metric, names sorted. Taken under the

@@ -1,5 +1,6 @@
 #include "system/broker.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 
@@ -35,8 +36,17 @@ struct BrokerMetrics {
 
 }  // namespace
 
-Broker::Broker(int dc_id, std::uint16_t controller_port)
-    : dc_(dc_id), port_(controller_port) {}
+Broker::Broker(int dc_id, std::uint16_t controller_port,
+               double report_rate_per_sec, double report_burst)
+    : dc_(dc_id), port_(controller_port) {
+  if (report_rate_per_sec > 0.0) {
+    report_bucket_.emplace(report_rate_per_sec,
+                           report_burst > 0.0
+                               ? report_burst
+                               : std::max(report_rate_per_sec, 1.0));
+    report_refill_us_ = obs::now_us();
+  }
+}
 
 Broker::~Broker() { stop(); }
 
@@ -164,13 +174,35 @@ void Broker::advance_enforcer(double seconds) {
   enforcer_.advance(seconds);
 }
 
+int Broker::reports_dropped() const {
+  ReaderMutexLock lock(write_mu_);
+  return reports_dropped_;
+}
+
 void Broker::report_link(LinkId link, bool up) {
   const auto framed = encode_frame(encode_message(LinkStatusMsg{link, up}));
   MutexLock lock(write_mu_);
   if (!running_) {
+    ++reports_dropped_;
     if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
     BATE_LOG(kWarn, "broker") << "dropping link report: broker stopped";
     return;
+  }
+  if (report_bucket_) {
+    // Each status change costs one token; the controller replans (and
+    // rebroadcasts) per report, so a flapping agent must be clipped here.
+    const std::int64_t now = obs::now_us();
+    if (now > report_refill_us_) {
+      report_bucket_->advance(
+          static_cast<double>(now - report_refill_us_) * 1e-6);
+      report_refill_us_ = now;
+    }
+    if (!report_bucket_->try_consume(1.0)) {
+      ++reports_dropped_;
+      if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
+      BATE_LOG(kWarn, "broker") << "dropping link report: over report rate";
+      return;
+    }
   }
   try {
     socket_.write_all(framed);
@@ -178,6 +210,7 @@ void Broker::report_link(LinkId link, bool up) {
   } catch (const std::system_error& e) {
     // Controller went away (EPIPE/ECONNRESET); the agent keeps running and
     // the report is dropped, matching the paper's fail-static stance.
+    ++reports_dropped_;
     if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
     BATE_LOG(kWarn, "broker") << "dropping link report: " << e.what();
   }

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -19,7 +20,12 @@ namespace bate {
 
 class Broker {
  public:
-  Broker(int dc_id, std::uint16_t controller_port);
+  /// `report_rate_per_sec` > 0 buckets link-status reports (token bucket,
+  /// depth `report_burst`, defaulting to the rate): a flapping network
+  /// agent is clipped at the broker instead of flooding the controller
+  /// with replan work. 0 (default) reports unthrottled.
+  Broker(int dc_id, std::uint16_t controller_port,
+         double report_rate_per_sec = 0.0, double report_burst = 0.0);
   ~Broker();
 
   Broker(const Broker&) = delete;
@@ -45,8 +51,12 @@ class Broker {
   bool backup_active() const;
 
   /// Network agent: report a link status change to the controller. Safe
-  /// from any thread; a report racing stop() (or after it) is dropped.
+  /// from any thread; a report racing stop() (or after it) is dropped, as
+  /// is a report exceeding the construction-time report rate.
   void report_link(LinkId link, bool up);
+  /// Reports dropped by this broker (stopped socket, send failure, or the
+  /// report-rate bucket). Test/diagnostic hook.
+  int reports_dropped() const;
 
   /// Bandwidth enforcer (Sec 4): shapes an offered burst on one tunnel of
   /// an enforced (demand, pair) row; returns the admitted megabits.
@@ -76,6 +86,11 @@ class Broker {
   // rank kBroker: they are never held together.
   mutable Mutex write_mu_{LockRank::kBroker, "broker write"};
   Socket socket_ BATE_GUARDED_BY(write_mu_);  // reader side: see receive_loop
+  /// Link-report rate bucket (rate_limiter.h), refilled from the wall clock
+  /// on each report; disengaged when the ctor rate is 0.
+  std::optional<TokenBucket> report_bucket_ BATE_GUARDED_BY(write_mu_);
+  std::int64_t report_refill_us_ BATE_GUARDED_BY(write_mu_) = 0;
+  int reports_dropped_ BATE_GUARDED_BY(write_mu_) = 0;
 
   mutable Mutex mu_{LockRank::kBroker, "broker state"};
   mutable CondVar cv_;  // signalled per update, waits on mu_

@@ -1,12 +1,24 @@
-// Blocking user-side client for the controller: submit a BA demand and wait
-// for the admission decision, or withdraw a finished demand (Sec 4 "Users").
-// Header-only convenience wrapper over the protocol.
+// User-side client for the controller (Sec 4 "Users"). Header-only
+// convenience wrapper over the protocol.
+//
+// Two modes share one connection:
+//  * blocking submit()/withdraw()/stats() — the legacy lock-step API;
+//  * pipelined submit_async()/submit_many()/wait_reply() — many in-flight
+//    requests correlated by request_id, replies consumed in arrival order
+//    (which may differ from submission order; wait_reply_for() buffers
+//    strays until the wanted one arrives).
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/framing.h"
 #include "net/socket.h"
@@ -16,23 +28,100 @@ namespace bate {
 
 class UserClient {
  public:
-  explicit UserClient(std::uint16_t controller_port)
+  /// `tenant` rides the Hello dc field and keys the controller's per-tenant
+  /// rate limiting / drain fairness; -1 makes this connection its own
+  /// tenant.
+  explicit UserClient(std::uint16_t controller_port, int tenant = -1)
       : socket_(connect_tcp(controller_port)) {
     socket_.set_nodelay(true);
-    socket_.write_all(encode_frame(encode_message(HelloMsg{"user", -1})));
+    socket_.write_all(encode_frame(encode_message(HelloMsg{"user", tenant})));
+  }
+
+  /// One admission verdict, client-side view.
+  struct Reply {
+    std::uint64_t request_id = 0;
+    DemandId id = -1;
+    AdmissionStatus status = AdmissionStatus::kRejected;
+    double retry_after_ms = 0.0;
+
+    bool admitted() const { return status == AdmissionStatus::kAdmitted; }
+  };
+
+  /// Pipelined submit: writes the frame and returns immediately with the
+  /// request_id correlating the eventual reply.
+  std::uint64_t submit_async(const Demand& demand) {
+    const std::uint64_t rid = next_request_id_++;
+    socket_.write_all(
+        encode_frame(encode_message(SubmitDemandMsg{demand, rid})));
+    return rid;
+  }
+
+  /// Next admission reply in arrival order (out-of-order with respect to
+  /// submission is expected on a pipelined connection). Blocks.
+  Reply wait_reply() {
+    while (ready_.empty()) read_one();
+    const Reply r = ready_.front();
+    ready_.pop_front();
+    return r;
+  }
+
+  /// Blocks for the reply to a specific request, buffering any others.
+  Reply wait_reply_for(std::uint64_t request_id) {
+    while (true) {
+      for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (it->request_id == request_id) {
+          const Reply r = *it;
+          ready_.erase(it);
+          return r;
+        }
+      }
+      read_one();
+    }
+  }
+
+  /// Pipelines every demand and collects all verdicts, indexed like the
+  /// input. Submits are batched into single writes and windowed to `window`
+  /// outstanding requests so neither side's socket buffer fills with unread
+  /// traffic (the controller replies are small; the window mainly bounds
+  /// client memory and keeps the controller's reply bursts bounded).
+  std::vector<Reply> submit_many(std::span<const Demand> demands,
+                                 std::size_t window = 256) {
+    if (window == 0) window = 1;
+    std::vector<Reply> replies(demands.size());
+    std::map<std::uint64_t, std::size_t> index;
+    std::size_t next = 0;
+    std::size_t received = 0;
+    FrameBatch batch;
+    while (received < demands.size()) {
+      // Refill with hysteresis: top the window back up only once it has
+      // half-drained, so each refill is one write of ~window/2 frames
+      // instead of degenerating into a one-frame write per reply.
+      const std::size_t outstanding = next - received;
+      if (next < demands.size() &&
+          (outstanding == 0 || outstanding <= window / 2)) {
+        batch.clear();
+        const std::size_t stop = std::min(demands.size(), received + window);
+        for (; next < stop; ++next) {
+          const std::uint64_t rid = next_request_id_++;
+          index.emplace(rid, next);
+          batch.add(encode_message(SubmitDemandMsg{demands[next], rid}));
+        }
+        socket_.write_all(batch.bytes());
+        continue;
+      }
+      const Reply r = wait_reply();
+      const auto it = index.find(r.request_id);
+      if (it == index.end()) continue;  // stray reply from an earlier call
+      replies[it->second] = r;
+      index.erase(it);
+      ++received;
+    }
+    return replies;
   }
 
   /// Submits a demand and blocks until the admission reply arrives.
   bool submit(const Demand& demand) {
-    socket_.write_all(encode_frame(encode_message(SubmitDemandMsg{demand})));
-    while (true) {
-      const Message msg = read_message();
-      if (const auto* reply = std::get_if<AdmissionReplyMsg>(&msg)) {
-        if (reply->id == demand.id) return reply->admitted;
-      }
-      // Other traffic (e.g. allocation broadcasts) is not expected on user
-      // connections; ignore anything else.
-    }
+    return wait_reply_for(submit_async(demand)).admitted();
   }
 
   void withdraw(DemandId id) {
@@ -41,7 +130,8 @@ class UserClient {
 
   /// Scrapes the controller's metrics registry and blocks for the reply.
   /// `format` is "prometheus" (default) or "json"; returns the rendered
-  /// exposition text.
+  /// exposition text. Admission replies arriving meanwhile are buffered for
+  /// later wait_reply() calls, not dropped.
   std::string stats(const std::string& format = "prometheus") {
     socket_.write_all(encode_frame(encode_message(StatsRequestMsg{format})));
     while (true) {
@@ -49,10 +139,22 @@ class UserClient {
       if (const auto* reply = std::get_if<StatsReplyMsg>(&msg)) {
         return reply->body;
       }
+      buffer_if_admission(msg);
     }
   }
 
  private:
+  void read_one() { buffer_if_admission(read_message()); }
+
+  void buffer_if_admission(const Message& msg) {
+    if (const auto* reply = std::get_if<AdmissionReplyMsg>(&msg)) {
+      ready_.push_back(Reply{reply->request_id, reply->id, reply->status,
+                             reply->retry_after_ms});
+    }
+    // Other traffic (e.g. allocation broadcasts) is not expected on user
+    // connections; ignore anything else.
+  }
+
   Message read_message() {
     std::array<std::uint8_t, 4096> buf{};
     while (true) {
@@ -65,6 +167,8 @@ class UserClient {
 
   Socket socket_;
   FrameReader reader_;
+  std::deque<Reply> ready_;
+  std::uint64_t next_request_id_ = 1;
 };
 
 }  // namespace bate

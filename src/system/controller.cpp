@@ -1,6 +1,9 @@
 #include "system/controller.h"
 
 #include <array>
+#include <iterator>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -25,6 +28,13 @@ struct ControllerMetrics {
   obs::Counter& decode_errors;
   obs::Gauge& peers;
   obs::Histogram& fanout_us;
+  // Admission-pipeline metrics (DESIGN.md Sec 10).
+  obs::Counter& shed;
+  obs::Counter& duplicates;
+  obs::Counter& dropped_dead;
+  obs::Gauge& queue_depth;
+  obs::Histogram& batch_size;
+  obs::Histogram& reply_latency_us;
 
   static ControllerMetrics& get() {
     auto& reg = obs::Registry::global();
@@ -40,6 +50,12 @@ struct ControllerMetrics {
         reg.counter("bate_controller_decode_errors_total"),
         reg.gauge("bate_controller_peers"),
         reg.histogram("bate_controller_fanout_us"),
+        reg.counter("bate_admission_shed_total"),
+        reg.counter("bate_admission_duplicate_total"),
+        reg.counter("bate_admission_dropped_dead_total"),
+        reg.gauge("bate_admission_queue_depth"),
+        reg.histogram("bate_admission_batch_size"),
+        reg.histogram("bate_admission_reply_latency_us"),
     };
     return m;
   }
@@ -49,13 +65,18 @@ struct ControllerMetrics {
 
 Controller::Controller(const Topology& topo, const TunnelCatalog& catalog,
                        SchedulerConfig scheduler_cfg,
-                       AdmissionStrategy admission)
+                       AdmissionStrategy admission, ControllerConfig config)
     : scheduler_(topo, catalog, scheduler_cfg),
       admission_(scheduler_, admission),
-      planner_(topo, catalog) {
+      planner_(topo, catalog),
+      config_(config) {
+  if (config_.tenant_rate_per_sec > 0.0) {
+    limiter_.emplace(config_.tenant_rate_per_sec, config_.tenant_burst);
+  }
   auto& m = ControllerMetrics::get();
   base_offered_ = m.offered.value();
   base_admitted_ = m.admitted.value();
+  base_shed_ = m.shed.value();
   base_failures_ = m.failures.value();
   base_updates_ = m.updates.value();
 }
@@ -70,7 +91,11 @@ void Controller::start() {
   // add_reader from this (non-loop) thread is queued and applied at the top
   // of the loop thread's first run_once (net/event_loop.h contract).
   loop_.add_reader(listener_->fd(), [this] { on_accept(); });
-  thread_ = std::thread([this] { loop_.run(20); });
+  // The drain runs after every loop iteration — under load a "tick" is one
+  // epoll round (so the batch is whatever arrived since the last drain) and
+  // tick_ms only bounds latency when the loop is otherwise idle.
+  thread_ = std::thread(
+      [this] { loop_.run(config_.tick_ms, [this] { drain_admission_queue(); }); });
   BATE_LOG(kInfo, "controller") << "listening on port " << port_;
 }
 
@@ -82,6 +107,8 @@ void Controller::stop() {
   loop_.stop();
   thread_.join();
   peers_.clear();
+  queue_.clear();
+  queued_ = 0;
   listener_.reset();
 }
 
@@ -90,7 +117,7 @@ void Controller::on_accept() {
     sock->set_nonblocking(true);
     sock->set_nodelay(true);
     const int fd = sock->fd();
-    peers_.emplace(fd, Peer{std::move(*sock), FrameReader{}, "", -1});
+    peers_.emplace(fd, Peer{std::move(*sock), FrameReader{}, "", -1, {}});
     loop_.add_reader(fd, [this, fd] { on_peer_readable(fd); });
   }
   if (obs::enabled()) {
@@ -133,9 +160,55 @@ void Controller::on_peer_readable(int fd) {
   if (closed) {
     loop_.remove(fd);
     peers_.erase(fd);
+    // Queued submits from the departed peer must be dropped, not solved:
+    // beyond wasting the batch MILP on a dead requester, the kernel reuses
+    // fd numbers, so a stale entry could reply to the wrong peer.
+    purge_queue_for_fd(fd);
     if (obs::enabled()) {
       ControllerMetrics::get().peers.set(static_cast<double>(peers_.size()));
     }
+  }
+}
+
+int Controller::tenant_of(const Peer& peer) const {
+  // The Hello dc field doubles as the tenant id for users; anonymous peers
+  // fall back to their fd so each connection is its own tenant.
+  return peer.dc >= 0 ? peer.dc : peer.socket.fd();
+}
+
+void Controller::purge_queue_for_fd(int fd) {
+  auto& m = ControllerMetrics::get();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    auto& dq = it->second;
+    for (auto p = dq.begin(); p != dq.end();) {
+      if (p->fd == fd) {
+        m.dropped_dead.inc();
+        --queued_;
+        p = dq.erase(p);
+      } else {
+        ++p;
+      }
+    }
+    it = dq.empty() ? queue_.erase(it) : std::next(it);
+  }
+  if (obs::enabled()) m.queue_depth.set(static_cast<double>(queued_));
+}
+
+void Controller::purge_queue_for_demand(DemandId id) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    auto& dq = it->second;
+    for (auto p = dq.begin(); p != dq.end();) {
+      if (p->demand.id == id) {
+        if (auto peer = peers_.find(p->fd); peer != peers_.end()) {
+          peer->second.inflight.erase(p->request_id);
+        }
+        --queued_;
+        p = dq.erase(p);
+      } else {
+        ++p;
+      }
+    }
+    it = dq.empty() ? queue_.erase(it) : std::next(it);
   }
 }
 
@@ -153,6 +226,20 @@ void Controller::send_to(Peer& peer, const Message& msg) {
     peer.socket.write_all(framed);
   } catch (const std::system_error& e) {
     BATE_LOG(kWarn, "controller") << "send failed: " << e.what();
+  }
+}
+
+void Controller::flush_batch(Peer& peer, const FrameBatch& batch) {
+  if (batch.empty()) return;
+  if (obs::enabled()) {
+    auto& m = ControllerMetrics::get();
+    m.frames_out.inc(static_cast<std::int64_t>(batch.frame_count()));
+    m.bytes_out.inc(static_cast<std::int64_t>(batch.bytes().size()));
+  }
+  try {
+    peer.socket.write_all(batch.bytes());
+  } catch (const std::system_error& e) {
+    BATE_LOG(kWarn, "controller") << "batched send failed: " << e.what();
   }
 }
 
@@ -174,18 +261,14 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
     return;
   }
   if (const auto* submit = std::get_if<SubmitDemandMsg>(&msg)) {
-    const AdmissionOutcome outcome = admission_.offer(submit->demand);
-    auto& m = ControllerMetrics::get();
-    m.offered.inc();
-    if (outcome.admitted) m.admitted.inc();
-    send_to(peer, AdmissionReplyMsg{submit->demand.id, outcome.admitted});
-    if (outcome.admitted) {
-      run_scheduling_round();
-      broadcast_allocations(false, nullptr);
-    }
+    on_submit(peer, *submit);
     return;
   }
   if (const auto* withdraw = std::get_if<WithdrawDemandMsg>(&msg)) {
+    // A withdraw racing its own queued submit (pipelined client) cancels
+    // the queued entry; without this the admission would land after the
+    // withdraw and leak the demand.
+    purge_queue_for_demand(withdraw->id);
     admission_.remove(withdraw->id);
     run_scheduling_round();
     broadcast_allocations(false, nullptr);
@@ -203,8 +286,145 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
   if (const auto* req = std::get_if<StatsRequestMsg>(&msg)) {
     const std::string format =
         req->format.empty() ? "prometheus" : req->format;
+    // single-shot: the stats scrape protocol predates request_id pipelining
     send_to(peer, StatsReplyMsg{format, obs::Registry::global().dump(format)});
     return;
+  }
+}
+
+void Controller::shed(Peer& peer, std::uint64_t request_id, DemandId id,
+                      double retry_after_ms) {
+  ControllerMetrics::get().shed.inc();
+  send_to(peer, AdmissionReplyMsg{request_id, id, AdmissionStatus::kShed,
+                                  retry_after_ms});
+}
+
+void Controller::on_submit(Peer& peer, const SubmitDemandMsg& submit) {
+  auto& m = ControllerMetrics::get();
+  const std::uint64_t rid = submit.request_id;
+  if (rid != 0 && peer.inflight.count(rid) != 0) {
+    m.duplicates.inc();
+    send_to(peer, AdmissionReplyMsg{rid, submit.demand.id,
+                                    AdmissionStatus::kDuplicate, 0.0});
+    return;
+  }
+  const std::int64_t now = obs::now_us();
+  if (limiter_) {
+    const double retry_ms = limiter_->acquire(tenant_of(peer), now);
+    if (retry_ms > 0.0) {
+      shed(peer, rid, submit.demand.id, retry_ms);
+      return;
+    }
+  }
+  if (!config_.batch_admission) {
+    admit_inline(peer, submit, now);
+    return;
+  }
+  if (queued_ >= config_.max_queue) {
+    shed(peer, rid, submit.demand.id, static_cast<double>(config_.tick_ms));
+    return;
+  }
+  if (rid != 0) peer.inflight.insert(rid);
+  queue_[tenant_of(peer)].push_back(
+      PendingAdmission{peer.socket.fd(), rid, submit.demand, now});
+  ++queued_;
+  if (obs::enabled()) m.queue_depth.set(static_cast<double>(queued_));
+}
+
+void Controller::admit_inline(Peer& peer, const SubmitDemandMsg& submit,
+                              std::int64_t recv_us) {
+  const AdmissionOutcome outcome = admission_.offer(submit.demand);
+  auto& m = ControllerMetrics::get();
+  m.offered.inc();
+  if (outcome.admitted) m.admitted.inc();
+  send_to(peer, AdmissionReplyMsg{submit.request_id, submit.demand.id,
+                                  outcome.admitted ? AdmissionStatus::kAdmitted
+                                                   : AdmissionStatus::kRejected,
+                                  0.0});
+  if (obs::enabled()) m.reply_latency_us.record(obs::now_us() - recv_us);
+  if (outcome.admitted) {
+    run_scheduling_round();
+    broadcast_allocations(false, nullptr);
+  }
+}
+
+void Controller::drain_admission_queue() {
+  if (queued_ == 0) return;
+  auto& m = ControllerMetrics::get();
+
+  // Round-robin across tenants: one pending per tenant per lap until the
+  // queue empties. The whole queue drains this tick either way; the
+  // interleave decides batch position, i.e. FCFS priority for whatever
+  // capacity is left, so one chatty tenant cannot starve the others.
+  std::vector<PendingAdmission> batch;
+  batch.reserve(queued_);
+  while (queued_ > 0) {
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      auto& dq = it->second;
+      if (!dq.empty()) {
+        batch.push_back(std::move(dq.front()));
+        dq.pop_front();
+        --queued_;
+      }
+      it = dq.empty() ? queue_.erase(it) : std::next(it);
+    }
+  }
+  if (obs::enabled()) {
+    m.queue_depth.set(0.0);
+    m.batch_size.record(static_cast<std::int64_t>(batch.size()));
+  }
+
+  std::vector<Demand> demands;
+  demands.reserve(batch.size());
+  for (const PendingAdmission& p : batch) demands.push_back(p.demand);
+  const BatchAdmissionOutcome result = admission_.offer_batch(demands);
+
+  // Per-peer reply batches: one write per peer per tick, not per verdict.
+  std::map<int, FrameBatch> outboxes;
+  bool any_admitted = false;
+  const std::int64_t reply_us = obs::now_us();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const bool admitted = result.outcomes[i].admitted;
+    m.offered.inc();
+    if (admitted) {
+      m.admitted.inc();
+      any_admitted = true;
+    }
+    auto it = peers_.find(batch[i].fd);
+    if (it == peers_.end()) continue;  // vanished mid-drain
+    it->second.inflight.erase(batch[i].request_id);
+    outboxes[batch[i].fd].add(encode_message(AdmissionReplyMsg{
+        batch[i].request_id, batch[i].demand.id,
+        admitted ? AdmissionStatus::kAdmitted : AdmissionStatus::kRejected,
+        0.0}));
+    if (obs::enabled()) {
+      m.reply_latency_us.record(reply_us - batch[i].enqueue_us);
+    }
+  }
+  for (auto& [fd, outbox] : outboxes) {
+    if (auto it = peers_.find(fd); it != peers_.end()) {
+      flush_batch(it->second, outbox);
+    }
+  }
+
+  if (!any_admitted) return;
+  bool rescheduled = result.rescheduled;
+  if (!rescheduled && config_.reschedule_after_batch) {
+    // One scheduling round per batch with admissions — the pre-pipeline
+    // behaviour ran one per request.
+    admission_.reschedule();
+    rescheduled = true;
+  }
+  if (config_.precompute_backup) {
+    planner_.precompute(admission_.admitted(), admission_.allocations());
+  }
+  if (rescheduled) {
+    // A reschedule may have moved anyone's rates: full broadcast.
+    broadcast_allocations(false, nullptr);
+  } else {
+    // Greedy admissions appended to the tail without touching existing
+    // allocations: delta-broadcast just the new rows.
+    broadcast_new_allocations(result.first_new_index);
   }
 }
 
@@ -214,6 +434,7 @@ int Controller::send_allocations_to(Peer& peer, bool backup,
   BATE_DCHECK_MSG(demands.size() == allocs.size(),
                   "controller: demand/allocation desync");
   int sent = 0;
+  FrameBatch batch;
   for (std::size_t i = 0; i < demands.size(); ++i) {
     for (std::size_t p = 0; p < demands[i].pairs.size(); ++p) {
       AllocationUpdateMsg update;
@@ -221,11 +442,31 @@ int Controller::send_allocations_to(Peer& peer, bool backup,
       update.pair = demands[i].pairs[p].pair;
       update.tunnel_mbps = allocs[i][p];
       update.backup = backup;
-      send_to(peer, update);
+      batch.add(encode_message(update));
       ++sent;
     }
   }
+  flush_batch(peer, batch);
   return sent;
+}
+
+void Controller::broadcast_new_allocations(std::size_t first_new) {
+  const auto& demands = admission_.admitted();
+  const auto& allocs = admission_.allocations();
+  if (first_new >= demands.size()) return;
+  const std::int64_t t0 = obs::now_us();
+  const std::span<const Demand> tail(demands.data() + first_new,
+                                     demands.size() - first_new);
+  const std::span<const Allocation> tail_allocs(allocs.data() + first_new,
+                                                allocs.size() - first_new);
+  int sent = 0;
+  for (auto& [fd, peer] : peers_) {
+    if (peer.role != "broker") continue;
+    sent += send_allocations_to(peer, false, tail, tail_allocs);
+  }
+  auto& m = ControllerMetrics::get();
+  m.updates.inc(sent);
+  if (obs::enabled() && sent > 0) m.fanout_us.record(obs::now_us() - t0);
 }
 
 void Controller::send_allocation_snapshot(Peer& peer) {
@@ -257,6 +498,7 @@ ControllerStats Controller::stats() const {
   ControllerStats s;
   s.demands_offered = static_cast<int>(m.offered.value() - base_offered_);
   s.demands_admitted = static_cast<int>(m.admitted.value() - base_admitted_);
+  s.demands_shed = static_cast<int>(m.shed.value() - base_shed_);
   s.link_failures_handled =
       static_cast<int>(m.failures.value() - base_failures_);
   s.allocation_updates_sent =

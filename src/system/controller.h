@@ -8,6 +8,13 @@
 // (normal after every scheduling round, backup when a broker reports a link
 // down).
 //
+// Admission pipeline (DESIGN.md Sec 10): SubmitDemand frames are enqueued
+// (bounded, per-tenant token buckets at ingress, overflow shed with
+// retry_after) and the queue drains once per event-loop tick through one
+// batched AdmissionController::offer_batch call; per-demand verdict replies
+// are flushed as a single batched write per peer, correlated by request_id
+// so every connection may pipeline many in-flight submits.
+//
 // Threading: the controller deliberately owns NO locks — all of its state
 // is confined to the event-loop thread (cross-thread mutation goes through
 // EventLoop's pending queue). When replication (ROADMAP item 4) adds
@@ -17,10 +24,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <span>
 #include <thread>
+#include <vector>
 
 #include "core/admission.h"
 #include "core/recovery.h"
@@ -29,6 +40,7 @@
 #include "net/framing.h"
 #include "net/socket.h"
 #include "system/protocol.h"
+#include "system/rate_limiter.h"
 
 namespace bate {
 
@@ -38,8 +50,42 @@ namespace bate {
 struct ControllerStats {
   int demands_offered = 0;
   int demands_admitted = 0;
+  int demands_shed = 0;
   int link_failures_handled = 0;
   int allocation_updates_sent = 0;
+};
+
+/// Admission-pipeline tuning (DESIGN.md Sec 10). Defaults keep the
+/// low-latency behaviour the tests and demos expect; bench_system raises
+/// the knobs for the 100k-arrival churn runs.
+struct ControllerConfig {
+  /// Event-loop poll timeout; the admission queue drains after every loop
+  /// iteration, so this bounds reply latency only on an idle connection.
+  /// Also the retry_after hint handed to shed requests.
+  int tick_ms = 5;
+  /// false = serial baseline: each SubmitDemand is admitted inline with its
+  /// own solve and full broadcast (the pre-pipeline behaviour, benched as
+  /// the one-solve-per-request baseline in bench_system).
+  bool batch_admission = true;
+  /// Bounded admission queue across all tenants; overflow is shed with
+  /// AdmissionStatus::kShed + retry_after.
+  std::size_t max_queue = 8192;
+  /// Per-tenant submit rate (requests/sec) enforced at ingress via
+  /// RequestRateLimiter; 0 disables.
+  double tenant_rate_per_sec = 0.0;
+  /// Bucket depth for the tenant limiter; <= 0 defaults to the rate.
+  double tenant_burst = 0.0;
+  /// Run a full scheduling round (AdmissionController::reschedule) after
+  /// every batch containing admissions, amortizing the pre-pipeline
+  /// round-per-request cost to one round per tick. When false, all-greedy
+  /// batches keep their (feasible, unoptimized) greedy allocations and only
+  /// the new rows are delta-broadcast — the high-churn setting, since a
+  /// reschedule LP grows with the admitted set (DESIGN.md Sec 10).
+  bool reschedule_after_batch = true;
+  /// Recompute backup plans after every batch containing admissions.
+  /// bench_system disables it: precompute cost grows with the admitted set
+  /// and the churn bench measures the admission path, not recovery.
+  bool precompute_backup = true;
 };
 
 class Controller {
@@ -47,7 +93,8 @@ class Controller {
   /// Topology and catalog must outlive the controller.
   Controller(const Topology& topo, const TunnelCatalog& catalog,
              SchedulerConfig scheduler_cfg = {},
-             AdmissionStrategy admission = AdmissionStrategy::kBate);
+             AdmissionStrategy admission = AdmissionStrategy::kBate,
+             ControllerConfig config = {});
   ~Controller();
 
   Controller(const Controller&) = delete;
@@ -66,20 +113,54 @@ class Controller {
     FrameReader reader;
     std::string role;  // set by Hello
     int dc = -1;
+    /// request_ids submitted but not yet replied to (duplicate detection;
+    /// legacy request_id 0 is never tracked).
+    std::set<std::uint64_t> inflight;
+  };
+
+  /// One queued SubmitDemand awaiting the tick drain.
+  struct PendingAdmission {
+    int fd = -1;
+    std::uint64_t request_id = 0;
+    Demand demand;
+    std::int64_t enqueue_us = 0;
   };
 
   void on_accept();
   void on_peer_readable(int fd);
   void handle_message(Peer& peer, const Message& msg);
+  /// SubmitDemand ingress: duplicate check, tenant rate limit, then either
+  /// enqueue (batch mode) or admit inline (serial baseline).
+  void on_submit(Peer& peer, const SubmitDemandMsg& submit);
+  /// Serial-baseline admission: one solve + full broadcast per request.
+  void admit_inline(Peer& peer, const SubmitDemandMsg& submit,
+                    std::int64_t recv_us);
+  /// Tick handler: drains the whole admission queue through
+  /// AdmissionController::offer_batch and flushes per-peer reply batches.
+  void drain_admission_queue();
+  /// Sheds one request with kShed + retry_after and counts it.
+  void shed(Peer& peer, std::uint64_t request_id, DemandId id,
+            double retry_after_ms);
+  /// Drops queued work belonging to a departed peer (dead entries must not
+  /// reach the batch solve) and, for withdraw, a tenant's queued demand.
+  void purge_queue_for_fd(int fd);
+  void purge_queue_for_demand(DemandId id);
+  int tenant_of(const Peer& peer) const;
+
   void send_to(Peer& peer, const Message& msg);
-  /// Sends one AllocationUpdate per (demand, pair) to `peer`; returns the
-  /// number of updates written. Loop thread only.
+  /// Flushes an accumulated frame batch to `peer` with one write.
+  void flush_batch(Peer& peer, const FrameBatch& batch);
+  /// Sends one AllocationUpdate per (demand, pair) to `peer` as a single
+  /// batched write; returns the number of updates. Loop thread only.
   int send_allocations_to(Peer& peer, bool backup,
                           std::span<const Demand> demands,
                           std::span<const Allocation> allocs);
   /// Current (non-backup) allocations to a newly introduced broker.
   void send_allocation_snapshot(Peer& peer);
   void broadcast_allocations(bool backup, const RecoveryResult* plan);
+  /// Delta broadcast: only admitted()[first_new..] rows, after a batch that
+  /// appended greedy admissions without rescheduling anyone else.
+  void broadcast_new_allocations(std::size_t first_new);
   void run_scheduling_round();
 
   // Loop-thread state: touched only from the epoll thread (callbacks), or
@@ -87,9 +168,15 @@ class Controller {
   TrafficScheduler scheduler_;
   AdmissionController admission_;
   BackupPlanner planner_;
+  ControllerConfig config_;
+  std::optional<RequestRateLimiter> limiter_;
   std::unique_ptr<TcpListener> listener_;
   EventLoop loop_;
   std::map<int, Peer> peers_;
+  /// Admission queue, per tenant for round-robin drain fairness. Bounded by
+  /// config_.max_queue across all tenants (queued_ tracks the total).
+  std::map<int, std::deque<PendingAdmission>> queue_;
+  std::size_t queued_ = 0;
 
   std::thread thread_;
   std::uint16_t port_ = 0;  // written by start() before the thread exists
@@ -98,6 +185,7 @@ class Controller {
   // accessor stays per-instance even though the registry is process-wide.
   std::int64_t base_offered_ = 0;
   std::int64_t base_admitted_ = 0;
+  std::int64_t base_shed_ = 0;
   std::int64_t base_failures_ = 0;
   std::int64_t base_updates_ = 0;
 };

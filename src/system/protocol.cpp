@@ -63,11 +63,14 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.i32(m.dc);
         } else if constexpr (std::is_same_v<T, SubmitDemandMsg>) {
           w.u8(static_cast<std::uint8_t>(MsgType::kSubmitDemand));
+          w.u64(m.request_id);
           encode_demand(w, m.demand);
         } else if constexpr (std::is_same_v<T, AdmissionReplyMsg>) {
           w.u8(static_cast<std::uint8_t>(MsgType::kAdmissionReply));
+          w.u64(m.request_id);
           w.i32(m.id);
-          w.u8(m.admitted ? 1 : 0);
+          w.u8(static_cast<std::uint8_t>(m.status));
+          w.f64(m.retry_after_ms);
         } else if constexpr (std::is_same_v<T, AllocationUpdateMsg>) {
           w.u8(static_cast<std::uint8_t>(MsgType::kAllocationUpdate));
           w.i32(m.id);
@@ -106,13 +109,20 @@ Message decode_message(std::span<const std::uint8_t> payload) {
     }
     case MsgType::kSubmitDemand: {
       SubmitDemandMsg m;
+      m.request_id = r.u64();
       m.demand = decode_demand(r);
       return m;
     }
     case MsgType::kAdmissionReply: {
       AdmissionReplyMsg m;
+      m.request_id = r.u64();
       m.id = r.i32();
-      m.admitted = r.u8() != 0;
+      const std::uint8_t status = r.u8();
+      if (status > static_cast<std::uint8_t>(AdmissionStatus::kDuplicate)) {
+        throw std::invalid_argument("decode_message: bad admission status");
+      }
+      m.status = static_cast<AdmissionStatus>(status);
+      m.retry_after_ms = r.f64();
       return m;
     }
     case MsgType::kAllocationUpdate: {

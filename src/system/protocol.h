@@ -32,11 +32,27 @@ struct HelloMsg {
 
 struct SubmitDemandMsg {
   Demand demand;
+  /// Correlates this submit with its AdmissionReplyMsg so a connection can
+  /// pipeline many requests. 0 marks a legacy single-shot submit (the reply
+  /// is then matched by demand id and duplicate detection is skipped).
+  std::uint64_t request_id = 0;
+};
+
+enum class AdmissionStatus : std::uint8_t {
+  kRejected = 0,   // infeasible under the admission strategy
+  kAdmitted = 1,
+  kShed = 2,       // backpressure: queue full or tenant over rate; retry
+  kDuplicate = 3,  // request_id already in flight on this connection
 };
 
 struct AdmissionReplyMsg {
+  std::uint64_t request_id = 0;  // echoes the submit's request_id
   DemandId id = -1;
-  bool admitted = false;
+  AdmissionStatus status = AdmissionStatus::kRejected;
+  /// For kShed: suggested client backoff before resubmitting.
+  double retry_after_ms = 0.0;
+
+  bool admitted() const { return status == AdmissionStatus::kAdmitted; }
 };
 
 /// One (demand, pair) row of the bandwidth-enforcement table: rates per

@@ -1,10 +1,15 @@
-// Token-bucket rate enforcement for the broker's bandwidth enforcer
-// (Sec 4: the broker "limits the actual traffic rate in each tunnel in case
-// something is wrong on the end hosts").
+// Token-bucket rate limiting for the system layer (Sec 4).
 //
-// One TokenBucket per (demand, tunnel): tokens refill at the enforced rate
-// and a transmission consumes its size in tokens; bursts up to the bucket
-// depth are absorbed, sustained overdrive is clipped to the enforced rate.
+//  * BandwidthEnforcer — the broker "limits the actual traffic rate in each
+//    tunnel in case something is wrong on the end hosts": one TokenBucket
+//    per (demand, tunnel), tokens refill at the enforced rate, a
+//    transmission consumes its size; bursts up to the bucket depth are
+//    absorbed, sustained overdrive is clipped.
+//  * RequestRateLimiter — per-tenant control-plane limiting at the
+//    admission ingress: one token per SubmitDemand, over-rate requests are
+//    shed with a retry_after hint (DESIGN.md Sec 10 "Admission pipeline").
+//  * Brokers also bucket their own link-status reports so a flapping agent
+//    cannot flood the controller with replan work.
 #pragma once
 
 #include <algorithm>
@@ -60,6 +65,52 @@ class TokenBucket {
   double rate_;
   double burst_;
   double tokens_;
+};
+
+/// Per-tenant request-rate limiter for the admission ingress (one token per
+/// SubmitDemand). One TokenBucket per tenant, refilled lazily from the
+/// caller-supplied clock, so the limiter itself is clockless and
+/// deterministic under test. Single-threaded by design: the controller
+/// calls it from the event-loop thread only.
+class RequestRateLimiter {
+ public:
+  /// rate: requests/second granted to each tenant; burst: bucket depth
+  /// (<= 0 defaults to max(rate, 1), i.e. roughly one second of headroom).
+  explicit RequestRateLimiter(double rate_per_sec, double burst = 0.0)
+      : rate_(rate_per_sec),
+        burst_(burst > 0.0 ? burst : std::max(rate_per_sec, 1.0)) {
+    if (rate_per_sec <= 0.0) {
+      throw std::invalid_argument("RequestRateLimiter: rate");
+    }
+  }
+
+  /// Charges one request to `tenant` at time `now_us` (monotonic). Returns
+  /// 0 when the request may proceed, else the suggested backoff in
+  /// milliseconds until a token will have refilled.
+  double acquire(int tenant, std::int64_t now_us) {
+    auto [it, fresh] =
+        tenants_.try_emplace(tenant, State{TokenBucket(rate_, burst_), now_us});
+    State& s = it->second;
+    if (!fresh && now_us > s.last_us) {
+      s.bucket.advance(static_cast<double>(now_us - s.last_us) * 1e-6);
+      s.last_us = now_us;
+    }
+    if (s.bucket.try_consume(1.0)) return 0.0;
+    return (1.0 - s.bucket.tokens()) / rate_ * 1e3;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+ private:
+  struct State {
+    TokenBucket bucket;
+    std::int64_t last_us;
+  };
+  double rate_;
+  double burst_;
+  std::map<int, State> tenants_;
 };
 
 /// The enforcer table a broker drives from AllocationUpdate messages: one

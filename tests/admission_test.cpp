@@ -3,6 +3,11 @@
 // allocation exists), the optimal MILP check, and the FCFS controller.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "core/admission.h"
 #include "topology/catalog.h"
 #include "workload/demand_gen.h"
@@ -183,6 +188,205 @@ TEST(AdmissionController, RejectsWhenFull) {
   EXPECT_TRUE(controller.offer(make_demand(1, 1, 900.0, 0.0)).admitted);
   EXPECT_TRUE(controller.offer(make_demand(2, 2, 900.0, 0.0)).admitted);
   EXPECT_FALSE(controller.offer(make_demand(3, 0, 900.0, 0.0)).admitted);
+}
+
+// --- Batched admission (offer_batch, DESIGN.md Sec 10) ---
+
+/// Deterministic mixed batch keyed on `seed`: sizes and targets chosen so
+/// early arrivals fit and later ones contend for the remaining capacity
+/// (total demand ~1.3x the 3000-unit source egress).
+std::vector<Demand> mixed_batch(std::uint64_t seed, int count = 10) {
+  std::vector<Demand> out;
+  std::uint64_t x = seed;
+  const auto next = [&x] {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(x >> 33);
+  };
+  const double sizes[] = {150.0, 300.0, 450.0, 700.0};
+  const double betas[] = {0.0, 0.9, 0.99};
+  for (int i = 0; i < count; ++i) {
+    out.push_back(make_demand(i, static_cast<int>(next() % 3),
+                              sizes[next() % 4], betas[next() % 3]));
+  }
+  return out;
+}
+
+// kFixed and kBate batch admission IS the serial walk (one incrementally
+// maintained residual instead of a recompute per offer), so the verdicts,
+// the admitted set, and chunking of the queue must all be invisible.
+class BatchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchEquivalence, MatchesSerialWholeAndChunked) {
+  const auto demands = mixed_batch(static_cast<std::uint64_t>(GetParam()));
+  for (const AdmissionStrategy strategy :
+       {AdmissionStrategy::kFixed, AdmissionStrategy::kBate}) {
+    TestbedFixture fx;
+    AdmissionController serial(fx.scheduler, strategy);
+    std::vector<bool> want;
+    for (const Demand& d : demands) want.push_back(serial.offer(d).admitted);
+
+    AdmissionController whole(fx.scheduler, strategy);
+    const BatchAdmissionOutcome out = whole.offer_batch(demands);
+    ASSERT_EQ(out.outcomes.size(), demands.size());
+    EXPECT_EQ(out.first_new_index, 0u);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      EXPECT_EQ(out.outcomes[i].admitted, want[i])
+          << "strategy " << static_cast<int>(strategy) << " position " << i;
+    }
+
+    // Chunked like the controller's ticks: same verdicts regardless of how
+    // arrivals group into batches.
+    AdmissionController chunked(fx.scheduler, strategy);
+    for (std::size_t off = 0; off < demands.size(); off += 3) {
+      const std::span<const Demand> chunk(
+          demands.data() + off, std::min<std::size_t>(3, demands.size() - off));
+      const BatchAdmissionOutcome o = chunked.offer_batch(chunk);
+      ASSERT_EQ(o.outcomes.size(), chunk.size());
+      EXPECT_EQ(o.first_new_index, chunked.admitted().size() -
+                                       [&] {
+                                         std::size_t n = 0;
+                                         for (const auto& oc : o.outcomes) {
+                                           if (oc.admitted) ++n;
+                                         }
+                                         return n;
+                                       }());
+      for (std::size_t j = 0; j < chunk.size(); ++j) {
+        EXPECT_EQ(o.outcomes[j].admitted, want[off + j])
+            << "strategy " << static_cast<int>(strategy) << " position "
+            << off + j;
+      }
+    }
+
+    ASSERT_EQ(whole.admitted().size(), serial.admitted().size());
+    ASSERT_EQ(chunked.admitted().size(), serial.admitted().size());
+    for (std::size_t i = 0; i < serial.admitted().size(); ++i) {
+      EXPECT_EQ(whole.admitted()[i].id, serial.admitted()[i].id);
+      EXPECT_EQ(chunked.admitted()[i].id, serial.admitted()[i].id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalence, ::testing::Range(0, 8));
+
+TEST(BatchOptimal, AllFeasibleMatchesSerial) {
+  // When the whole queue is jointly admissible the batched MILP must agree
+  // with the serial walk exactly: everyone in, same order.
+  TestbedFixture fx;
+  const std::vector<Demand> demands = {make_demand(0, 0, 300.0, 0.9),
+                                       make_demand(1, 1, 400.0, 0.0),
+                                       make_demand(2, 2, 250.0, 0.99)};
+  AdmissionController serial(fx.scheduler, AdmissionStrategy::kOptimal);
+  AdmissionController batch(fx.scheduler, AdmissionStrategy::kOptimal);
+  std::vector<bool> want;
+  for (const Demand& d : demands) want.push_back(serial.offer(d).admitted);
+
+  const BatchAdmissionOutcome out = batch.offer_batch(demands);
+  ASSERT_EQ(out.outcomes.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_TRUE(want[i]);
+    EXPECT_EQ(out.outcomes[i].admitted, want[i]);
+  }
+  ASSERT_EQ(batch.admitted().size(), serial.admitted().size());
+  for (std::size_t i = 0; i < serial.admitted().size(); ++i) {
+    EXPECT_EQ(batch.admitted()[i].id, serial.admitted()[i].id);
+  }
+}
+
+TEST(BatchOptimal, InfeasibleBatchPicksMaxCardinalitySubset) {
+  // The documented kOptimal divergence (DESIGN.md Sec 10): d0 = 2000 fills
+  // the source egress enough that neither 1200 fits next to it, but the two
+  // 1200s fit together. Serial FCFS admits d0 and rejects the rest; the
+  // batched MILP maximizes admitted cardinality and inverts that.
+  TestbedFixture fx;
+  const std::vector<Demand> demands = {make_demand(0, 0, 2000.0, 0.0),
+                                       make_demand(1, 1, 1200.0, 0.0),
+                                       make_demand(2, 2, 1200.0, 0.0)};
+  AdmissionController serial(fx.scheduler, AdmissionStrategy::kOptimal);
+  EXPECT_TRUE(serial.offer(demands[0]).admitted);
+  EXPECT_FALSE(serial.offer(demands[1]).admitted);
+  EXPECT_FALSE(serial.offer(demands[2]).admitted);
+
+  AdmissionController batch(fx.scheduler, AdmissionStrategy::kOptimal);
+  const BatchAdmissionOutcome out = batch.offer_batch(demands);
+  ASSERT_EQ(out.outcomes.size(), 3u);
+  EXPECT_FALSE(out.outcomes[0].admitted);
+  EXPECT_TRUE(out.outcomes[1].admitted);
+  EXPECT_TRUE(out.outcomes[2].admitted);
+  EXPECT_EQ(batch.admitted().size(), 2u);
+}
+
+TEST(BatchOptimal, FcfsTieBreakAmongEqualCardinality) {
+  // Three identical 1800s, any two over the 3000-unit egress: every
+  // maximum-cardinality subset is a singleton, and the FCFS tie-break must
+  // pick the earliest arrival — matching the serial walk.
+  TestbedFixture fx;
+  const std::vector<Demand> demands = {make_demand(0, 0, 1800.0, 0.0),
+                                       make_demand(1, 1, 1800.0, 0.0),
+                                       make_demand(2, 2, 1800.0, 0.0)};
+  AdmissionController batch(fx.scheduler, AdmissionStrategy::kOptimal);
+  const BatchAdmissionOutcome out = batch.offer_batch(demands);
+  ASSERT_EQ(out.outcomes.size(), 3u);
+  EXPECT_TRUE(out.outcomes[0].admitted);
+  EXPECT_FALSE(out.outcomes[1].admitted);
+  EXPECT_FALSE(out.outcomes[2].admitted);
+  ASSERT_EQ(batch.admitted().size(), 1u);
+  EXPECT_EQ(batch.admitted()[0].id, 0);
+}
+
+TEST(BatchAdmissionModel, StructureAndFcfsWeights) {
+  TestbedFixture fx;
+  const std::vector<Demand> committed = {make_demand(0, 0, 100.0, 0.9)};
+  const std::vector<Demand> candidates = {make_demand(1, 1, 100.0, 0.0),
+                                          make_demand(2, 2, 100.0, 0.99)};
+  std::vector<int> admit_vars;
+  const Model batch = build_batch_admission_model(fx.scheduler, committed,
+                                                  candidates, &admit_vars);
+  ASSERT_EQ(admit_vars.size(), candidates.size());
+  for (const int col : admit_vars) {
+    ASSERT_GE(col, 0);
+    ASSERT_LT(col, batch.variable_count());
+    const Variable& v = batch.variables()[static_cast<std::size_t>(col)];
+    EXPECT_TRUE(v.integer);
+    EXPECT_DOUBLE_EQ(v.lower, 0.0);
+    EXPECT_DOUBLE_EQ(v.upper, 1.0);
+    // Minimization model: admitting must pay (reward = negative cost)...
+    EXPECT_LT(v.objective, 0.0);
+  }
+  // ...and the FCFS tie-break makes the earlier candidate pay strictly more.
+  EXPECT_LT(batch.variables()[static_cast<std::size_t>(admit_vars[0])].objective,
+            batch.variables()[static_cast<std::size_t>(admit_vars[1])].objective);
+
+  // Zero candidates degenerate to the plain committed-only feasibility
+  // model: same shape, no admit binaries.
+  std::vector<int> none;
+  const Model plain = build_admission_model(fx.scheduler, committed);
+  const Model degenerate =
+      build_batch_admission_model(fx.scheduler, committed, {}, &none);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(degenerate.variable_count(), plain.variable_count());
+  EXPECT_EQ(degenerate.constraint_count(), plain.constraint_count());
+  // Candidates grow both dimensions.
+  EXPECT_GT(batch.variable_count(), plain.variable_count());
+  EXPECT_GT(batch.constraint_count(), plain.constraint_count());
+}
+
+TEST(BatchAdmissionCheck, ProvenVerdictsPerCandidate) {
+  TestbedFixture fx;
+  const std::vector<Demand> committed = {make_demand(0, 0, 500.0, 0.9)};
+  // One demand that fits and one that can never fit anywhere.
+  const std::vector<Demand> candidates = {make_demand(1, 1, 300.0, 0.9),
+                                          make_demand(2, 2, 5000.0, 0.0)};
+  const BatchAdmissionVerdicts v =
+      batch_admission_check(fx.scheduler, committed, candidates);
+  ASSERT_TRUE(v.proven);
+  ASSERT_EQ(v.admit.size(), 2u);
+  EXPECT_TRUE(v.admit[0]);
+  EXPECT_FALSE(v.admit[1]);
+
+  const BatchAdmissionVerdicts empty =
+      batch_admission_check(fx.scheduler, committed, {});
+  EXPECT_TRUE(empty.proven);
+  EXPECT_TRUE(empty.admit.empty());
 }
 
 TEST(AdmissionController, ConjectureAdmitsWhatFixedRejects) {

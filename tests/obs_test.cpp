@@ -115,6 +115,49 @@ TEST(ObsHistogram, RecordAndAccessors) {
   EXPECT_EQ(h.sum(), 0);
 }
 
+TEST(ObsHistogram, QuantileEstimates) {
+  Registry reg;
+  Histogram& h = reg.histogram("bate_test_obs_q_us");
+  // 1000 uniform samples over [0, 1000): the quantile estimate must land
+  // within one bucket width (<= 25% relative error) of the exact order
+  // statistic.
+  for (int i = 0; i < 1000; ++i) h.record(i);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0].second;
+  EXPECT_NEAR(hs.quantile(0.5), 500.0, 125.0);
+  EXPECT_NEAR(hs.quantile(0.99), 990.0, 250.0);
+  EXPECT_NEAR(hs.quantile(0.0), 0.0, 1.0);
+  // q=1 must not exceed the populated range's bucket bound.
+  EXPECT_LE(hs.quantile(1.0), 1024.0);
+  EXPECT_GE(hs.quantile(1.0), 999.0 * 0.75);
+  // Monotone in q.
+  EXPECT_LE(hs.quantile(0.25), hs.quantile(0.75));
+}
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // A spike: every sample identical. All quantiles land inside that one
+  // bucket.
+  Registry reg;
+  Histogram& h = reg.histogram("bate_test_obs_spike_us");
+  for (int i = 0; i < 100; ++i) h.record(5000);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSnapshot& hs = snap.histograms[0].second;
+  const int idx = Histogram::bucket_index(5000);
+  const double lo = static_cast<double>(Histogram::bucket_upper(idx - 1));
+  const double hi = static_cast<double>(Histogram::bucket_upper(idx));
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_GE(hs.quantile(q), lo);
+    EXPECT_LE(hs.quantile(q), hi);
+  }
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_GE(hs.quantile(-1.0), lo);
+  EXPECT_LE(hs.quantile(2.0), hi);
+}
+
 TEST(ObsRegistry, SnapshotWhileIncrementing) {
   // Writers hammer a counter and a histogram while the main thread takes
   // snapshots: every snapshot must be internally consistent (histogram

@@ -7,12 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <thread>
 
+#include "net/framing.h"
+#include "net/socket.h"
 #include "system/broker.h"
 #include "system/client.h"
 #include "system/controller.h"
+#include "system/protocol.h"
 #include "topology/catalog.h"
 
 namespace bate {
@@ -109,6 +114,64 @@ TEST_F(ChurnFixture, ConcurrentReportersDuringStop) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   broker.stop();  // races the reporter by design
   reporter.join();
+  controller.stop();
+}
+
+/// Value of an un-labelled prometheus sample line ("name value"), or -1.
+/// Skips "# TYPE name ..." lines by requiring the name at start-of-line.
+double prom_value(const std::string& body, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = body.find(name, pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || body[pos - 1] == '\n';
+    const std::size_t after = pos + name.size();
+    if (at_line_start && after < body.size() && body[after] == ' ') {
+      const std::size_t eol = body.find('\n', after);
+      return std::stod(body.substr(after + 1, eol - after - 1));
+    }
+    pos = after;
+  }
+  return -1.0;
+}
+
+TEST_F(ChurnFixture, DisconnectWithQueuedSubmitsDropsThem) {
+  // A client that pipelines a burst and vanishes must have its queued
+  // submits purged (bate_admission_dropped_dead_total), not solved: beyond
+  // wasting the batch on a dead requester, the kernel reuses fds, so a
+  // stale queue entry could reply to a different peer.
+  Controller controller(topo, catalog, SchedulerConfig{},
+                        AdmissionStrategy::kBate);
+  controller.start();
+
+  const auto dropped = [&] {
+    UserClient probe(controller.port());
+    return prom_value(probe.stats(), "bate_admission_dropped_dead_total");
+  };
+  const double before = dropped();
+  ASSERT_GE(before, 0.0);
+
+  // The burst and the FIN usually land in one readable round (enqueue all,
+  // then purge); when the controller wins the race and drains first, retry.
+  bool observed = false;
+  for (int attempt = 0; attempt < 10 && !observed; ++attempt) {
+    {
+      Socket doomed = connect_tcp(controller.port());
+      doomed.write_all(encode_frame(encode_message(HelloMsg{"user", 3})));
+      FrameBatch batch;
+      for (int i = 0; i < 64; ++i) {
+        batch.add(encode_message(
+            SubmitDemandMsg{churn_demand(attempt * 100 + i + 1, 0, 0.01),
+                            static_cast<std::uint64_t>(i + 1)}));
+      }
+      doomed.write_all(batch.bytes());
+    }  // disconnects with the burst (at best) still queued
+    observed = dropped() > before;
+  }
+  EXPECT_TRUE(observed)
+      << "no queued submit was dropped across 10 disconnect attempts";
+
+  // The controller keeps serving the living.
+  UserClient user(controller.port());
+  EXPECT_TRUE(user.submit(churn_demand(9999, 1, 10.0)));
   controller.stop();
 }
 

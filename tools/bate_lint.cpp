@@ -43,6 +43,15 @@
 //                   for every clock read (DESIGN.md Sec 9). Deliberate
 //                   direct reads carry `// timing: <reason>` on the line or
 //                   just above it.
+//   request-id      src/system: every `*ReplyMsg{...}` constructed on the
+//                   wire path must mention request_id (or the conventional
+//                   `rid` local) within three lines — pipelined connections
+//                   demultiplex replies by it, and a reply built without
+//                   one silently breaks every pipelined peer (DESIGN.md
+//                   Sec 10). Legacy single-shot exchanges (the stats
+//                   scrape, which predates pipelining) annotate
+//                   `// single-shot: <reason>` on or just above the
+//                   construction.
 //
 // Escape hatch: a line containing `bate-lint: allow(<rule>)` disables the
 // named rule for that line (src/util/mutex.h uses allow(raw-mutex) on the
@@ -471,6 +480,44 @@ void check_raw_mutex(const fs::path& file, const std::vector<std::string>& code,
   }
 }
 
+// --- Rule: request-id -------------------------------------------------------
+
+/// src/system: a reply message constructed on the wire path must carry the
+/// request_id correlating it to its request. Matches `<Name>ReplyMsg{` (a
+/// brace construction; declarations put a space before the brace) and
+/// accepts `request_id` or the conventional `rid` local within the next
+/// three code lines. Pre-pipelining single-shot exchanges annotate
+/// `// single-shot: <reason>` within the two raw lines above.
+void check_request_id(const fs::path& file,
+                      const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::size_t pos = code[i].find("ReplyMsg{");
+    if (pos == std::string::npos) continue;
+    bool correlated = false;
+    for (std::size_t fwd = 0; fwd <= 3 && i + fwd < code.size(); ++fwd) {
+      if (contains_token(code[i + fwd], "request_id") ||
+          contains_token(code[i + fwd], "rid")) {
+        correlated = true;
+        break;
+      }
+    }
+    bool single_shot = false;
+    for (std::size_t back = 0; back <= 2 && back <= i; ++back) {
+      if (raw[i - back].find("single-shot:") != std::string::npos) {
+        single_shot = true;
+        break;
+      }
+    }
+    if (!correlated && !single_shot && !line_allows(raw[i], "request-id")) {
+      report(file, static_cast<int>(i + 1), "request-id",
+             "reply constructed without a request_id; pipelined peers "
+             "cannot correlate it — pass the request's id or annotate "
+             "`// single-shot: <reason>`");
+    }
+  }
+}
+
 // --- Driver -----------------------------------------------------------------
 
 bool has_extension(const fs::path& p, const char* ext) {
@@ -529,6 +576,9 @@ int main(int argc, char** argv) {
       }
       if (rel != fs::path("src/util/mutex.h")) {
         check_raw_mutex(rel, code_lines, raw_lines);
+      }
+      if (rel.string().rfind("src/system", 0) == 0) {
+        check_request_id(rel, code_lines, raw_lines);
       }
     }
   }

@@ -216,7 +216,7 @@ void write_bench_json(const BenchReport& report, const std::string& path) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": " << quote(report.bench) << ",\n";
-  out << "  \"schema_version\": 4,\n";
+  out << "  \"schema_version\": 5,\n";
   out << "  \"cases\": [";
   for (std::size_t i = 0; i < report.cases.size(); ++i) {
     const BenchCase& c = report.cases[i];
@@ -267,8 +267,8 @@ std::string validate_bench_json(const std::string& path) {
   const JsonValue* ver = root.find("schema_version");
   if (!ver || ver->kind != JsonValue::Kind::kNumber ||
       (ver->number != 1.0 && ver->number != 2.0 && ver->number != 3.0 &&
-       ver->number != 4.0)) {
-    return "missing field 'schema_version' or version not in {1, 2, 3, 4}";
+       ver->number != 4.0 && ver->number != 5.0)) {
+    return "missing field 'schema_version' or version not in {1, 2, 3, 4, 5}";
   }
   const JsonValue* obs = root.find("obs");
   if (obs != nullptr && obs->kind != JsonValue::Kind::kObject) {
@@ -413,6 +413,43 @@ BenchMinResult check_bench_min(const std::string& path,
                 cases.size(), floor);
   out << summary;
   res.ok = all_above;
+  res.report = out.str();
+  return res;
+}
+
+BenchMaxResult check_bench_max(const std::string& path,
+                               const std::string& metric, double ceiling) {
+  BenchMaxResult res;
+  std::vector<std::pair<std::string, double>> cases;
+  const std::string err = load_metric(path, metric, &cases);
+  if (!err.empty()) {
+    res.report = err;
+    return res;
+  }
+  if (cases.empty()) {
+    res.report = "no case carries metric '" + metric + "'";
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "  metric: " << metric << " (ceiling " << ceiling << ")\n";
+  bool all_below = true;
+  res.max_value = cases.front().second;
+  for (const auto& [name, value] : cases) {
+    res.max_value = std::max(res.max_value, value);
+    const bool below = value <= ceiling;
+    all_below = all_below && below;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-28s %9.3f  %s\n", name.c_str(),
+                  value, below ? "ok" : "OVER CEILING");
+    out << line;
+  }
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "  max %.3f over %zu cases (ceiling %.3f)\n", res.max_value,
+                cases.size(), ceiling);
+  out << summary;
+  res.ok = all_below;
   res.report = out.str();
   return res;
 }

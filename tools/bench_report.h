@@ -23,10 +23,13 @@
 // gomory_cuts, cover_cuts, cut_rounds, strong_branch_solves) to the milp
 // bench; the batched-backend PR added the solver bench's batch_* cases
 // (serial_median_ms, batch_median_ms, speedup_vs_serial, fallback_pct and
-// the lockstep iteration counters) under the same v4 container. All
-// changes are additive: the container shape is unchanged, the validator
-// accepts v1-v4 files, and the version field is informational for
-// downstream diffing.
+// the lockstep iteration counters) under the same v4 container; v5
+// (admission pipeline PR) added the system bench (BENCH_system.json:
+// admissions_per_sec, p50/p99_reply_us, shed, speedup_vs_serial) and the
+// check_bench_max ceiling gate for lower-is-better metrics. All changes
+// are additive: the container shape is unchanged, the validator accepts
+// v1-v5 files, and the version field is informational for downstream
+// diffing.
 //
 // validate_bench_json re-parses an emitted file with a minimal hand-rolled
 // JSON reader (no third-party deps) and checks exactly that shape;
@@ -59,7 +62,7 @@ struct BenchReport {
 /// cannot be written or a metric value is not finite.
 void write_bench_json(const BenchReport& report, const std::string& path);
 
-/// Parses `path` and checks the BENCH schema above (version 1 through 4).
+/// Parses `path` and checks the BENCH schema above (version 1 through 5).
 /// Returns an empty string on success, else a one-line description of the
 /// first violation.
 std::string validate_bench_json(const std::string& path);
@@ -107,5 +110,24 @@ struct BenchMinResult {
 /// steady-state speedup to absorb single-rep noise).
 BenchMinResult check_bench_min(const std::string& path,
                                const std::string& metric, double floor);
+
+/// Outcome of gating one metric of a single report against a ceiling (see
+/// check_bench_max).
+struct BenchMaxResult {
+  /// False when the file is invalid, no case carries the metric, or any
+  /// case exceeds the ceiling.
+  bool ok = false;
+  /// Largest value of the metric over the cases that carry it.
+  double max_value = 0.0;
+  /// Human-readable per-case table plus a pass/fail summary line.
+  std::string report;
+};
+
+/// Gates a single report: every case carrying `metric` must be <= `ceiling`.
+/// The mirror of check_bench_min for lower-is-better metrics measured in
+/// absolute units — the system bench's p99 reply latency has no old/new
+/// pair to ratio against, so CI pins it under an absolute ceiling instead.
+BenchMaxResult check_bench_max(const std::string& path,
+                               const std::string& metric, double ceiling);
 
 }  // namespace bate

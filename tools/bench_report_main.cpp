@@ -6,6 +6,7 @@
 //   bench_report --compare OLD.json NEW.json [--max-regress X]
 //                [--metric NAME]
 //   bench_report --min FILE --metric NAME --floor X
+//   bench_report --max FILE --metric NAME --ceiling X
 //
 // --compare exits 1 when the median per-case growth of NEW over OLD in the
 // chosen metric (default `median_ms`) exceeds the allowed regression
@@ -15,7 +16,12 @@
 //
 // --min exits 1 when any case carrying the metric falls below the floor:
 // the higher-is-better gate for metrics whose baseline lives inside the
-// same run (the batch cases' `speedup_vs_serial`).
+// same run (the batch cases' `speedup_vs_serial`, the system bench's
+// admissions_per_sec).
+//
+// --max is the mirror image for lower-is-better absolute metrics: exit 1
+// when any case carrying the metric exceeds the ceiling (the system
+// bench's p99 reply latency).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +36,8 @@ int usage() {
                "usage: bench_report --validate FILE\n"
                "       bench_report --compare OLD.json NEW.json "
                "[--max-regress X] [--metric NAME]\n"
-               "       bench_report --min FILE --metric NAME --floor X\n");
+               "       bench_report --min FILE --metric NAME --floor X\n"
+               "       bench_report --max FILE --metric NAME --ceiling X\n");
   return 2;
 }
 
@@ -104,6 +111,36 @@ int main(int argc, char** argv) {
     if (!res.ok) {
       std::fprintf(stderr,
                    "bench_report: BELOW FLOOR (or unreadable input)\n");
+      return 1;
+    }
+    std::printf("bench_report: OK\n");
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "--max") == 0) {
+    if (argc < 3) return usage();
+    const std::string path = argv[2];
+    std::string metric;
+    double ceiling = 0.0;
+    bool have_ceiling = false;
+    for (int a = 3; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--metric") == 0 && a + 1 < argc) {
+        metric = argv[++a];
+        if (metric.empty()) return usage();
+      } else if (std::strcmp(argv[a], "--ceiling") == 0 && a + 1 < argc) {
+        ceiling = std::atof(argv[++a]);
+        have_ceiling = true;
+      } else {
+        return usage();
+      }
+    }
+    if (metric.empty() || !have_ceiling) return usage();
+    const bate::BenchMaxResult res =
+        bate::check_bench_max(path, metric, ceiling);
+    std::printf("bench_report: %s\n%s", path.c_str(), res.report.c_str());
+    if (!res.ok) {
+      std::fprintf(stderr,
+                   "bench_report: OVER CEILING (or unreadable input)\n");
       return 1;
     }
     std::printf("bench_report: OK\n");

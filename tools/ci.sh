@@ -13,7 +13,10 @@
 #                  validates the emitted BENCH json against the schema
 #                  (tools/bench_report.h), diffs both against the committed
 #                  baselines (timing for the solver bench; node counts and
-#                  warm timing for the MILP bench), then runs the
+#                  warm timing for the MILP bench); bench_system at a
+#                  reduced arrival count with an absolute floor on
+#                  admissions/sec, a ceiling on p99 reply latency and a
+#                  floor on the batched-vs-serial speedup; then runs the
 #                  obs-overhead gate
 #                  (bench_solver --obs-overhead: metrics enabled must stay
 #                  within 3% of the BATE_OBS_OFF=1 median, DESIGN.md Sec 9)
@@ -116,6 +119,25 @@ for leg in "${legs[@]}"; do
         "build/dev/tools/bench_report" --compare "$ROOT/BENCH_milp.json" \
           "$smoke_json" --metric warm_median_ms --max-regress 3.0
       fi
+      rm -f "$smoke_json"
+      banner "bench_system smoke (20k arrivals, admission-pipeline gates)"
+      cmake --build --preset dev -j "$(nproc)" --target bench_system
+      smoke_json=$(mktemp /tmp/BENCH_system_smoke.XXXXXX.json)
+      "build/dev/bench/bench_system" --arrivals 20000 --serial-arrivals 100 \
+        --out "$smoke_json"
+      "build/dev/bench/bench_system" --validate "$smoke_json"
+      # Absolute gates (ISSUE 9): the committed steady state is >= 100k
+      # admissions/sec at 100k arrivals with a p99 of a few ms; the smoke
+      # floors/ceilings leave a wide margin for a loaded CI box while still
+      # failing if the pipeline degenerates to per-request behaviour
+      # (serial inline runs at a few hundred admissions/sec, 1-2 orders
+      # below the floor).
+      "build/dev/tools/bench_report" --min "$smoke_json" \
+        --metric admissions_per_sec --floor 10000
+      "build/dev/tools/bench_report" --min "$smoke_json" \
+        --metric speedup_vs_serial --floor 5.0
+      "build/dev/tools/bench_report" --max "$smoke_json" \
+        --metric p99_reply_us --ceiling 200000
       rm -f "$smoke_json"
       banner "obs-overhead gate (metrics on vs off, 3% budget)"
       "build/dev/bench/bench_solver" --obs-overhead
