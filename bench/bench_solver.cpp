@@ -38,6 +38,8 @@
 #include "core/recovery.h"
 #include "core/scheduling.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "scenario/pattern.h"
 #include "sim/experiment.h"
@@ -116,18 +118,16 @@ std::vector<Instance> build_instances() {
   return out;
 }
 
-double time_solve_ms(const Model& model, const SimplexOptions& opt) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const Solution sol = solve_lp(model, opt);
-  const auto t1 = std::chrono::steady_clock::now();
-  if (sol.status != SolveStatus::kOptimal) std::abort();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
-
 /// The obs-overhead gate: interleaved A/B solves of one representative
 /// scheduling instance with metrics on vs off, so clock drift and cache
 /// state hit both arms equally. Fails (exit 1) when the enabled median
 /// exceeds the disabled median by more than 3%.
+///
+/// Since the SLO-ledger PR each timed arm also performs one scheduling
+/// round's worth of controller-side SLO work — a set_satisfied sweep over
+/// the fleet (toggling, so real degrade/recover transitions are logged) and
+/// one time-series sample of the registry — so the budget covers the whole
+/// observability surface, not just counters and histograms.
 int run_obs_overhead(int reps) {
   const Topology topo = testbed6();
   const auto catalog = TunnelCatalog::build_all_pairs(topo, 4);
@@ -137,20 +137,58 @@ int run_obs_overhead(int reps) {
   const auto demands = seeded_demands(catalog, topo, 48, 4242);
   const Model model = sched.build_schedule_model(demands);
 
+  obs::SloLedger ledger(
+      // Transition cap sized for the toggling sweep: one transition per
+      // demand per timed solve, 2 arms x (reps + warmup) solves.
+      obs::SloLedger::Config{/*max_transitions=*/4 * static_cast<std::size_t>(
+                                 reps + 4),
+                             /*max_withdrawn=*/64});
+  obs::TimeSeriesStore series;
+  const std::int64_t t0 = obs::now_us();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    ledger.admit(static_cast<std::int64_t>(i + 1), /*tenant=*/0, /*beta=*/0.9,
+                 t0);
+    ledger.allocate(static_cast<std::int64_t>(i + 1), t0);
+  }
+  bool flip = false;
+  int solves = 0;
+  const auto timed_solve = [&](const SimplexOptions& opt) {
+    const auto begin = std::chrono::steady_clock::now();
+    const Solution sol = solve_lp(model, opt);
+    // The controller does exactly this after every scheduling round: one
+    // satisfied-bit sweep over the fleet; periodically, the sampler tick
+    // snapshots the registry into the ring-buffer store (a 1s period in
+    // production — every 8th solve here keeps the duty cycle realistic
+    // rather than charging a full snapshot to every round). Identical work
+    // in both arms; only the metric increments inside differ with the
+    // enabled switch.
+    const std::int64_t now = obs::now_us();
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      ledger.set_satisfied(static_cast<std::int64_t>(i + 1), flip, now);
+    }
+    flip = !flip;
+    if (++solves % 8 == 0) {
+      series.sample(obs::Registry::global().snapshot(), now);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    if (sol.status != SolveStatus::kOptimal) std::abort();
+    return std::chrono::duration<double, std::milli>(end - begin).count();
+  };
+
   const SimplexOptions fast;
   // Warm both arms before sampling.
   obs::set_enabled(true);
-  time_solve_ms(model, fast);
+  timed_solve(fast);
   obs::set_enabled(false);
-  time_solve_ms(model, fast);
+  timed_solve(fast);
 
   std::vector<double> on_ms;
   std::vector<double> off_ms;
   for (int r = 0; r < reps; ++r) {
     obs::set_enabled(true);
-    on_ms.push_back(time_solve_ms(model, fast));
+    on_ms.push_back(timed_solve(fast));
     obs::set_enabled(false);
-    off_ms.push_back(time_solve_ms(model, fast));
+    off_ms.push_back(timed_solve(fast));
   }
   obs::set_enabled(true);
 

@@ -24,14 +24,33 @@
 // acceptance pins it >= 5x and admissions/sec >= 50k at the committed
 // BENCH_system.json scale.
 //
+// A third case exercises the availability-SLO ledger (ISSUE 10):
+//
+//  * slo — chaos run: demands admitted through the pipeline, then brokers
+//    flap links down/up while the controller's ledger accrues degraded /
+//    recovered windows; a slice of demands is withdrawn. The ledger is then
+//    scraped over the kSloRequest RPC and every reported availability is
+//    cross-checked against an independent replay of that demand's
+//    transition log through a fresh obs::AvailabilityMeter — the same
+//    arithmetic src/sim uses — and must agree within 1e-9
+//    (slo_crosscheck_max_abs_err).
+//
 // Usage:
-//   bench_system [--arrivals N] [--serial-arrivals N] [--reps N]
-//                [--out BENCH_system.json] [--validate FILE]
+//   bench_system [--arrivals N] [--serial-arrivals N] [--slo-arrivals N]
+//                [--reps N] [--out BENCH_system.json] [--validate FILE]
+//                [--serve SEC --port-file PATH]
+//
+// --serve starts the controller + brokers, admits the slo workload, keeps
+// flapping links for SEC seconds while writing the controller's port to
+// PATH, so an external scraper (tools/ci.sh runs `bate_top --once --check`)
+// can poll a live stack.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +58,8 @@
 #include "bench_report.h"
 #include "common.h"
 #include "core/admission.h"
+#include "json_mini.h"
+#include "obs/availability.h"
 #include "obs/metrics.h"
 #include "system/broker.h"
 #include "system/client.h"
@@ -81,7 +102,9 @@ struct CaseResult {
 /// run so the reply-latency histogram holds exactly this case's samples.
 CaseResult run_case(const Topology& topo, const TunnelCatalog& catalog,
                     int arrivals, int clients, bool batch) {
-  obs::Registry::global().reset();
+  // Scoped so this case neither sees earlier cases' histogram samples nor
+  // leaks its own into the slo case's coverage check.
+  const obs::ScopedRegistryReset reset_registry;
 
   ControllerConfig cfg;
   cfg.tick_ms = 1;
@@ -157,20 +180,272 @@ CaseResult run_case(const Topology& topo, const TunnelCatalog& catalog,
   return res;
 }
 
+/// SLO-case demand: one pair, 0.1 Mbps, a three-way availability-target mix
+/// (0.99 / 0.9 / best-effort) so the ledger rolls up tenants with different
+/// error budgets. Deterministic in `i`.
+Demand slo_demand(int i, int pair_count) {
+  Demand d;
+  d.id = i + 1;
+  d.pairs = {{i % pair_count, 0.1}};
+  d.availability_target = (i % 3 == 0) ? 0.99 : (i % 3 == 1 ? 0.9 : 0.0);
+  d.charge = 0.01;
+  d.refund_fraction = 0.1;
+  d.duration_minutes = 10.0;
+  return d;
+}
+
+ControllerConfig slo_controller_config() {
+  ControllerConfig cfg;
+  cfg.tick_ms = 1;
+  cfg.batch_admission = true;
+  cfg.max_queue = 1 << 15;
+  cfg.reschedule_after_batch = false;
+  // Fast sampling so even the short chaos run lands ring-buffer points for
+  // the series half of the payload.
+  cfg.slo_sample_period_ms = 20;
+  return cfg;
+}
+
+/// Takes `count` distinct links down — overlapping, not one at a time — then
+/// repairs them, pausing `dwell_ms` after every report. Overlap matters: the
+/// active backup plan avoids only the most recently failed link, so with two
+/// or more links down some demands are planned through another dead link and
+/// the ledger accrues real degraded windows (single-link flaps are healed
+/// completely by the backup plan and never degrade anything).
+void flap_links(Broker& b, int count, int dwell_ms) {
+  for (int i = 0; i < count; ++i) {
+    b.report_link(static_cast<LinkId>(i), false);
+    std::this_thread::sleep_for(std::chrono::milliseconds(dwell_ms));
+  }
+  for (int i = 0; i < count; ++i) {
+    b.report_link(static_cast<LinkId>(i), true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(dwell_ms));
+  }
+}
+
+struct SloCaseResult {
+  long admitted = 0;
+  std::size_t rows = 0;
+  double max_abs_err = 0.0;
+  double min_availability = 1.0;
+  double mean_availability = 0.0;
+  double worst_burn = 0.0;
+  long degraded = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Replays every reported transition log through a fresh AvailabilityMeter
+/// (the same arithmetic src/sim/metrics uses) and compares the result with
+/// the controller's own accounting. Any divergence beyond 1e-9 — or a
+/// truncated log, or a demand missing from the ledger — fails the case.
+void crosscheck_slo(const std::string& payload, SloCaseResult* res) {
+  json::JsonValue root;
+  try {
+    root = json::parse(payload);
+  } catch (const std::exception& e) {
+    res->error = std::string("slo payload does not parse: ") + e.what();
+    return;
+  }
+  const json::JsonValue* ledger = root.find("ledger");
+  if (ledger == nullptr || ledger->kind != json::JsonValue::Kind::kObject) {
+    res->error = "slo payload has no ledger object";
+    return;
+  }
+  const json::JsonValue* demands = ledger->find("demands");
+  const json::JsonValue* now = ledger->find("now_us");
+  if (demands == nullptr || demands->kind != json::JsonValue::Kind::kArray ||
+      now == nullptr) {
+    res->error = "ledger payload missing demands/now_us";
+    return;
+  }
+  res->rows = demands->array.size();
+  if (static_cast<long>(res->rows) != res->admitted) {
+    res->error = "ledger covers " + std::to_string(res->rows) +
+                 " demands, admitted " + std::to_string(res->admitted);
+    return;
+  }
+  const auto now_us = static_cast<std::int64_t>(now->number);
+  const auto num = [](const json::JsonValue& obj, const char* key) {
+    const json::JsonValue* v = obj.find(key);
+    return v != nullptr ? v->number : 0.0;
+  };
+  double sum_avail = 0.0;
+  for (const json::JsonValue& d : demands->array) {
+    if (num(d, "dropped_transitions") != 0.0) {
+      res->error = "transition log truncated for demand " +
+                   std::to_string(static_cast<long long>(num(d, "id")));
+      return;
+    }
+    const json::JsonValue* transitions = d.find("transitions");
+    obs::AvailabilityMeter meter;
+    bool saw_degraded = false;
+    if (transitions != nullptr) {
+      for (const json::JsonValue& t : transitions->array) {
+        const auto t_us = static_cast<std::int64_t>(num(t, "t_us"));
+        const json::JsonValue* state = t.find("state");
+        const std::string s =
+            state != nullptr ? state->str : std::string("?");
+        if (s == "admitted") {
+          meter.start(t_us, /*satisfied=*/true);
+        } else if (s == "degraded") {
+          meter.set_satisfied(t_us, false);
+          saw_degraded = true;
+        } else if (s == "recovered") {
+          meter.set_satisfied(t_us, true);
+        } else if (s == "withdrawn") {
+          meter.finalize(t_us);
+        }
+        // "allocated" changes lifecycle state only, not the satisfied bit.
+      }
+    }
+    if (static_cast<double>(meter.active_us_at(now_us)) !=
+            num(d, "active_us") ||
+        static_cast<double>(meter.satisfied_us_at(now_us)) !=
+            num(d, "satisfied_us")) {
+      res->error = "replayed active/satisfied mismatch for demand " +
+                   std::to_string(static_cast<long long>(num(d, "id")));
+      return;
+    }
+    const double avail = num(d, "availability");
+    const double err = std::fabs(meter.availability_at(now_us) - avail);
+    res->max_abs_err = std::max(res->max_abs_err, err);
+    res->min_availability = std::min(res->min_availability, avail);
+    sum_avail += avail;
+    res->worst_burn = std::max(res->worst_burn, num(d, "budget_burn"));
+    if (saw_degraded) ++res->degraded;
+  }
+  res->mean_availability =
+      res->rows > 0 ? sum_avail / static_cast<double>(res->rows) : 0.0;
+  if (res->max_abs_err > 1e-9) {
+    res->error = "availability crosscheck err " +
+                 std::to_string(res->max_abs_err) + " exceeds 1e-9";
+    return;
+  }
+  res->ok = true;
+}
+
+/// Chaos run against a live stack: admit, flap links, withdraw a slice,
+/// scrape the kSloRequest RPC and cross-check every row.
+SloCaseResult run_slo_case(const Topology& topo, const TunnelCatalog& catalog,
+                           int arrivals) {
+  const obs::ScopedRegistryReset reset_registry;
+  Controller controller(topo, catalog, SchedulerConfig{},
+                        AdmissionStrategy::kBate, slo_controller_config());
+  controller.start();
+  Broker b0(0, controller.port());
+  Broker b1(1, controller.port());
+  b0.start();
+  b1.start();
+
+  SloCaseResult res;
+  {
+    UserClient user(controller.port(), /*tenant=*/100);
+    std::vector<Demand> demands;
+    demands.reserve(static_cast<std::size_t>(arrivals));
+    for (int i = 0; i < arrivals; ++i) {
+      demands.push_back(slo_demand(i, catalog.pair_count()));
+    }
+    std::vector<DemandId> admitted_ids;
+    for (const auto& r : user.submit_many(demands, kWindow)) {
+      if (r.admitted()) admitted_ids.push_back(r.id);
+    }
+    res.admitted = static_cast<long>(admitted_ids.size());
+
+    flap_links(b0, /*count=*/3, /*dwell_ms=*/40);
+
+    // Withdraw a tail slice: those meters must freeze at finalize time.
+    const std::size_t withdrawn = admitted_ids.size() / 10;
+    for (std::size_t i = admitted_ids.size() - withdrawn;
+         i < admitted_ids.size(); ++i) {
+      user.withdraw(admitted_ids[i]);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+    crosscheck_slo(user.slo(), &res);
+  }
+
+  controller.stop();
+  b0.stop();
+  b1.stop();
+  return res;
+}
+
+/// --serve: keep a chaos stack alive for `seconds` so an external scraper
+/// (tools/ci.sh runs bate_top) can poll it. The controller port is written
+/// to `port_file` once the workload is admitted.
+int serve_stack(const Topology& topo, const TunnelCatalog& catalog,
+                int arrivals, int seconds, const std::string& port_file) {
+  obs::Registry::global().reset();
+  Controller controller(topo, catalog, SchedulerConfig{},
+                        AdmissionStrategy::kBate, slo_controller_config());
+  controller.start();
+  Broker b0(0, controller.port());
+  Broker b1(1, controller.port());
+  b0.start();
+  b1.start();
+
+  UserClient user(controller.port(), /*tenant=*/100);
+  std::vector<Demand> demands;
+  demands.reserve(static_cast<std::size_t>(arrivals));
+  for (int i = 0; i < arrivals; ++i) {
+    demands.push_back(slo_demand(i, catalog.pair_count()));
+  }
+  long admitted = 0;
+  for (const auto& r : user.submit_many(demands, kWindow)) {
+    if (r.admitted()) ++admitted;
+  }
+
+  {
+    // Port published only after admission, so a scraper that sees the file
+    // also sees a populated ledger.
+    std::ofstream f(port_file, std::ios::trunc);
+    f << controller.port() << "\n";
+    if (!f.good()) {
+      std::fprintf(stderr, "bench_system: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("bench_system: serving port %u (%ld admitted) for %ds\n",
+              controller.port(), admitted, seconds);
+  std::fflush(stdout);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    flap_links(b0, /*count=*/2, /*dwell_ms=*/50);
+  }
+
+  controller.stop();
+  b0.stop();
+  b1.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int arrivals = 100000;
   int serial_arrivals = 400;
+  int slo_arrivals = 1500;
   int reps = 1;
+  int serve_s = 0;
   std::string out_path = "BENCH_system.json";
+  std::string port_file;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--arrivals") == 0 && a + 1 < argc) {
       arrivals = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--serial-arrivals") == 0 && a + 1 < argc) {
       serial_arrivals = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--slo-arrivals") == 0 && a + 1 < argc) {
+      slo_arrivals = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--reps") == 0 && a + 1 < argc) {
       reps = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--serve") == 0 && a + 1 < argc) {
+      serve_s = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--port-file") == 0 && a + 1 < argc) {
+      port_file = argv[++a];
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       out_path = argv[++a];
     } else if (std::strcmp(argv[a], "--validate") == 0 && a + 1 < argc) {
@@ -185,17 +460,27 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_system [--arrivals N] [--serial-arrivals N] "
-                   "[--reps N] [--out FILE] [--validate FILE]\n");
+                   "[--slo-arrivals N] [--reps N] [--out FILE] "
+                   "[--validate FILE] [--serve SEC --port-file PATH]\n");
       return 2;
     }
   }
   if (arrivals < 1) arrivals = 1;
   if (serial_arrivals < 1) serial_arrivals = 1;
+  if (slo_arrivals < 1) slo_arrivals = 1;
   if (reps < 1) reps = 1;
 
   obs::set_enabled(true);
   const Topology topo = testbed6();
   const TunnelCatalog catalog = TunnelCatalog::build_all_pairs(topo, 4);
+
+  if (serve_s > 0) {
+    if (port_file.empty()) {
+      std::fprintf(stderr, "bench_system: --serve requires --port-file\n");
+      return 2;
+    }
+    return serve_stack(topo, catalog, slo_arrivals, serve_s, port_file);
+  }
 
   // Best-of-reps for the batched case (the serial baseline is long enough
   // per rep that one run is representative, and its cost dominates).
@@ -212,6 +497,12 @@ int main(int argc, char** argv) {
   }
   const CaseResult serial =
       run_case(topo, catalog, serial_arrivals, 1, false);
+  const SloCaseResult slo = run_slo_case(topo, catalog, slo_arrivals);
+  if (!slo.ok) {
+    std::fprintf(stderr, "bench_system: slo case FAILED: %s\n",
+                 slo.error.c_str());
+    return 1;
+  }
 
   const double admissions_per_sec =
       batched.elapsed_s > 0.0 ? batched.admitted / batched.elapsed_s : 0.0;
@@ -231,6 +522,11 @@ int main(int argc, char** argv) {
               serial_arrivals, serial.admitted, serial_rate, serial.shed,
               serial.p50_reply_us, serial.p99_reply_us);
   std::printf("speedup vs serial: %.1fx\n", speedup);
+  std::printf(
+      "slo: %ld demands, %ld degraded at least once, crosscheck max err "
+      "%.3g, availability min %.6f mean %.6f, worst burn %.3f\n",
+      slo.admitted, slo.degraded, slo.max_abs_err, slo.min_availability,
+      slo.mean_availability, slo.worst_burn);
 
   BenchReport report;
   report.bench = "system";
@@ -266,6 +562,19 @@ int main(int argc, char** argv) {
         {"serial_admissions_per_sec", serial_rate},
         {"serial_p50_reply_us", serial.p50_reply_us},
         {"serial_p99_reply_us", serial.p99_reply_us},
+    };
+    report.cases.push_back(std::move(c));
+  }
+  {
+    BenchCase c;
+    c.name = "slo_chaos_testbed6";
+    c.metrics = {
+        {"slo_demands", static_cast<double>(slo.admitted)},
+        {"slo_degraded_demands", static_cast<double>(slo.degraded)},
+        {"slo_crosscheck_max_abs_err", slo.max_abs_err},
+        {"slo_min_availability", slo.min_availability},
+        {"slo_mean_availability", slo.mean_availability},
+        {"slo_worst_burn", slo.worst_burn},
     };
     report.cases.push_back(std::move(c));
   }

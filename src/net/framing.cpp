@@ -5,30 +5,69 @@
 
 namespace bate {
 
-std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload,
+                                       const FrameContext& ctx) {
   if (payload.size() > kMaxFrameBytes) {
     throw std::length_error("encode_frame: payload too large");
   }
-  std::vector<std::uint8_t> out(4 + payload.size());
+  const bool traced = ctx.valid();
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + (traced ? 16 : 0) + payload.size());
   const auto len = static_cast<std::uint32_t>(payload.size());
-  out[0] = static_cast<std::uint8_t>(len & 0xFF);
-  out[1] = static_cast<std::uint8_t>((len >> 8) & 0xFF);
-  out[2] = static_cast<std::uint8_t>((len >> 16) & 0xFF);
-  out[3] = static_cast<std::uint8_t>((len >> 24) & 0xFF);
-  std::memcpy(out.data() + 4, payload.data(), payload.size());
+  append_u32(out, traced ? (len | kFrameTraceFlag) : len);
+  if (traced) {
+    append_u64(out, ctx.trace_id);
+    append_u64(out, ctx.span_id);
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
 
-void FrameBatch::add(std::span<const std::uint8_t> payload) {
+void FrameBatch::add(std::span<const std::uint8_t> payload,
+                     const FrameContext& ctx) {
   if (payload.size() > kMaxFrameBytes) {
     throw std::length_error("FrameBatch: payload too large");
   }
+  const bool traced = ctx.valid();
   const auto len = static_cast<std::uint32_t>(payload.size());
-  buffer_.reserve(buffer_.size() + 4 + payload.size());
-  buffer_.push_back(static_cast<std::uint8_t>(len & 0xFF));
-  buffer_.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
-  buffer_.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
-  buffer_.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+  buffer_.reserve(buffer_.size() + 4 + (traced ? 16 : 0) + payload.size());
+  append_u32(buffer_, traced ? (len | kFrameTraceFlag) : len);
+  if (traced) {
+    append_u64(buffer_, ctx.trace_id);
+    append_u64(buffer_, ctx.span_id);
+  }
   buffer_.insert(buffer_.end(), payload.begin(), payload.end());
   ++frames_;
 }
@@ -36,30 +75,44 @@ void FrameBatch::add(std::span<const std::uint8_t> payload) {
 void FrameReader::feed(std::span<const std::uint8_t> data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
   if (buffer_.size() >= 4) {
-    const std::uint32_t len = static_cast<std::uint32_t>(buffer_[0]) |
-                              (static_cast<std::uint32_t>(buffer_[1]) << 8) |
-                              (static_cast<std::uint32_t>(buffer_[2]) << 16) |
-                              (static_cast<std::uint32_t>(buffer_[3]) << 24);
+    // Mask the trace flag before the size check: the length field proper
+    // is the low bits only.
+    const std::uint32_t len = read_u32(buffer_.data()) & ~kFrameTraceFlag;
     if (len > kMaxFrameBytes) {
       throw std::length_error("FrameReader: oversized frame");
     }
   }
 }
 
-std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+std::optional<Frame> FrameReader::next_frame() {
   if (buffer_.size() < 4) return std::nullopt;
-  const std::uint32_t len = static_cast<std::uint32_t>(buffer_[0]) |
-                            (static_cast<std::uint32_t>(buffer_[1]) << 8) |
-                            (static_cast<std::uint32_t>(buffer_[2]) << 16) |
-                            (static_cast<std::uint32_t>(buffer_[3]) << 24);
+  const std::uint32_t word = read_u32(buffer_.data());
+  const bool traced = (word & kFrameTraceFlag) != 0;
+  const std::uint32_t len = word & ~kFrameTraceFlag;
   if (len > kMaxFrameBytes) {
     throw std::length_error("FrameReader: oversized frame");
   }
-  if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
-  std::vector<std::uint8_t> payload(buffer_.begin() + 4,
-                                    buffer_.begin() + 4 + len);
-  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
-  return payload;
+  const std::size_t header = 4 + (traced ? 16 : 0);
+  if (buffer_.size() < header + static_cast<std::size_t>(len)) {
+    return std::nullopt;
+  }
+  Frame frame;
+  if (traced) {
+    frame.context.trace_id = read_u64(buffer_.data() + 4);
+    frame.context.span_id = read_u64(buffer_.data() + 12);
+  }
+  frame.payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(header),
+                       buffer_.begin() +
+                           static_cast<std::ptrdiff_t>(header + len));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(header + len));
+  return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  auto frame = next_frame();
+  if (!frame) return std::nullopt;
+  return std::move(frame->payload);
 }
 
 }  // namespace bate

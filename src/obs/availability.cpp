@@ -1,0 +1,66 @@
+#include "obs/availability.h"
+
+namespace bate::obs {
+
+void AvailabilityMeter::start(std::int64_t t_us, bool satisfied) noexcept {
+  if (started_) return;
+  started_ = true;
+  satisfied_ = satisfied;
+  last_us_ = t_us;
+}
+
+std::int64_t AvailabilityMeter::open_interval_us(
+    std::int64_t now_us) const noexcept {
+  if (!started_ || finalized_) return 0;
+  return now_us > last_us_ ? now_us - last_us_ : 0;
+}
+
+void AvailabilityMeter::set_satisfied(std::int64_t t_us,
+                                      bool satisfied) noexcept {
+  if (!started_ || finalized_) return;
+  const std::int64_t dt = open_interval_us(t_us);
+  active_us_ += dt;
+  if (satisfied_) satisfied_us_ += dt;
+  if (t_us > last_us_) last_us_ = t_us;
+  satisfied_ = satisfied;
+}
+
+void AvailabilityMeter::finalize(std::int64_t t_us) noexcept {
+  if (!started_ || finalized_) return;
+  set_satisfied(t_us, satisfied_);
+  finalized_ = true;
+}
+
+std::int64_t AvailabilityMeter::active_us_at(
+    std::int64_t now_us) const noexcept {
+  return active_us_ + open_interval_us(now_us);
+}
+
+std::int64_t AvailabilityMeter::satisfied_us_at(
+    std::int64_t now_us) const noexcept {
+  return satisfied_us_ + (satisfied_ ? open_interval_us(now_us) : 0);
+}
+
+double AvailabilityMeter::budget_burn_at(double beta,
+                                         std::int64_t now_us) const noexcept {
+  const std::int64_t active = active_us_at(now_us);
+  if (active == 0) return 0.0;
+  const double burned =
+      static_cast<double>(active - satisfied_us_at(now_us));
+  const double allowed = (1.0 - beta) * static_cast<double>(active);
+  if (allowed <= 0.0) return burned > 0.0 ? kInfiniteBurn : 0.0;
+  return burned / allowed;
+}
+
+double AvailabilityMeter::burn_per_hour_at(double beta,
+                                           std::int64_t now_us) const noexcept {
+  const std::int64_t active = active_us_at(now_us);
+  if (active == 0) return 0.0;
+  const double hours = static_cast<double>(active) / 3.6e9;
+  if (hours <= 0.0) return 0.0;
+  const double burn = budget_burn_at(beta, now_us);
+  if (burn >= kInfiniteBurn) return kInfiniteBurn;
+  return burn / hours;
+}
+
+}  // namespace bate::obs

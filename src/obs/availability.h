@@ -1,0 +1,116 @@
+// Shared availability-accounting arithmetic (the paper's beta_d promise,
+// Sec 2/6): ONE implementation of "measured availability" used by both the
+// offline simulator (src/sim/metrics.h, per-second counters) and the live
+// controller's SLO ledger (src/obs/slo.h, time-weighted transitions), so
+// the two accountings can never drift. The equivalence test in
+// tests/slo_test.cpp feeds one event sequence through both and asserts
+// identical results.
+//
+// Conventions, fixed here so every consumer agrees:
+//  * A second (or interval) is SATISFIED when delivered/demanded >= 0.99 on
+//    every pair of the demand — the paper tolerates a <= 1% downward
+//    deviation before a second counts against availability.
+//  * availability = satisfied_time / active_time, and a demand that was
+//    never active is trivially 1.0 (it was never failed).
+//  * A target is met with a +1e-12 absolute tolerance, absorbing the
+//    satisfied/active division's rounding.
+#pragma once
+
+#include <cstdint>
+
+namespace bate::obs {
+
+/// Paper rule (Sec 2): a downward deviation of more than 1% breaks the
+/// interval. delivered_ratio = delivered / demanded for one pair.
+inline constexpr double kSatisfiedRatioFloor = 0.99;
+
+/// Absolute tolerance for target_met comparisons.
+inline constexpr double kAvailabilityTol = 1e-12;
+
+/// True when one pair's delivered/demanded ratio keeps the interval
+/// satisfied.
+inline bool interval_satisfied(double delivered_ratio) noexcept {
+  return delivered_ratio >= kSatisfiedRatioFloor;
+}
+
+/// satisfied/active in any common time unit; 1.0 when never active.
+inline double availability_ratio(std::int64_t satisfied,
+                                 std::int64_t active) noexcept {
+  return active == 0 ? 1.0
+                     : static_cast<double>(satisfied) /
+                           static_cast<double>(active);
+}
+
+/// True when the measured availability meets `target` (the promised
+/// beta_d), within kAvailabilityTol.
+inline bool availability_target_met(double achieved, double target) noexcept {
+  return achieved + kAvailabilityTol >= target;
+}
+
+/// Time-weighted two-state (satisfied / unsatisfied) accumulator over
+/// microsecond timestamps: the live ledger's measured-availability
+/// arithmetic. Feeding it transitions at second boundaries reproduces the
+/// simulator's per-second counters exactly (scaled by 1e6).
+///
+/// Timestamps must be monotone non-decreasing; an out-of-order timestamp
+/// clamps to the last seen time (the interval contributes zero) rather
+/// than corrupting the totals.
+class AvailabilityMeter {
+ public:
+  /// Begins accounting at `t_us`, in the given state. Repeated start is
+  /// ignored.
+  void start(std::int64_t t_us, bool satisfied = true) noexcept;
+
+  /// Accumulates the elapsed interval under the previous state, then
+  /// switches. No-op before start() or after finalize().
+  void set_satisfied(std::int64_t t_us, bool satisfied) noexcept;
+
+  /// Accumulates the tail interval and freezes the meter (withdraw).
+  void finalize(std::int64_t t_us) noexcept;
+
+  bool started() const noexcept { return started_; }
+  bool finalized() const noexcept { return finalized_; }
+  bool satisfied() const noexcept { return satisfied_; }
+
+  /// Accumulated totals as of the last transition/finalize.
+  std::int64_t active_us() const noexcept { return active_us_; }
+  std::int64_t satisfied_us() const noexcept { return satisfied_us_; }
+
+  /// Read-only peek including the open interval up to `now_us` (snapshot
+  /// paths): totals as if set_satisfied(now_us, satisfied()) had run.
+  std::int64_t active_us_at(std::int64_t now_us) const noexcept;
+  std::int64_t satisfied_us_at(std::int64_t now_us) const noexcept;
+  std::int64_t unsatisfied_us_at(std::int64_t now_us) const noexcept {
+    return active_us_at(now_us) - satisfied_us_at(now_us);
+  }
+
+  double availability_at(std::int64_t now_us) const noexcept {
+    return availability_ratio(satisfied_us_at(now_us), active_us_at(now_us));
+  }
+
+  /// Error-budget burn against a promised availability `beta`: the
+  /// fraction of the allowed unavailable time (1 - beta over the active
+  /// window) already consumed. > 1 means the SLO is violated; a beta of
+  /// 1.0 allows zero unavailability, so any burn reports kInfiniteBurn.
+  double budget_burn_at(double beta, std::int64_t now_us) const noexcept;
+
+  /// Burn per active hour (a burn RATE: 1.0 means the whole budget is
+  /// consumed every hour at the current pace).
+  double burn_per_hour_at(double beta, std::int64_t now_us) const noexcept;
+
+  /// Sentinel burn for a fully-consumed zero budget (kept finite so JSON
+  /// renderings stay parseable).
+  static constexpr double kInfiniteBurn = 1e12;
+
+ private:
+  std::int64_t open_interval_us(std::int64_t now_us) const noexcept;
+
+  bool started_ = false;
+  bool finalized_ = false;
+  bool satisfied_ = true;
+  std::int64_t last_us_ = 0;
+  std::int64_t active_us_ = 0;
+  std::int64_t satisfied_us_ = 0;
+};
+
+}  // namespace bate::obs

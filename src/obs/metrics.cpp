@@ -270,11 +270,23 @@ std::string Registry::dump(std::string_view format) const {
   return snap.to_prometheus();
 }
 
-void Registry::reset() {
+void Registry::reset() { reset(std::string_view{}); }
+
+void Registry::reset(std::string_view prefix) {
+  const auto matches = [prefix](const std::string& name) {
+    return prefix.empty() ||
+           std::string_view(name).substr(0, prefix.size()) == prefix;
+  };
   MutexLock lock(mu_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, c] : counters_) {
+    if (matches(name)) c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (matches(name)) g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (matches(name)) h->reset();
+  }
 }
 
 }  // namespace bate::obs

@@ -209,6 +209,9 @@ class Registry {
   /// Zeroes every registered metric (bench/test isolation). Handles stay
   /// valid.
   void reset();
+  /// Zeroes only metrics whose name starts with `prefix` (namespace-scoped
+  /// isolation: e.g. "bate_slo_" between ledger tests). "" matches all.
+  void reset(std::string_view prefix);
 
  private:
   // kObsRegistry is the bottom of the lock hierarchy: metric registration
@@ -221,6 +224,27 @@ class Registry {
       BATE_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       BATE_GUARDED_BY(mu_);
+};
+
+/// RAII registry hygiene for tests and bench reps: resets the matching
+/// metrics (all, or a name prefix) on construction AND destruction, so a
+/// scope neither observes earlier process-global counter state nor leaks
+/// its own into later cases. The registry itself stays process-global —
+/// handles cached in function-local statics remain valid.
+class ScopedRegistryReset {
+ public:
+  explicit ScopedRegistryReset(Registry& registry = Registry::global(),
+                               std::string_view prefix = "")
+      : registry_(registry), prefix_(prefix) {
+    registry_.reset(prefix_);
+  }
+  ~ScopedRegistryReset() { registry_.reset(prefix_); }
+  ScopedRegistryReset(const ScopedRegistryReset&) = delete;
+  ScopedRegistryReset& operator=(const ScopedRegistryReset&) = delete;
+
+ private:
+  Registry& registry_;
+  std::string prefix_;
 };
 
 }  // namespace bate::obs

@@ -1,0 +1,168 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace bate::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : points_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeries::push(std::int64_t t_us, double value) {
+  const std::size_t cap = points_.size();
+  if (size_ < cap) {
+    points_[(head_ + size_) % cap] = Point{t_us, value};
+    ++size_;
+  } else {
+    points_[head_] = Point{t_us, value};
+    head_ = (head_ + 1) % cap;
+  }
+}
+
+std::vector<std::pair<std::int64_t, double>> TimeSeries::points() const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Point& p = points_[(head_ + i) % points_.size()];
+    out.emplace_back(p.t_us, p.value);
+  }
+  return out;
+}
+
+WindowStats TimeSeries::window(std::int64_t now_us,
+                               std::int64_t window_us) const {
+  WindowStats w;
+  const std::int64_t lo = now_us - window_us;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Point& p = points_[(head_ + i) % points_.size()];
+    if (p.t_us < lo || p.t_us > now_us) continue;
+    if (w.count == 0) {
+      w.min = w.max = p.value;
+      w.first_t_us = p.t_us;
+    } else {
+      w.min = std::min(w.min, p.value);
+      w.max = std::max(w.max, p.value);
+    }
+    w.last_t_us = p.t_us;
+    sum += p.value;
+    ++w.count;
+  }
+  if (w.count > 0) {
+    w.avg = sum / static_cast<double>(w.count);
+    const std::int64_t elapsed = w.last_t_us - w.first_t_us;
+    if (w.count >= 2 && elapsed > 0) {
+      // First/last values come back out of the ring in push order, so this
+      // is (newest - oldest) / elapsed — the counter rate.
+      double first_v = 0.0;
+      double last_v = 0.0;
+      bool seen = false;
+      for (std::size_t i = 0; i < size_; ++i) {
+        const Point& p = points_[(head_ + i) % points_.size()];
+        if (p.t_us < lo || p.t_us > now_us) continue;
+        if (!seen) {
+          first_v = p.value;
+          seen = true;
+        }
+        last_v = p.value;
+      }
+      w.rate_per_sec = (last_v - first_v) * 1e6 / static_cast<double>(elapsed);
+    }
+  }
+  return w;
+}
+
+void TimeSeriesStore::record(std::string_view name, std::int64_t t_us,
+                             double value) {
+  MutexLock lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(name),
+                      TimeSeries(config_.capacity_per_series))
+             .first;
+  }
+  it->second.push(t_us, value);
+}
+
+void TimeSeriesStore::sample(const MetricsSnapshot& snap, std::int64_t t_us) {
+  for (const auto& [name, v] : snap.counters) {
+    record(name, t_us, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    record(name, t_us, v);
+  }
+  char qname[160];
+  for (const auto& [name, h] : snap.histograms) {
+    std::snprintf(qname, sizeof qname, "%s_p%02d", name.c_str(),
+                  static_cast<int>(config_.quantile_lo * 100));
+    record(qname, t_us, h.quantile(config_.quantile_lo));
+    std::snprintf(qname, sizeof qname, "%s_p%02d", name.c_str(),
+                  static_cast<int>(config_.quantile_hi * 100));
+    record(qname, t_us, h.quantile(config_.quantile_hi));
+  }
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  MutexLock lock(mu_);
+  return series_.size();
+}
+
+WindowStats TimeSeriesStore::window(std::string_view name,
+                                    std::int64_t now_us,
+                                    std::int64_t window_us) const {
+  MutexLock lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return WindowStats{};
+  return it->second.window(now_us, window_us);
+}
+
+std::string TimeSeriesStore::to_json(std::int64_t now_us,
+                                     std::int64_t window_us) const {
+  std::string out = "{\"now_us\":";
+  out += std::to_string(now_us);
+  out += ",\"window_us\":";
+  out += std::to_string(window_us);
+  out += ",\"series\":{";
+  MutexLock lock(mu_);
+  bool first = true;
+  for (const auto& [name, series] : series_) {
+    const WindowStats w = series.window(now_us, window_us);
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(w.count);
+    out += ",\"min\":";
+    append_double(out, w.min);
+    out += ",\"max\":";
+    append_double(out, w.max);
+    out += ",\"avg\":";
+    append_double(out, w.avg);
+    out += ",\"rate_per_sec\":";
+    append_double(out, w.rate_per_sec);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void TimeSeriesStore::clear() {
+  MutexLock lock(mu_);
+  series_.clear();
+}
+
+}  // namespace bate::obs

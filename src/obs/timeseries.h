@@ -1,0 +1,110 @@
+// Fixed-memory ring-buffer time-series store over registry metrics
+// (DESIGN.md Sec 9.5). The registry answers "what is the counter NOW"; an
+// operator dashboard needs "what happened over the last minute" —
+// admissions/sec, p99 trend, queue-depth min/max — without unbounded
+// memory on a controller that runs for months. Each series is a
+// fixed-capacity ring of (t_us, value) points; sample() appends one point
+// per counter, gauge, and histogram quantile from a MetricsSnapshot, and
+// window() reduces the points inside [now - window, now] to
+// min/max/avg/rate.
+//
+// Threading: one Mutex at rank kObsLedger (same rank as the SLO ledger;
+// the two locks are never held together). The controller loop samples at a
+// configured period; the stats RPC path reads windows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace bate::obs {
+
+struct MetricsSnapshot;
+
+/// Reduction of one series over a time window.
+struct WindowStats {
+  std::int64_t count = 0;  // points inside the window
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+  /// (last - first) / elapsed seconds — the per-second rate for counters;
+  /// 0 with fewer than two points or zero elapsed time.
+  double rate_per_sec = 0.0;
+  std::int64_t first_t_us = 0;
+  std::int64_t last_t_us = 0;
+};
+
+/// Fixed-capacity ring of (t_us, value) points; push overwrites the oldest
+/// once full. Timestamps are expected non-decreasing (push order is kept,
+/// not re-sorted).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 256);
+
+  void push(std::int64_t t_us, double value);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return points_.size(); }
+
+  /// Points in push order, oldest first (test/inspection helper).
+  std::vector<std::pair<std::int64_t, double>> points() const;
+
+  /// Reduces the points with t in [now_us - window_us, now_us].
+  WindowStats window(std::int64_t now_us, std::int64_t window_us) const;
+
+ private:
+  struct Point {
+    std::int64_t t_us = 0;
+    double value = 0.0;
+  };
+  std::vector<Point> points_;
+  std::size_t head_ = 0;  // index of the oldest point
+  std::size_t size_ = 0;
+};
+
+/// Named series, sampled from the metrics registry on a fixed period.
+class TimeSeriesStore {
+ public:
+  struct Config {
+    std::size_t capacity_per_series = 256;
+    /// Histogram quantiles recorded as "<name>_p50" / "<name>_p99".
+    double quantile_lo = 0.50;
+    double quantile_hi = 0.99;
+  };
+
+  TimeSeriesStore() : TimeSeriesStore(Config{}) {}
+  explicit TimeSeriesStore(const Config& config) : config_(config) {}
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Appends one point to the named series (created on first use).
+  void record(std::string_view name, std::int64_t t_us, double value);
+
+  /// Records every counter, gauge, and histogram quantile pair from a
+  /// registry snapshot at time t_us. One call per sampling tick.
+  void sample(const MetricsSnapshot& snap, std::int64_t t_us);
+
+  std::size_t series_count() const;
+
+  /// Window over one series; zero stats when the series is unknown.
+  WindowStats window(std::string_view name, std::int64_t now_us,
+                     std::int64_t window_us) const;
+
+  /// {"window_us":W,"now_us":N,"series":{"name":{count,min,max,avg,
+  /// rate_per_sec},...}} for every known series.
+  std::string to_json(std::int64_t now_us, std::int64_t window_us) const;
+
+  /// Drops every series (bench/test isolation).
+  void clear();
+
+ private:
+  const Config config_;
+  mutable Mutex mu_{LockRank::kObsLedger, "timeseries store"};
+  std::map<std::string, TimeSeries, std::less<>> series_ BATE_GUARDED_BY(mu_);
+};
+
+}  // namespace bate::obs

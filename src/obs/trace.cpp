@@ -26,7 +26,24 @@ void append_i64(std::string& out, std::int64_t v) {
   out += buf;
 }
 
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// The thread's ambient span context (innermost open Span or adopted wire
+/// context). Plain thread_local: only the owning thread touches it.
+thread_local SpanContext g_ambient{};
+
 }  // namespace
+
+SpanContext current_context() noexcept { return g_ambient; }
+
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
     : cap_(round_pow2(capacity)),
@@ -34,7 +51,8 @@ TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
       slots_(std::make_unique<Slot[]>(cap_)) {}
 
 void TraceRing::push(const char* name, std::int64_t ts_us,
-                     std::int64_t dur_us) noexcept {
+                     std::int64_t dur_us, std::uint64_t trace_id,
+                     std::uint64_t span_id, std::uint64_t parent_id) noexcept {
   const std::uint64_t h = head_.load(std::memory_order_relaxed);
   Slot& s = slots_[h & (cap_ - 1)];
   // Null the name first so a concurrent reader skips the slot instead of
@@ -42,6 +60,9 @@ void TraceRing::push(const char* name, std::int64_t ts_us,
   s.name.store(nullptr, std::memory_order_relaxed);
   s.ts_us.store(ts_us, std::memory_order_relaxed);
   s.dur_us.store(dur_us, std::memory_order_relaxed);
+  s.trace_id.store(trace_id, std::memory_order_relaxed);
+  s.span_id.store(span_id, std::memory_order_relaxed);
+  s.parent_id.store(parent_id, std::memory_order_relaxed);
   s.name.store(name, std::memory_order_release);
   head_.store(h + 1, std::memory_order_release);
 }
@@ -56,7 +77,10 @@ std::vector<TraceEventCopy> TraceRing::events() const {
     const char* name = s.name.load(std::memory_order_acquire);
     if (name == nullptr) continue;  // mid-rewrite by a wrapping writer
     out.push_back({name, s.ts_us.load(std::memory_order_relaxed),
-                   s.dur_us.load(std::memory_order_relaxed), tid_});
+                   s.dur_us.load(std::memory_order_relaxed), tid_,
+                   s.trace_id.load(std::memory_order_relaxed),
+                   s.span_id.load(std::memory_order_relaxed),
+                   s.parent_id.load(std::memory_order_relaxed)});
   }
   return out;
 }
@@ -101,6 +125,17 @@ std::string chrome_trace_json(const std::vector<TraceEventCopy>& events) {
     append_i64(out, e.dur_us);
     out += ",\"pid\":1,\"tid\":";
     append_i64(out, e.tid);
+    // Identity args only for context-carrying spans; id-less events keep
+    // the exact pre-context JSON shape (golden-tested).
+    if (e.span_id != 0) {
+      out += ",\"args\":{\"trace\":";
+      append_u64(out, e.trace_id);
+      out += ",\"span\":";
+      append_u64(out, e.span_id);
+      out += ",\"parent\":";
+      append_u64(out, e.parent_id);
+      out += "}";
+    }
     out += "}";
   }
   out += "]}";
@@ -131,6 +166,43 @@ void Tracer::clear() {
 std::size_t Tracer::ring_count() const {
   ReaderMutexLock lock(mu_);
   return rings_.size();
+}
+
+void record_span(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+                 const SpanContext& ctx, std::uint64_t parent_id) noexcept {
+  if (!enabled()) return;
+  Tracer::global().thread_ring().push(name, ts_us, dur_us, ctx.trace_id,
+                                      ctx.span_id, parent_id);
+}
+
+Span::Span(const char* name) noexcept {
+  if (!enabled()) return;
+  name_ = name;
+  start_ = now_us();
+  prev_ambient_ = g_ambient;
+  span_ = next_span_id();
+  parent_ = prev_ambient_.span_id;
+  // Join the ambient trace, or root a fresh one.
+  trace_ = prev_ambient_.valid() ? prev_ambient_.trace_id : next_span_id();
+  g_ambient = SpanContext{trace_, span_};
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  g_ambient = prev_ambient_;
+  Tracer::global().thread_ring().push(name_, start_, now_us() - start_,
+                                      trace_, span_, parent_);
+}
+
+ScopedTraceContext::ScopedTraceContext(const SpanContext& ctx) noexcept {
+  if (!ctx.valid() || !enabled()) return;
+  adopted_ = true;
+  prev_ = g_ambient;
+  g_ambient = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (adopted_) g_ambient = prev_;
 }
 
 }  // namespace bate::obs

@@ -29,12 +29,36 @@
 
 namespace bate::obs {
 
-/// One completed span, as copied out of a ring by the exporter.
+/// Identity of a span for cross-process causality: which request (trace)
+/// it belongs to and which span it is. Propagated over the wire in the
+/// frame header (src/net/framing.h) so client -> controller -> broker
+/// renders as ONE trace. trace_id == 0 means "no context".
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// The calling thread's ambient span context: the innermost open Span, or
+/// whatever a ScopedTraceContext adopted from the wire. New spans parent
+/// under it.
+SpanContext current_context() noexcept;
+
+/// Process-unique non-zero span/trace id allocator (one atomic counter).
+std::uint64_t next_span_id() noexcept;
+
+/// One completed span, as copied out of a ring by the exporter. The id
+/// fields default to 0 ("no context") so id-less aggregate initialization
+/// and the legacy 3-arg push keep working — and render the exact same JSON
+/// as before (args are emitted only when span_id != 0).
 struct TraceEventCopy {
   const char* name = nullptr;  // string literal supplied to the span
   std::int64_t ts_us = 0;      // start, obs::now_us() clock
   std::int64_t dur_us = 0;
   std::uint32_t tid = 0;  // small ring id, not the OS thread id
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // span_id of the parent; 0 for a root
 };
 
 /// Fixed-capacity single-writer ring of completed spans. push() is the
@@ -49,8 +73,9 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
-  void push(const char* name, std::int64_t ts_us,
-            std::int64_t dur_us) noexcept;
+  void push(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+            std::uint64_t trace_id = 0, std::uint64_t span_id = 0,
+            std::uint64_t parent_id = 0) noexcept;
 
   /// Events pushed over the ring's lifetime (>= events().size()).
   std::uint64_t total() const noexcept {
@@ -71,6 +96,9 @@ class TraceRing {
     std::atomic<const char*> name{nullptr};
     std::atomic<std::int64_t> ts_us{0};
     std::atomic<std::int64_t> dur_us{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> parent_id{0};
   };
   std::size_t cap_;
   std::uint32_t tid_;
@@ -107,28 +135,54 @@ class Tracer {
 /// for exporting a single ring).
 std::string chrome_trace_json(const std::vector<TraceEventCopy>& events);
 
+/// Records a span retroactively, with explicit timestamps and identity —
+/// for spans whose duration is only known after the fact (e.g. the
+/// controller's per-demand queue-wait, measured enqueue -> drain).
+void record_span(const char* name, std::int64_t ts_us, std::int64_t dur_us,
+                 const SpanContext& ctx, std::uint64_t parent_id) noexcept;
+
 /// RAII span: captures now_us() at construction, records into the calling
 /// thread's ring at destruction. `name` MUST be a string literal (or
 /// otherwise outlive every export).
+///
+/// Identity: the span allocates its own span_id, parents under the
+/// thread's ambient context (current_context()), joins the ambient trace —
+/// or starts a new trace when there is none — and becomes the ambient
+/// context for its scope, so nested spans chain automatically.
 class Span {
  public:
-  explicit Span(const char* name) noexcept {
-    if (enabled()) {
-      name_ = name;
-      start_ = now_us();
-    }
-  }
-  ~Span() {
-    if (name_ != nullptr) {
-      Tracer::global().thread_ring().push(name_, start_, now_us() - start_);
-    }
-  }
+  explicit Span(const char* name) noexcept;
+  ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+
+  /// This span's identity, e.g. to stamp onto an outgoing frame. Zero ids
+  /// when tracing is disabled.
+  SpanContext context() const noexcept { return SpanContext{trace_, span_}; }
 
  private:
   const char* name_ = nullptr;
   std::int64_t start_ = 0;
+  std::uint64_t trace_ = 0;
+  std::uint64_t span_ = 0;
+  std::uint64_t parent_ = 0;
+  SpanContext prev_ambient_{};
+};
+
+/// Adopts a span context received over the wire as the thread's ambient
+/// context for a scope: spans opened inside parent under the REMOTE span,
+/// stitching the cross-process trace together. A !valid() context is a
+/// no-op (the scope keeps its local ambient).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const SpanContext& ctx) noexcept;
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  bool adopted_ = false;
+  SpanContext prev_{};
 };
 
 }  // namespace bate::obs

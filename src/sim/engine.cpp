@@ -6,6 +6,7 @@
 #include <map>
 
 #include "core/pricing.h"
+#include "obs/availability.h"
 
 namespace bate {
 
@@ -291,8 +292,9 @@ SimMetrics run_testbed_sim(const TrafficScheduler& scheduler,
         for (std::size_t p = 0; p < d.pairs.size(); ++p) {
           const double ratio = delivered[i][p] / d.pairs[p].mbps;
           worst_ratio = std::min(worst_ratio, ratio);
-          // Paper: a downward deviation of more than 1% breaks the second.
-          if (ratio < 0.99) ok = false;
+          // Paper: a downward deviation of more than 1% breaks the second
+          // (shared floor with the live ledger, obs/availability.h).
+          if (!obs::interval_satisfied(ratio)) ok = false;
         }
         if (ok) ++o.satisfied_seconds;
         if (static_cast<int>(o.delivered_ratio_samples.size()) <

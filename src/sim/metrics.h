@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/availability.h"
 #include "util/stats.h"
 #include "workload/demand.h"
 
@@ -23,13 +24,13 @@ struct DemandOutcome {
   std::vector<double> delivered_ratio_samples;
 
   double achieved_availability() const {
-    return active_seconds == 0
-               ? 1.0
-               : static_cast<double>(satisfied_seconds) /
-                     static_cast<double>(active_seconds);
+    // Shared arithmetic with the live SLO ledger (obs/availability.h) so
+    // offline and online accountings can never drift.
+    return obs::availability_ratio(satisfied_seconds, active_seconds);
   }
   bool target_met() const {
-    return achieved_availability() + 1e-12 >= availability_target;
+    return obs::availability_target_met(achieved_availability(),
+                                        availability_target);
   }
   double profit() const {
     if (!admitted) return 0.0;

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -98,13 +99,13 @@ void Broker::receive_loop() {
     if (n <= 0) break;  // peer closed or socket shut down
     if (obs::enabled()) BrokerMetrics::get().bytes_in.inc(n);
     reader.feed({buf.data(), static_cast<std::size_t>(n)});
-    while (auto frame = reader.next()) {
+    while (auto frame = reader.next_frame()) {
       if (obs::enabled()) BrokerMetrics::get().frames_in.inc();
       Message msg;
       try {
-        msg = decode_message(*frame);
+        msg = decode_message(frame->payload);
       } catch (const std::exception& e) {
-        BATE_LOG(kWarn, "broker") << "bad message: " << e.what();
+        BATE_LOG_EVERY_N(kWarn, "broker", 1024) << "bad message: " << e.what();
         continue;
       }
       if (const auto* update = std::get_if<AllocationUpdateMsg>(&msg)) {
@@ -113,6 +114,11 @@ void Broker::receive_loop() {
           m.updates.inc();
           if (update->backup) m.backup_updates.inc();
         }
+        // Adopt the frame's trace context (the controller.broadcast span)
+        // so the apply span joins the demand's cross-process trace.
+        obs::ScopedTraceContext adopt(obs::SpanContext{
+            frame->context.trace_id, frame->context.span_id});
+        BATE_TRACE_SPAN("broker.apply");
         apply_update(*update);
       }
     }
@@ -185,7 +191,8 @@ void Broker::report_link(LinkId link, bool up) {
   if (!running_) {
     ++reports_dropped_;
     if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
-    BATE_LOG(kWarn, "broker") << "dropping link report: broker stopped";
+    BATE_LOG_EVERY_N(kWarn, "broker", 256)
+        << "dropping link report: broker stopped";
     return;
   }
   if (report_bucket_) {
@@ -200,7 +207,8 @@ void Broker::report_link(LinkId link, bool up) {
     if (!report_bucket_->try_consume(1.0)) {
       ++reports_dropped_;
       if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
-      BATE_LOG(kWarn, "broker") << "dropping link report: over report rate";
+      BATE_LOG_EVERY_N(kWarn, "broker", 256)
+          << "dropping link report: over report rate";
       return;
     }
   }
@@ -212,7 +220,8 @@ void Broker::report_link(LinkId link, bool up) {
     // the report is dropped, matching the paper's fail-static stance.
     ++reports_dropped_;
     if (obs::enabled()) BrokerMetrics::get().dropped_reports.inc();
-    BATE_LOG(kWarn, "broker") << "dropping link report: " << e.what();
+    BATE_LOG_EVERY_N(kWarn, "broker", 256)
+        << "dropping link report: " << e.what();
   }
 }
 

@@ -22,6 +22,7 @@
 
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "system/protocol.h"
 
 namespace bate {
@@ -48,11 +49,15 @@ class UserClient {
   };
 
   /// Pipelined submit: writes the frame and returns immediately with the
-  /// request_id correlating the eventual reply.
+  /// request_id correlating the eventual reply. The submit is wrapped in a
+  /// client.submit trace span whose context rides the frame header, rooting
+  /// the demand's cross-process trace (client -> controller -> broker).
   std::uint64_t submit_async(const Demand& demand) {
     const std::uint64_t rid = next_request_id_++;
-    socket_.write_all(
-        encode_frame(encode_message(SubmitDemandMsg{demand, rid})));
+    obs::Span span("client.submit");
+    const obs::SpanContext sc = span.context();
+    socket_.write_all(encode_frame(encode_message(SubmitDemandMsg{demand, rid}),
+                                   FrameContext{sc.trace_id, sc.span_id}));
     return rid;
   }
 
@@ -104,7 +109,10 @@ class UserClient {
         for (; next < stop; ++next) {
           const std::uint64_t rid = next_request_id_++;
           index.emplace(rid, next);
-          batch.add(encode_message(SubmitDemandMsg{demands[next], rid}));
+          obs::Span span("client.submit");
+          const obs::SpanContext sc = span.context();
+          batch.add(encode_message(SubmitDemandMsg{demands[next], rid}),
+                    FrameContext{sc.trace_id, sc.span_id});
         }
         socket_.write_all(batch.bytes());
         continue;
@@ -137,6 +145,22 @@ class UserClient {
     while (true) {
       const Message msg = read_message();
       if (const auto* reply = std::get_if<StatsReplyMsg>(&msg)) {
+        return reply->body;
+      }
+      buffer_if_admission(msg);
+    }
+  }
+
+  /// Queries the controller's availability-SLO ledger + time-series store
+  /// and blocks for the JSON payload. `selector` is "" (everything),
+  /// "ledger", or "series". Admission replies arriving meanwhile are
+  /// buffered, as in stats().
+  std::string slo(const std::string& selector = "") {
+    socket_.write_all(
+        encode_frame(encode_message(SloRequestMsg{"json", selector})));
+    while (true) {
+      const Message msg = read_message();
+      if (const auto* reply = std::get_if<SloReplyMsg>(&msg)) {
         return reply->body;
       }
       buffer_if_admission(msg);

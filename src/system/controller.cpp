@@ -1,5 +1,6 @@
 #include "system/controller.h"
 
+#include <algorithm>
 #include <array>
 #include <iterator>
 #include <utility>
@@ -69,7 +70,8 @@ Controller::Controller(const Topology& topo, const TunnelCatalog& catalog,
     : scheduler_(topo, catalog, scheduler_cfg),
       admission_(scheduler_, admission),
       planner_(topo, catalog),
-      config_(config) {
+      config_(config),
+      ledger_(obs::SloLedger::Config{config.slo_max_transitions, 1024}) {
   if (config_.tenant_rate_per_sec > 0.0) {
     limiter_.emplace(config_.tenant_rate_per_sec, config_.tenant_burst);
   }
@@ -94,8 +96,12 @@ void Controller::start() {
   // The drain runs after every loop iteration — under load a "tick" is one
   // epoll round (so the batch is whatever arrived since the last drain) and
   // tick_ms only bounds latency when the loop is otherwise idle.
-  thread_ = std::thread(
-      [this] { loop_.run(config_.tick_ms, [this] { drain_admission_queue(); }); });
+  thread_ = std::thread([this] {
+    loop_.run(config_.tick_ms, [this] {
+      drain_admission_queue();
+      sample_slo_series(obs::now_us());
+    });
+  });
   BATE_LOG(kInfo, "controller") << "listening on port " << port_;
 }
 
@@ -148,13 +154,16 @@ void Controller::on_peer_readable(int fd) {
     if (obs::enabled()) ControllerMetrics::get().bytes_in.inc(n);
     peer.reader.feed({buf.data(), static_cast<std::size_t>(n)});
   }
-  while (auto frame = peer.reader.next()) {
+  while (auto frame = peer.reader.next_frame()) {
     if (obs::enabled()) ControllerMetrics::get().frames_in.inc();
     try {
-      handle_message(peer, decode_message(*frame));
+      const obs::SpanContext trace{frame->context.trace_id,
+                                   frame->context.span_id};
+      handle_message(peer, decode_message(frame->payload), trace);
     } catch (const std::exception& e) {
       if (obs::enabled()) ControllerMetrics::get().decode_errors.inc();
-      BATE_LOG(kWarn, "controller") << "bad message: " << e.what();
+      BATE_LOG_EVERY_N(kWarn, "controller", 1024)
+          << "bad message: " << e.what();
     }
   }
   if (closed) {
@@ -183,6 +192,9 @@ void Controller::purge_queue_for_fd(int fd) {
     for (auto p = dq.begin(); p != dq.end();) {
       if (p->fd == fd) {
         m.dropped_dead.inc();
+        BATE_LOG_EVERY_N(kWarn, "controller", 1024)
+            << "dropping queued submit from departed fd " << fd
+            << " (dropped so far " << m.dropped_dead.value() << ")";
         --queued_;
         p = dq.erase(p);
       } else {
@@ -246,10 +258,14 @@ void Controller::flush_batch(Peer& peer, const FrameBatch& batch) {
 void Controller::run_scheduling_round() {
   admission_.reschedule();
   std::vector<Allocation> current = admission_.allocations();
+  // precompute() rebuilds the planner's plan table, so any previously
+  // activated backup plan pointer is stale from here on.
+  active_plan_ = nullptr;
   planner_.precompute(admission_.admitted(), current);
 }
 
-void Controller::handle_message(Peer& peer, const Message& msg) {
+void Controller::handle_message(Peer& peer, const Message& msg,
+                                const obs::SpanContext& trace) {
   if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
     peer.role = hello->role;
     peer.dc = hello->dc;
@@ -261,7 +277,7 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
     return;
   }
   if (const auto* submit = std::get_if<SubmitDemandMsg>(&msg)) {
-    on_submit(peer, *submit);
+    on_submit(peer, *submit, trace);
     return;
   }
   if (const auto* withdraw = std::get_if<WithdrawDemandMsg>(&msg)) {
@@ -269,18 +285,26 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
     // the queued entry; without this the admission would land after the
     // withdraw and leak the demand.
     purge_queue_for_demand(withdraw->id);
+    const std::int64_t now = obs::now_us();
+    ledger_.withdraw(withdraw->id, now);
     admission_.remove(withdraw->id);
     run_scheduling_round();
     broadcast_allocations(false, nullptr);
+    refresh_slo(obs::now_us());
     return;
   }
   if (const auto* status = std::get_if<LinkStatusMsg>(&msg)) {
     if (!status->up) {
       ControllerMetrics::get().failures.inc();
-      broadcast_allocations(true, planner_.plan(status->link));
+      down_links_.insert(status->link);
+      active_plan_ = planner_.plan(status->link);
+      broadcast_allocations(true, active_plan_);
     } else {
+      down_links_.erase(status->link);
+      active_plan_ = nullptr;
       broadcast_allocations(false, nullptr);
     }
+    refresh_slo(obs::now_us());
     return;
   }
   if (const auto* req = std::get_if<StatsRequestMsg>(&msg)) {
@@ -290,20 +314,37 @@ void Controller::handle_message(Peer& peer, const Message& msg) {
     send_to(peer, StatsReplyMsg{format, obs::Registry::global().dump(format)});
     return;
   }
+  if (const auto* slo = std::get_if<SloRequestMsg>(&msg)) {
+    const std::string format = slo->format.empty() ? "json" : slo->format;
+    // single-shot: SLO scrapes are polled, never pipelined
+    send_to(peer, SloReplyMsg{format,
+                              slo_payload(slo->selector, obs::now_us())});
+    return;
+  }
 }
 
 void Controller::shed(Peer& peer, std::uint64_t request_id, DemandId id,
                       double retry_after_ms) {
-  ControllerMetrics::get().shed.inc();
+  auto& m = ControllerMetrics::get();
+  m.shed.inc();
+  // Rate-limited: under a 100k/s overload every overflow submit lands
+  // here; one line per 1024 sheds keeps the logger out of the hot path.
+  BATE_LOG_EVERY_N(kWarn, "controller", 1024)
+      << "shedding demand " << id << " (shed so far " << m.shed.value()
+      << ", retry_after " << retry_after_ms << "ms)";
   send_to(peer, AdmissionReplyMsg{request_id, id, AdmissionStatus::kShed,
                                   retry_after_ms});
 }
 
-void Controller::on_submit(Peer& peer, const SubmitDemandMsg& submit) {
+void Controller::on_submit(Peer& peer, const SubmitDemandMsg& submit,
+                           const obs::SpanContext& trace) {
   auto& m = ControllerMetrics::get();
   const std::uint64_t rid = submit.request_id;
   if (rid != 0 && peer.inflight.count(rid) != 0) {
     m.duplicates.inc();
+    BATE_LOG_EVERY_N(kWarn, "controller", 1024)
+        << "duplicate request_id " << rid << " (count so far "
+        << m.duplicates.value() << ")";
     send_to(peer, AdmissionReplyMsg{rid, submit.demand.id,
                                     AdmissionStatus::kDuplicate, 0.0});
     return;
@@ -317,6 +358,7 @@ void Controller::on_submit(Peer& peer, const SubmitDemandMsg& submit) {
     }
   }
   if (!config_.batch_admission) {
+    obs::ScopedTraceContext adopt(trace);
     admit_inline(peer, submit, now);
     return;
   }
@@ -325,14 +367,15 @@ void Controller::on_submit(Peer& peer, const SubmitDemandMsg& submit) {
     return;
   }
   if (rid != 0) peer.inflight.insert(rid);
-  queue_[tenant_of(peer)].push_back(
-      PendingAdmission{peer.socket.fd(), rid, submit.demand, now});
+  queue_[tenant_of(peer)].push_back(PendingAdmission{
+      peer.socket.fd(), rid, submit.demand, now, tenant_of(peer), trace});
   ++queued_;
   if (obs::enabled()) m.queue_depth.set(static_cast<double>(queued_));
 }
 
 void Controller::admit_inline(Peer& peer, const SubmitDemandMsg& submit,
                               std::int64_t recv_us) {
+  obs::Span span("controller.admit_inline");
   const AdmissionOutcome outcome = admission_.offer(submit.demand);
   auto& m = ControllerMetrics::get();
   m.offered.inc();
@@ -343,8 +386,13 @@ void Controller::admit_inline(Peer& peer, const SubmitDemandMsg& submit,
                                   0.0});
   if (obs::enabled()) m.reply_latency_us.record(obs::now_us() - recv_us);
   if (outcome.admitted) {
+    const std::int64_t now = obs::now_us();
+    ledger_.admit(submit.demand.id, tenant_of(peer),
+                  submit.demand.availability_target, now);
+    ledger_.allocate(submit.demand.id, now);
     run_scheduling_round();
     broadcast_allocations(false, nullptr);
+    refresh_slo(obs::now_us());
   }
 }
 
@@ -374,6 +422,24 @@ void Controller::drain_admission_queue() {
     m.batch_size.record(static_cast<std::int64_t>(batch.size()));
   }
 
+  // Retroactive queue-wait spans (enqueue -> this drain), parented under
+  // each traced submit's client span; the first traced entry's queue-wait
+  // becomes the ambient parent of the whole batch solve, so the per-demand
+  // client trace connects through to the shared MILP/broadcast spans.
+  obs::SpanContext batch_parent{};
+  const std::int64_t drain_us = obs::now_us();
+  if (obs::enabled()) {
+    for (const PendingAdmission& p : batch) {
+      if (!p.trace.valid()) continue;
+      const obs::SpanContext wait_ctx{p.trace.trace_id, obs::next_span_id()};
+      obs::record_span("controller.queue_wait", p.enqueue_us,
+                       drain_us - p.enqueue_us, wait_ctx, p.trace.span_id);
+      if (!batch_parent.valid()) batch_parent = wait_ctx;
+    }
+  }
+  obs::ScopedTraceContext adopt(batch_parent);
+  obs::Span batch_span("controller.batch_admission");
+
   std::vector<Demand> demands;
   demands.reserve(batch.size());
   for (const PendingAdmission& p : batch) demands.push_back(p.demand);
@@ -389,6 +455,9 @@ void Controller::drain_admission_queue() {
     if (admitted) {
       m.admitted.inc();
       any_admitted = true;
+      ledger_.admit(batch[i].demand.id, batch[i].tenant,
+                    batch[i].demand.availability_target, reply_us);
+      ledger_.allocate(batch[i].demand.id, reply_us);
     }
     auto it = peers_.find(batch[i].fd);
     if (it == peers_.end()) continue;  // vanished mid-drain
@@ -416,21 +485,26 @@ void Controller::drain_admission_queue() {
     rescheduled = true;
   }
   if (config_.precompute_backup) {
+    active_plan_ = nullptr;  // precompute invalidates plan pointers
     planner_.precompute(admission_.admitted(), admission_.allocations());
   }
   if (rescheduled) {
-    // A reschedule may have moved anyone's rates: full broadcast.
+    // A reschedule may have moved anyone's rates: full broadcast of the
+    // primary allocations — any activated backup plan is superseded.
+    active_plan_ = nullptr;
     broadcast_allocations(false, nullptr);
   } else {
     // Greedy admissions appended to the tail without touching existing
     // allocations: delta-broadcast just the new rows.
     broadcast_new_allocations(result.first_new_index);
   }
+  refresh_slo(obs::now_us());
 }
 
 int Controller::send_allocations_to(Peer& peer, bool backup,
                                     std::span<const Demand> demands,
-                                    std::span<const Allocation> allocs) {
+                                    std::span<const Allocation> allocs,
+                                    const FrameContext& trace) {
   BATE_DCHECK_MSG(demands.size() == allocs.size(),
                   "controller: demand/allocation desync");
   int sent = 0;
@@ -442,7 +516,7 @@ int Controller::send_allocations_to(Peer& peer, bool backup,
       update.pair = demands[i].pairs[p].pair;
       update.tunnel_mbps = allocs[i][p];
       update.backup = backup;
-      batch.add(encode_message(update));
+      batch.add(encode_message(update), trace);
       ++sent;
     }
   }
@@ -454,6 +528,9 @@ void Controller::broadcast_new_allocations(std::size_t first_new) {
   const auto& demands = admission_.admitted();
   const auto& allocs = admission_.allocations();
   if (first_new >= demands.size()) return;
+  obs::Span span("controller.broadcast");
+  const obs::SpanContext sc = span.context();
+  const FrameContext trace{sc.trace_id, sc.span_id};
   const std::int64_t t0 = obs::now_us();
   const std::span<const Demand> tail(demands.data() + first_new,
                                      demands.size() - first_new);
@@ -462,7 +539,7 @@ void Controller::broadcast_new_allocations(std::size_t first_new) {
   int sent = 0;
   for (auto& [fd, peer] : peers_) {
     if (peer.role != "broker") continue;
-    sent += send_allocations_to(peer, false, tail, tail_allocs);
+    sent += send_allocations_to(peer, false, tail, tail_allocs, trace);
   }
   auto& m = ControllerMetrics::get();
   m.updates.inc(sent);
@@ -477,6 +554,9 @@ void Controller::send_allocation_snapshot(Peer& peer) {
 
 void Controller::broadcast_allocations(bool backup,
                                        const RecoveryResult* plan) {
+  obs::Span span("controller.broadcast");
+  const obs::SpanContext sc = span.context();
+  const FrameContext trace{sc.trace_id, sc.span_id};
   const std::int64_t t0 = obs::now_us();
   const auto& demands =
       (backup && plan != nullptr) ? planner_.demands() : admission_.admitted();
@@ -486,11 +566,77 @@ void Controller::broadcast_allocations(bool backup,
   int sent = 0;
   for (auto& [fd, peer] : peers_) {
     if (peer.role != "broker") continue;
-    sent += send_allocations_to(peer, backup, demands, allocs);
+    sent += send_allocations_to(peer, backup, demands, allocs, trace);
   }
   auto& m = ControllerMetrics::get();
   m.updates.inc(sent);
   if (obs::enabled() && sent > 0) m.fanout_us.record(obs::now_us() - t0);
+}
+
+void Controller::refresh_slo(std::int64_t now_us) {
+  // Delivered rate per (demand, pair): the live allocation table (primary,
+  // or the activated backup plan) minus every tunnel crossing a down link.
+  // This is the controller-side replay of the simulator's deliver_second
+  // satisfied rule, through the shared obs::interval_satisfied floor.
+  const bool backup = active_plan_ != nullptr;
+  const auto& demands = backup ? planner_.demands() : admission_.admitted();
+  const auto& allocs = backup ? active_plan_->alloc : admission_.allocations();
+  const TunnelCatalog& catalog = scheduler_.catalog();
+  const std::size_t n = std::min(demands.size(), allocs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Demand& d = demands[i];
+    bool ok = true;
+    for (std::size_t p = 0; p < d.pairs.size() && ok; ++p) {
+      if (d.pairs[p].mbps <= 0.0) continue;
+      if (p >= allocs[i].size()) {
+        ok = false;
+        break;
+      }
+      const std::vector<Tunnel>& tunnels = catalog.tunnels(d.pairs[p].pair);
+      const std::vector<double>& rates = allocs[i][p];
+      double delivered = 0.0;
+      for (std::size_t t = 0; t < rates.size(); ++t) {
+        if (!down_links_.empty() && t < tunnels.size()) {
+          bool tunnel_up = true;
+          for (const LinkId link : tunnels[t].links) {
+            if (down_links_.count(link) != 0) {
+              tunnel_up = false;
+              break;
+            }
+          }
+          if (!tunnel_up) continue;
+        }
+        delivered += rates[t];
+      }
+      ok = obs::interval_satisfied(delivered / d.pairs[p].mbps);
+    }
+    ledger_.set_satisfied(d.id, ok, now_us);
+  }
+}
+
+void Controller::sample_slo_series(std::int64_t now_us) {
+  if (config_.slo_sample_period_ms <= 0 || !obs::enabled()) return;
+  if (now_us < next_sample_us_) return;
+  next_sample_us_ =
+      now_us + static_cast<std::int64_t>(config_.slo_sample_period_ms) * 1000;
+  series_.sample(obs::Registry::global().snapshot(), now_us);
+}
+
+std::string Controller::slo_payload(const std::string& selector,
+                                    std::int64_t now_us) {
+  // 60s window: long enough to cover several sampler periods at the
+  // default 1s, short enough that the dashboard's rates track load shifts.
+  constexpr std::int64_t kWindowUs = 60'000'000;
+  if (selector == "ledger") return ledger_.snapshot(now_us).to_json();
+  if (selector == "series") return series_.to_json(now_us, kWindowUs);
+  std::string out = "{\"now_us\":";
+  out += std::to_string(now_us);
+  out += ",\"ledger\":";
+  out += ledger_.snapshot(now_us).to_json();
+  out += ",\"series\":";
+  out += series_.to_json(now_us, kWindowUs);
+  out += "}";
+  return out;
 }
 
 ControllerStats Controller::stats() const {

@@ -39,6 +39,9 @@
 #include "net/event_loop.h"
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "system/protocol.h"
 #include "system/rate_limiter.h"
 
@@ -86,6 +89,13 @@ struct ControllerConfig {
   /// bench_system disables it: precompute cost grows with the admitted set
   /// and the churn bench measures the admission path, not recovery.
   bool precompute_backup = true;
+  /// Period (ms) of the SLO time-series sampler that records the registry
+  /// snapshot into the ring-buffer store; <= 0 disables sampling. The
+  /// availability ledger itself is always on — it is the product's answer
+  /// to "did we keep the beta_d promise", not a diagnostic.
+  int slo_sample_period_ms = 1000;
+  /// Per-demand transition-log cap in the SLO ledger.
+  std::size_t slo_max_transitions = 64;
 };
 
 class Controller {
@@ -124,14 +134,20 @@ class Controller {
     std::uint64_t request_id = 0;
     Demand demand;
     std::int64_t enqueue_us = 0;
+    int tenant = 0;
+    /// Wire trace context of the submit frame (client.submit span); zero
+    /// when the client did not trace.
+    obs::SpanContext trace;
   };
 
   void on_accept();
   void on_peer_readable(int fd);
-  void handle_message(Peer& peer, const Message& msg);
+  void handle_message(Peer& peer, const Message& msg,
+                      const obs::SpanContext& trace = {});
   /// SubmitDemand ingress: duplicate check, tenant rate limit, then either
   /// enqueue (batch mode) or admit inline (serial baseline).
-  void on_submit(Peer& peer, const SubmitDemandMsg& submit);
+  void on_submit(Peer& peer, const SubmitDemandMsg& submit,
+                 const obs::SpanContext& trace);
   /// Serial-baseline admission: one solve + full broadcast per request.
   void admit_inline(Peer& peer, const SubmitDemandMsg& submit,
                     std::int64_t recv_us);
@@ -151,10 +167,12 @@ class Controller {
   /// Flushes an accumulated frame batch to `peer` with one write.
   void flush_batch(Peer& peer, const FrameBatch& batch);
   /// Sends one AllocationUpdate per (demand, pair) to `peer` as a single
-  /// batched write; returns the number of updates. Loop thread only.
+  /// batched write, stamping `trace` onto every frame; returns the number
+  /// of updates. Loop thread only.
   int send_allocations_to(Peer& peer, bool backup,
                           std::span<const Demand> demands,
-                          std::span<const Allocation> allocs);
+                          std::span<const Allocation> allocs,
+                          const FrameContext& trace = {});
   /// Current (non-backup) allocations to a newly introduced broker.
   void send_allocation_snapshot(Peer& peer);
   void broadcast_allocations(bool backup, const RecoveryResult* plan);
@@ -162,6 +180,17 @@ class Controller {
   /// appended greedy admissions without rescheduling anyone else.
   void broadcast_new_allocations(std::size_t first_new);
   void run_scheduling_round();
+
+  /// Re-derives every admitted demand's satisfied bit from the active
+  /// allocation table and the current down-link set, and feeds the SLO
+  /// ledger (degrade/recover transitions on change only). Called after
+  /// admissions, link events and withdrawals.
+  void refresh_slo(std::int64_t now_us);
+  /// Samples the registry into the time-series store once per
+  /// slo_sample_period_ms (tick handler).
+  void sample_slo_series(std::int64_t now_us);
+  /// Renders the SLO payload for a kSloRequest selector.
+  std::string slo_payload(const std::string& selector, std::int64_t now_us);
 
   // Loop-thread state: touched only from the epoll thread (callbacks), or
   // before start() / after stop() joins it.
@@ -177,6 +206,18 @@ class Controller {
   /// config_.max_queue across all tenants (queued_ tracks the total).
   std::map<int, std::deque<PendingAdmission>> queue_;
   std::size_t queued_ = 0;
+
+  // Availability-SLO state (tentpole of ISSUE 10). The ledger/store carry
+  // their own kObsLedger mutexes (safe under the no-locks loop-thread rule:
+  // kObsLedger is below every subsystem rank).
+  obs::SloLedger ledger_;
+  obs::TimeSeriesStore series_;
+  /// Links currently reported down by brokers (loop thread only).
+  std::set<LinkId> down_links_;
+  /// Backup plan currently broadcast, or nullptr when primary allocations
+  /// are live. Invalidated (cleared) by every planner_.precompute().
+  const RecoveryResult* active_plan_ = nullptr;
+  std::int64_t next_sample_us_ = 0;
 
   std::thread thread_;
   std::uint16_t port_ = 0;  // written by start() before the thread exists

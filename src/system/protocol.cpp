@@ -91,6 +91,14 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
           w.u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
           w.str(m.format);
           w.str(m.body);
+        } else if constexpr (std::is_same_v<T, SloRequestMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kSloRequest));
+          w.str(m.format);
+          w.str(m.selector);
+        } else if constexpr (std::is_same_v<T, SloReplyMsg>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kSloReply));
+          w.str(m.format);
+          w.str(m.body);
         }
       },
       msg);
@@ -151,6 +159,18 @@ Message decode_message(std::span<const std::uint8_t> payload) {
     }
     case MsgType::kStatsReply: {
       StatsReplyMsg m;
+      m.format = r.str();
+      m.body = r.str();
+      return m;
+    }
+    case MsgType::kSloRequest: {
+      SloRequestMsg m;
+      m.format = r.str();
+      m.selector = r.str();
+      return m;
+    }
+    case MsgType::kSloReply: {
+      SloReplyMsg m;
       m.format = r.str();
       m.body = r.str();
       return m;

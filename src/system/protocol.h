@@ -23,6 +23,8 @@ enum class MsgType : std::uint8_t {
   kLinkStatus = 6,       // broker -> controller: link up/down
   kStatsRequest = 7,     // any peer -> controller: scrape the obs registry
   kStatsReply = 8,       // controller -> peer: rendered snapshot
+  kSloRequest = 9,       // any peer -> controller: SLO ledger / time-series
+  kSloReply = 10,        // controller -> peer: rendered SLO payload
 };
 
 struct HelloMsg {
@@ -85,9 +87,25 @@ struct StatsReplyMsg {
   std::string body;
 };
 
+/// Queries the controller's availability-SLO ledger and time-series store
+/// (src/obs/slo.h, src/obs/timeseries.h). `format` is "json" (default when
+/// empty); `selector` restricts the payload: "" (everything), "ledger", or
+/// "series".
+struct SloRequestMsg {
+  std::string format;
+  std::string selector;
+};
+
+/// The rendered SLO payload. `format` echoes the request.
+struct SloReplyMsg {
+  std::string format;
+  std::string body;
+};
+
 using Message = std::variant<HelloMsg, SubmitDemandMsg, AdmissionReplyMsg,
                              AllocationUpdateMsg, WithdrawDemandMsg,
-                             LinkStatusMsg, StatsRequestMsg, StatsReplyMsg>;
+                             LinkStatusMsg, StatsRequestMsg, StatsReplyMsg,
+                             SloRequestMsg, SloReplyMsg>;
 
 /// Encodes a message payload (not yet framed).
 std::vector<std::uint8_t> encode_message(const Message& msg);

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -135,11 +136,61 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Per-call-site occurrence counter backing BATE_LOG_EVERY_N /
+/// BATE_LOG_FIRST_N. Thread-safe: fetch_add hands every occurrence a
+/// distinct ordinal, so exactly ceil(total/n) (EVERY_N) or min(total, n)
+/// (FIRST_N) occurrences pass even under concurrent callers.
+class LogRateState {
+ public:
+  /// Occurrences 0, n, 2n, ... pass. n <= 1 passes everything.
+  bool tick_every(std::int64_t n) noexcept {
+    const std::int64_t c = count_.fetch_add(1, std::memory_order_relaxed);
+    return n <= 1 || c % n == 0;
+  }
+  /// The first n occurrences pass.
+  bool tick_first(std::int64_t n) noexcept {
+    return count_.fetch_add(1, std::memory_order_relaxed) < n;
+  }
+  /// Occurrences observed so far (passed or suppressed).
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+};
+
 // Level filter runs before any << formatting: the else-arm (and every
 // stream operand) is skipped entirely when the line is dropped.
 #define BATE_LOG(lvl, component)                                    \
   if (::bate::LogLevel::lvl < ::bate::Logger::instance().level())   \
     ;                                                               \
+  else ::bate::LogLine(::bate::LogLevel::lvl, component).stream()
+
+// Rate-limited variants for hot-path warn sites (shed, duplicate,
+// dropped-dead): a 100k/s overload emits one line per N occurrences
+// (EVERY_N) or only the first N (FIRST_N) instead of melting the logger.
+// The occurrence counter is per call site (the lambda's static lives in a
+// distinct closure type per expansion) and only ticks once the level
+// filter passes, so a silenced logger costs one load and a branch.
+#define BATE_LOG_EVERY_N(lvl, component, n)                           \
+  if (::bate::LogLevel::lvl < ::bate::Logger::instance().level())     \
+    ;                                                                 \
+  else if ([](std::int64_t bate_log_n) {                              \
+             static ::bate::LogRateState bate_log_state;              \
+             return !bate_log_state.tick_every(bate_log_n);           \
+           }(n))                                                      \
+    ;                                                                 \
+  else ::bate::LogLine(::bate::LogLevel::lvl, component).stream()
+
+#define BATE_LOG_FIRST_N(lvl, component, n)                           \
+  if (::bate::LogLevel::lvl < ::bate::Logger::instance().level())     \
+    ;                                                                 \
+  else if ([](std::int64_t bate_log_n) {                              \
+             static ::bate::LogRateState bate_log_state;              \
+             return !bate_log_state.tick_first(bate_log_n);           \
+           }(n))                                                      \
+    ;                                                                 \
   else ::bate::LogLine(::bate::LogLevel::lvl, component).stream()
 
 // Legacy helpers; prefer BATE_LOG (these build `msg` even when dropped).

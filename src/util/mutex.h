@@ -27,7 +27,7 @@
 // DESIGN.md Sec 8.5):
 //
 //   kController > kBroker > kEventLoop > kScheduler > kSolver
-//               > kThreadPool > kLogger > kObsRegistry
+//               > kThreadPool > kLogger > kObsLedger > kObsRegistry
 //
 // A thread may acquire a Mutex only while every lock it already holds has a
 // strictly GREATER rank. try_lock() is exempt from the ordering check (it
@@ -89,6 +89,8 @@ namespace bate {
 /// disjoint). Ranks are spaced so future layers can slot in between.
 enum class LockRank : int {
   kObsRegistry = 10,  // obs metric/tracer registration; callable under any lock
+  kObsLedger = 12,    // SLO ledger + time-series store (src/obs); may register
+                      // metrics (kObsRegistry) but never log under the lock
   kLogger = 15,       // util/log.h sink; check-failure paths log under locks
   kThreadPool = 20,   // pool + per-worker queue locks; tasks run lock-free
   kSolver = 30,       // parallel branch & bound shared search state

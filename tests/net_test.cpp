@@ -101,6 +101,107 @@ TEST(Framing, RejectsOversizedFrames) {
   EXPECT_THROW(reader.feed(evil), std::length_error);
 }
 
+TEST(Framing, TraceContextRoundTrips) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  const FrameContext ctx{0xAABBCCDD11223344ull, 0x42u};
+  const auto framed = encode_frame(payload, ctx);
+  // 4-byte length word + 16-byte context + payload.
+  ASSERT_EQ(framed.size(), 4u + 16u + payload.size());
+  // Bit 31 of the length word flags the context; the low bits still carry
+  // the payload length only.
+  const std::uint32_t word = static_cast<std::uint32_t>(framed[0]) |
+                             (static_cast<std::uint32_t>(framed[1]) << 8) |
+                             (static_cast<std::uint32_t>(framed[2]) << 16) |
+                             (static_cast<std::uint32_t>(framed[3]) << 24);
+  EXPECT_EQ(word & kFrameTraceFlag, kFrameTraceFlag);
+  EXPECT_EQ(word & ~kFrameTraceFlag, payload.size());
+
+  FrameReader reader;
+  reader.feed(framed);
+  const auto frame = reader.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_TRUE(frame->context.valid());
+  EXPECT_EQ(frame->context.trace_id, ctx.trace_id);
+  EXPECT_EQ(frame->context.span_id, ctx.span_id);
+}
+
+TEST(Framing, PlainFrameDecodesToInvalidContext) {
+  const auto framed = encode_frame(std::vector<std::uint8_t>{9});
+  // No context: byte-identical to the pre-context format.
+  ASSERT_EQ(framed.size(), 5u);
+  FrameReader reader;
+  reader.feed(framed);
+  const auto frame = reader.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->context.valid());
+  EXPECT_EQ(frame->context.trace_id, 0u);
+}
+
+TEST(Framing, ZeroContextIsNotEncoded) {
+  // An invalid (zero trace_id) context must not set the flag — old readers
+  // keep working against new writers that have nothing to say.
+  const auto with_default = encode_frame(std::vector<std::uint8_t>{7});
+  const auto with_zero_ctx =
+      encode_frame(std::vector<std::uint8_t>{7}, FrameContext{});
+  EXPECT_EQ(with_default, with_zero_ctx);
+}
+
+TEST(Framing, LegacyNextDiscardsTraceContext) {
+  const std::vector<std::uint8_t> payload = {5, 6};
+  FrameReader reader;
+  reader.feed(encode_frame(payload, FrameContext{77, 88}));
+  // next() (the context-unaware accessor) still yields the bare payload.
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+}
+
+TEST(Framing, MixedBatchRoundTrips) {
+  FrameBatch batch;
+  batch.add(std::vector<std::uint8_t>{1});                          // plain
+  batch.add(std::vector<std::uint8_t>{2, 2}, FrameContext{10, 20});  // traced
+  batch.add(std::vector<std::uint8_t>{3, 3, 3});                    // plain
+  EXPECT_EQ(batch.frame_count(), 3u);
+
+  FrameReader reader;
+  reader.feed(batch.bytes());
+  const auto a = reader.next_frame();
+  const auto b = reader.next_frame();
+  const auto c = reader.next_frame();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_FALSE(a->context.valid());
+  EXPECT_EQ(a->payload.size(), 1u);
+  EXPECT_TRUE(b->context.valid());
+  EXPECT_EQ(b->context.trace_id, 10u);
+  EXPECT_EQ(b->context.span_id, 20u);
+  EXPECT_FALSE(c->context.valid());
+  EXPECT_EQ(c->payload.size(), 3u);
+  EXPECT_FALSE(reader.next_frame().has_value());
+}
+
+TEST(Framing, TracedFrameSurvivesByteAtATimeDelivery) {
+  const std::vector<std::uint8_t> payload = {4, 5, 6, 7};
+  const auto framed = encode_frame(payload, FrameContext{123, 456});
+  FrameReader reader;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    EXPECT_FALSE(reader.next_frame().has_value());
+    reader.feed({&framed[i], 1});
+  }
+  const auto frame = reader.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(frame->context.trace_id, 123u);
+}
+
+TEST(Framing, RejectsOversizedTracedFrames) {
+  FrameReader reader;
+  // The trace flag must not let an oversized length sneak past the cap:
+  // 1 GiB with bit 31 set.
+  const std::uint8_t evil[] = {0x00, 0x00, 0x00, 0xC0};
+  EXPECT_THROW(reader.feed(evil), std::length_error);
+}
+
 TEST(Socket, LoopbackEcho) {
   TcpListener listener(0);
   std::thread server([&] {

@@ -300,6 +300,125 @@ TEST(ObsTrace, SpansLandInThreadRings) {
   EXPECT_GE(Tracer::global().ring_count(), 2u);
 }
 
+TEST(ObsTrace, NestedSpansParentUnderAmbientContext) {
+  TraceRing& ring = Tracer::global().thread_ring();
+  const std::uint64_t before = ring.total();
+  SpanContext outer_ctx;
+  SpanContext inner_ctx;
+  {
+    Span outer("obs_test.parent_outer");
+    outer_ctx = outer.context();
+    EXPECT_TRUE(outer_ctx.valid());
+    // The open span is the thread's ambient context.
+    EXPECT_EQ(current_context().span_id, outer_ctx.span_id);
+    {
+      Span inner("obs_test.parent_inner");
+      inner_ctx = inner.context();
+      EXPECT_EQ(current_context().span_id, inner_ctx.span_id);
+    }
+    // Closing the inner span restores the outer ambient.
+    EXPECT_EQ(current_context().span_id, outer_ctx.span_id);
+  }
+  // Same trace, distinct spans, inner parented under outer.
+  EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+  EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+
+  const auto events = ring.events();
+  ASSERT_GE(ring.total(), before + 2);
+  const TraceEventCopy* outer_ev = nullptr;
+  const TraceEventCopy* inner_ev = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.parent_outer") outer_ev = &e;
+    if (std::string(e.name) == "obs_test.parent_inner") inner_ev = &e;
+  }
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  EXPECT_EQ(outer_ev->parent_id, 0u);  // root of its trace
+  EXPECT_EQ(inner_ev->parent_id, outer_ev->span_id);
+  EXPECT_EQ(inner_ev->trace_id, outer_ev->trace_id);
+}
+
+TEST(ObsTrace, ScopedContextAdoptsRemoteParent) {
+  // A context "received over the wire" becomes the parent of local spans —
+  // the cross-process stitching the frame header exists for.
+  const SpanContext remote{/*trace_id=*/987654321u, /*span_id=*/1234u};
+  SpanContext local_ctx;
+  {
+    ScopedTraceContext adopt(remote);
+    EXPECT_EQ(current_context().trace_id, remote.trace_id);
+    Span local("obs_test.adopted_child");
+    local_ctx = local.context();
+  }
+  EXPECT_EQ(local_ctx.trace_id, remote.trace_id);
+  // The ambient context does not leak past the adopting scope.
+  EXPECT_NE(current_context().trace_id, remote.trace_id);
+
+  const auto events = Tracer::global().thread_ring().events();
+  const TraceEventCopy* child = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.adopted_child") child = &e;
+  }
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, remote.trace_id);
+  EXPECT_EQ(child->parent_id, remote.span_id);
+}
+
+TEST(ObsTrace, InvalidContextAdoptionIsNoOp) {
+  const SpanContext before = current_context();
+  ScopedTraceContext adopt(SpanContext{});  // trace_id 0: nothing to adopt
+  EXPECT_EQ(current_context().trace_id, before.trace_id);
+  EXPECT_EQ(current_context().span_id, before.span_id);
+}
+
+TEST(ObsTrace, RecordSpanWritesExplicitIdentity) {
+  TraceRing& ring = Tracer::global().thread_ring();
+  const SpanContext ctx{555u, 666u};
+  record_span("obs_test.retro", 1000, 250, ctx, /*parent_id=*/444u);
+  const auto events = ring.events();
+  const TraceEventCopy* retro = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "obs_test.retro" && e.ts_us == 1000) retro = &e;
+  }
+  ASSERT_NE(retro, nullptr);
+  EXPECT_EQ(retro->dur_us, 250);
+  EXPECT_EQ(retro->trace_id, 555u);
+  EXPECT_EQ(retro->span_id, 666u);
+  EXPECT_EQ(retro->parent_id, 444u);
+}
+
+TEST(ObsTrace, ChromeJsonEmitsIdentityArgsOnlyForContextSpans) {
+  const std::vector<TraceEventCopy> events = {
+      // Id-less event: must render the exact legacy shape (no "args").
+      {"solver.presolve", 10, 5, 0},
+      // Context-carrying event: identity rides in "args".
+      {"controller.batch", 20, 7, 0, /*trace_id=*/3, /*span_id=*/4,
+       /*parent_id=*/2},
+  };
+  const std::string json = chrome_trace_json(events);
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"solver.presolve\",\"cat\":\"bate\",\"ph\":\"X\","
+      "\"ts\":10,\"dur\":5,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"controller.batch\",\"cat\":\"bate\",\"ph\":\"X\","
+      "\"ts\":20,\"dur\":7,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"trace\":3,\"span\":4,\"parent\":2}}"
+      "]}";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ObsTrace, DisabledSpansHaveNoIdentity) {
+  ASSERT_TRUE(enabled()) << "tests assume BATE_OBS_OFF is not set";
+  const std::uint64_t before = Tracer::global().thread_ring().total();
+  set_enabled(false);
+  {
+    Span s("obs_test.disabled");
+    EXPECT_FALSE(s.context().valid());
+    EXPECT_FALSE(current_context().valid());
+  }
+  set_enabled(true);
+  EXPECT_EQ(Tracer::global().thread_ring().total(), before);
+}
+
 TEST(ObsEnabled, DisableMakesMetricsNoOps) {
   ASSERT_TRUE(enabled()) << "tests assume BATE_OBS_OFF is not set";
   Counter c;

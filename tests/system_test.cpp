@@ -7,12 +7,17 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
 #include <thread>
 #include <variant>
 #include <vector>
 
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "system/broker.h"
 #include "system/client.h"
 #include "system/controller.h"
@@ -80,6 +85,8 @@ TEST(Protocol, RoundTripsEveryMessageType) {
       LinkStatusMsg{5, false},
       StatsRequestMsg{"json"},
       StatsReplyMsg{"prometheus", "# TYPE x counter\nx 1\n"},
+      SloRequestMsg{"json", "ledger"},
+      SloReplyMsg{"json", "{\"ledger\":{}}"},
   };
   for (const Message& msg : msgs) {
     const auto payload = encode_message(msg);
@@ -111,6 +118,17 @@ TEST(Protocol, RoundTripsEveryMessageType) {
   EXPECT_EQ(ar.status, AdmissionStatus::kShed);
   EXPECT_FALSE(ar.admitted());
   EXPECT_DOUBLE_EQ(ar.retry_after_ms, 12.5);
+
+  const Message slo_req =
+      decode_message(encode_message(SloRequestMsg{"json", "series"}));
+  const auto& sq = std::get<SloRequestMsg>(slo_req);
+  EXPECT_EQ(sq.format, "json");
+  EXPECT_EQ(sq.selector, "series");
+  const Message slo_rep = decode_message(
+      encode_message(SloReplyMsg{"json", "{\"demands\":[{\"id\":7}]}"}));
+  const auto& sp = std::get<SloReplyMsg>(slo_rep);
+  EXPECT_EQ(sp.format, "json");
+  EXPECT_EQ(sp.body, "{\"demands\":[{\"id\":7}]}");
 }
 
 TEST(Protocol, RejectsGarbage) {
@@ -465,6 +483,189 @@ TEST_F(SystemFixture, MultipleBrokersReceiveUpdates) {
       b2, [&] { return b2.enforced_total(1, 5) > 100.0; }));
   b1.stop();
   b2.stop();
+}
+
+/// Minimal view of one exported trace event, scraped out of the Chrome
+/// trace JSON (the only cross-ring export the Tracer offers).
+struct ParsedSpan {
+  std::string name;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+};
+
+std::vector<ParsedSpan> parse_spans(const std::string& json) {
+  std::vector<ParsedSpan> out;
+  const std::string name_key = "{\"name\":\"";
+  const std::string args_key = "\"args\":{\"trace\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(name_key, pos)) != std::string::npos) {
+    ParsedSpan ev;
+    const std::size_t name_begin = pos + name_key.size();
+    const std::size_t name_end = json.find('"', name_begin);
+    if (name_end == std::string::npos) break;
+    ev.name = json.substr(name_begin, name_end - name_begin);
+    const std::size_t next = json.find(name_key, pos + 1);
+    const std::size_t args = json.find(args_key, pos);
+    if (args != std::string::npos &&
+        (next == std::string::npos || args < next)) {
+      unsigned long long trace = 0;
+      unsigned long long span = 0;
+      unsigned long long parent = 0;
+      if (std::sscanf(json.c_str() + args,
+                      "\"args\":{\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
+                      &trace, &span, &parent) == 3) {
+        ev.trace = trace;
+        ev.span = span;
+        ev.parent = parent;
+      }
+    }
+    out.push_back(std::move(ev));
+    pos = name_end;
+  }
+  return out;
+}
+
+const ParsedSpan* find_span(const std::vector<ParsedSpan>& spans,
+                            const std::string& name, std::uint64_t trace) {
+  for (const ParsedSpan& s : spans) {
+    if (s.name == name && s.trace == trace) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(SystemFixture, TraceSpansChainAcrossAllSixStages) {
+  // One SubmitDemand must render as ONE trace across client submit ->
+  // controller queue wait -> batch admission -> admission offer ->
+  // scheduling round -> broadcast -> broker apply, stitched through the
+  // frame-header trace context (DESIGN.md Sec 9.6).
+  obs::Tracer::global().clear();
+  Broker broker(1, controller->port());
+  broker.start();
+  UserClient user(controller->port());
+  ASSERT_TRUE(user.submit(make_demand(1, 0, 150.0, 0.99)));
+  ASSERT_TRUE(wait_for_broker(
+      broker, [&] { return broker.enforced_total(1, 0) > 0.0; }));
+
+  // The root client.submit span lives in THIS thread's ring.
+  std::uint64_t trace_id = 0;
+  std::uint64_t submit_span = 0;
+  for (const auto& e : obs::Tracer::global().thread_ring().events()) {
+    if (std::string(e.name) == "client.submit") {
+      trace_id = e.trace_id;
+      submit_span = e.span_id;
+      EXPECT_EQ(e.parent_id, 0u) << "client.submit must root the trace";
+    }
+  }
+  ASSERT_NE(trace_id, 0u);
+  ASSERT_NE(submit_span, 0u);
+
+  // The controller/broker-side spans close on their own threads; wait for
+  // the full chain to appear in the global export.
+  std::vector<ParsedSpan> spans;
+  const char* kStages[] = {"controller.queue_wait",
+                           "controller.batch_admission",
+                           "admission.offer_batch",
+                           "scheduler.schedule",
+                           "controller.broadcast",
+                           "broker.apply"};
+  ASSERT_TRUE(wait_for([&] {
+    spans = parse_spans(obs::Tracer::global().chrome_json());
+    for (const char* stage : kStages) {
+      if (find_span(spans, stage, trace_id) == nullptr) return false;
+    }
+    return true;
+  })) << obs::Tracer::global().chrome_json();
+
+  const ParsedSpan* queue_wait =
+      find_span(spans, "controller.queue_wait", trace_id);
+  const ParsedSpan* batch =
+      find_span(spans, "controller.batch_admission", trace_id);
+  const ParsedSpan* offer = find_span(spans, "admission.offer_batch", trace_id);
+  const ParsedSpan* schedule =
+      find_span(spans, "scheduler.schedule", trace_id);
+  const ParsedSpan* broadcast =
+      find_span(spans, "controller.broadcast", trace_id);
+  const ParsedSpan* apply = find_span(spans, "broker.apply", trace_id);
+  ASSERT_TRUE(queue_wait && batch && offer && schedule && broadcast && apply);
+
+  // Parentage: submit -> queue_wait -> batch_admission -> offer_batch;
+  // broadcast hangs off the batch span and the broker's apply span parents
+  // under the broadcast context that rode the allocation frames.
+  EXPECT_EQ(queue_wait->parent, submit_span);
+  EXPECT_EQ(batch->parent, queue_wait->span);
+  EXPECT_EQ(offer->parent, batch->span);
+  EXPECT_EQ(broadcast->parent, batch->span);
+  EXPECT_EQ(apply->parent, broadcast->span);
+  // The scheduling round runs inside the batch (directly, or from the
+  // post-batch reschedule), so it must chain under one of those two spans.
+  EXPECT_TRUE(schedule->parent == batch->span ||
+              schedule->parent == offer->span)
+      << "scheduler.schedule parent " << schedule->parent;
+  broker.stop();
+}
+
+/// Extracts the first top-level "availability" number from a ledger row
+/// ("min_availability" never matches: the key is quoted in full).
+double availability_of(const std::string& slo_json) {
+  const std::string key = "\"availability\":";
+  const std::size_t pos = slo_json.find(key);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(slo_json.c_str() + pos + key.size(), nullptr);
+}
+
+TEST_F(SystemFixture, SloLedgerTracksLinkFlapOverRpc) {
+  Broker broker(0, controller->port());
+  broker.start();
+  UserClient user(controller->port());
+  ASSERT_TRUE(user.submit(make_demand(1, 0, 300.0, 0.99)));
+  ASSERT_TRUE(wait_for_broker(
+      broker, [&] { return broker.enforced_total(1, 0) > 0.0; }));
+
+  // Freshly admitted and allocated: a full error budget.
+  std::string payload = user.slo("ledger");
+  EXPECT_NE(payload.find("\"id\":1"), std::string::npos) << payload;
+  EXPECT_NE(payload.find("\"state\":\"allocated\""), std::string::npos);
+  EXPECT_DOUBLE_EQ(availability_of(payload), 1.0);
+
+  // Kill every link any tunnel of pair 0 crosses: the backup planner has
+  // nowhere to route, so the demand MUST degrade (a single-link failure is
+  // healed by the backup plan and never eats budget).
+  std::set<LinkId> links;
+  for (const Tunnel& t : catalog.tunnels(0)) {
+    links.insert(t.links.begin(), t.links.end());
+  }
+  ASSERT_GE(links.size(), 2u);
+  for (const LinkId l : links) broker.report_link(l, false);
+  ASSERT_TRUE(wait_for([&] {
+    return user.slo("ledger").find("\"state\":\"degraded\"") !=
+           std::string::npos;
+  }));
+
+  // Repair: the demand recovers with a dented availability in (0, 1).
+  for (const LinkId l : links) broker.report_link(l, true);
+  ASSERT_TRUE(wait_for([&] {
+    payload = user.slo("ledger");
+    return payload.find("\"state\":\"recovered\"") != std::string::npos;
+  }));
+  const double avail = availability_of(payload);
+  EXPECT_GT(avail, 0.0);
+  EXPECT_LT(avail, 1.0);
+  EXPECT_NE(payload.find("\"budget_burn\":"), std::string::npos);
+
+  // Withdraw freezes the row but keeps it for post-mortem snapshots.
+  user.withdraw(1);
+  ASSERT_TRUE(wait_for([&] {
+    return user.slo("ledger").find("\"state\":\"withdrawn\"") !=
+           std::string::npos;
+  }));
+
+  // The combined payload carries both sections for the dashboard.
+  const std::string combined = user.slo();
+  EXPECT_NE(combined.find("\"ledger\":"), std::string::npos);
+  EXPECT_NE(combined.find("\"series\":"), std::string::npos);
+  EXPECT_NE(combined.find("\"tenants\":"), std::string::npos);
+  broker.stop();
 }
 
 }  // namespace

@@ -52,6 +52,14 @@
 //                   scrape, which predates pipelining) annotate
 //                   `// single-shot: <reason>` on or just above the
 //                   construction.
+//   slo-ledger      src/system + src/core: no direct assignment to an
+//                   obs::DemandState lvalue (`= DemandState::...`) outside
+//                   src/obs — every demand lifecycle transition must go
+//                   through the SloLedger API (admit/allocate/degrade/
+//                   recover/withdraw) so the availability meter, the
+//                   transition log and the budget-burn math stay coherent;
+//                   a state mutated behind the ledger's back silently
+//                   corrupts the SLO answer (DESIGN.md Sec 9).
 //
 // Escape hatch: a line containing `bate-lint: allow(<rule>)` disables the
 // named rule for that line (src/util/mutex.h uses allow(raw-mutex) on the
@@ -518,6 +526,47 @@ void check_request_id(const fs::path& file,
   }
 }
 
+// --- Rule: slo-ledger -------------------------------------------------------
+
+/// src/system + src/core: flags `= DemandState::...` assignments — lifecycle
+/// transitions written around the SloLedger API. Comparisons (`==`, `!=`,
+/// `<=`, `>=`) and declarations with initializers inside src/obs (the ledger
+/// implementation itself) are fine; the ledger's one sanctioned assignment
+/// carries `bate-lint: allow(slo-ledger)`.
+void check_slo_ledger(const fs::path& file,
+                      const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::size_t pos = 0;
+    bool flagged = false;
+    while (!flagged &&
+           (pos = code[i].find("DemandState::", pos)) != std::string::npos) {
+      // Walk left past the namespace qualifier (obs:: etc.) and whitespace
+      // to the operator; a bare `=` is an assignment (or an initializer,
+      // equally a transition), while the second char of ==/!=/<=/>= means a
+      // comparison.
+      std::size_t j = pos;
+      while (j > 0 && (is_ident_char(code[i][j - 1]) || code[i][j - 1] == ':')) {
+        --j;
+      }
+      while (j > 0 && (code[i][j - 1] == ' ' || code[i][j - 1] == '\t')) --j;
+      if (j > 0 && code[i][j - 1] == '=' &&
+          (j < 2 || (code[i][j - 2] != '=' && code[i][j - 2] != '!' &&
+                     code[i][j - 2] != '<' && code[i][j - 2] != '>'))) {
+        if (!line_allows(raw[i], "slo-ledger")) {
+          report(file, static_cast<int>(i + 1), "slo-ledger",
+                 "demand lifecycle state assigned outside the SLO ledger; "
+                 "route the transition through SloLedger "
+                 "(admit/allocate/degrade/recover/withdraw) so availability "
+                 "accounting stays coherent");
+          flagged = true;
+        }
+      }
+      pos += 1;
+    }
+  }
+}
+
 // --- Driver -----------------------------------------------------------------
 
 bool has_extension(const fs::path& p, const char* ext) {
@@ -579,6 +628,10 @@ int main(int argc, char** argv) {
       }
       if (rel.string().rfind("src/system", 0) == 0) {
         check_request_id(rel, code_lines, raw_lines);
+      }
+      if (rel.string().rfind("src/system", 0) == 0 ||
+          rel.string().rfind("src/core", 0) == 0) {
+        check_slo_ledger(rel, code_lines, raw_lines);
       }
     }
   }

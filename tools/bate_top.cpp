@@ -1,0 +1,313 @@
+// bate_top: operator dashboard over a live controller (README "Operating").
+//
+// Polls the controller's two observability RPCs on one user connection —
+// StatsRequest (the metrics registry as JSON) and SloRequest (the
+// availability-SLO ledger + time-series store) — and renders a terminal
+// dashboard: controller throughput counters, per-tenant SLO rollups, and the
+// demands burning error budget fastest.
+//
+// Modes:
+//   bate_top --port P                 full-screen dashboard, refreshed every
+//                                     --interval-ms (default 1000)
+//   bate_top --port P --once          one frame, no screen clearing
+//   bate_top --port P --once --json   raw combined payload
+//                                     {"stats":...,"slo":...} for scripting
+//   bate_top --port P --once --check  machine gate (tools/ci.sh): both
+//                                     payloads must parse and the ledger must
+//                                     cover every admitted demand; exit 1
+//                                     otherwise
+//
+// The tool is read-only: it never submits or withdraws demands, so it is safe
+// to point at a production controller while a workload runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_mini.h"
+#include "system/client.h"
+
+namespace {
+
+using bate::json::JsonValue;
+
+struct Options {
+  int port = 0;
+  int interval_ms = 1000;
+  int window_s = 60;
+  int top = 10;
+  bool once = false;
+  bool json = false;
+  bool check = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--interval-ms N] [--window-s N] [--top N]"
+               " [--once] [--json] [--check]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_int = [&](int* out) {
+      if (i + 1 >= argc) usage(argv[0]);
+      *out = std::atoi(argv[++i]);
+    };
+    if (arg == "--port") {
+      next_int(&opt.port);
+    } else if (arg == "--interval-ms") {
+      next_int(&opt.interval_ms);
+    } else if (arg == "--window-s") {
+      next_int(&opt.window_s);
+    } else if (arg == "--top") {
+      next_int(&opt.top);
+    } else if (arg == "--once") {
+      opt.once = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.port <= 0 || opt.port > 65535) usage(argv[0]);
+  if (opt.interval_ms < 10) opt.interval_ms = 10;
+  if (opt.top < 1) opt.top = 1;
+  return opt;
+}
+
+/// Counter lookup in the stats payload; 0 when absent (a controller that has
+/// not yet admitted anything may not have registered the counter).
+std::int64_t counter_of(const JsonValue& stats, const std::string& name) {
+  const JsonValue* counters = stats.find("counters");
+  if (counters == nullptr) return 0;
+  const JsonValue* v = counters->find(name);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return 0;
+  return static_cast<std::int64_t>(v->number);
+}
+
+double number_of(const JsonValue& obj, const std::string& key,
+                 double fallback = 0.0) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return fallback;
+  return v->number;
+}
+
+std::string string_of(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) return "?";
+  return v->str;
+}
+
+/// --check: the CI gate. Returns "" when the payloads are coherent, else a
+/// one-line reason.
+std::string check_payloads(const JsonValue& stats, const JsonValue& slo) {
+  const JsonValue* ledger = slo.find("ledger");
+  if (ledger == nullptr || ledger->kind != JsonValue::Kind::kObject) {
+    return "slo payload has no 'ledger' object";
+  }
+  const JsonValue* demands = ledger->find("demands");
+  if (demands == nullptr || demands->kind != JsonValue::Kind::kArray) {
+    return "ledger has no 'demands' array";
+  }
+  const JsonValue* series = slo.find("series");
+  if (series == nullptr || series->kind != JsonValue::Kind::kObject) {
+    return "slo payload has no 'series' object";
+  }
+  for (const JsonValue& d : demands->array) {
+    if (d.kind != JsonValue::Kind::kObject || d.find("id") == nullptr ||
+        d.find("availability") == nullptr || d.find("budget_burn") == nullptr) {
+      return "malformed ledger demand row";
+    }
+    const double avail = number_of(d, "availability", -1.0);
+    if (avail < 0.0 || avail > 1.0) {
+      return "demand availability outside [0,1]";
+    }
+  }
+  // Coverage: every admission the controller counted must have a ledger row.
+  // The ledger retires withdrawn demands only past its retention cap, so for
+  // a CI-sized run the row count equals the admitted counter exactly.
+  const std::int64_t admitted =
+      counter_of(stats, "bate_controller_demands_admitted_total");
+  const auto rows = static_cast<std::int64_t>(demands->array.size());
+  if (rows != admitted) {
+    return "ledger covers " + std::to_string(rows) + " demands but " +
+           std::to_string(admitted) + " were admitted";
+  }
+  return "";
+}
+
+struct DemandLine {
+  std::int64_t id = 0;
+  std::int64_t tenant = 0;
+  std::string state;
+  double beta = 0.0;
+  double availability = 0.0;
+  double burn = 0.0;
+  double burn_per_hour = 0.0;
+  bool target_met = true;
+};
+
+void render(const Options& opt, const JsonValue& stats, const JsonValue& slo) {
+  if (!opt.once) std::fputs("\x1b[2J\x1b[H", stdout);
+
+  const JsonValue* ledger = slo.find("ledger");
+  const JsonValue* series = slo.find("series");
+  std::printf("bate_top — controller :%d  (refresh %dms, window %ds)\n",
+              opt.port, opt.interval_ms, opt.window_s);
+  std::printf(
+      "admitted %lld / offered %lld   link failures %lld   updates out %lld   "
+      "slo transitions %lld (invalid %lld)\n",
+      static_cast<long long>(
+          counter_of(stats, "bate_controller_demands_admitted_total")),
+      static_cast<long long>(
+          counter_of(stats, "bate_controller_demands_offered_total")),
+      static_cast<long long>(
+          counter_of(stats, "bate_controller_link_failures_total")),
+      static_cast<long long>(
+          counter_of(stats, "bate_controller_allocation_updates_total")),
+      static_cast<long long>(counter_of(stats, "bate_slo_transitions_total")),
+      static_cast<long long>(
+          counter_of(stats, "bate_slo_invalid_transitions_total")));
+
+  if (ledger != nullptr) {
+    const JsonValue* tenants = ledger->find("tenants");
+    if (tenants != nullptr && tenants->kind == JsonValue::Kind::kArray &&
+        !tenants->array.empty()) {
+      std::printf("\n%8s %8s %10s %12s %14s\n", "tenant", "demands",
+                  "violating", "worst burn", "min avail");
+      for (const JsonValue& t : tenants->array) {
+        std::printf("%8lld %8lld %10lld %12.3f %14.6f\n",
+                    static_cast<long long>(number_of(t, "tenant")),
+                    static_cast<long long>(number_of(t, "demands")),
+                    static_cast<long long>(number_of(t, "violating")),
+                    number_of(t, "worst_burn"), number_of(t, "min_availability", 1.0));
+      }
+    }
+
+    const JsonValue* demands = ledger->find("demands");
+    if (demands != nullptr && demands->kind == JsonValue::Kind::kArray) {
+      std::vector<DemandLine> lines;
+      lines.reserve(demands->array.size());
+      for (const JsonValue& d : demands->array) {
+        DemandLine l;
+        l.id = static_cast<std::int64_t>(number_of(d, "id"));
+        l.tenant = static_cast<std::int64_t>(number_of(d, "tenant"));
+        l.state = string_of(d, "state");
+        l.beta = number_of(d, "beta");
+        l.availability = number_of(d, "availability");
+        l.burn = number_of(d, "budget_burn");
+        l.burn_per_hour = number_of(d, "burn_per_hour");
+        const JsonValue* met = d.find("target_met");
+        l.target_met =
+            met != nullptr && met->kind == JsonValue::Kind::kBool && met->boolean;
+        lines.push_back(std::move(l));
+      }
+      // Hottest first: the rows an operator must look at are the ones
+      // spending error budget fastest right now.
+      std::stable_sort(lines.begin(), lines.end(),
+                       [](const DemandLine& a, const DemandLine& b) {
+                         return a.burn > b.burn;
+                       });
+      const std::size_t shown =
+          std::min(lines.size(), static_cast<std::size_t>(opt.top));
+      std::printf("\ntop %zu of %zu demands by budget burn\n", shown,
+                  lines.size());
+      std::printf("%10s %7s %10s %8s %12s %10s %10s  %s\n", "demand", "tenant",
+                  "state", "beta", "availability", "burn", "burn/h", "slo");
+      for (std::size_t i = 0; i < shown; ++i) {
+        const DemandLine& l = lines[i];
+        std::printf("%10lld %7lld %10s %8.4f %12.6f %10.3f %10.3f  %s\n",
+                    static_cast<long long>(l.id),
+                    static_cast<long long>(l.tenant), l.state.c_str(), l.beta,
+                    l.availability, l.burn, l.burn_per_hour,
+                    l.target_met ? "ok" : "VIOLATED");
+      }
+    }
+  }
+
+  if (series != nullptr) {
+    const JsonValue* window = series->find("series");
+    if (window != nullptr && window->kind == JsonValue::Kind::kObject &&
+        !window->object.empty()) {
+      // Busiest series first; everything below the fold is reachable via
+      // --json, the dashboard is for triage.
+      std::vector<const std::pair<std::string, JsonValue>*> rows;
+      rows.reserve(window->object.size());
+      for (const auto& kv : window->object) rows.push_back(&kv);
+      std::stable_sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+        return std::abs(number_of(a->second, "rate_per_sec")) >
+               std::abs(number_of(b->second, "rate_per_sec"));
+      });
+      const std::size_t shown =
+          std::min(rows.size(), static_cast<std::size_t>(opt.top));
+      std::printf("\ntop %zu of %zu time series by rate (window %ds)\n", shown,
+                  rows.size(), opt.window_s);
+      std::printf("%-48s %8s %12s %12s %12s\n", "series", "points", "last",
+                  "avg", "rate/s");
+      for (std::size_t i = 0; i < shown; ++i) {
+        const auto& [name, v] = *rows[i];
+        std::printf("%-48s %8lld %12.3f %12.3f %12.3f\n", name.c_str(),
+                    static_cast<long long>(number_of(v, "count")),
+                    number_of(v, "max"), number_of(v, "avg"),
+                    number_of(v, "rate_per_sec"));
+      }
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    bate::UserClient client(static_cast<std::uint16_t>(opt.port));
+    while (true) {
+      const std::string stats_text = client.stats("json");
+      const std::string slo_text = client.slo();
+      JsonValue stats;
+      JsonValue slo;
+      try {
+        stats = bate::json::parse(stats_text);
+        slo = bate::json::parse(slo_text);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bate_top: payload does not parse: %s\n",
+                     e.what());
+        return 1;
+      }
+      if (opt.check) {
+        const std::string err = check_payloads(stats, slo);
+        if (!err.empty()) {
+          std::fprintf(stderr, "bate_top: check failed: %s\n", err.c_str());
+          return 1;
+        }
+        std::printf("bate_top: check ok (%zu ledger demands)\n",
+                    slo.find("ledger")->find("demands")->array.size());
+      } else if (opt.json) {
+        std::printf("{\"stats\":%s,\"slo\":%s}\n", stats_text.c_str(),
+                    slo_text.c_str());
+      } else {
+        render(opt, stats, slo);
+      }
+      if (opt.once) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bate_top: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

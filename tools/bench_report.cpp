@@ -1,14 +1,18 @@
 #include "bench_report.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "json_mini.h"
+
 namespace bate {
+
+using json::JsonParser;
+using json::JsonValue;
 
 namespace {
 
@@ -35,188 +39,13 @@ std::string format_double(double v) {
   return buf;
 }
 
-/// Minimal recursive-descent JSON reader: just enough to re-parse the files
-/// write_bench_json produces and reject malformed ones. Parsed values are
-/// represented as a tagged tree.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
-      Kind::kNull;
-  double number = 0.0;
-  bool boolean = false;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("json: " + what + " at offset " +
-                             std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': case 'f': return boolean();
-      case 'n': return null();
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') { ++pos_; return v; }
-    for (;;) {
-      skip_ws();
-      JsonValue key = string_value();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key.str), value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') { ++pos_; return v; }
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    expect('"');
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': v.str += '"'; break;
-          case '\\': v.str += '\\'; break;
-          case '/': v.str += '/'; break;
-          case 'n': v.str += '\n'; break;
-          case 't': v.str += '\t'; break;
-          case 'r': v.str += '\r'; break;
-          case 'b': v.str += '\b'; break;
-          case 'f': v.str += '\f'; break;
-          default: fail("unsupported escape");  // \uXXXX not emitted by us
-        }
-      } else {
-        v.str += c;
-      }
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue null() {
-    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
-    pos_ += 4;
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNull;
-    return v;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
 }  // namespace
 
 void write_bench_json(const BenchReport& report, const std::string& path) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": " << quote(report.bench) << ",\n";
-  out << "  \"schema_version\": 5,\n";
+  out << "  \"schema_version\": 6,\n";
   out << "  \"cases\": [";
   for (std::size_t i = 0; i < report.cases.size(); ++i) {
     const BenchCase& c = report.cases[i];
@@ -267,8 +96,9 @@ std::string validate_bench_json(const std::string& path) {
   const JsonValue* ver = root.find("schema_version");
   if (!ver || ver->kind != JsonValue::Kind::kNumber ||
       (ver->number != 1.0 && ver->number != 2.0 && ver->number != 3.0 &&
-       ver->number != 4.0 && ver->number != 5.0)) {
-    return "missing field 'schema_version' or version not in {1, 2, 3, 4, 5}";
+       ver->number != 4.0 && ver->number != 5.0 && ver->number != 6.0)) {
+    return "missing field 'schema_version' or version not in {1, 2, 3, 4, 5, "
+           "6}";
   }
   const JsonValue* obs = root.find("obs");
   if (obs != nullptr && obs->kind != JsonValue::Kind::kObject) {

@@ -26,13 +26,17 @@
 // the lockstep iteration counters) under the same v4 container; v5
 // (admission pipeline PR) added the system bench (BENCH_system.json:
 // admissions_per_sec, p50/p99_reply_us, shed, speedup_vs_serial) and the
-// check_bench_max ceiling gate for lower-is-better metrics. All changes
-// are additive: the container shape is unchanged, the validator accepts
-// v1-v5 files, and the version field is informational for downstream
-// diffing.
+// check_bench_max ceiling gate for lower-is-better metrics; v6 (SLO
+// ledger PR) added the system bench's slo chaos case (slo_demands,
+// slo_crosscheck_max_abs_err, slo_min/mean_availability, slo_worst_burn)
+// and the solver obs-overhead arms now exercise the ledger + time-series
+// store. All changes are additive: the container shape is unchanged, the
+// validator accepts v1-v6 files, and the version field is informational
+// for downstream diffing.
 //
 // validate_bench_json re-parses an emitted file with a minimal hand-rolled
-// JSON reader (no third-party deps) and checks exactly that shape;
+// JSON reader (tools/json_mini.h, no third-party deps) and checks exactly
+// that shape;
 // compare_bench_json diffs two reports and flags perf regressions. The CI
 // bench-smoke leg (tools/ci.sh) runs both on every push.
 #pragma once
@@ -62,7 +66,7 @@ struct BenchReport {
 /// cannot be written or a metric value is not finite.
 void write_bench_json(const BenchReport& report, const std::string& path);
 
-/// Parses `path` and checks the BENCH schema above (version 1 through 5).
+/// Parses `path` and checks the BENCH schema above (version 1 through 6).
 /// Returns an empty string on success, else a one-line description of the
 /// first violation.
 std::string validate_bench_json(const std::string& path);

@@ -16,10 +16,14 @@
 #                  warm timing for the MILP bench); bench_system at a
 #                  reduced arrival count with an absolute floor on
 #                  admissions/sec, a ceiling on p99 reply latency and a
-#                  floor on the batched-vs-serial speedup; then runs the
-#                  obs-overhead gate
-#                  (bench_solver --obs-overhead: metrics enabled must stay
-#                  within 3% of the BATE_OBS_OFF=1 median, DESIGN.md Sec 9)
+#                  floor on the batched-vs-serial speedup; the SLO-ledger
+#                  crosscheck gate (measured availability must match the
+#                  shared simulator arithmetic within 1e-9 across a link-
+#                  flap chaos run); bate_top --once --json --check against
+#                  a live --serve stack; then runs the obs-overhead gate
+#                  (bench_solver --obs-overhead: metrics enabled, the SLO
+#                  ledger and the time-series store must stay within 3% of
+#                  the BATE_OBS_OFF=1 median, DESIGN.md Sec 9)
 #
 # Every leg uses the CMakePresets.json presets, so a CI runner and a
 # developer shell run the identical configuration. Legs can be selected:
@@ -138,8 +142,42 @@ for leg in "${legs[@]}"; do
         --metric speedup_vs_serial --floor 5.0
       "build/dev/tools/bench_report" --max "$smoke_json" \
         --metric p99_reply_us --ceiling 200000
+      # SLO-ledger crosscheck gate (ISSUE 10): the slo chaos case replays
+      # the ledger's transition log through the shared availability
+      # arithmetic; the reported availability must match to 1e-9 (it is
+      # exactly 0 in practice — same integers, same division), and the case
+      # must actually exercise demands, not vacuously pass on an empty
+      # ledger.
+      "build/dev/tools/bench_report" --min "$smoke_json" \
+        --metric slo_demands --floor 100
+      "build/dev/tools/bench_report" --max "$smoke_json" \
+        --metric slo_crosscheck_max_abs_err --ceiling 0.000000001
       rm -f "$smoke_json"
-      banner "obs-overhead gate (metrics on vs off, 3% budget)"
+      banner "bate_top --check against a live bench_system stack"
+      cmake --build --preset dev -j "$(nproc)" --target bate_top
+      port_file=$(mktemp /tmp/bate_top_port.XXXXXX)
+      rm -f "$port_file"  # --serve creates it once the ledger is populated
+      # Self-terminating serve window: if anything below fails, set -e
+      # exits and the background stack still dies on its own deadline.
+      "build/dev/bench/bench_system" --serve 60 --port-file "$port_file" \
+        --slo-arrivals 300 &
+      serve_pid=$!
+      for _ in $(seq 1 150); do
+        [ -s "$port_file" ] && break
+        sleep 0.2
+      done
+      if [ ! -s "$port_file" ]; then
+        echo "ci.sh: serve stack never published its port" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+      fi
+      "build/dev/tools/bate_top" --once --json \
+        --port "$(cat "$port_file")" >/dev/null
+      "build/dev/tools/bate_top" --once --check --port "$(cat "$port_file")"
+      kill "$serve_pid" 2>/dev/null || true
+      wait "$serve_pid" 2>/dev/null || true
+      rm -f "$port_file"
+      banner "obs-overhead gate (metrics on vs off incl. ledger + series, 3% budget)"
       "build/dev/bench/bench_solver" --obs-overhead
       ;;
     *)
